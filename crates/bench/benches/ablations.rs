@@ -1,0 +1,210 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! Each ablation runs the same workload under two variants of one
+//! mechanism and reports both, so `cargo bench` output shows the effect
+//! size directly:
+//!
+//! 1. L3 replacement policy (LRU / bit-PLRU / random) on CSThr's ability
+//!    to hold its buffer.
+//! 2. Prefetcher on/off for a streaming (STREAM-like) core.
+//! 3. MLP budget for a BWThr-style miss stream.
+//! 4. Inclusive vs non-inclusive L3 for a victim thread under CSThr.
+//! 5. CSThr access pattern: random (the paper's) vs linear.
+
+use amem_interfere::{CsThread, CsThreadCfg};
+use amem_sim::cache::{InsertPolicy, Replacement};
+use amem_sim::engine::RunLimit;
+use amem_sim::prelude::*;
+use amem_sim::stream::ScriptStream;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn tiny() -> MachineConfig {
+    MachineConfig::xeon20mb().scaled(0.03125)
+}
+
+/// Victim: loop over a buffer half the L3, with a CSThr on another core.
+fn victim_with_cs(cfg: &MachineConfig) -> u64 {
+    let mut m = Machine::new(cfg.clone());
+    let buf = m.alloc(cfg.l3.size_bytes / 2);
+    let lines = cfg.l3.size_bytes / 2 / 64;
+    let ops: Vec<Op> = (0..4 * lines)
+        .map(|i| Op::Load(buf + (i % lines) * 64))
+        .chain(std::iter::once(Op::Compute(1)))
+        .collect();
+    let cs = CsThread::new(&mut m, &CsThreadCfg::for_machine(cfg));
+    let jobs = vec![
+        Job::primary(
+            Box::new(ScriptStream::new(ops).with_mlp(4)),
+            CoreId::new(0, 0),
+        ),
+        Job::background(Box::new(cs), CoreId::new(0, 1)),
+    ];
+    m.run(jobs, RunLimit::default()).wall_cycles
+}
+
+fn ablate_replacement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate-replacement");
+    g.sample_size(10);
+    for (name, repl) in [
+        ("lru", Replacement::Lru),
+        ("bit_plru", Replacement::BitPlru),
+        ("random", Replacement::Random),
+    ] {
+        g.bench_function(name, |b| {
+            let mut cfg = tiny();
+            cfg.l3.replacement = repl;
+            b.iter(|| victim_with_cs(&cfg))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_insertion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate-insertion");
+    g.sample_size(10);
+    for (name, ins) in [
+        ("mid (xeon-like)", InsertPolicy::Mid),
+        ("mru (classic lru)", InsertPolicy::Mru),
+        ("lru (bypass-like)", InsertPolicy::Lru),
+    ] {
+        g.bench_function(name, |b| {
+            let mut cfg = tiny();
+            cfg.l3.insert = ins;
+            b.iter(|| victim_with_cs(&cfg))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_prefetch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate-prefetch");
+    g.sample_size(10);
+    for (name, pf) in [("on", true), ("off", false)] {
+        g.bench_function(name, |b| {
+            let mut cfg = tiny();
+            cfg.prefetch = pf;
+            b.iter(|| {
+                let mut m = Machine::new(cfg.clone());
+                let buf = m.alloc(4 * cfg.l3.size_bytes);
+                let lines = 4 * cfg.l3.size_bytes / 64;
+                let ops: Vec<Op> = (0..lines).map(|i| Op::Load(buf + i * 64)).collect();
+                let jobs = vec![Job::primary(
+                    Box::new(ScriptStream::new(ops).with_mlp(4)),
+                    CoreId::new(0, 0),
+                )];
+                m.run(jobs, RunLimit::default()).wall_cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablate_mlp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate-mlp");
+    g.sample_size(10);
+    for mlp in [1u8, 2, 4, 8] {
+        g.bench_function(format!("mlp{mlp}"), |b| {
+            let cfg = tiny();
+            b.iter(|| {
+                let mut m = Machine::new(cfg.clone());
+                let buf = m.alloc(8 * cfg.l3.size_bytes);
+                let mut rng = Xoshiro256::seed_from_u64(9);
+                let lines = 8 * cfg.l3.size_bytes / 64;
+                let ops: Vec<Op> = (0..50_000)
+                    .map(|_| Op::Load(buf + rng.below(lines) * 64))
+                    .collect();
+                let jobs = vec![Job::primary(
+                    Box::new(ScriptStream::new(ops).with_mlp(mlp)),
+                    CoreId::new(0, 0),
+                )];
+                m.run(jobs, RunLimit::default()).wall_cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablate_inclusion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate-inclusion");
+    g.sample_size(10);
+    for (name, inc) in [("inclusive", true), ("non_inclusive", false)] {
+        g.bench_function(name, |b| {
+            let mut cfg = tiny();
+            cfg.inclusive_l3 = inc;
+            b.iter(|| victim_with_cs(&cfg))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_cs_pattern(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate-cs-pattern");
+    g.sample_size(10);
+    // Random CSThr (the paper's design) vs a linear walker of the same
+    // footprint: the linear one is prefetchable and keeps spatial
+    // locality, so it steals less cache per unit time.
+    g.bench_function("random (paper)", |b| {
+        let cfg = tiny();
+        b.iter(|| victim_with_cs(&cfg))
+    });
+    g.bench_function("linear", |b| {
+        let cfg = tiny();
+        b.iter(|| {
+            let mut m = Machine::new(cfg.clone());
+            let vbuf = m.alloc(cfg.l3.size_bytes / 2);
+            let vlines = cfg.l3.size_bytes / 2 / 64;
+            let ops: Vec<Op> = (0..4 * vlines)
+                .map(|i| Op::Load(vbuf + (i % vlines) * 64))
+                .chain(std::iter::once(Op::Compute(1)))
+                .collect();
+            let ibuf = m.alloc(cfg.l3.size_bytes / 5);
+            let ilines = cfg.l3.size_bytes / 5 / 64;
+            struct Linear {
+                base: u64,
+                lines: u64,
+                i: u64,
+            }
+            impl AccessStream for Linear {
+                fn next_op(&mut self) -> Op {
+                    let a = self.base + (self.i % self.lines) * 64;
+                    self.i += 1;
+                    if self.i.is_multiple_of(2) {
+                        Op::Store(a)
+                    } else {
+                        Op::Load(a)
+                    }
+                }
+                fn mlp(&self) -> u8 {
+                    2
+                }
+            }
+            let jobs = vec![
+                Job::primary(
+                    Box::new(ScriptStream::new(ops).with_mlp(4)),
+                    CoreId::new(0, 0),
+                ),
+                Job::background(
+                    Box::new(Linear {
+                        base: ibuf,
+                        lines: ilines,
+                        i: 0,
+                    }),
+                    CoreId::new(0, 1),
+                ),
+            ];
+            m.run(jobs, RunLimit::default()).wall_cycles
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_replacement,
+    ablate_insertion,
+    ablate_prefetch,
+    ablate_mlp,
+    ablate_inclusion,
+    ablate_cs_pattern
+);
+criterion_main!(benches);

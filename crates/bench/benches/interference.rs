@@ -1,0 +1,76 @@
+//! Criterion benchmarks of the interference threads: how expensive is it
+//! to simulate a CSThr / BWThr, and the native threads' real throughput.
+
+use amem_interfere::native;
+use amem_interfere::{BwThread, BwThreadCfg, CsThread, CsThreadCfg};
+use amem_sim::engine::RunLimit;
+use amem_sim::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn tiny() -> MachineConfig {
+    MachineConfig::xeon20mb().scaled(0.03125)
+}
+
+fn bench_sim_threads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interference-sim");
+    g.sample_size(20);
+    g.bench_function("cs_thread_100k_rounds", |b| {
+        b.iter(|| {
+            let cfg = tiny();
+            let mut m = Machine::new(cfg.clone());
+            let t = CsThread::new(
+                &mut m,
+                &CsThreadCfg {
+                    rounds: Some(100_000),
+                    ..CsThreadCfg::for_machine(&cfg)
+                },
+            );
+            m.run(
+                vec![Job::primary(Box::new(t), CoreId::new(0, 0))],
+                RunLimit::default(),
+            )
+        })
+    });
+    g.bench_function("bw_thread_2k_iters", |b| {
+        b.iter(|| {
+            let cfg = tiny();
+            let mut m = Machine::new(cfg.clone());
+            let t = BwThread::new(
+                &mut m,
+                &BwThreadCfg {
+                    iterations: Some(2_000),
+                    ..BwThreadCfg::for_machine(&cfg)
+                },
+            );
+            m.run(
+                vec![Job::primary(Box::new(t), CoreId::new(0, 0))],
+                RunLimit::default(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_native_threads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interference-native");
+    g.sample_size(10);
+    let rounds = 200_000u64;
+    g.throughput(Throughput::Elements(rounds));
+    g.bench_function("native_cs_rounds", |b| {
+        b.iter(|| {
+            let h = native::spawn_cs(
+                1,
+                &CsThreadCfg {
+                    buffer_bytes: 1 << 20,
+                    rounds: Some(rounds),
+                    ..CsThreadCfg::default()
+                },
+            );
+            h.stop()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim_threads, bench_native_threads);
+criterion_main!(benches);

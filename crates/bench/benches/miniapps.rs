@@ -1,0 +1,55 @@
+//! Criterion benchmarks of the mini-app proxies: cost of one simulated
+//! MCB / Lulesh run at bench scale.
+
+use amem_miniapps::{lulesh, mcb, LuleshCfg, McbCfg};
+use amem_sim::cluster::RankMap;
+use amem_sim::engine::RunLimit;
+use amem_sim::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn tiny() -> MachineConfig {
+    MachineConfig::xeon20mb().scaled(0.03125)
+}
+
+fn bench_mcb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mcb");
+    g.sample_size(10);
+    g.bench_function("4_ranks_8k_particles_2_steps", |b| {
+        b.iter(|| {
+            let cfg = tiny();
+            let mut m = Machine::new(cfg.clone());
+            let mcb_cfg = McbCfg {
+                ranks: 4,
+                steps: 2,
+                ..McbCfg::new(&cfg, 8_000)
+            };
+            let map = RankMap::new(&cfg, 4, 2);
+            let jobs = mcb::build_jobs(&mut m, &mcb_cfg, &map);
+            m.run(jobs, RunLimit::default())
+        })
+    });
+    g.finish();
+}
+
+fn bench_lulesh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lulesh");
+    g.sample_size(10);
+    g.bench_function("8_ranks_edge8_2_steps", |b| {
+        b.iter(|| {
+            let cfg = tiny();
+            let mut m = Machine::new(cfg.clone());
+            let l = LuleshCfg {
+                ranks: 8,
+                steps: 2,
+                ..LuleshCfg::new(8)
+            };
+            let map = RankMap::new(&cfg, 8, 4);
+            let jobs = lulesh::build_jobs(&mut m, &l, &map);
+            m.run(jobs, RunLimit::default())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mcb, bench_lulesh);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmarks of the probe machinery: distribution sampling,
+//! the analytic Σg² computation, and a full probe simulation.
+
+use amem_probes::dist::{table2, AccessDist};
+use amem_probes::ehr;
+use amem_probes::probe::{run_probe, ProbeCfg};
+use amem_sim::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dist-sampling");
+    let n = 100_000u64;
+    g.throughput(Throughput::Elements(n));
+    for nd in table2().into_iter().step_by(3) {
+        g.bench_function(nd.name, |b| {
+            let mut rng = Xoshiro256::seed_from_u64(1);
+            b.iter(|| {
+                let mut acc = 0u64;
+                for _ in 0..n {
+                    acc = acc.wrapping_add(nd.dist.sample_index(&mut rng, 1 << 20));
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ehr-model");
+    g.bench_function("sum_sq_line_mass_32mb", |b| {
+        let d = AccessDist::Normal {
+            mu: 0.5,
+            sigma: 0.125,
+        };
+        b.iter(|| ehr::sum_sq_line_mass(&d, 32 << 20, 4, 64))
+    });
+    g.finish();
+}
+
+fn bench_probe_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("probe-sim");
+    g.sample_size(10);
+    g.bench_function("uniform_probe_tiny_machine", |b| {
+        let cfg = MachineConfig::xeon20mb().scaled(0.03125);
+        let p = ProbeCfg::for_machine(&cfg, AccessDist::Uniform, 2.0, 1);
+        b.iter(|| run_probe(&cfg, &p, |_| Vec::new()))
+    });
+    g.finish();
+}
+
+fn bench_xray(c: &mut Criterion) {
+    use amem_probes::xray::chase_latency;
+    let mut g = c.benchmark_group("xray");
+    g.sample_size(10);
+    g.bench_function("chase_l3_resident", |b| {
+        let cfg = MachineConfig::xeon20mb().scaled(0.03125);
+        b.iter(|| chase_latency(&cfg, cfg.l2.size_bytes * 2, 10_000))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sampling, bench_model, bench_probe_run, bench_xray);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! Criterion micro-benchmarks of the simulator substrate: raw engine
+//! throughput for the access patterns that dominate every experiment.
+
+use amem_sim::engine::RunLimit;
+use amem_sim::prelude::*;
+use amem_sim::stream::ScriptStream;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+fn tiny() -> MachineConfig {
+    MachineConfig::xeon20mb().scaled(0.03125)
+}
+
+fn sequential_ops(n: u64) -> Vec<Op> {
+    (0..n)
+        .map(|i| Op::Load(0x1000_0000 + (i % (1 << 14)) * 64))
+        .collect()
+}
+
+fn random_ops(n: u64) -> Vec<Op> {
+    let mut rng = Xoshiro256::seed_from_u64(7);
+    (0..n)
+        .map(|_| Op::Load(0x1000_0000 + rng.below(1 << 16) * 64))
+        .collect()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let n = 100_000u64;
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("sequential_loads", |b| {
+        b.iter_batched(
+            || sequential_ops(n),
+            |ops| {
+                let cfg = tiny();
+                let jobs = vec![Job::primary(
+                    Box::new(ScriptStream::new(ops).with_mlp(4)),
+                    CoreId::new(0, 0),
+                )];
+                let mut m = Machine::new(cfg);
+                m.run(jobs, RunLimit::default())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("random_loads", |b| {
+        b.iter_batched(
+            || random_ops(n),
+            |ops| {
+                let cfg = tiny();
+                let jobs = vec![Job::primary(
+                    Box::new(ScriptStream::new(ops).with_mlp(4)),
+                    CoreId::new(0, 0),
+                )];
+                let mut m = Machine::new(cfg);
+                m.run(jobs, RunLimit::default())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("eight_core_contention", |b| {
+        b.iter_batched(
+            || {
+                (0..8u32)
+                    .map(|core| {
+                        let mut rng = Xoshiro256::seed_from_u64(core as u64);
+                        let ops: Vec<Op> = (0..n / 8)
+                            .map(|_| {
+                                Op::Load(
+                                    0x1000_0000
+                                        + core as u64 * (1 << 26)
+                                        + rng.below(1 << 15) * 64,
+                                )
+                            })
+                            .collect();
+                        Job::primary(
+                            Box::new(ScriptStream::new(ops).with_mlp(4)),
+                            CoreId::new(0, core),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            },
+            |jobs| {
+                let mut m = Machine::new(tiny());
+                m.run(jobs, RunLimit::default())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    use amem_sim::cache::Cache;
+    let cfg = tiny();
+    let mut g = c.benchmark_group("cache");
+    let n = 100_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("l3_lookup_fill_mix", |b| {
+        let mut cache = Cache::new(&cfg.l3);
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        b.iter(|| {
+            let mut hits = 0u64;
+            for _ in 0..n {
+                let line = rng.below(1 << 17);
+                if cache.lookup(line, false) {
+                    hits += 1;
+                } else {
+                    cache.fill(line, false);
+                }
+            }
+            hits
+        })
+    });
+    g.finish();
+}
+
+fn bench_trace(c: &mut Criterion) {
+    use amem_sim::trace::{Trace, TraceEvent};
+    let mut g = c.benchmark_group("trace");
+    let n = 50_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("stack_distance_50k_refs", |b| {
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let trace = Trace {
+            events: (0..n)
+                .map(|_| TraceEvent::Load(0x1000_0000 + rng.below(1 << 16) * 64))
+                .collect(),
+        };
+        b.iter(|| trace.reuse_distances())
+    });
+    g.bench_function("mrc_8_capacities", |b| {
+        let mut rng = Xoshiro256::seed_from_u64(12);
+        let trace = Trace {
+            events: (0..n)
+                .map(|_| TraceEvent::Load(0x1000_0000 + rng.below(1 << 16) * 64))
+                .collect(),
+        };
+        let caps: Vec<u64> = (1..=8).map(|i| i * 8192).collect();
+        b.iter(|| trace.mrc(&caps))
+    });
+    g.finish();
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    use amem_sim::tlb::{Tlb, TlbConfig};
+    let mut g = c.benchmark_group("tlb");
+    let n = 200_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("random_translations", |b| {
+        b.iter(|| {
+            let mut t = Tlb::new(TlbConfig::xeon_dtlb());
+            let mut rng = Xoshiro256::seed_from_u64(9);
+            let mut acc = 0u64;
+            for _ in 0..n {
+                acc += t.access(0x1000_0000 + rng.below(1 << 12) * 4096) as u64;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_cache, bench_trace, bench_tlb);
+criterion_main!(benches);

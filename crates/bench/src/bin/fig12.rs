@@ -1,0 +1,66 @@
+//! Fig. 12 — Lulesh per-process resource consumption vs mapping.
+//!
+//! Like Fig. 10 but for Lulesh on the 22³ and 36³ domains. Paper: the
+//! 22³ process needs 3.5–7 MB and the 36³ process 7–20 MB; both storage
+//! *and* bandwidth use per process rise as processes spread out (spread
+//! processes keep MPI buffers in cache longer and push communication
+//! through the memory bus).
+
+use amem_bench::Args;
+use amem_core::estimate::{bandwidth_use_per_process, storage_use_per_process};
+use amem_core::platform::{LuleshWorkload, SimPlatform};
+use amem_core::report::{fmt_mb, Table};
+use amem_core::sweep::run_sweep;
+use amem_core::{BandwidthMap, CapacityMap};
+use amem_interfere::InterferenceKind;
+use amem_miniapps::LuleshCfg;
+
+const TOL_PCT: f64 = 3.0;
+
+fn main() {
+    let args = Args::parse();
+    let m = args.machine();
+    let plat = SimPlatform::new(m.clone());
+    eprintln!("calibrating capacity and bandwidth maps...");
+    let cmap = CapacityMap::calibrate(&m, &Default::default());
+    let bmap = BandwidthMap::calibrate(&m);
+
+    for full_edge in [22u32, 36] {
+        let edge = LuleshCfg::scaled_edge(&m, full_edge);
+        let mut t = Table::new(
+            format!("Fig. 12 — Lulesh per-process resource use, {full_edge}^3 domain"),
+            &[
+                "Ranks/processor",
+                "Storage lo (MB)",
+                "Storage hi (MB)",
+                "BW lo (GB/s)",
+                "BW hi (GB/s)",
+                "Bracketed",
+            ],
+        );
+        for p in [1usize, 2, 4] {
+            let w = LuleshWorkload(LuleshCfg::new(edge));
+            let cs = run_sweep(&plat, &w, p, InterferenceKind::Storage, 7);
+            let bw = run_sweep(&plat, &w, p, InterferenceKind::Bandwidth, 2);
+            let s_iv = storage_use_per_process(&cs, &cmap, p, TOL_PCT);
+            let b_iv = bandwidth_use_per_process(&bw, &bmap, p, TOL_PCT);
+            t.row(vec![
+                p.to_string(),
+                fmt_mb(s_iv.lo),
+                fmt_mb(s_iv.hi),
+                format!("{:.2}", b_iv.lo),
+                format!("{:.2}", b_iv.hi),
+                format!(
+                    "storage:{} bw:{}",
+                    if s_iv.bracketed { "y" } else { "n" },
+                    if b_iv.bracketed { "y" } else { "n" }
+                ),
+            ]);
+        }
+        args.emit(&format!("fig12_{full_edge}"), &t);
+    }
+    println!(
+        "Paper (full scale): 22^3 needs 3.5-7 MB/process, 36^3 needs 7-20 MB; \
+         storage and bandwidth use rise as processes spread out."
+    );
+}

@@ -1,0 +1,76 @@
+//! Fig. 9 — MCB performance degradation.
+//!
+//! Top panels: 24-rank MCB at 20 000 particles under several mappings
+//! (p = 1, 2, 3, 4, 6 ranks per processor), swept against CSThrs (left)
+//! and BWThrs (right). More ranks per processor ⇒ less L3 per rank ⇒ the
+//! same degradation arrives at fewer CSThrs.
+//!
+//! Bottom panels: 1 rank per processor, particle counts 20 k – 260 k.
+//! Storage: little degradation through 3 CSThrs, 20–25% at 4–5. Bandwidth:
+//! impact grows to ≈90 k particles, then declines as compute dominates.
+
+use amem_bench::Args;
+use amem_core::platform::{McbWorkload, SimPlatform};
+use amem_core::report::Table;
+use amem_core::sweep::run_sweep;
+use amem_interfere::InterferenceKind;
+use amem_miniapps::McbCfg;
+
+fn main() {
+    let args = Args::parse();
+    let m = args.machine();
+    let plat = SimPlatform::new(m.clone());
+
+    // ---- Top: mapping sweep at 20k particles --------------------------
+    for (kind, max, tag) in [
+        (InterferenceKind::Storage, 7usize, "storage"),
+        (InterferenceKind::Bandwidth, 2usize, "bandwidth"),
+    ] {
+        let mut t = Table::new(
+            format!("Fig. 9 (top, {tag}) — MCB 24 ranks, 20k particles, mapping sweep"),
+            &["Ranks/processor", "Interference", "Time (ms)", "Degradation (%)"],
+        );
+        for p in [1usize, 2, 3, 4, 6] {
+            let w = McbWorkload(McbCfg::new(&m, 20_000));
+            let sweep = run_sweep(&plat, &w, p, kind, max);
+            for pt in &sweep.points {
+                t.row(vec![
+                    p.to_string(),
+                    pt.count.to_string(),
+                    format!("{:.3}", pt.seconds * 1e3),
+                    format!("{:.1}", pt.degradation_pct),
+                ]);
+            }
+        }
+        args.emit(&format!("fig9_top_{tag}"), &t);
+    }
+
+    // ---- Bottom: particle sweep at 1 rank/processor -------------------
+    let particles: Vec<u64> = if args.full {
+        (0..=12).map(|i| 20_000 + 20_000 * i).collect()
+    } else {
+        vec![20_000, 60_000, 90_000, 140_000, 200_000, 260_000]
+    };
+    for (kind, max, tag) in [
+        (InterferenceKind::Storage, 5usize, "storage"),
+        (InterferenceKind::Bandwidth, 2usize, "bandwidth"),
+    ] {
+        let mut t = Table::new(
+            format!("Fig. 9 (bottom, {tag}) — MCB 24 ranks, 1 rank/processor, particle sweep"),
+            &["Particles", "Interference", "Time (ms)", "Degradation (%)"],
+        );
+        for &n in &particles {
+            let w = McbWorkload(McbCfg::new(&m, n));
+            let sweep = run_sweep(&plat, &w, 1, kind, max);
+            for pt in &sweep.points {
+                t.row(vec![
+                    n.to_string(),
+                    pt.count.to_string(),
+                    format!("{:.3}", pt.seconds * 1e3),
+                    format!("{:.1}", pt.degradation_pct),
+                ]);
+            }
+        }
+        args.emit(&format!("fig9_bottom_{tag}"), &t);
+    }
+}

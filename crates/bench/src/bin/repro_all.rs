@@ -1,0 +1,47 @@
+//! Run the entire reproduction suite in sequence.
+//!
+//! Equivalent to running every table/figure binary with the same
+//! arguments; results land in `target/repro/*.csv`.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "table1",
+        "table2",
+        "stream_cal",
+        "bw_cal",
+        "fig1",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "predict",
+        "xray",
+        "mrc",
+        "noise_amp",
+        "latency_load",
+        "combined",
+        "cat",
+        "energy",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("current_exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    for bin in bins {
+        println!("=== {bin} {} ===", args.join(" "));
+        let status = Command::new(exe_dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+        assert!(status.success(), "{bin} failed with {status}");
+    }
+    println!("All reproduction binaries completed; CSVs in target/repro/.");
+}

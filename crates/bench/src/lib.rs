@@ -1,0 +1,126 @@
+//! # amem-bench — the reproduction harness
+//!
+//! One binary per table/figure of the paper (run them with
+//! `cargo run --release -p amem-bench --bin <name>`):
+//!
+//! | binary       | reproduces                                            |
+//! |--------------|-------------------------------------------------------|
+//! | `table1`     | Table I — Xeon20MB memory hierarchy                   |
+//! | `table2`     | Table II — the ten access distributions               |
+//! | `stream_cal` | §II/§III — STREAM bandwidth (the 17 GB/s figure)      |
+//! | `bw_cal`     | §III-A — per-BWThr bandwidth and channel saturation   |
+//! | `fig5`       | Fig. 5 — analytic model vs measured miss rates        |
+//! | `fig6`       | Fig. 6 — effective capacity under 0–5 CSThrs          |
+//! | `fig7`       | Fig. 7 — BWThr is immune to CSThrs                    |
+//! | `fig8`       | Fig. 8 — CSThr vs 0–5 BWThrs (orthogonality limit)    |
+//! | `fig9`       | Fig. 9 — MCB degradation (mappings & particle sweep)  |
+//! | `fig10`      | Fig. 10 — MCB per-process resource use                |
+//! | `fig11`      | Fig. 11 — Lulesh degradation (mappings & size sweep)  |
+//! | `fig12`      | Fig. 12 — Lulesh per-process resource use             |
+//! | `predict`    | §I/§VI — constrained-machine performance prediction   |
+//! | `fig1`       | Fig. 1 — the concept figure, reenacted with real data |
+//! | `repro_all`  | everything above, in sequence                         |
+//!
+//! Extensions beyond the paper (related work it cites, made runnable):
+//!
+//! | binary         | shows                                                  |
+//! |----------------|--------------------------------------------------------|
+//! | `xray`         | hierarchy discovery by pointer chase (refs [23][24])   |
+//! | `mrc`          | miss-ratio curves + Hartstein's power law (ref [9])    |
+//! | `noise_amp`    | barrier amplification of jitter (refs [11][18])        |
+//! | `latency_load` | loaded memory latency vs interference level            |
+//!
+//! All binaries accept `--scale <f>` (default 0.125): the machine's caches
+//! and every working set shrink together, preserving the figures' shapes
+//! while cutting simulation cost (use `--scale 1` for the full-size
+//! Xeon20MB). `--full` widens fig5/fig6 to the paper's complete grid.
+//! Tables print to stdout and are mirrored as CSV under `target/repro/`.
+
+use std::path::PathBuf;
+
+use amem_sim::config::MachineConfig;
+
+/// Parsed common CLI arguments.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Machine scale factor in (0, 1].
+    pub scale: f64,
+    /// Run the paper's full experiment grid (fig5/fig6).
+    pub full: bool,
+    /// Output directory for CSV mirrors.
+    pub out: PathBuf,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            scale: 0.125,
+            full: false,
+            out: PathBuf::from("target/repro"),
+        }
+    }
+}
+
+impl Args {
+    /// Parse `--scale <f>`, `--full`, `--out <dir>` from the process args.
+    pub fn parse() -> Self {
+        let mut out = Self::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--scale" => {
+                    let v = it.next().expect("--scale needs a value");
+                    out.scale = v.parse().expect("--scale must be a float");
+                    assert!(out.scale > 0.0 && out.scale <= 1.0, "scale in (0,1]");
+                }
+                "--full" => out.full = true,
+                "--out" => {
+                    out.out = PathBuf::from(it.next().expect("--out needs a value"));
+                }
+                other => panic!("unknown argument: {other} (expected --scale/--full/--out)"),
+            }
+        }
+        out
+    }
+
+    /// The machine under test.
+    pub fn machine(&self) -> MachineConfig {
+        MachineConfig::xeon20mb().scaled(self.scale)
+    }
+
+    /// CSV path for a named experiment.
+    pub fn csv(&self, name: &str) -> PathBuf {
+        self.out.join(format!("{name}.csv"))
+    }
+
+    /// Print a table and mirror it to CSV.
+    pub fn emit(&self, name: &str, table: &amem_core::report::Table) {
+        println!("{}", table.render());
+        let path = self.csv(name);
+        if let Err(e) = table.write_csv(&path) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("[csv] {}\n", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let a = Args::default();
+        assert_eq!(a.scale, 0.125);
+        assert!(!a.full);
+        let m = a.machine();
+        assert_eq!(m.l3.size_bytes, 5 << 20 >> 1);
+    }
+
+    #[test]
+    fn csv_paths() {
+        let a = Args::default();
+        assert!(a.csv("fig5").ends_with("target/repro/fig5.csv"));
+    }
+}

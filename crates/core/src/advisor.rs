@@ -1,0 +1,190 @@
+//! Co-scheduling advisor: the paper's "more intelligent work scheduling"
+//! payoff (§I, §IV) as an API.
+//!
+//! Bubble-Up and Bubble-Flux (the paper's refs [14][22]) predict pairwise
+//! interference with a single generic pressure knob; Active Measurement's
+//! advantage is *decomposition*: knowing each application's storage and
+//! bandwidth appetite separately lets a scheduler reason about arbitrary
+//! mixes with per-resource arithmetic instead of pairwise measurements.
+
+use serde::Serialize;
+
+use crate::bandwidth::BandwidthMap;
+use crate::capacity::CapacityMap;
+use crate::estimate::{bandwidth_use_per_process, storage_use_per_process, ResourceInterval};
+use crate::platform::{SimPlatform, Workload};
+use crate::sweep::run_sweep;
+use amem_interfere::InterferenceKind;
+
+/// A measured per-process resource profile.
+#[derive(Debug, Clone, Serialize)]
+pub struct AppProfile {
+    pub name: String,
+    pub storage: ResourceInterval,
+    pub bandwidth: ResourceInterval,
+}
+
+/// Measure a workload's profile at a given mapping.
+pub fn profile(
+    platform: &SimPlatform,
+    workload: &dyn Workload,
+    per_processor: usize,
+    cmap: &CapacityMap,
+    bmap: &BandwidthMap,
+    tol_pct: f64,
+) -> AppProfile {
+    let s = run_sweep(
+        platform,
+        workload,
+        per_processor,
+        InterferenceKind::Storage,
+        cmap.max_level().min(8 - per_processor),
+    );
+    let b = run_sweep(platform, workload, per_processor, InterferenceKind::Bandwidth, 2);
+    AppProfile {
+        name: workload.name(),
+        storage: storage_use_per_process(&s, cmap, per_processor, tol_pct),
+        bandwidth: bandwidth_use_per_process(&b, bmap, per_processor, tol_pct),
+    }
+}
+
+/// Socket resources available to co-scheduled processes.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct SocketBudget {
+    pub l3_bytes: f64,
+    pub bw_gbs: f64,
+}
+
+/// Verdict for one proposed placement.
+#[derive(Debug, Clone, Serialize)]
+pub struct PlacementVerdict {
+    /// Sum of storage upper bounds (bytes).
+    pub storage_demand: f64,
+    /// Sum of bandwidth upper bounds (GB/s).
+    pub bandwidth_demand: f64,
+    /// Conservative: every upper bound fits.
+    pub safe: bool,
+    /// Optimistic: the midpoints fit (worth trying, may degrade).
+    pub plausible: bool,
+}
+
+/// Judge whether one process of each profiled app fits a socket together.
+pub fn judge(profiles: &[AppProfile], budget: SocketBudget) -> PlacementVerdict {
+    let st_hi: f64 = profiles.iter().map(|p| p.storage.hi).sum();
+    let bw_hi: f64 = profiles.iter().map(|p| p.bandwidth.hi).sum();
+    let st_mid: f64 = profiles.iter().map(|p| p.storage.midpoint()).sum();
+    let bw_mid: f64 = profiles.iter().map(|p| p.bandwidth.midpoint()).sum();
+    PlacementVerdict {
+        storage_demand: st_hi,
+        bandwidth_demand: bw_hi,
+        safe: st_hi <= budget.l3_bytes && bw_hi <= budget.bw_gbs,
+        plausible: st_mid <= budget.l3_bytes && bw_mid <= budget.bw_gbs,
+    }
+}
+
+/// Greedy first-fit packing of many process profiles onto sockets; returns
+/// the socket index assigned to each profile (by upper-bound arithmetic).
+pub fn first_fit_pack(profiles: &[AppProfile], budget: SocketBudget) -> Vec<usize> {
+    let mut sockets: Vec<(f64, f64)> = Vec::new(); // (storage used, bw used)
+    let mut assignment = Vec::with_capacity(profiles.len());
+    for p in profiles {
+        let mut placed = None;
+        for (i, s) in sockets.iter_mut().enumerate() {
+            if s.0 + p.storage.hi <= budget.l3_bytes && s.1 + p.bandwidth.hi <= budget.bw_gbs {
+                s.0 += p.storage.hi;
+                s.1 += p.bandwidth.hi;
+                placed = Some(i);
+                break;
+            }
+        }
+        let idx = placed.unwrap_or_else(|| {
+            sockets.push((p.storage.hi, p.bandwidth.hi));
+            sockets.len() - 1
+        });
+        assignment.push(idx);
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: f64, hi: f64) -> ResourceInterval {
+        ResourceInterval {
+            lo,
+            hi,
+            bracketed: true,
+        }
+    }
+
+    fn app(name: &str, st: (f64, f64), bw: (f64, f64)) -> AppProfile {
+        AppProfile {
+            name: name.into(),
+            storage: iv(st.0, st.1),
+            bandwidth: iv(bw.0, bw.1),
+        }
+    }
+
+    const MB: f64 = (1u64 << 20) as f64;
+
+    #[test]
+    fn judge_safe_and_overcommitted() {
+        let budget = SocketBudget {
+            l3_bytes: 20.0 * MB,
+            bw_gbs: 17.0,
+        };
+        let a = app("a", (4.0 * MB, 7.0 * MB), (3.5, 4.25));
+        let b = app("b", (3.5 * MB, 7.0 * MB), (3.8, 4.7));
+        let v = judge(&[a.clone(), b.clone()], budget);
+        assert!(v.safe, "{v:?}");
+        // Three bandwidth-hungry apps overflow 17 GB/s.
+        let hog = app("hog", (2.0 * MB, 3.0 * MB), (7.0, 8.0));
+        let v = judge(&[hog.clone(), hog.clone(), hog], budget);
+        assert!(!v.safe);
+        assert!(v.bandwidth_demand > 17.0);
+    }
+
+    #[test]
+    fn plausible_is_weaker_than_safe() {
+        let budget = SocketBudget {
+            l3_bytes: 10.0 * MB,
+            bw_gbs: 10.0,
+        };
+        // Upper bounds overflow, midpoints fit.
+        let a = app("a", (2.0 * MB, 6.0 * MB), (2.0, 6.0));
+        let v = judge(&[a.clone(), a], budget);
+        assert!(!v.safe);
+        assert!(v.plausible);
+    }
+
+    #[test]
+    fn first_fit_opens_new_sockets_when_needed() {
+        let budget = SocketBudget {
+            l3_bytes: 20.0 * MB,
+            bw_gbs: 17.0,
+        };
+        let small = app("s", (3.0 * MB, 5.0 * MB), (2.0, 3.0));
+        let big = app("b", (10.0 * MB, 18.0 * MB), (10.0, 14.0));
+        let apps = vec![big.clone(), small.clone(), small.clone(), big];
+        let assign = first_fit_pack(&apps, budget);
+        // Two big apps cannot share; the small ones slot beside one big.
+        assert_eq!(assign.len(), 4);
+        assert_ne!(assign[0], assign[3], "two big apps on distinct sockets");
+        let sockets_used = assign.iter().collect::<std::collections::HashSet<_>>().len();
+        assert!(sockets_used <= 3);
+    }
+
+    #[test]
+    fn empty_profiles_trivially_safe() {
+        let v = judge(
+            &[],
+            SocketBudget {
+                l3_bytes: 1.0,
+                bw_gbs: 1.0,
+            },
+        );
+        assert!(v.safe && v.plausible);
+        assert!(first_fit_pack(&[], SocketBudget { l3_bytes: 1.0, bw_gbs: 1.0 }).is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+//! Bandwidth calibration: STREAM total and per-BWThr consumption.
+//!
+//! §III-A and §IV: the machine's usable LLC↔DRAM bandwidth comes from
+//! STREAM (≈17 GB/s on Xeon20MB); each BWThr consumes ≈2.8 GB/s (Eq. 1),
+//! so `k` BWThrs leave `total − k × per_thread` for the application
+//! ("17 GB/s with no interference, 14.2 with 1 BWThr, 11.4 with 2").
+
+use amem_interfere::calibrate::bw_thread_gbs;
+use amem_probes::stream::measure_stream;
+use amem_sim::config::MachineConfig;
+use serde::Serialize;
+
+/// Calibrated bandwidth quantities for one machine.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct BandwidthMap {
+    /// STREAM-measured usable bandwidth per socket, GB/s.
+    pub total_gbs: f64,
+    /// Eq. 1 consumption of one BWThr, GB/s.
+    pub per_bwthr_gbs: f64,
+}
+
+impl BandwidthMap {
+    /// Measure both quantities on the machine.
+    pub fn calibrate(cfg: &MachineConfig) -> Self {
+        let stream = measure_stream(cfg, cfg.cores_per_socket as usize);
+        Self {
+            total_gbs: stream.total_gbs,
+            per_bwthr_gbs: bw_thread_gbs(cfg),
+        }
+    }
+
+    /// The paper's published Xeon20MB numbers.
+    pub fn paper_xeon20mb() -> Self {
+        Self {
+            total_gbs: 17.0,
+            per_bwthr_gbs: 2.8,
+        }
+    }
+
+    /// Bandwidth left for applications under `k` BWThrs.
+    pub fn available_gbs(&self, k: usize) -> f64 {
+        (self.total_gbs - self.per_bwthr_gbs * k as f64).max(0.0)
+    }
+
+    /// How many BWThrs would nominally saturate the machine (the paper's
+    /// "7 BWThr ≈ 100%").
+    pub fn saturation_threads(&self) -> usize {
+        (self.total_gbs / self.per_bwthr_gbs).ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers() {
+        let b = BandwidthMap::paper_xeon20mb();
+        assert!((b.available_gbs(1) - 14.2).abs() < 1e-9);
+        assert!((b.available_gbs(2) - 11.4).abs() < 1e-9);
+        assert_eq!(b.saturation_threads(), 7);
+        assert_eq!(b.available_gbs(10), 0.0);
+    }
+
+    #[test]
+    fn calibration_on_scaled_machine() {
+        let cfg = MachineConfig::xeon20mb().scaled(0.0625);
+        let b = BandwidthMap::calibrate(&cfg);
+        // STREAM lands near (but under) the raw channel rate.
+        assert!(b.total_gbs > 0.7 * cfg.raw_dram_gbs());
+        assert!(b.total_gbs <= 1.01 * cfg.raw_dram_gbs());
+        // One BWThr takes a small fraction of the machine.
+        assert!(b.per_bwthr_gbs > 0.05 * b.total_gbs);
+        assert!(b.per_bwthr_gbs < 0.5 * b.total_gbs);
+        // Saturation within a socket's worth of threads, give or take.
+        let s = b.saturation_threads();
+        assert!((3..=10).contains(&s), "saturation at {s} threads");
+    }
+}

@@ -1,0 +1,168 @@
+//! Per-process resource-use estimation: the Figs. 10 and 12 arithmetic.
+//!
+//! Given a sweep's knee and a calibration map, the application's
+//! per-process use of a resource is bracketed by
+//!
+//! ```text
+//! lo = available(first_degraded) / processes_per_socket
+//! hi = available(last_ok)        / processes_per_socket
+//! ```
+//!
+//! e.g. the paper's MCB at 4 processes/processor: no degradation at
+//! 1 CSThr (15 MB available → ≤ 15/4 MB... ), degradation at 2 → the
+//! process needs between 12/4 = 3 and 15/4 = 3.75 MB. (The paper divides
+//! both bounds by the process count per socket since the processes share
+//! the L3 equally.)
+
+use serde::Serialize;
+
+use crate::bandwidth::BandwidthMap;
+use crate::capacity::CapacityMap;
+use crate::knee::{find_knee, Knee};
+use crate::sweep::Sweep;
+
+/// A bracketed per-process resource quantity.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ResourceInterval {
+    /// Lower bound (the resource level that visibly hurt).
+    pub lo: f64,
+    /// Upper bound (the last resource level that did not hurt).
+    pub hi: f64,
+    /// Whether the workload degraded at all within the sweep. When
+    /// false, `lo` is the most constrained level tested and the true use
+    /// may be below it (the app either fits comfortably or overflows so
+    /// badly the resource no longer matters — disambiguate via miss
+    /// rates, as §I explains).
+    pub bracketed: bool,
+}
+
+impl ResourceInterval {
+    pub fn midpoint(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+}
+
+/// Per-process storage use from a storage sweep (bytes).
+pub fn storage_use_per_process(
+    sweep: &Sweep,
+    cmap: &CapacityMap,
+    ranks_per_socket: usize,
+    tol_pct: f64,
+) -> ResourceInterval {
+    let knee = find_knee(sweep, tol_pct);
+    interval_from_knee(
+        &knee,
+        ranks_per_socket,
+        |k| cmap.available_bytes(k),
+        sweep.max_count(),
+    )
+}
+
+/// Per-process bandwidth use from a bandwidth sweep (GB/s).
+pub fn bandwidth_use_per_process(
+    sweep: &Sweep,
+    bmap: &BandwidthMap,
+    ranks_per_socket: usize,
+    tol_pct: f64,
+) -> ResourceInterval {
+    let knee = find_knee(sweep, tol_pct);
+    interval_from_knee(
+        &knee,
+        ranks_per_socket,
+        |k| bmap.available_gbs(k),
+        sweep.max_count(),
+    )
+}
+
+fn interval_from_knee(
+    knee: &Knee,
+    ranks_per_socket: usize,
+    available: impl Fn(usize) -> f64,
+    max_tested: usize,
+) -> ResourceInterval {
+    let p = ranks_per_socket.max(1) as f64;
+    let hi = available(knee.last_ok) / p;
+    match knee.first_degraded {
+        Some(k) => ResourceInterval {
+            lo: available(k) / p,
+            hi,
+            bracketed: true,
+        },
+        None => ResourceInterval {
+            lo: available(max_tested) / p,
+            hi,
+            bracketed: false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::SweepPoint;
+    use amem_interfere::InterferenceKind;
+    use amem_sim::config::MachineConfig;
+
+    fn sweep_from(degr: &[(usize, f64)], p: usize) -> Sweep {
+        Sweep {
+            workload: "test".into(),
+            kind: InterferenceKind::Storage,
+            per_processor: p,
+            points: degr
+                .iter()
+                .map(|&(count, d)| SweepPoint {
+                    count,
+                    seconds: 1.0 + d / 100.0,
+                    degradation_pct: d,
+                    l3_miss_rate: 0.0,
+                    app_bandwidth_gbs: 0.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn papers_mcb_example() {
+        // MCB, 4 procs/processor: fine at 1 CSThr, degraded at 2 → the
+        // process uses between 12/4 = 3 and 15/4 = 3.75 MB.
+        let cmap = CapacityMap::paper_xeon20mb(&MachineConfig::xeon20mb());
+        let s = sweep_from(&[(0, 0.0), (1, 1.0), (2, 9.0), (3, 22.0), (4, 30.0)], 4);
+        let iv = storage_use_per_process(&s, &cmap, 4, 3.0);
+        let mb = 1.0 / (1 << 20) as f64;
+        assert!(iv.bracketed);
+        assert!((iv.lo * mb - 3.0).abs() < 1e-9, "lo = {}", iv.lo * mb);
+        assert!((iv.hi * mb - 3.75).abs() < 1e-9, "hi = {}", iv.hi * mb);
+    }
+
+    #[test]
+    fn papers_bandwidth_example() {
+        // 1 proc/processor, degraded already at 1 BWThr: uses between
+        // 14.2 and 17 GB/s — the paper's "11.4-14.2 GB/s when we map 1
+        // process per processor" shape (they saw the knee at 2).
+        let bmap = BandwidthMap::paper_xeon20mb();
+        let s = sweep_from(&[(0, 0.0), (1, 2.0), (2, 12.0)], 1);
+        let iv = bandwidth_use_per_process(&s, &bmap, 1, 3.0);
+        assert!(iv.bracketed);
+        assert!((iv.lo - 11.4).abs() < 1e-9);
+        assert!((iv.hi - 14.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unbracketed_when_never_degrading() {
+        let cmap = CapacityMap::paper_xeon20mb(&MachineConfig::xeon20mb());
+        let s = sweep_from(&[(0, 0.0), (1, 0.5), (2, 1.0)], 2);
+        let iv = storage_use_per_process(&s, &cmap, 2, 3.0);
+        assert!(!iv.bracketed);
+        assert!(iv.lo <= iv.hi);
+    }
+
+    #[test]
+    fn midpoint_is_centered() {
+        let iv = ResourceInterval {
+            lo: 2.0,
+            hi: 4.0,
+            bracketed: true,
+        };
+        assert_eq!(iv.midpoint(), 3.0);
+    }
+}

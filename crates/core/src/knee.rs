@@ -1,0 +1,106 @@
+//! Degradation-knee detection.
+//!
+//! §IV of the paper: *"For each process mapping, we consider the
+//! experiments with no performance degradation and pick the one that has
+//! the most CSThrs. We then consider the experiments with performance
+//! degradation and pick the one with the fewest CSThrs."* Those two
+//! levels bracket the application's resource use.
+
+use serde::Serialize;
+
+use crate::sweep::Sweep;
+
+/// The bracketing interference levels of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct Knee {
+    /// Largest count whose degradation stays below the tolerance.
+    pub last_ok: usize,
+    /// Smallest count at or above the tolerance (`None` if the workload
+    /// never degraded within the sweep — it doesn't use the resource, or
+    /// already overflows it).
+    pub first_degraded: Option<usize>,
+}
+
+/// Find the knee at a degradation tolerance in percent (the paper treats
+/// a few percent as noise; 3% is a reasonable default).
+pub fn find_knee(sweep: &Sweep, tol_pct: f64) -> Knee {
+    let mut last_ok = 0;
+    let mut first_degraded = None;
+    for p in &sweep.points {
+        if p.degradation_pct < tol_pct {
+            // Only advance last_ok while we haven't degraded yet; a noisy
+            // dip back under tolerance after the knee doesn't reset it.
+            if first_degraded.is_none() {
+                last_ok = p.count;
+            }
+        } else if first_degraded.is_none() {
+            first_degraded = Some(p.count);
+        }
+    }
+    Knee {
+        last_ok,
+        first_degraded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::SweepPoint;
+    use amem_interfere::InterferenceKind;
+
+    fn sweep_from(degr: &[(usize, f64)]) -> Sweep {
+        Sweep {
+            workload: "test".into(),
+            kind: InterferenceKind::Storage,
+            per_processor: 1,
+            points: degr
+                .iter()
+                .map(|&(count, d)| SweepPoint {
+                    count,
+                    seconds: 1.0 + d / 100.0,
+                    degradation_pct: d,
+                    l3_miss_rate: 0.0,
+                    app_bandwidth_gbs: 0.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn clean_knee() {
+        let s = sweep_from(&[(0, 0.0), (1, 0.5), (2, 1.0), (3, 8.0), (4, 20.0)]);
+        let k = find_knee(&s, 3.0);
+        assert_eq!(k, Knee { last_ok: 2, first_degraded: Some(3) });
+    }
+
+    #[test]
+    fn never_degrades() {
+        let s = sweep_from(&[(0, 0.0), (1, 0.2), (2, 1.1)]);
+        let k = find_knee(&s, 3.0);
+        assert_eq!(k.last_ok, 2);
+        assert_eq!(k.first_degraded, None);
+    }
+
+    #[test]
+    fn degrades_immediately() {
+        let s = sweep_from(&[(0, 0.0), (1, 12.0), (2, 30.0)]);
+        let k = find_knee(&s, 3.0);
+        assert_eq!(k, Knee { last_ok: 0, first_degraded: Some(1) });
+    }
+
+    #[test]
+    fn noisy_dip_after_knee_does_not_reset() {
+        let s = sweep_from(&[(0, 0.0), (1, 6.0), (2, 2.0), (3, 15.0)]);
+        let k = find_knee(&s, 3.0);
+        assert_eq!(k, Knee { last_ok: 0, first_degraded: Some(1) });
+    }
+
+    #[test]
+    fn skipped_counts_are_respected() {
+        // Sweep that could only run counts 0, 2, 4.
+        let s = sweep_from(&[(0, 0.0), (2, 1.0), (4, 9.0)]);
+        let k = find_knee(&s, 3.0);
+        assert_eq!(k, Knee { last_ok: 2, first_degraded: Some(4) });
+    }
+}

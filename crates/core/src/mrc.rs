@@ -1,0 +1,219 @@
+//! Miss-ratio curves via active measurement.
+//!
+//! The paper cites Hartstein et al., *"On the nature of cache miss
+//! behavior: is it √2?"* [9] — the empirical power law
+//! `miss_rate(C) ∝ C^(-α)` with α ≈ 0.5 — as prior art its analytic model
+//! improves on. This module closes the loop: sweeping CSThr interference
+//! samples an application's miss rate at several *effective* capacities,
+//! which is exactly a miss-ratio curve (MRC) measured on unmodified
+//! hardware. A log-log least-squares fit recovers the workload's α, so
+//! you can test the √2 rule on anything the platform can run.
+
+use serde::Serialize;
+
+use crate::capacity::CapacityMap;
+use crate::sweep::Sweep;
+
+/// One MRC sample.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct MrcPoint {
+    /// Effective capacity available (bytes).
+    pub capacity_bytes: f64,
+    /// Measured L3 miss rate at that capacity.
+    pub miss_rate: f64,
+}
+
+/// A measured miss-ratio curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct MissRatioCurve {
+    /// Samples sorted by capacity ascending.
+    pub points: Vec<MrcPoint>,
+}
+
+/// Power-law fit `mr = k · C^(-alpha)`.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct PowerLawFit {
+    pub alpha: f64,
+    /// Coefficient at C in bytes.
+    pub k: f64,
+    /// Coefficient of determination of the log-log regression.
+    pub r_squared: f64,
+}
+
+impl MissRatioCurve {
+    /// Build from a storage sweep: each interference level is a capacity
+    /// sample. Points with zero miss rate are kept (they pin the flat
+    /// region) but excluded from power-law fitting.
+    pub fn from_sweep(sweep: &Sweep, cmap: &CapacityMap) -> Self {
+        let mut points: Vec<MrcPoint> = sweep
+            .points
+            .iter()
+            .map(|p| MrcPoint {
+                capacity_bytes: cmap.available_bytes(p.count),
+                miss_rate: p.l3_miss_rate,
+            })
+            .collect();
+        points.sort_by(|a, b| a.capacity_bytes.partial_cmp(&b.capacity_bytes).unwrap());
+        Self { points }
+    }
+
+    /// Least-squares fit of `log mr = log k − α log C` over the samples
+    /// with strictly positive miss rates. Returns `None` with fewer than
+    /// two usable samples.
+    pub fn fit_power_law(&self) -> Option<PowerLawFit> {
+        let data: Vec<(f64, f64)> = self
+            .points
+            .iter()
+            .filter(|p| p.miss_rate > 0.0 && p.capacity_bytes > 0.0)
+            .map(|p| (p.capacity_bytes.ln(), p.miss_rate.ln()))
+            .collect();
+        if data.len() < 2 {
+            return None;
+        }
+        let n = data.len() as f64;
+        let sx: f64 = data.iter().map(|d| d.0).sum();
+        let sy: f64 = data.iter().map(|d| d.1).sum();
+        let sxx: f64 = data.iter().map(|d| d.0 * d.0).sum();
+        let sxy: f64 = data.iter().map(|d| d.0 * d.1).sum();
+        let denom = n * sxx - sx * sx;
+        if denom.abs() < 1e-12 {
+            return None;
+        }
+        let slope = (n * sxy - sx * sy) / denom;
+        let intercept = (sy - slope * sx) / n;
+        // R²
+        let mean_y = sy / n;
+        let ss_tot: f64 = data.iter().map(|d| (d.1 - mean_y).powi(2)).sum();
+        let ss_res: f64 = data
+            .iter()
+            .map(|d| (d.1 - (intercept + slope * d.0)).powi(2))
+            .sum();
+        let r_squared = if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else {
+            1.0
+        };
+        Some(PowerLawFit {
+            alpha: -slope,
+            k: intercept.exp(),
+            r_squared,
+        })
+    }
+
+    /// Interpolated miss rate at an arbitrary capacity (piecewise linear,
+    /// clamped at the ends).
+    pub fn miss_rate_at(&self, capacity_bytes: f64) -> f64 {
+        let p = &self.points;
+        if p.is_empty() {
+            return 0.0;
+        }
+        if capacity_bytes <= p[0].capacity_bytes {
+            return p[0].miss_rate;
+        }
+        if capacity_bytes >= p[p.len() - 1].capacity_bytes {
+            return p[p.len() - 1].miss_rate;
+        }
+        for w in p.windows(2) {
+            if capacity_bytes >= w[0].capacity_bytes && capacity_bytes <= w[1].capacity_bytes {
+                let t = (capacity_bytes - w[0].capacity_bytes)
+                    / (w[1].capacity_bytes - w[0].capacity_bytes);
+                return w[0].miss_rate + t * (w[1].miss_rate - w[0].miss_rate);
+            }
+        }
+        p[p.len() - 1].miss_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::SweepPoint;
+    use amem_interfere::InterferenceKind;
+    use amem_sim::config::MachineConfig;
+
+    fn synthetic_sweep(mrs: &[(usize, f64)]) -> Sweep {
+        Sweep {
+            workload: "t".into(),
+            kind: InterferenceKind::Storage,
+            per_processor: 1,
+            points: mrs
+                .iter()
+                .map(|&(count, mr)| SweepPoint {
+                    count,
+                    seconds: 1.0,
+                    degradation_pct: 0.0,
+                    l3_miss_rate: mr,
+                    app_bandwidth_gbs: 0.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn curve_is_sorted_by_capacity() {
+        let cmap = CapacityMap::paper_xeon20mb(&MachineConfig::xeon20mb());
+        let s = synthetic_sweep(&[(0, 0.1), (1, 0.2), (2, 0.3), (3, 0.5)]);
+        let mrc = MissRatioCurve::from_sweep(&s, &cmap);
+        for w in mrc.points.windows(2) {
+            assert!(w[0].capacity_bytes <= w[1].capacity_bytes);
+            // Less capacity => more misses in this synthetic data.
+            assert!(w[0].miss_rate >= w[1].miss_rate);
+        }
+    }
+
+    #[test]
+    fn exact_power_law_is_recovered() {
+        // mr = k * C^-0.5 (the √2 rule): the fit must find alpha = 0.5.
+        let cmap = CapacityMap::paper_xeon20mb(&MachineConfig::xeon20mb());
+        let k = 2000.0;
+        let mrs: Vec<(usize, f64)> = (0..=5)
+            .map(|c| (c, k * cmap.available_bytes(c).powf(-0.5)))
+            .collect();
+        let mrc = MissRatioCurve::from_sweep(&synthetic_sweep(&mrs), &cmap);
+        let fit = mrc.fit_power_law().expect("fit");
+        assert!((fit.alpha - 0.5).abs() < 1e-9, "alpha = {}", fit.alpha);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn too_few_points_yields_none() {
+        let cmap = CapacityMap::paper_xeon20mb(&MachineConfig::xeon20mb());
+        let mrc = MissRatioCurve::from_sweep(&synthetic_sweep(&[(0, 0.0)]), &cmap);
+        assert!(mrc.fit_power_law().is_none());
+    }
+
+    #[test]
+    fn interpolation_clamps_and_blends() {
+        let cmap = CapacityMap::paper_xeon20mb(&MachineConfig::xeon20mb());
+        let s = synthetic_sweep(&[(0, 0.1), (5, 0.9)]);
+        let mrc = MissRatioCurve::from_sweep(&s, &cmap);
+        let lo = cmap.available_bytes(5);
+        let hi = cmap.available_bytes(0);
+        assert_eq!(mrc.miss_rate_at(lo / 2.0), 0.9);
+        assert_eq!(mrc.miss_rate_at(hi * 2.0), 0.1);
+        let mid = mrc.miss_rate_at((lo + hi) / 2.0);
+        assert!(mid > 0.1 && mid < 0.9);
+    }
+
+    #[test]
+    fn measured_mrc_from_a_real_probe() {
+        // End-to-end: a uniform probe's MRC must fall with capacity and
+        // fit a positive alpha.
+        use crate::platform::{ProbeWorkload, SimPlatform};
+        use crate::sweep::run_sweep;
+        use amem_probes::dist::AccessDist;
+        use amem_probes::probe::ProbeCfg;
+        let cfg = MachineConfig::xeon20mb().scaled(0.0625);
+        let plat = SimPlatform::new(cfg.clone());
+        let w = ProbeWorkload(ProbeCfg::for_machine(&cfg, AccessDist::Uniform, 2.5, 1));
+        let sweep = run_sweep(&plat, &w, 1, InterferenceKind::Storage, 5);
+        let cmap = CapacityMap::paper_xeon20mb(&cfg);
+        let mrc = MissRatioCurve::from_sweep(&sweep, &cmap);
+        // Monotone: less capacity, more misses (allow tiny noise).
+        for w2 in mrc.points.windows(2) {
+            assert!(w2[0].miss_rate >= w2[1].miss_rate - 0.02);
+        }
+        let fit = mrc.fit_power_law().expect("fit");
+        assert!(fit.alpha > 0.0, "alpha = {}", fit.alpha);
+    }
+}

@@ -1,0 +1,282 @@
+//! System-noise injection and amplification measurement.
+//!
+//! §IV of the paper observes that interference slows individual
+//! instructions *stochastically*, and that "this non-deterministic
+//! slowdown of instructions introduces noise into the application's
+//! execution, which is a well-known source of slowdown for parallel
+//! applications" (citing Petrini et al. [18] and Hoefler et al. [11]).
+//! This module makes that mechanism measurable in isolation: wrap any
+//! rank stream in a [`NoisyStream`] that injects random preemption
+//! bubbles, then compare the slowdown of a bulk-synchronous job against
+//! the serial expectation — the excess is barrier amplification
+//! (`max` of i.i.d. noise across ranks grows with the rank count; the
+//! mean does not).
+
+use amem_sim::config::{CoreId, MachineConfig};
+use amem_sim::engine::{Job, RunLimit};
+use amem_sim::machine::Machine;
+use amem_sim::rng::Xoshiro256;
+use amem_sim::stream::{AccessStream, Op};
+use serde::Serialize;
+
+/// Noise injection parameters.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct NoiseCfg {
+    /// Probability that any given op is preceded by a noise bubble.
+    pub rate: f64,
+    /// Mean bubble length in cycles (exponentially distributed).
+    pub mean_cycles: f64,
+    pub seed: u64,
+}
+
+impl NoiseCfg {
+    /// OS-daemon-like noise: rare (every ~10k ops) but long bubbles.
+    pub fn daemon() -> Self {
+        Self {
+            rate: 1e-4,
+            mean_cycles: 50_000.0,
+            seed: 0x2015E,
+        }
+    }
+
+    /// Expected overhead fraction added to a serial instruction stream.
+    pub fn expected_serial_overhead(&self, cycles_per_op: f64) -> f64 {
+        self.rate * self.mean_cycles / cycles_per_op
+    }
+}
+
+/// Wraps a stream, injecting exponential noise bubbles as `Compute` ops.
+pub struct NoisyStream<S> {
+    inner: S,
+    cfg: NoiseCfg,
+    rng: Xoshiro256,
+    pending: Option<Op>,
+}
+
+impl<S: AccessStream> NoisyStream<S> {
+    pub fn new(inner: S, cfg: NoiseCfg, rank_salt: u64) -> Self {
+        Self {
+            inner,
+            cfg,
+            rng: Xoshiro256::seed_from_u64(cfg.seed ^ rank_salt.wrapping_mul(0x9E37_79B9)),
+            pending: None,
+        }
+    }
+}
+
+impl<S: AccessStream> AccessStream for NoisyStream<S> {
+    fn next_op(&mut self) -> Op {
+        if let Some(op) = self.pending.take() {
+            return op;
+        }
+        let op = self.inner.next_op();
+        // Never delay protocol ops (Done/Barrier/Mark must stay aligned).
+        let interruptible = matches!(op, Op::Load(_) | Op::Store(_) | Op::Compute(_));
+        if interruptible && self.rng.next_f64() < self.cfg.rate {
+            let bubble = -self.cfg.mean_cycles * self.rng.next_f64_open().ln();
+            self.pending = Some(op);
+            return Op::Compute(bubble.min(u32::MAX as f64) as u32);
+        }
+        op
+    }
+
+    fn mlp(&self) -> u8 {
+        self.inner.mlp()
+    }
+
+    fn label(&self) -> &str {
+        self.inner.label()
+    }
+
+    fn llc_insert_hint(&self) -> Option<amem_sim::cache::InsertPolicy> {
+        self.inner.llc_insert_hint()
+    }
+}
+
+/// A minimal BSP rank: `steps` × (compute, barrier).
+struct BspCompute {
+    steps: u32,
+    ops_per_step: u32,
+    emitted: u32,
+    in_step: u32,
+}
+
+impl AccessStream for BspCompute {
+    fn next_op(&mut self) -> Op {
+        if self.emitted == self.steps {
+            return Op::Done;
+        }
+        if self.in_step < self.ops_per_step {
+            self.in_step += 1;
+            Op::Compute(20)
+        } else {
+            self.in_step = 0;
+            self.emitted += 1;
+            Op::Barrier
+        }
+    }
+}
+
+/// Result of a noise-amplification measurement.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct NoiseAmplification {
+    pub ranks: usize,
+    /// Measured slowdown of the noisy BSP job vs the quiet one.
+    pub measured_slowdown: f64,
+    /// What the same noise would cost a serial (no-barrier) job.
+    pub serial_slowdown: f64,
+}
+
+impl NoiseAmplification {
+    /// Excess slowdown attributable to barrier amplification.
+    pub fn amplification(&self) -> f64 {
+        self.measured_slowdown / self.serial_slowdown.max(1.0)
+    }
+}
+
+/// Measure noise amplification for a synthetic BSP job of `ranks` ranks
+/// (spread over the machine's cores).
+pub fn measure_amplification(
+    cfg: &MachineConfig,
+    ranks: usize,
+    noise: NoiseCfg,
+) -> NoiseAmplification {
+    assert!(ranks >= 1 && ranks <= cfg.total_cores());
+    let run = |with_noise: bool| -> f64 {
+        let mut m = Machine::new(cfg.clone());
+        let jobs: Vec<Job> = (0..ranks)
+            .map(|r| {
+                let core = CoreId::new(
+                    (r / cfg.cores_per_socket as usize) as u32,
+                    (r % cfg.cores_per_socket as usize) as u32,
+                );
+                let base = BspCompute {
+                    steps: 40,
+                    ops_per_step: 500,
+                    emitted: 0,
+                    in_step: 0,
+                };
+                if with_noise {
+                    Job::primary(Box::new(NoisyStream::new(base, noise, r as u64 + 1)), core)
+                } else {
+                    Job::primary(Box::new(base), core)
+                }
+            })
+            .collect();
+        m.run(jobs, RunLimit::default()).seconds
+    };
+    let quiet = run(false);
+    let noisy = run(true);
+    NoiseAmplification {
+        ranks,
+        measured_slowdown: noisy / quiet,
+        serial_slowdown: 1.0 + noise.expected_serial_overhead(20.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amem_sim::stream::ScriptStream;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::xeon20mb().scaled(0.0625)
+    }
+
+    #[test]
+    fn noisy_stream_preserves_the_op_sequence() {
+        // Stripping the injected Compute bubbles must recover the inner
+        // stream's exact op order.
+        let ops = vec![
+            Op::Load(0x1000_0000),
+            Op::Compute(7),
+            Op::Store(0x1000_0040),
+            Op::Barrier,
+            Op::Done,
+        ];
+        let noise = NoiseCfg {
+            rate: 0.9,
+            mean_cycles: 10.0,
+            seed: 4,
+        };
+        let mut s = NoisyStream::new(ScriptStream::new(ops.clone()), noise, 1);
+        let mut recovered = Vec::new();
+        let mut bubbles = 0;
+        loop {
+            let op = s.next_op();
+            match op {
+                Op::Compute(c) if !ops.contains(&Op::Compute(c)) => bubbles += 1,
+                other => {
+                    recovered.push(other);
+                    if other == Op::Done {
+                        break;
+                    }
+                }
+            }
+        }
+        assert_eq!(recovered, ops);
+        assert!(bubbles > 0, "rate 0.9 must inject something");
+    }
+
+    #[test]
+    fn protocol_ops_are_never_delayed() {
+        // With rate 1.0, every interruptible op gets a bubble — but
+        // Barrier and Done must come through untouched in order.
+        let noise = NoiseCfg {
+            rate: 1.0,
+            mean_cycles: 5.0,
+            seed: 9,
+        };
+        let mut s = NoisyStream::new(
+            ScriptStream::new(vec![Op::Barrier, Op::Done]),
+            noise,
+            1,
+        );
+        assert_eq!(s.next_op(), Op::Barrier);
+        assert_eq!(s.next_op(), Op::Done);
+    }
+
+    #[test]
+    fn amplification_grows_with_rank_count() {
+        let c = cfg();
+        let noise = NoiseCfg {
+            rate: 5e-3,
+            mean_cycles: 5_000.0,
+            seed: 7,
+        };
+        let one = measure_amplification(&c, 1, noise);
+        let many = measure_amplification(&c, 12, noise);
+        assert!(
+            many.measured_slowdown > one.measured_slowdown,
+            "1 rank {:.3}x vs 12 ranks {:.3}x",
+            one.measured_slowdown,
+            many.measured_slowdown
+        );
+        // With 12 ranks the barrier takes the max of 12 noise draws per
+        // step: amplification over the serial expectation must appear.
+        assert!(
+            many.amplification() > 1.2,
+            "amplification {:.2}",
+            many.amplification()
+        );
+    }
+
+    #[test]
+    fn single_rank_noise_is_roughly_serial() {
+        let c = cfg();
+        let noise = NoiseCfg {
+            rate: 5e-3,
+            mean_cycles: 5_000.0,
+            seed: 7,
+        };
+        let one = measure_amplification(&c, 1, noise);
+        // One rank has no barrier partner: measured ≈ serial expectation
+        // (generous band; the expectation itself is an approximation).
+        assert!(
+            one.measured_slowdown < one.serial_slowdown * 1.6 + 0.2,
+            "measured {:.3} vs serial {:.3}",
+            one.measured_slowdown,
+            one.serial_slowdown
+        );
+    }
+}

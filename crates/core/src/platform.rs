@@ -1,0 +1,263 @@
+//! Platforms and workloads: what gets measured, and where.
+//!
+//! A [`Workload`] knows how to instantiate itself as a set of rank streams
+//! on a simulated node given an MPI-style mapping; the [`SimPlatform`]
+//! runs it with a chosen [`InterferenceSpec`] on the cores the mapping
+//! leaves free — the physical setup of every experiment in the paper.
+
+use amem_interfere::InterferenceSpec;
+use amem_miniapps::{lulesh, mcb, LuleshCfg, McbCfg};
+use amem_probes::probe::{ProbeCfg, ProbeStream};
+use amem_sim::cluster::RankMap;
+use amem_sim::config::MachineConfig;
+use amem_sim::engine::{Job, RunLimit, RunReport};
+use amem_sim::machine::Machine;
+use serde::Serialize;
+
+/// A measurable application.
+pub trait Workload: Sync {
+    /// Total MPI ranks the workload wants.
+    fn ranks(&self) -> usize;
+
+    /// Instantiate the local ranks as placed jobs.
+    fn build(&self, machine: &mut Machine, map: &RankMap) -> Vec<Job>;
+
+    /// Display name.
+    fn name(&self) -> String;
+}
+
+/// MCB as a workload.
+#[derive(Debug, Clone)]
+pub struct McbWorkload(pub McbCfg);
+
+impl Workload for McbWorkload {
+    fn ranks(&self) -> usize {
+        self.0.ranks
+    }
+    fn build(&self, machine: &mut Machine, map: &RankMap) -> Vec<Job> {
+        mcb::build_jobs(machine, &self.0, map)
+    }
+    fn name(&self) -> String {
+        format!("MCB({} particles)", self.0.total_particles)
+    }
+}
+
+/// Lulesh as a workload.
+#[derive(Debug, Clone)]
+pub struct LuleshWorkload(pub LuleshCfg);
+
+impl Workload for LuleshWorkload {
+    fn ranks(&self) -> usize {
+        self.0.ranks
+    }
+    fn build(&self, machine: &mut Machine, map: &RankMap) -> Vec<Job> {
+        lulesh::build_jobs(machine, &self.0, map)
+    }
+    fn name(&self) -> String {
+        format!("Lulesh({0}x{0}x{0})", self.0.edge)
+    }
+}
+
+/// A single-rank synthetic probe as a workload (used by the calibration
+/// experiments of §III).
+#[derive(Debug, Clone)]
+pub struct ProbeWorkload(pub ProbeCfg);
+
+impl Workload for ProbeWorkload {
+    fn ranks(&self) -> usize {
+        1
+    }
+    fn build(&self, machine: &mut Machine, map: &RankMap) -> Vec<Job> {
+        let core = map.core_of(0).expect("rank 0 is local");
+        vec![Job::primary(
+            Box::new(ProbeStream::new(machine, &self.0)),
+            core,
+        )]
+    }
+    fn name(&self) -> String {
+        "probe".to_string()
+    }
+}
+
+/// One measured run.
+#[derive(Debug, Clone, Serialize)]
+pub struct Measurement {
+    /// Interference applied.
+    pub spec: InterferenceSpec,
+    /// Execution time (max over primary ranks).
+    pub seconds: f64,
+    /// Aggregate L3 miss rate over primary ranks.
+    pub l3_miss_rate: f64,
+    /// Aggregate Eq. 1 bandwidth over primary ranks, GB/s.
+    pub app_bandwidth_gbs: f64,
+    /// Full run report (counters for every job).
+    pub report: RunReport,
+}
+
+/// The simulated-node platform.
+#[derive(Debug, Clone)]
+pub struct SimPlatform {
+    cfg: MachineConfig,
+}
+
+impl SimPlatform {
+    pub fn new(cfg: MachineConfig) -> Self {
+        Self { cfg }
+    }
+
+    pub fn cfg(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Run `workload` mapped at `per_processor` ranks per socket, with the
+    /// given interference on the free cores.
+    ///
+    /// Panics (like the hardware would refuse) if the mapping leaves too
+    /// few free cores for the interference level — the paper's "not all
+    /// combinations of mapping and interference can be executed".
+    pub fn run(
+        &self,
+        workload: &dyn Workload,
+        per_processor: usize,
+        spec: InterferenceSpec,
+    ) -> Measurement {
+        let map = RankMap::new(&self.cfg, workload.ranks(), per_processor);
+        let mut machine = Machine::new(self.cfg.clone());
+        let mut jobs = workload.build(&mut machine, &map);
+        assert!(!jobs.is_empty(), "workload produced no local ranks");
+        jobs.extend(spec.build_jobs(&mut machine, &map.free_cores()));
+        let report = machine.run(jobs, RunLimit::default());
+        // Measure the steady-state (post-Mark) phase: warm-up transients
+        // are excluded exactly as the paper's long runs amortize them.
+        let mut agg = amem_sim::CoreCounters::default();
+        let mut seconds = 0.0f64;
+        let mut bw = 0.0;
+        for j in report.jobs.iter().filter(|j| j.primary) {
+            let c = j.after_last_mark();
+            agg.merge(&c);
+            seconds = seconds.max(self.cfg.seconds(c.cycles));
+            bw += c.bandwidth_gbs(self.cfg.l3.line_bytes, self.cfg.freq_ghz);
+        }
+        Measurement {
+            spec,
+            seconds,
+            l3_miss_rate: agg.l3_miss_rate(),
+            app_bandwidth_gbs: bw,
+            report,
+        }
+    }
+
+    /// Like [`SimPlatform::run`], but with simultaneous storage *and*
+    /// bandwidth interference — used to test the multiplicative
+    /// composition assumption of [`crate::predict`].
+    pub fn run_mixed(
+        &self,
+        workload: &dyn Workload,
+        per_processor: usize,
+        mix: amem_interfere::InterferenceMix,
+    ) -> Measurement {
+        let map = RankMap::new(&self.cfg, workload.ranks(), per_processor);
+        let mut machine = Machine::new(self.cfg.clone());
+        let mut jobs = workload.build(&mut machine, &map);
+        jobs.extend(mix.build_jobs(&mut machine, &map.free_cores()));
+        let report = machine.run(jobs, RunLimit::default());
+        let mut agg = amem_sim::CoreCounters::default();
+        let mut seconds = 0.0f64;
+        let mut bw = 0.0;
+        for j in report.jobs.iter().filter(|j| j.primary) {
+            let c = j.after_last_mark();
+            agg.merge(&c);
+            seconds = seconds.max(self.cfg.seconds(c.cycles));
+            bw += c.bandwidth_gbs(self.cfg.l3.line_bytes, self.cfg.freq_ghz);
+        }
+        Measurement {
+            spec: amem_interfere::InterferenceSpec::none(),
+            seconds,
+            l3_miss_rate: agg.l3_miss_rate(),
+            app_bandwidth_gbs: bw,
+            report,
+        }
+    }
+
+    /// Whether an interference level is placeable under a mapping.
+    pub fn feasible(&self, workload: &dyn Workload, per_processor: usize, count: usize) -> bool {
+        let map = RankMap::new(&self.cfg, workload.ranks(), per_processor);
+        let free = map.free_cores();
+        let mut sockets: Vec<u32> = free.iter().map(|c| c.socket).collect();
+        sockets.sort_unstable();
+        sockets.dedup();
+        sockets
+            .iter()
+            .all(|&s| free.iter().filter(|c| c.socket == s).count() >= count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plat() -> SimPlatform {
+        SimPlatform::new(MachineConfig::xeon20mb().scaled(0.0625))
+    }
+
+    fn tiny_mcb() -> McbWorkload {
+        McbWorkload(McbCfg {
+            ranks: 4,
+            steps: 2,
+            ..McbCfg::new(&MachineConfig::xeon20mb().scaled(0.0625), 4000)
+        })
+    }
+
+    #[test]
+    fn baseline_run_produces_time_and_counters() {
+        let p = plat();
+        let m = p.run(&tiny_mcb(), 2, InterferenceSpec::none());
+        assert!(m.seconds > 0.0);
+        assert!(m.l3_miss_rate >= 0.0 && m.l3_miss_rate <= 1.0);
+        assert!(m.report.jobs.iter().filter(|j| j.primary).count() == 4);
+    }
+
+    #[test]
+    fn storage_interference_slows_the_workload() {
+        let p = plat();
+        let base = p.run(&tiny_mcb(), 2, InterferenceSpec::none());
+        let loaded = p.run(&tiny_mcb(), 2, InterferenceSpec::storage(5));
+        assert!(
+            loaded.seconds > base.seconds,
+            "5 CSThrs must cost something: {} vs {}",
+            loaded.seconds,
+            base.seconds
+        );
+    }
+
+    #[test]
+    fn feasibility_mirrors_free_cores() {
+        let p = plat();
+        let w = tiny_mcb();
+        assert!(p.feasible(&w, 2, 6), "8-2 cores free");
+        assert!(!p.feasible(&w, 2, 7));
+        assert!(!p.feasible(&w, 4, 5));
+    }
+
+    #[test]
+    fn probe_workload_runs() {
+        let p = plat();
+        let probe = ProbeWorkload(ProbeCfg::for_machine(
+            p.cfg(),
+            amem_probes::dist::AccessDist::Uniform,
+            2.0,
+            1,
+        ));
+        let m = p.run(&probe, 1, InterferenceSpec::storage(2));
+        assert!(m.seconds > 0.0);
+        assert!(m.report.jobs.len() == 3, "1 probe + 2 CSThr");
+    }
+
+    #[test]
+    fn deterministic_measurements() {
+        let p = plat();
+        let a = p.run(&tiny_mcb(), 2, InterferenceSpec::storage(1));
+        let b = p.run(&tiny_mcb(), 2, InterferenceSpec::storage(1));
+        assert_eq!(a.report.wall_cycles, b.report.wall_cycles);
+    }
+}

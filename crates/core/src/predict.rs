@@ -1,0 +1,189 @@
+//! Performance prediction under reduced memory resources.
+//!
+//! The paper's motivating use case: *"predict how the application's
+//! performance will degrade on alternative, less capable memory
+//! hierarchies"* (e.g. an Exascale node with an order of magnitude less
+//! cache and bandwidth per core). The sweep data already *is* a sampled
+//! function `degradation(resource available)`; this module interpolates
+//! it and composes the two resource dimensions.
+
+use serde::Serialize;
+
+use crate::bandwidth::BandwidthMap;
+use crate::capacity::CapacityMap;
+use crate::sweep::Sweep;
+
+/// A monotone piecewise-linear `resource → degradation%` model.
+#[derive(Debug, Clone, Serialize)]
+pub struct DegradationModel {
+    /// (available resource, degradation %) sorted by resource ascending.
+    pub samples: Vec<(f64, f64)>,
+    /// Resource units label for reports ("MB of L3", "GB/s").
+    pub unit: String,
+}
+
+impl DegradationModel {
+    /// Build from a storage sweep and a capacity calibration.
+    pub fn from_storage_sweep(sweep: &Sweep, cmap: &CapacityMap) -> Self {
+        let mut samples: Vec<(f64, f64)> = sweep
+            .points
+            .iter()
+            .map(|p| (cmap.available_bytes(p.count), p.degradation_pct))
+            .collect();
+        samples.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        Self {
+            samples,
+            unit: "bytes of shared cache".to_string(),
+        }
+    }
+
+    /// Build from a bandwidth sweep and a bandwidth calibration.
+    pub fn from_bandwidth_sweep(sweep: &Sweep, bmap: &BandwidthMap) -> Self {
+        let mut samples: Vec<(f64, f64)> = sweep
+            .points
+            .iter()
+            .map(|p| (bmap.available_gbs(p.count), p.degradation_pct))
+            .collect();
+        samples.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        Self {
+            samples,
+            unit: "GB/s of memory bandwidth".to_string(),
+        }
+    }
+
+    /// Predicted degradation (%) when `resource` is available.
+    ///
+    /// Linear interpolation between samples; clamped at the ends (we
+    /// cannot know how much worse it gets below the most constrained
+    /// measurement, so we return that measurement — a lower bound).
+    pub fn predict_pct(&self, resource: f64) -> f64 {
+        assert!(!self.samples.is_empty());
+        let s = &self.samples;
+        if resource <= s[0].0 {
+            return s[0].1;
+        }
+        if resource >= s[s.len() - 1].0 {
+            return s[s.len() - 1].1;
+        }
+        for w in s.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if resource >= x0 && resource <= x1 {
+                if x1 == x0 {
+                    return y0.max(y1);
+                }
+                let t = (resource - x0) / (x1 - x0);
+                return y0 + t * (y1 - y0);
+            }
+        }
+        s[s.len() - 1].1
+    }
+
+    /// Predicted execution time given the unconstrained baseline.
+    pub fn predict_seconds(&self, baseline_seconds: f64, resource: f64) -> f64 {
+        baseline_seconds * (1.0 + self.predict_pct(resource) / 100.0)
+    }
+}
+
+/// A hypothetical machine for prediction.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct HypotheticalMachine {
+    pub l3_bytes: f64,
+    pub bw_gbs: f64,
+}
+
+/// Compose storage and bandwidth degradation multiplicatively (the two
+/// interference mechanisms are orthogonal — §III-D — so to first order
+/// their slowdowns compose).
+pub fn predict_combined(
+    storage: &DegradationModel,
+    bandwidth: &DegradationModel,
+    machine: &HypotheticalMachine,
+    baseline_seconds: f64,
+) -> f64 {
+    let fs = 1.0 + storage.predict_pct(machine.l3_bytes) / 100.0;
+    let fb = 1.0 + bandwidth.predict_pct(machine.bw_gbs) / 100.0;
+    baseline_seconds * fs * fb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::SweepPoint;
+    use amem_interfere::InterferenceKind;
+    use amem_sim::config::MachineConfig;
+
+    fn storage_model() -> DegradationModel {
+        let cmap = CapacityMap::paper_xeon20mb(&MachineConfig::xeon20mb());
+        let sweep = Sweep {
+            workload: "t".into(),
+            kind: InterferenceKind::Storage,
+            per_processor: 1,
+            points: [(0usize, 0.0f64), (1, 0.0), (2, 2.0), (3, 8.0), (4, 15.0), (5, 25.0)]
+                .iter()
+                .map(|&(count, d)| SweepPoint {
+                    count,
+                    seconds: 1.0 + d / 100.0,
+                    degradation_pct: d,
+                    l3_miss_rate: 0.0,
+                    app_bandwidth_gbs: 0.0,
+                })
+                .collect(),
+        };
+        DegradationModel::from_storage_sweep(&sweep, &cmap)
+    }
+
+    #[test]
+    fn interpolates_between_calibrated_points() {
+        let m = storage_model();
+        let mb = (1 << 20) as f64;
+        // At exactly 12 MB available (k=2) degradation is 2%.
+        assert!((m.predict_pct(12.0 * mb) - 2.0).abs() < 1e-9);
+        // Between 7 MB (8%) and 12 MB (2%): 9.5 MB → 5%.
+        let mid = m.predict_pct(9.5 * mb);
+        assert!((mid - 5.0).abs() < 0.01, "mid = {mid}");
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        let m = storage_model();
+        let mb = (1 << 20) as f64;
+        assert_eq!(m.predict_pct(1.0 * mb), 25.0, "below range: worst seen");
+        assert_eq!(m.predict_pct(100.0 * mb), 0.0, "above range: no damage");
+    }
+
+    #[test]
+    fn seconds_scale_with_prediction() {
+        let m = storage_model();
+        let mb = (1 << 20) as f64;
+        assert!((m.predict_seconds(10.0, 7.0 * mb) - 10.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn combined_composes_multiplicatively() {
+        let s = storage_model();
+        let bmap = BandwidthMap::paper_xeon20mb();
+        let bsweep = Sweep {
+            workload: "t".into(),
+            kind: InterferenceKind::Bandwidth,
+            per_processor: 1,
+            points: [(0usize, 0.0f64), (1, 5.0), (2, 10.0)]
+                .iter()
+                .map(|&(count, d)| SweepPoint {
+                    count,
+                    seconds: 1.0 + d / 100.0,
+                    degradation_pct: d,
+                    l3_miss_rate: 0.0,
+                    app_bandwidth_gbs: 0.0,
+                })
+                .collect(),
+        };
+        let b = DegradationModel::from_bandwidth_sweep(&bsweep, &bmap);
+        let hyp = HypotheticalMachine {
+            l3_bytes: 7.0 * (1 << 20) as f64, // 8% storage hit
+            bw_gbs: 11.4,                     // 10% bandwidth hit
+        };
+        let t = predict_combined(&s, &b, &hyp, 100.0);
+        assert!((t - 100.0 * 1.08 * 1.10).abs() < 1e-6, "t = {t}");
+    }
+}

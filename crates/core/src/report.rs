@@ -1,0 +1,254 @@
+//! Result rendering: aligned ASCII tables, CSV files, JSON blobs.
+//!
+//! Every reproduction binary prints its table through this module and
+//! mirrors it to `target/repro/*.csv` so results are both readable and
+//! machine-comparable against the paper's numbers (EXPERIMENTS.md).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// A simple rectangular table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the header arity.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity mismatch in table '{}'",
+            self.title
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut width = vec![0usize; ncol];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            let mut s = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                let pad = width[i] - c.chars().count();
+                s.push(' ');
+                s.push_str(c);
+                s.push_str(&" ".repeat(pad + 1));
+                s.push('|');
+            }
+            let _ = writeln!(out, "{s}");
+        };
+        line(&mut out, &self.headers);
+        let mut sep = String::from("|");
+        for w in &width {
+            sep.push_str(&"-".repeat(w + 2));
+            sep.push('|');
+        }
+        let _ = writeln!(out, "{sep}");
+        for r in &self.rows {
+            line(&mut out, r);
+        }
+        out
+    }
+
+    /// CSV rendering (RFC-4180-ish quoting of commas and quotes).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Write the CSV next to other reproduction outputs. Creates parent
+    /// directories as needed.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+/// Serialize any result to pretty JSON.
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("results are serializable")
+}
+
+/// Format a byte count in MB (decimal, like the paper's figures).
+pub fn fmt_mb(bytes: f64) -> String {
+    format!("{:.2}", bytes / (1u64 << 20) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Table {
+        let mut t = Table::new("Demo", &["k", "time (s)", "degradation"]);
+        t.row(vec!["0".into(), "1.00".into(), "0%".into()]);
+        t.row(vec!["1".into(), "1.25".into(), "25%".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let s = t().render();
+        assert!(s.contains("## Demo"));
+        let lines: Vec<&str> = s.lines().collect();
+        // header, separator, two rows
+        assert_eq!(lines.len(), 4 + 1);
+        assert_eq!(lines[1].len(), lines[3].len(), "rows align");
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut table = t();
+        table.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut table = Table::new("q", &["a", "b"]);
+        table.row(vec!["x,y".into(), "plain".into()]);
+        let csv = table.to_csv();
+        assert!(csv.contains("\"x,y\",plain"));
+    }
+
+    #[test]
+    fn csv_roundtrip_to_disk() {
+        let dir = std::env::temp_dir().join("amem_report_test");
+        let path = dir.join("t.csv");
+        t().write_csv(&path).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert!(read.starts_with("k,time (s),degradation"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn json_serializes_tables() {
+        let j = to_json(&t());
+        assert!(j.contains("\"title\": \"Demo\""));
+    }
+
+    #[test]
+    fn fmt_mb_values() {
+        assert_eq!(fmt_mb((20u64 << 20) as f64), "20.00");
+        assert_eq!(fmt_mb((1u64 << 19) as f64), "0.50");
+    }
+}
+
+/// Render a series as a unicode sparkline (8 block levels), for quick
+/// terminal visualization of sweep curves. Empty input gives an empty
+/// string; a constant series renders at the lowest level.
+pub fn sparkline(values: &[f64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let lo = values.iter().cloned().fold(f64::MAX, f64::min);
+    let hi = values.iter().cloned().fold(f64::MIN, f64::max);
+    let span = (hi - lo).max(f64::EPSILON);
+    values
+        .iter()
+        .map(|v| {
+            let t = ((v - lo) / span * 7.0).round().clamp(0.0, 7.0) as usize;
+            BLOCKS[t]
+        })
+        .collect()
+}
+
+/// Render a sweep's degradation curve as `label [spark] 0..max%`.
+pub fn sweep_sparkline(sweep: &crate::sweep::Sweep) -> String {
+    let d: Vec<f64> = sweep.points.iter().map(|p| p.degradation_pct).collect();
+    let hi = d.iter().cloned().fold(f64::MIN, f64::max);
+    format!(
+        "{} [{}] 0..{:.0}% over {} levels",
+        sweep.workload,
+        sparkline(&d),
+        hi,
+        d.len()
+    )
+}
+
+#[cfg(test)]
+mod sparkline_tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[]), "");
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert_eq!(s.chars().next().unwrap(), '▁');
+        assert_eq!(s.chars().last().unwrap(), '█');
+        let flat = sparkline(&[2.0, 2.0, 2.0]);
+        assert!(flat.chars().all(|c| c == '▁'));
+    }
+
+    #[test]
+    fn sweep_sparkline_labels() {
+        use crate::sweep::{Sweep, SweepPoint};
+        use amem_interfere::InterferenceKind;
+        let s = Sweep {
+            workload: "demo".into(),
+            kind: InterferenceKind::Storage,
+            per_processor: 1,
+            points: (0..4)
+                .map(|i| SweepPoint {
+                    count: i,
+                    seconds: 1.0,
+                    degradation_pct: i as f64 * 10.0,
+                    l3_miss_rate: 0.0,
+                    app_bandwidth_gbs: 0.0,
+                })
+                .collect(),
+        };
+        let line = sweep_sparkline(&s);
+        assert!(line.starts_with("demo ["));
+        assert!(line.contains("0..30%"));
+    }
+}

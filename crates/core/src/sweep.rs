@@ -1,0 +1,148 @@
+//! Interference sweeps: the x-axes of Figs. 7–9 and 11.
+//!
+//! A sweep runs a workload at interference levels `0..=max` (skipping
+//! physically impossible combinations) and records time, miss rate and
+//! bandwidth at each level. Levels run in parallel on the host — each
+//! level is an independent, deterministic simulation.
+
+use amem_interfere::{InterferenceKind, InterferenceSpec};
+use rayon::prelude::*;
+use serde::Serialize;
+
+use crate::platform::{SimPlatform, Workload};
+
+/// One sweep point.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepPoint {
+    /// Interference threads per socket at this point.
+    pub count: usize,
+    pub seconds: f64,
+    /// Degradation vs the zero-interference baseline, in percent.
+    pub degradation_pct: f64,
+    pub l3_miss_rate: f64,
+    pub app_bandwidth_gbs: f64,
+}
+
+/// A full sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct Sweep {
+    pub workload: String,
+    pub kind: InterferenceKind,
+    pub per_processor: usize,
+    pub points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// The zero-interference baseline time.
+    pub fn baseline_seconds(&self) -> f64 {
+        self.points
+            .first()
+            .expect("sweep always contains the baseline")
+            .seconds
+    }
+
+    /// Degradation at a given interference count, if measured.
+    pub fn degradation_at(&self, count: usize) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.count == count)
+            .map(|p| p.degradation_pct)
+    }
+
+    /// Highest interference level that was physically placeable.
+    pub fn max_count(&self) -> usize {
+        self.points.last().map(|p| p.count).unwrap_or(0)
+    }
+}
+
+/// Sweep `workload` under `kind` interference from 0 to `max_count`
+/// threads per socket (inclusive), at the given mapping.
+pub fn run_sweep(
+    platform: &SimPlatform,
+    workload: &dyn Workload,
+    per_processor: usize,
+    kind: InterferenceKind,
+    max_count: usize,
+) -> Sweep {
+    let feasible: Vec<usize> = (0..=max_count)
+        .filter(|&k| platform.feasible(workload, per_processor, k))
+        .collect();
+    let mut results: Vec<(usize, crate::platform::Measurement)> = feasible
+        .par_iter()
+        .map(|&k| {
+            let spec = InterferenceSpec { kind, count: k };
+            (k, platform.run(workload, per_processor, spec))
+        })
+        .collect();
+    results.sort_by_key(|(k, _)| *k);
+    let baseline = results
+        .first()
+        .expect("count 0 is always feasible")
+        .1
+        .seconds;
+    let points = results
+        .into_iter()
+        .map(|(k, m)| SweepPoint {
+            count: k,
+            seconds: m.seconds,
+            degradation_pct: (m.seconds / baseline - 1.0) * 100.0,
+            l3_miss_rate: m.l3_miss_rate,
+            app_bandwidth_gbs: m.app_bandwidth_gbs,
+        })
+        .collect();
+    Sweep {
+        workload: workload.name(),
+        kind,
+        per_processor,
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amem_miniapps::McbCfg;
+    use amem_sim::config::MachineConfig;
+
+    fn plat() -> SimPlatform {
+        SimPlatform::new(MachineConfig::xeon20mb().scaled(0.0625))
+    }
+
+    fn w() -> crate::platform::McbWorkload {
+        crate::platform::McbWorkload(McbCfg {
+            ranks: 4,
+            steps: 2,
+            ..McbCfg::new(&MachineConfig::xeon20mb().scaled(0.0625), 6000)
+        })
+    }
+
+    #[test]
+    fn sweep_has_baseline_and_monotone_counts() {
+        let s = run_sweep(&plat(), &w(), 2, InterferenceKind::Storage, 5);
+        assert_eq!(s.points[0].count, 0);
+        assert_eq!(s.points[0].degradation_pct, 0.0);
+        assert!(s.points.windows(2).all(|ab| ab[0].count < ab[1].count));
+        assert_eq!(s.max_count(), 5);
+    }
+
+    #[test]
+    fn infeasible_levels_are_skipped() {
+        // Mapping 4 ranks/socket leaves 4 free cores: counts 5+ skipped.
+        let s = run_sweep(&plat(), &w(), 4, InterferenceKind::Storage, 8);
+        assert_eq!(s.max_count(), 4);
+    }
+
+    #[test]
+    fn heavy_storage_interference_shows_degradation() {
+        let s = run_sweep(&plat(), &w(), 2, InterferenceKind::Storage, 6);
+        let high = s.degradation_at(6).unwrap();
+        assert!(high > 0.0, "6 CSThrs should degrade MCB, got {high:.2}%");
+    }
+
+    #[test]
+    fn degradation_at_missing_count_is_none() {
+        let s = run_sweep(&plat(), &w(), 4, InterferenceKind::Bandwidth, 2);
+        assert!(s.degradation_at(3).is_none());
+        assert!(s.degradation_at(1).is_some());
+    }
+}

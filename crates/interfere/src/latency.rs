@@ -1,0 +1,142 @@
+//! Loaded-latency probe: the companion metric to Eq. 1's bandwidth.
+//!
+//! The paper observes that reduced bandwidth makes "cache misses take
+//! longer to complete" (§IV). This probe measures that directly: a
+//! dependent pointer chase over a DRAM-resident buffer reports the
+//! *loaded* memory latency while interference runs — the classic
+//! latency-under-load curve of memory-subsystem characterization. It is
+//! itself nearly bandwidth-free (MLP = 1), so it observes contention
+//! without meaningfully adding to it.
+
+use amem_sim::config::{CoreId, MachineConfig};
+use amem_sim::engine::{Job, RunLimit};
+use amem_sim::machine::Machine;
+use amem_sim::rng::Xoshiro256;
+use amem_sim::stream::{AccessStream, Op};
+
+use crate::spec::InterferenceSpec;
+
+/// A serialized random chase over `bytes` of memory.
+pub struct LatencyProbe {
+    base: u64,
+    next: Vec<u32>,
+    pos: u32,
+    remaining: u64,
+    warm: u64,
+    marked: bool,
+    drain_pending: bool,
+}
+
+impl LatencyProbe {
+    pub fn new(machine: &mut Machine, bytes: u64, accesses: u64, seed: u64) -> Self {
+        let lines = (bytes / 64).max(2) as u32;
+        let base = machine.alloc(bytes.max(128));
+        let mut next: Vec<u32> = (0..lines).collect();
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        // Sattolo single-cycle permutation.
+        for i in (1..lines as u64).rev() {
+            let j = rng.below(i) as usize;
+            next.swap(i as usize, j);
+        }
+        Self {
+            base,
+            next,
+            pos: 0,
+            remaining: accesses,
+            warm: (lines as u64).min(accesses),
+            marked: false,
+            drain_pending: false,
+        }
+    }
+}
+
+impl AccessStream for LatencyProbe {
+    fn next_op(&mut self) -> Op {
+        if self.drain_pending {
+            self.drain_pending = false;
+            return Op::Compute(0);
+        }
+        if self.warm > 0 {
+            self.warm -= 1;
+        } else if !self.marked {
+            self.marked = true;
+            return Op::Mark;
+        } else if self.remaining == 0 {
+            return Op::Done;
+        } else {
+            self.remaining -= 1;
+        }
+        self.pos = self.next[self.pos as usize];
+        self.drain_pending = true;
+        Op::Load(self.base + self.pos as u64 * 64)
+    }
+
+    fn mlp(&self) -> u8 {
+        1
+    }
+
+    fn label(&self) -> &str {
+        "latency-probe"
+    }
+}
+
+/// Measure loaded memory latency (cycles per dependent miss) under the
+/// given interference.
+pub fn loaded_latency(cfg: &MachineConfig, spec: InterferenceSpec) -> f64 {
+    let mut m = Machine::new(cfg.clone());
+    // 4x the LLC: essentially every chase access misses to DRAM.
+    let probe = LatencyProbe::new(&mut m, 4 * cfg.l3.size_bytes, 20_000, 0x1A7E);
+    let mut jobs = vec![Job::primary(Box::new(probe), CoreId::new(0, 0))];
+    let free: Vec<CoreId> = (1..cfg.cores_per_socket)
+        .map(|c| CoreId::new(0, c))
+        .collect();
+    jobs.extend(spec.build_jobs(&mut m, &free));
+    let r = m.run(jobs, RunLimit::default());
+    let c = r.jobs[0].after_last_mark();
+    c.cycles as f64 / c.loads.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::xeon20mb().scaled(0.0625)
+    }
+
+    #[test]
+    fn unloaded_latency_is_the_miss_path() {
+        let c = cfg();
+        let lat = loaded_latency(&c, InterferenceSpec::none());
+        let expected = (c.l3.latency + c.dram_latency) as f64;
+        assert!(
+            lat > 0.9 * expected && lat < 1.4 * expected,
+            "unloaded {lat:.0} vs expected ~{expected:.0}"
+        );
+    }
+
+    #[test]
+    fn latency_rises_under_bandwidth_load() {
+        // The latency-under-load curve: each added BWThr queues more
+        // traffic ahead of the probe's misses.
+        let c = cfg();
+        let l0 = loaded_latency(&c, InterferenceSpec::none());
+        let l3 = loaded_latency(&c, InterferenceSpec::bandwidth(3));
+        let l6 = loaded_latency(&c, InterferenceSpec::bandwidth(6));
+        assert!(l3 > l0 * 1.05, "3 BWThrs: {l0:.0} -> {l3:.0}");
+        assert!(l6 > l3, "6 BWThrs: {l3:.0} -> {l6:.0}");
+    }
+
+    #[test]
+    fn storage_interference_barely_moves_latency() {
+        // Orthogonality from the latency side: CSThrs occupy storage but
+        // leave the channel (and hence loaded latency) almost alone.
+        let c = cfg();
+        let l0 = loaded_latency(&c, InterferenceSpec::none());
+        let l4 = loaded_latency(&c, InterferenceSpec::storage(4));
+        assert!(
+            (l4 / l0 - 1.0).abs() < 0.15,
+            "CSThrs moved latency {l0:.0} -> {l4:.0}"
+        );
+    }
+}

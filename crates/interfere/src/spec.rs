@@ -1,0 +1,235 @@
+//! Abstract interference levels and their placement on free cores.
+//!
+//! The paper's experiments are parameterized by "k CSThrs" or "k BWThrs"
+//! *per processor*: the interference threads run on the cores of each
+//! socket that the application leaves free, so that they compete only for
+//! the shared resources (L3 storage, memory channel) and not for the
+//! application's own cores.
+
+use amem_sim::config::CoreId;
+use amem_sim::engine::Job;
+use amem_sim::machine::Machine;
+use serde::{Deserialize, Serialize};
+
+use crate::bw::{BwThread, BwThreadCfg};
+use crate::cs::{CsThread, CsThreadCfg};
+
+/// Which resource the interference targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InterferenceKind {
+    /// CSThr: shared-cache storage capacity.
+    Storage,
+    /// BWThr: LLC↔DRAM bandwidth.
+    Bandwidth,
+}
+
+/// "k interference threads of one kind on every occupied socket."
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterferenceSpec {
+    pub kind: InterferenceKind,
+    /// Threads per socket (the x-axis of the paper's figures).
+    pub count: usize,
+}
+
+impl InterferenceSpec {
+    /// No interference at all (the baseline run).
+    pub fn none() -> Self {
+        Self {
+            kind: InterferenceKind::Storage,
+            count: 0,
+        }
+    }
+
+    /// `k` CSThrs per socket.
+    pub fn storage(k: usize) -> Self {
+        Self {
+            kind: InterferenceKind::Storage,
+            count: k,
+        }
+    }
+
+    /// `k` BWThrs per socket.
+    pub fn bandwidth(k: usize) -> Self {
+        Self {
+            kind: InterferenceKind::Bandwidth,
+            count: k,
+        }
+    }
+
+    /// Build background jobs on `free_cores`, taking the first `count`
+    /// free cores *of each socket* present in the list.
+    ///
+    /// Panics if any socket in the list has fewer than `count` free cores
+    /// — the same physical impossibility that makes some mapping ×
+    /// interference combinations in the paper's Fig. 9 inexecutable.
+    pub fn build_jobs(&self, machine: &mut Machine, free_cores: &[CoreId]) -> Vec<Job> {
+        if self.count == 0 {
+            return Vec::new();
+        }
+        let mut sockets: Vec<u32> = free_cores.iter().map(|c| c.socket).collect();
+        sockets.sort_unstable();
+        sockets.dedup();
+        let mut jobs = Vec::new();
+        let mut seed = 0x1F_EED0u64;
+        for &s in &sockets {
+            let on_socket: Vec<CoreId> = free_cores
+                .iter()
+                .copied()
+                .filter(|c| c.socket == s)
+                .collect();
+            assert!(
+                on_socket.len() >= self.count,
+                "socket {s} has only {} free cores for {} interference threads",
+                on_socket.len(),
+                self.count
+            );
+            for &core in on_socket.iter().take(self.count) {
+                seed = seed.wrapping_mul(0x9E37_79B9).wrapping_add(core.core as u64);
+                let stream: Box<dyn amem_sim::AccessStream> = match self.kind {
+                    InterferenceKind::Storage => {
+                        let cfg = CsThreadCfg::for_machine(machine.cfg()).with_seed(seed);
+                        Box::new(CsThread::new(machine, &cfg))
+                    }
+                    InterferenceKind::Bandwidth => {
+                        let cfg = BwThreadCfg::for_machine(machine.cfg());
+                        Box::new(BwThread::new(machine, &cfg))
+                    }
+                };
+                jobs.push(Job::background(stream, core));
+            }
+        }
+        jobs
+    }
+
+    /// Human-readable level, e.g. `"3 CSThr"`.
+    pub fn describe(&self) -> String {
+        match self.kind {
+            InterferenceKind::Storage => format!("{} CSThr", self.count),
+            InterferenceKind::Bandwidth => format!("{} BWThr", self.count),
+        }
+    }
+}
+
+/// Simultaneous storage *and* bandwidth interference: `storage` CSThrs
+/// plus `bandwidth` BWThrs per socket. The paper measures one resource at
+/// a time and composes degradations; a mixed run tests that composition
+/// directly (see `amem-bench --bin combined`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterferenceMix {
+    pub storage: usize,
+    pub bandwidth: usize,
+}
+
+impl InterferenceMix {
+    pub fn new(storage: usize, bandwidth: usize) -> Self {
+        Self { storage, bandwidth }
+    }
+
+    /// Total threads required per socket.
+    pub fn threads(&self) -> usize {
+        self.storage + self.bandwidth
+    }
+
+    /// Build background jobs: CSThrs take the first free cores of each
+    /// socket, BWThrs the next ones. Panics if a socket lacks
+    /// `threads()` free cores.
+    pub fn build_jobs(&self, machine: &mut Machine, free_cores: &[CoreId]) -> Vec<Job> {
+        if self.threads() == 0 {
+            return Vec::new();
+        }
+        let mut sockets: Vec<u32> = free_cores.iter().map(|c| c.socket).collect();
+        sockets.sort_unstable();
+        sockets.dedup();
+        let mut jobs = Vec::new();
+        let mut seed = 0x4D31_5ED0u64;
+        for &s in &sockets {
+            let on_socket: Vec<CoreId> = free_cores
+                .iter()
+                .copied()
+                .filter(|c| c.socket == s)
+                .collect();
+            assert!(
+                on_socket.len() >= self.threads(),
+                "socket {s} has only {} free cores for {} mixed threads",
+                on_socket.len(),
+                self.threads()
+            );
+            for (i, &core) in on_socket.iter().take(self.threads()).enumerate() {
+                seed = seed.wrapping_mul(0x9E37_79B9).wrapping_add(core.core as u64);
+                let stream: Box<dyn amem_sim::AccessStream> = if i < self.storage {
+                    let cfg = CsThreadCfg::for_machine(machine.cfg()).with_seed(seed);
+                    Box::new(CsThread::new(machine, &cfg))
+                } else {
+                    let cfg = BwThreadCfg::for_machine(machine.cfg());
+                    Box::new(BwThread::new(machine, &cfg))
+                };
+                jobs.push(Job::background(stream, core));
+            }
+        }
+        jobs
+    }
+
+    pub fn describe(&self) -> String {
+        format!("{} CSThr + {} BWThr", self.storage, self.bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amem_sim::prelude::*;
+
+    #[test]
+    fn zero_count_builds_nothing() {
+        let mut m = Machine::new(MachineConfig::xeon20mb().scaled(0.125));
+        let jobs = InterferenceSpec::none().build_jobs(&mut m, &[CoreId::new(0, 1)]);
+        assert!(jobs.is_empty());
+    }
+
+    #[test]
+    fn per_socket_placement() {
+        let mut m = Machine::new(MachineConfig::xeon20mb().scaled(0.125));
+        let free: Vec<CoreId> = (2..8)
+            .map(|c| CoreId::new(0, c))
+            .chain((2..8).map(|c| CoreId::new(1, c)))
+            .collect();
+        let jobs = InterferenceSpec::storage(3).build_jobs(&mut m, &free);
+        assert_eq!(jobs.len(), 6, "3 per socket × 2 sockets");
+        assert!(jobs.iter().all(|j| !j.primary));
+        let s0 = jobs.iter().filter(|j| j.core.socket == 0).count();
+        assert_eq!(s0, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_few_free_cores_panics() {
+        let mut m = Machine::new(MachineConfig::xeon20mb().scaled(0.125));
+        let free = vec![CoreId::new(0, 6), CoreId::new(0, 7)];
+        let _ = InterferenceSpec::bandwidth(3).build_jobs(&mut m, &free);
+    }
+
+    #[test]
+    fn describe_strings() {
+        assert_eq!(InterferenceSpec::storage(4).describe(), "4 CSThr");
+        assert_eq!(InterferenceSpec::bandwidth(2).describe(), "2 BWThr");
+        assert_eq!(InterferenceMix::new(3, 2).describe(), "3 CSThr + 2 BWThr");
+    }
+
+    #[test]
+    fn mix_places_both_kinds() {
+        let mut m = Machine::new(MachineConfig::xeon20mb().scaled(0.125));
+        let free: Vec<CoreId> = (1..8).map(|c| CoreId::new(0, c)).collect();
+        let jobs = InterferenceMix::new(2, 3).build_jobs(&mut m, &free);
+        assert_eq!(jobs.len(), 5);
+        let labels: Vec<&str> = jobs.iter().map(|j| j.stream.label()).collect();
+        assert_eq!(labels.iter().filter(|l| **l == "CSThr").count(), 2);
+        assert_eq!(labels.iter().filter(|l| **l == "BWThr").count(), 3);
+    }
+
+    #[test]
+    fn empty_mix_builds_nothing() {
+        let mut m = Machine::new(MachineConfig::xeon20mb().scaled(0.125));
+        let jobs = InterferenceMix::new(0, 0).build_jobs(&mut m, &[CoreId::new(0, 1)]);
+        assert!(jobs.is_empty());
+    }
+}

@@ -1,0 +1,505 @@
+//! MCB proxy: Monte Carlo particle transport.
+//!
+//! Per rank and per time step the proxy performs the phases that dominate
+//! MCB's memory behaviour:
+//!
+//! 1. **Tally sweep** — a streaming pass over the rank's mesh tallies
+//!    (zeroing / reducing them). The mesh is a fixed ≈27% of the LLC per
+//!    rank regardless of particle count — this is what makes the paper's
+//!    measured per-process storage use (4–7 MB of a 20 MB L3) flat across
+//!    inputs (Fig. 10).
+//! 2. **Tracking** — for every particle: load its state line, tracking
+//!    compute, and a few *random* tally read-modify-writes into the mesh
+//!    (Monte Carlo scoring has no locality). Tracking compute per
+//!    particle grows mildly with the global input size (denser systems ⇒
+//!    more collisions per history), which is why bandwidth sensitivity
+//!    peaks at mid-size inputs and then declines (paper Fig. 9, bottom
+//!    right: the ≈90 k-particle crossover).
+//! 3. **Exchange** — a fixed fraction of particles crosses domain
+//!    boundaries to the two neighbouring ranks (ring topology): packed
+//!    from particle lines into a send buffer, then either read directly by
+//!    a same-node neighbour (a memcpy through the shared cache / memory
+//!    bus) or shipped over the network (`RemoteXfer` + NIC DMA).
+//! 4. **Barrier.**
+
+use amem_sim::cluster::{Locality, RankMap};
+use amem_sim::config::MachineConfig;
+use amem_sim::engine::Job;
+use amem_sim::machine::Machine;
+use amem_sim::rng::Xoshiro256;
+use amem_sim::stream::{AccessStream, Op, OpQueue};
+use serde::{Deserialize, Serialize};
+
+/// MCB proxy configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct McbCfg {
+    /// Global particle count (the paper sweeps 20 000 – 260 000).
+    pub total_particles: u64,
+    /// Total MPI ranks (paper: 24).
+    pub ranks: usize,
+    /// Time steps to simulate.
+    pub steps: u32,
+    /// Mesh (tally) bytes per rank, as a fraction of the L3.
+    pub mesh_l3_ratio: f64,
+    /// Tracking compute per particle: `base + slope × (total/20k)` cycles.
+    /// The slope models collision density rising with the particle load —
+    /// this is what makes MCB compute-dominated at large inputs (the
+    /// paper's >90 k-particle regime where bandwidth sensitivity falls).
+    pub track_base_cycles: u32,
+    pub track_slope_cycles: f64,
+    /// Random tally read-modify-writes per particle (Monte Carlo scoring).
+    pub tallies_per_particle: u32,
+    /// Boundary-crossing fraction at the 20 k reference input. The
+    /// effective fraction grows with the input until [`Self::CROSS_CAP`]
+    /// — the paper observes MCB's communication (and hence its miss
+    /// rate) growing superlinearly from 20 k to ≈90 k particles and
+    /// saturating beyond; we encode that measured shape directly.
+    pub cross_fraction: f64,
+    /// Fraction of the mesh scanned per step (tally reduction window).
+    pub scan_fraction: f64,
+    /// Warm-up steps before the measurement mark (cold-cache transients
+    /// are excluded from timing, as the paper's long runs amortize them).
+    pub warm_steps: u32,
+    pub seed: u64,
+}
+
+impl McbCfg {
+    /// Crossing-fraction cap (reached around the paper's 90 k particles).
+    pub const CROSS_CAP: f64 = 0.35;
+
+    /// Paper-shaped defaults for a given machine and particle count.
+    pub fn new(cfg: &MachineConfig, total_particles: u64) -> Self {
+        let _ = cfg;
+        Self {
+            total_particles,
+            ranks: 24,
+            steps: 4,
+            mesh_l3_ratio: 0.27,
+            track_base_cycles: 350,
+            track_slope_cycles: 40.0,
+            tallies_per_particle: 1,
+            cross_fraction: 0.07,
+            scan_fraction: 0.0625,
+            warm_steps: 2,
+            seed: 0x4D43_42AA,
+        }
+    }
+
+    /// Particles handled by each rank.
+    pub fn particles_per_rank(&self) -> u64 {
+        (self.total_particles / self.ranks as u64).max(1)
+    }
+
+    /// Tracking cycles per particle at this input size.
+    pub fn track_cycles(&self) -> u32 {
+        let scale = self.total_particles as f64 / 20_000.0;
+        (self.track_base_cycles as f64 + self.track_slope_cycles * scale) as u32
+    }
+
+    /// Effective boundary-crossing fraction at this input size.
+    pub fn cross_fraction_eff(&self) -> f64 {
+        let scale = self.total_particles as f64 / 20_000.0;
+        (self.cross_fraction * scale).min(Self::CROSS_CAP)
+    }
+
+    /// Mesh bytes per rank on this machine.
+    pub fn mesh_bytes(&self, cfg: &MachineConfig) -> u64 {
+        ((cfg.l3.size_bytes as f64 * self.mesh_l3_ratio) as u64).max(4096)
+    }
+}
+
+/// Addresses of one rank's data.
+struct RankBuffers {
+    mesh: u64,
+    mesh_lines: u64,
+    particles: u64,
+    particle_lines: u64,
+    /// Send buffers toward the two ring neighbours (down, up).
+    send: [u64; 2],
+    /// Staging area standing in for data received from off-node ranks.
+    remote_recv: u64,
+}
+
+/// One MCB rank as a simulator stream.
+pub struct McbRank {
+    rank: usize,
+    bufs: RankBuffers,
+    /// For each ring neighbour: its locality and, when on-node, the base
+    /// address of *its* send buffer toward us.
+    neighbors: [(Locality, Option<u64>); 2],
+    crossers: u64,
+    track_cycles: u32,
+    tallies: u32,
+    /// Lines of the tally-reduction scan window per step.
+    scan_lines: u64,
+    /// Rotating scan position.
+    scan_pos: u64,
+    steps_left: u32,
+    warm_left: u32,
+    rng: Xoshiro256,
+    q: OpQueue,
+    phase: Phase,
+    /// Particle cursor within the tracking phase.
+    cursor: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// Initial population of the mesh and particle arrays (the real
+    /// code's setup phase): one streaming store pass over both, so the
+    /// working set exists before the first step.
+    Init,
+    TallySweep,
+    Tracking,
+    Pack,
+    Unpack,
+    StepDone,
+    Finished,
+}
+
+/// Ops generated per queue refill (bounds memory).
+const CHUNK: usize = 4096;
+
+impl McbRank {
+    /// Total ranks must match `map.total_ranks`.
+    pub fn new(machine: &mut Machine, cfg: &McbCfg, map: &RankMap, rank: usize) -> Self {
+        assert_eq!(cfg.ranks, map.total_ranks);
+        assert!(map.is_local(rank), "only local ranks are simulated");
+        let mesh_bytes = cfg.mesh_bytes(machine.cfg());
+        let ppr = cfg.particles_per_rank();
+        let crossers = ((ppr as f64 * cfg.cross_fraction_eff()) as u64).max(1);
+        let bufs = RankBuffers {
+            mesh: machine.alloc(mesh_bytes),
+            mesh_lines: mesh_bytes / 64,
+            particles: machine.alloc(ppr * 64),
+            particle_lines: ppr,
+            send: [machine.alloc(crossers * 64), machine.alloc(crossers * 64)],
+            remote_recv: machine.alloc(crossers * 64),
+        };
+        let n = cfg.ranks;
+        let down = (rank + n - 1) % n;
+        let up = (rank + 1) % n;
+        let neighbors = [down, up].map(|nb| (map.locality(rank, nb), None));
+        Self {
+            rank,
+            bufs,
+            neighbors,
+            crossers,
+            track_cycles: cfg.track_cycles(),
+            tallies: cfg.tallies_per_particle,
+            scan_lines: ((mesh_bytes / 64) as f64 * cfg.scan_fraction) as u64,
+            scan_pos: 0,
+            steps_left: cfg.steps,
+            warm_left: cfg.warm_steps,
+            rng: Xoshiro256::seed_from_u64(cfg.seed ^ (rank as u64) << 32),
+            q: OpQueue::new(),
+            phase: Phase::Init,
+            cursor: 0,
+        }
+    }
+
+    /// Wire up the send-buffer addresses of on-node neighbours so their
+    /// "receives" read the sender's memory (communication through the
+    /// shared cache / memory bus). Called by [`build_jobs`].
+    fn connect(&mut self, idx: usize, peer_send_buf: u64) {
+        self.neighbors[idx].1 = Some(peer_send_buf);
+    }
+
+    /// Refill the op queue according to the current phase.
+    fn refill(&mut self) {
+        debug_assert!(self.q.is_empty());
+        match self.phase {
+            Phase::Init => {
+                let total = self.bufs.mesh_lines + self.bufs.particle_lines;
+                let start = self.cursor;
+                let end = (start + CHUNK as u64).min(total);
+                for i in start..end {
+                    let a = if i < self.bufs.mesh_lines {
+                        self.bufs.mesh + i * 64
+                    } else {
+                        self.bufs.particles + (i - self.bufs.mesh_lines) * 64
+                    };
+                    self.q.push(Op::Store(a));
+                }
+                self.cursor = end;
+                if end == total {
+                    self.cursor = 0;
+                    self.phase = Phase::TallySweep;
+                }
+            }
+            Phase::TallySweep => {
+                // Tally-reduction scan: a rotating window over the mesh
+                // (real MCB reduces tallies incrementally; scanning the
+                // whole array every step would dwarf the tracking work).
+                let start = self.cursor;
+                let end = (start + CHUNK as u64).min(self.scan_lines);
+                for l in start..end {
+                    let line = (self.scan_pos + l) % self.bufs.mesh_lines;
+                    self.q.push(Op::Load(self.bufs.mesh + line * 64));
+                    self.q.push(Op::Compute(2));
+                }
+                self.cursor = end;
+                if end == self.scan_lines {
+                    self.cursor = 0;
+                    self.scan_pos = (self.scan_pos + self.scan_lines) % self.bufs.mesh_lines;
+                    self.phase = Phase::Tracking;
+                }
+            }
+            Phase::Tracking => {
+                let start = self.cursor;
+                let end = (start + (CHUNK / 8) as u64).min(self.bufs.particle_lines);
+                for p in start..end {
+                    let pa = self.bufs.particles + p * 64;
+                    self.q.push(Op::Load(pa));
+                    self.q.push(Op::Compute(self.track_cycles));
+                    for _ in 0..self.tallies {
+                        let cell = self.rng.below(self.bufs.mesh_lines);
+                        let ta = self.bufs.mesh + cell * 64;
+                        self.q.push(Op::Load(ta));
+                        self.q.push(Op::Store(ta));
+                    }
+                    self.q.push(Op::Store(pa));
+                }
+                self.cursor = end;
+                if end == self.bufs.particle_lines {
+                    self.cursor = 0;
+                    self.phase = Phase::Pack;
+                }
+            }
+            Phase::Pack => {
+                // Pack crossers into the two send buffers (half each):
+                // read the particle line, write the send buffer, then ship
+                // remote halves over the wire.
+                let half = self.crossers / 2;
+                for (i, &(loc, _)) in self.neighbors.iter().enumerate() {
+                    let count = if i == 0 { half.max(1) } else { (self.crossers - half).max(1) };
+                    for k in 0..count {
+                        let p = self.rng.below(self.bufs.particle_lines);
+                        self.q.push(Op::Load(self.bufs.particles + p * 64));
+                        self.q.push(Op::Store(self.bufs.send[i] + k * 64));
+                    }
+                    if loc == Locality::Remote {
+                        self.q.push(Op::RemoteXfer((count * 64) as u32));
+                    }
+                }
+                self.q.push(Op::Barrier);
+                self.phase = Phase::Unpack;
+            }
+            Phase::Unpack => {
+                // Receive: read each neighbour's send buffer (on-node) or
+                // the DMA staging area (off-node), write into our
+                // particle array.
+                let half = self.crossers / 2;
+                for (i, &(loc, peer)) in self.neighbors.iter().enumerate() {
+                    let count = if i == 0 { half.max(1) } else { (self.crossers - half).max(1) };
+                    let src = match (loc, peer) {
+                        (Locality::Remote, _) | (_, None) => self.bufs.remote_recv,
+                        (_, Some(addr)) => addr,
+                    };
+                    for k in 0..count {
+                        self.q.push(Op::Load(src + k * 64));
+                        let p = self.rng.below(self.bufs.particle_lines);
+                        self.q.push(Op::Store(self.bufs.particles + p * 64));
+                    }
+                }
+                self.phase = Phase::StepDone;
+            }
+            Phase::StepDone => {
+                if self.warm_left > 0 {
+                    self.warm_left -= 1;
+                    if self.warm_left == 0 {
+                        // Counters snapshot: measurement starts here.
+                        self.q.push(Op::Mark);
+                    }
+                    self.phase = Phase::TallySweep;
+                    return;
+                }
+                self.steps_left -= 1;
+                if self.steps_left == 0 {
+                    self.phase = Phase::Finished;
+                } else {
+                    self.phase = Phase::TallySweep;
+                    // Queue stays empty; next call refills from the top.
+                    self.q.push(Op::Compute(0));
+                }
+            }
+            Phase::Finished => {}
+        }
+    }
+
+    /// Rank id (for tests/diagnostics).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+}
+
+impl AccessStream for McbRank {
+    fn next_op(&mut self) -> Op {
+        loop {
+            if let Some(op) = self.q.pop() {
+                return op;
+            }
+            if self.phase == Phase::Finished {
+                return Op::Done;
+            }
+            self.refill();
+        }
+    }
+
+    fn mlp(&self) -> u8 {
+        4
+    }
+
+    fn label(&self) -> &str {
+        "MCB"
+    }
+}
+
+/// Build primary jobs for all local ranks of an MCB run, with on-node
+/// neighbour send buffers wired together.
+pub fn build_jobs(machine: &mut Machine, cfg: &McbCfg, map: &RankMap) -> Vec<Job> {
+    let local = map.local_ranks();
+    let mut ranks: Vec<McbRank> = local
+        .iter()
+        .map(|&r| McbRank::new(machine, cfg, map, r))
+        .collect();
+    // Wire local neighbour pairs: rank r's neighbour list is [down, up];
+    // the peer's send buffer toward r is its "up" buffer (index 1) when
+    // the peer is r's down-neighbour, and vice versa.
+    let n = cfg.ranks;
+    let send_of: Vec<(usize, [u64; 2])> = ranks.iter().map(|r| (r.rank, r.bufs.send)).collect();
+    for r in ranks.iter_mut() {
+        let down = (r.rank + n - 1) % n;
+        let up = (r.rank + 1) % n;
+        for (idx, nb) in [down, up].into_iter().enumerate() {
+            if let Some(&(_, peer_send)) = send_of.iter().find(|(pr, _)| *pr == nb) {
+                // The peer sends toward us with the buffer facing us.
+                let facing = if idx == 0 { 1 } else { 0 };
+                r.connect(idx, peer_send[facing]);
+            }
+        }
+    }
+    ranks
+        .into_iter()
+        .map(|r| {
+            let core = map.core_of(r.rank).expect("local rank has a core");
+            Job::primary(Box::new(r), core)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amem_sim::engine::RunLimit;
+    
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::xeon20mb().scaled(0.125)
+    }
+
+    fn small_mcb(machine_cfg: &MachineConfig, particles: u64) -> McbCfg {
+        McbCfg {
+            steps: 2,
+            ..McbCfg::new(machine_cfg, particles)
+        }
+    }
+
+    #[test]
+    fn runs_to_completion_all_local_ranks() {
+        let c = cfg();
+        let mut m = Machine::new(c.clone());
+        let mcb = McbCfg {
+            ranks: 4,
+            ..small_mcb(&c, 2000)
+        };
+        let map = RankMap::new(&c, 4, 2);
+        let jobs = build_jobs(&mut m, &mcb, &map);
+        assert_eq!(jobs.len(), 4);
+        let r = m.run(jobs, RunLimit::default());
+        assert!(r.jobs.iter().all(|j| j.done));
+        assert!(r.wall_cycles > 0);
+    }
+
+    #[test]
+    fn remote_neighbors_use_the_network() {
+        let c = cfg();
+        let mut m = Machine::new(c.clone());
+        // 24 ranks at 1/processor: node 0 hosts ranks 0 and 1; rank 0's
+        // down-neighbour (23) and rank 1's up-neighbour (2) are remote.
+        let mcb = small_mcb(&c, 20_000);
+        let map = RankMap::new(&c, 24, 1);
+        let jobs = build_jobs(&mut m, &mcb, &map);
+        assert_eq!(jobs.len(), 2);
+        let r = m.run(jobs, RunLimit::default());
+        let net: u64 = r.jobs.iter().map(|j| j.counters.net_cycles).sum();
+        assert!(net > 0, "ring edges off the node must touch the network");
+        assert!(r.sockets[0].dram.dma_bytes > 0);
+    }
+
+    #[test]
+    fn same_socket_neighbors_skip_the_network() {
+        let c = cfg();
+        let mut m = Machine::new(c.clone());
+        // All 4 ranks on one socket: the ring is fully local.
+        let mcb = McbCfg {
+            ranks: 4,
+            ..small_mcb(&c, 2000)
+        };
+        let map = RankMap::new(&c, 4, 4);
+        let jobs = build_jobs(&mut m, &mcb, &map);
+        let r = m.run(jobs, RunLimit::default());
+        let net: u64 = r.jobs.iter().map(|j| j.counters.net_cycles).sum();
+        assert_eq!(net, 0);
+    }
+
+    #[test]
+    fn mesh_footprint_constant_in_particles() {
+        let c = cfg();
+        let m20 = small_mcb(&c, 20_000).mesh_bytes(&c);
+        let m260 = small_mcb(&c, 260_000).mesh_bytes(&c);
+        assert_eq!(m20, m260);
+    }
+
+    #[test]
+    fn tracking_compute_grows_with_input() {
+        let c = cfg();
+        assert!(small_mcb(&c, 260_000).track_cycles() > small_mcb(&c, 20_000).track_cycles());
+    }
+
+    #[test]
+    fn more_particles_more_work() {
+        let c = cfg();
+        let time_of = |particles: u64| {
+            let mut m = Machine::new(c.clone());
+            let mcb = McbCfg {
+                ranks: 4,
+                ..small_mcb(&c, particles)
+            };
+            let map = RankMap::new(&c, 4, 2);
+            let jobs = build_jobs(&mut m, &mcb, &map);
+            m.run(jobs, RunLimit::default()).wall_cycles
+        };
+        assert!(time_of(40_000) > time_of(4_000));
+    }
+
+    #[test]
+    fn barriers_synchronize_ranks() {
+        let c = cfg();
+        let mut m = Machine::new(c.clone());
+        let mcb = McbCfg {
+            ranks: 4,
+            ..small_mcb(&c, 8000)
+        };
+        let map = RankMap::new(&c, 4, 2);
+        let jobs = build_jobs(&mut m, &mcb, &map);
+        let r = m.run(jobs, RunLimit::default());
+        let times: Vec<u64> = r.jobs.iter().map(|j| j.counters.cycles).collect();
+        let max = *times.iter().max().unwrap();
+        let min = *times.iter().min().unwrap();
+        assert!(
+            (max - min) as f64 / max as f64 * 100.0 < 20.0,
+            "ranks should finish near-together: {times:?}"
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! X-ray-style automatic measurement of memory-hierarchy parameters.
+//!
+//! The paper's related work (§V, refs [23][24]: Yotov et al., "X-Ray")
+//! determines cache sizes and latencies with micro-benchmarks. This module
+//! brings the same instrument to any [`MachineConfig`]: a dependent
+//! pointer chase (one load in flight, each address computed from the
+//! previous value's location) over a working set swept from a few KiB to
+//! several times the LLC. Each plateau in the latency curve is a level of
+//! the hierarchy; each jump is a boundary.
+//!
+//! Besides reproducing the related-work instrument, this doubles as a
+//! self-check for the simulator: the discovered sizes/latencies must
+//! match the configuration that produced them (see the tests).
+
+use amem_sim::config::{CoreId, MachineConfig};
+use amem_sim::engine::{Job, RunLimit};
+use amem_sim::machine::Machine;
+use amem_sim::rng::Xoshiro256;
+use amem_sim::stream::{AccessStream, Op};
+use serde::Serialize;
+
+/// One point of the latency curve.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LatencyPoint {
+    pub working_set_bytes: u64,
+    /// Average load-to-use latency in cycles.
+    pub cycles_per_load: f64,
+}
+
+/// A detected hierarchy level.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LevelEstimate {
+    /// Largest working set still served at this latency.
+    pub capacity_bytes: u64,
+    /// The plateau latency in cycles.
+    pub latency_cycles: f64,
+}
+
+/// Dependent pointer chase: a random cyclic permutation of `lines`,
+/// walked one load at a time (MLP = 1 by construction).
+struct Chase {
+    base: u64,
+    /// next[i] = line visited after line i (a single cycle covering all).
+    next: Vec<u32>,
+    pos: u32,
+    remaining: u64,
+    warm: u64,
+    marked: bool,
+}
+
+impl Chase {
+    fn new(machine: &mut Machine, bytes: u64, accesses: u64, seed: u64) -> Self {
+        let lines = (bytes / 64).max(2) as u32;
+        let base = machine.alloc(bytes.max(128));
+        // Sattolo's algorithm: a uniform random single-cycle permutation,
+        // so the chase visits every line exactly once per lap (defeating
+        // both the prefetcher and short cycles).
+        let mut next: Vec<u32> = (0..lines).collect();
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        for i in (1..lines as u64).rev() {
+            let j = rng.below(i) as usize;
+            next.swap(i as usize, j);
+        }
+        Self {
+            base,
+            next,
+            pos: 0,
+            remaining: accesses,
+            warm: lines as u64 * 2,
+            marked: false,
+        }
+    }
+}
+
+impl AccessStream for Chase {
+    fn next_op(&mut self) -> Op {
+        if self.warm > 0 {
+            self.warm -= 1;
+        } else if !self.marked {
+            self.marked = true;
+            return Op::Mark;
+        } else if self.remaining == 0 {
+            return Op::Done;
+        } else {
+            self.remaining -= 1;
+        }
+        self.pos = self.next[self.pos as usize];
+        // The dependency: the next op cannot issue before this one is
+        // consumed. Compute(0) drains the in-flight load, serializing the
+        // chain exactly like a real pointer chase.
+        Op::Load(self.base + self.pos as u64 * 64)
+    }
+
+    fn mlp(&self) -> u8 {
+        1
+    }
+
+    fn label(&self) -> &str {
+        "pointer-chase"
+    }
+}
+
+/// Wrapper interleaving a drain after each load (pointer dependency).
+struct SerializedChase(Chase, bool);
+
+impl AccessStream for SerializedChase {
+    fn next_op(&mut self) -> Op {
+        if self.1 {
+            self.1 = false;
+            return Op::Compute(0);
+        }
+        let op = self.0.next_op();
+        if matches!(op, Op::Load(_)) {
+            self.1 = true;
+        }
+        op
+    }
+    fn mlp(&self) -> u8 {
+        1
+    }
+    fn label(&self) -> &str {
+        "pointer-chase"
+    }
+}
+
+/// Measure average load-to-use latency for one working-set size.
+pub fn chase_latency(cfg: &MachineConfig, bytes: u64, accesses: u64) -> LatencyPoint {
+    let mut m = Machine::new(cfg.clone());
+    let chase = SerializedChase(Chase::new(&mut m, bytes, accesses, 0xC4A5E), false);
+    let r = m.run(
+        vec![Job::primary(Box::new(chase), CoreId::new(0, 0))],
+        RunLimit::default(),
+    );
+    let c = r.jobs[0].after_last_mark();
+    LatencyPoint {
+        working_set_bytes: bytes,
+        cycles_per_load: c.cycles as f64 / c.loads.max(1) as f64,
+    }
+}
+
+/// Sweep working-set sizes (quarter-octave steps) from `lo` to `hi` bytes.
+pub fn latency_curve(cfg: &MachineConfig, lo: u64, hi: u64, accesses: u64) -> Vec<LatencyPoint> {
+    let mut out = Vec::new();
+    let mut s = lo.max(128) as f64;
+    while (s as u64) <= hi {
+        out.push(chase_latency(cfg, s as u64, accesses));
+        s *= 1.4;
+    }
+    out
+}
+
+/// Segment the curve into plateaus: a new level starts when latency jumps
+/// by more than `jump_factor` over the current plateau's average.
+pub fn detect_levels(curve: &[LatencyPoint], jump_factor: f64) -> Vec<LevelEstimate> {
+    let mut levels = Vec::new();
+    if curve.is_empty() {
+        return levels;
+    }
+    let mut plateau_sum = curve[0].cycles_per_load;
+    let mut plateau_n = 1.0;
+    let mut plateau_end = curve[0].working_set_bytes;
+    for p in &curve[1..] {
+        let avg = plateau_sum / plateau_n;
+        if p.cycles_per_load > avg * jump_factor {
+            levels.push(LevelEstimate {
+                capacity_bytes: plateau_end,
+                latency_cycles: avg,
+            });
+            plateau_sum = p.cycles_per_load;
+            plateau_n = 1.0;
+        } else {
+            plateau_sum += p.cycles_per_load;
+            plateau_n += 1.0;
+        }
+        plateau_end = p.working_set_bytes;
+    }
+    levels.push(LevelEstimate {
+        capacity_bytes: plateau_end,
+        latency_cycles: plateau_sum / plateau_n,
+    });
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::xeon20mb().scaled(0.0625)
+    }
+
+    #[test]
+    fn latency_rises_with_working_set() {
+        let c = cfg();
+        let small = chase_latency(&c, c.l1.size_bytes / 2, 20_000);
+        let mid = chase_latency(&c, c.l2.size_bytes * 2, 20_000);
+        let large = chase_latency(&c, c.l3.size_bytes * 3, 20_000);
+        assert!(small.cycles_per_load < mid.cycles_per_load);
+        assert!(mid.cycles_per_load < large.cycles_per_load);
+    }
+
+    #[test]
+    fn l1_latency_recovered() {
+        let c = cfg();
+        let p = chase_latency(&c, c.l1.size_bytes / 2, 20_000);
+        // Chase cost = issue (1) + L1 latency.
+        let expected = 1.0 + c.l1.latency as f64;
+        assert!(
+            (p.cycles_per_load - expected).abs() < 1.5,
+            "measured {:.1}, expected ~{expected}",
+            p.cycles_per_load
+        );
+    }
+
+    #[test]
+    fn dram_latency_recovered() {
+        let c = cfg();
+        let p = chase_latency(&c, c.l3.size_bytes * 4, 20_000);
+        let expected = (c.l3.latency + c.dram_latency) as f64;
+        assert!(
+            p.cycles_per_load > 0.9 * expected,
+            "measured {:.1}, expected >= ~{expected}",
+            p.cycles_per_load
+        );
+    }
+
+    #[test]
+    fn detect_levels_finds_the_hierarchy() {
+        let c = cfg();
+        let curve = latency_curve(&c, 1 << 10, 3 * c.l3.size_bytes, 12_000);
+        let levels = detect_levels(&curve, 1.6);
+        // L1, L2, L3, DRAM — allow merging of adjacent plateaus but the
+        // chase must see at least three distinct levels.
+        assert!(
+            (3..=5).contains(&levels.len()),
+            "found {} levels: {levels:?}",
+            levels.len()
+        );
+        // Latencies strictly increase across detected levels.
+        for w in levels.windows(2) {
+            assert!(w[1].latency_cycles > w[0].latency_cycles);
+        }
+        // The first boundary approximates the L1 capacity (within the
+        // sweep's quarter-octave resolution).
+        let l1 = levels[0].capacity_bytes as f64;
+        let real = c.l1.size_bytes as f64;
+        assert!(
+            l1 > 0.4 * real && l1 < 2.5 * real,
+            "L1 estimate {l1} vs real {real}"
+        );
+    }
+
+    #[test]
+    fn detect_levels_handles_flat_and_empty() {
+        assert!(detect_levels(&[], 1.5).is_empty());
+        let flat: Vec<LatencyPoint> = (1..5)
+            .map(|i| LatencyPoint {
+                working_set_bytes: i * 1024,
+                cycles_per_load: 5.0,
+            })
+            .collect();
+        let levels = detect_levels(&flat, 1.5);
+        assert_eq!(levels.len(), 1);
+        assert_eq!(levels[0].capacity_bytes, 4096);
+    }
+}

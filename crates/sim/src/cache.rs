@@ -1,0 +1,785 @@
+//! Set-associative cache model with pluggable replacement and insertion.
+//!
+//! Tags are full line numbers (byte address >> line shift); the cache never
+//! stores data, only presence, recency and dirtiness, which is all the
+//! memory-resource experiments observe.
+//!
+//! Replacement policies:
+//!
+//! * [`Replacement::Lru`] — true LRU via per-entry stamps (the default, and
+//!   the policy the paper's analytic model effectively assumes).
+//! * [`Replacement::BitPlru`] — MRU-bit pseudo-LRU, a common hardware
+//!   approximation that works for any associativity (the 20-way L3 has no
+//!   clean binary tree). Used by the replacement-policy ablation bench.
+//! * [`Replacement::Random`] — random victim, the worst-case baseline.
+//!
+//! Insertion policies model where a *newly filled* line lands in the
+//! recency order. The shipped Xeon20MB preset uses classic MRU insertion:
+//! combined with hashed set-indexing, the rate competition between a
+//! frequently re-touched working set and a streamer already reproduces the
+//! paper's orthogonality result (Fig. 8). [`InsertPolicy::Mid`] (mid-stack)
+//! and [`InsertPolicy::Lru`] (BIP-style probation with ε-promotion) are
+//! alternative LLC policies exercised by the insertion ablation bench.
+//!
+//! Fills can additionally be restricted to a subset of ways
+//! ([`Cache::fill_masked`]) — Intel CAT-style partitioning.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::CacheConfig;
+use crate::rng::SplitMix64;
+
+/// Victim-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Replacement {
+    /// True least-recently-used.
+    Lru,
+    /// MRU-bit pseudo-LRU (set bit on touch; victim = first clear bit;
+    /// clear all other bits when the last one sets).
+    BitPlru,
+    /// Uniformly random victim.
+    Random,
+}
+
+/// Recency position given to a newly inserted line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InsertPolicy {
+    /// Insert at most-recently-used (classic LRU insertion).
+    Mru,
+    /// Insert mid-stack; promoted to MRU only on re-reference.
+    Mid,
+    /// Insert **on probation** (BIP-like): the line is marked as a
+    /// streaming candidate and victim selection prefers the oldest
+    /// probation line over everything else. A set full of re-referenced
+    /// (promoted) data loses at most its leftover ways to a streamer; a
+    /// streamer alone churns the whole set FIFO and hits nothing. This is
+    /// how real LLC adaptive insertion (DIP/BIP) lets BWThr miss 100%
+    /// while co-running working sets stay resident.
+    Lru,
+}
+
+/// A line evicted by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// Line number of the evicted line.
+    pub line: u64,
+    /// Whether the evicted copy was dirty at this level.
+    pub dirty: bool,
+}
+
+const EMPTY: u64 = u64::MAX;
+
+/// 1/ε of BIP: one in this many probation fills is promoted to a regular
+/// (MRU) insertion.
+const BIP_EPSILON_INV: u64 = 16;
+
+/// One set-associative cache instance.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: u32,
+    ways: u32,
+    hash_sets: bool,
+    replacement: Replacement,
+    insert: InsertPolicy,
+    /// `sets * ways` tag entries; `EMPTY` marks an invalid way.
+    tags: Box<[u64]>,
+    /// LRU stamps (for `Lru`) or MRU bits (0/1, for `BitPlru`).
+    stamp: Box<[u32]>,
+    /// Probation marks for `InsertPolicy::Lru` fills (victim-first).
+    probation: Box<[bool]>,
+    dirty: Box<[bool]>,
+    /// Per-entry sharer bitmask (bit = core index within the socket).
+    /// Maintained by the engine for the inclusive shared L3 to drive
+    /// MESI-style invalidations; unused for private caches.
+    sharers: Box<[u16]>,
+    tick: u32,
+    rng: SplitMix64,
+    filled: u64,
+}
+
+impl Cache {
+    /// Build a cache from a [`CacheConfig`].
+    pub fn new(cfg: &CacheConfig) -> Self {
+        let sets = cfg.sets();
+        assert!(sets > 0, "cache must have at least one set");
+        assert!(cfg.ways > 0, "cache must have at least one way");
+        let n = (sets as usize) * (cfg.ways as usize);
+        Self {
+            sets,
+            ways: cfg.ways,
+            hash_sets: cfg.hash_sets,
+            replacement: cfg.replacement,
+            insert: cfg.insert,
+            tags: vec![EMPTY; n].into_boxed_slice(),
+            stamp: vec![0; n].into_boxed_slice(),
+            probation: vec![false; n].into_boxed_slice(),
+            dirty: vec![false; n].into_boxed_slice(),
+            sharers: vec![0; n].into_boxed_slice(),
+            tick: 1,
+            rng: SplitMix64::new(0x5EED_CAFE),
+            filled: 0,
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        // Complex addressing: fold high address bits into the index so
+        // page-aligned buffers spread over all sets (as on real LLCs).
+        let line = if self.hash_sets {
+            line ^ (line >> 11) ^ (line >> 23)
+        } else {
+            line
+        };
+        // Sets are powers of two for all shipped configs, but stay correct
+        // for any count.
+        if self.sets.is_power_of_two() {
+            (line & (self.sets as u64 - 1)) as usize
+        } else {
+            (line % self.sets as u64) as usize
+        }
+    }
+
+    #[inline]
+    fn base(&self, set: usize) -> usize {
+        set * self.ways as usize
+    }
+
+    #[inline]
+    fn bump_tick(&mut self) -> u32 {
+        // Wrapping stamps would corrupt LRU order; renormalize rarely.
+        if self.tick == u32::MAX {
+            for s in self.stamp.iter_mut() {
+                *s /= 2;
+            }
+            self.tick = u32::MAX / 2;
+        }
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Look up a line; on hit, update recency (and dirtiness if `store`).
+    /// Returns whether it hit.
+    #[inline]
+    pub fn lookup(&mut self, line: u64, store: bool) -> bool {
+        let set = self.set_of(line);
+        let base = self.base(set);
+        let ways = self.ways as usize;
+        for w in 0..ways {
+            if self.tags[base + w] == line {
+                self.touch_entry(base, w);
+                if store {
+                    self.dirty[base + w] = true;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Recency update for a hit way.
+    #[inline]
+    fn touch_entry(&mut self, base: usize, w: usize) {
+        // A re-reference ends probation: the line has proven reuse.
+        self.probation[base + w] = false;
+        match self.replacement {
+            Replacement::Lru => {
+                let t = self.bump_tick();
+                self.stamp[base + w] = t;
+            }
+            Replacement::BitPlru => {
+                self.stamp[base + w] = 1;
+                let ways = self.ways as usize;
+                if (0..ways).all(|i| self.stamp[base + i] == 1) {
+                    for i in 0..ways {
+                        self.stamp[base + i] = 0;
+                    }
+                    self.stamp[base + w] = 1;
+                }
+            }
+            Replacement::Random => {}
+        }
+    }
+
+    /// Install a line (assumed missing), returning any eviction.
+    ///
+    /// Filling a line that is already present is a logic error upstream but
+    /// is tolerated: it degenerates to a recency touch.
+    pub fn fill(&mut self, line: u64, dirty: bool) -> Option<Eviction> {
+        self.fill_with(line, dirty, None)
+    }
+
+    /// Like [`Cache::fill`], but overriding the insertion policy for this
+    /// one fill. Models per-request insertion hints: real LLCs (DIP/RRIP)
+    /// insert detected-streaming lines near LRU so they flow through
+    /// without displacing reused data.
+    pub fn fill_with(
+        &mut self,
+        line: u64,
+        dirty: bool,
+        insert_override: Option<InsertPolicy>,
+    ) -> Option<Eviction> {
+        self.fill_masked(line, dirty, insert_override, u32::MAX)
+    }
+
+    /// Like [`Cache::fill_with`], but the fill may only allocate into ways
+    /// whose bit is set in `way_mask` — Intel CAT-style way partitioning.
+    /// Lookups still hit in any way (CAT restricts allocation, not
+    /// presence). At least one way must be allowed.
+    pub fn fill_masked(
+        &mut self,
+        line: u64,
+        dirty: bool,
+        insert_override: Option<InsertPolicy>,
+        way_mask: u32,
+    ) -> Option<Eviction> {
+        let set = self.set_of(line);
+        let base = self.base(set);
+        let ways = self.ways as usize;
+        let allowed = |w: usize| way_mask & (1u32 << (w as u32 & 31)) != 0;
+        debug_assert!((0..ways).any(allowed), "way mask allows no way");
+        // Already present? Touch and merge dirtiness.
+        for w in 0..ways {
+            if self.tags[base + w] == line {
+                self.touch_entry(base, w);
+                self.dirty[base + w] |= dirty;
+                return None;
+            }
+        }
+        // Free allowed way?
+        let mut victim = None;
+        for w in 0..ways {
+            if allowed(w) && self.tags[base + w] == EMPTY {
+                victim = Some(w);
+                break;
+            }
+        }
+        let (w, evicted) = match victim {
+            Some(w) => (w, None),
+            None => {
+                let w = self.pick_victim_masked(base, way_mask);
+                let ev = Eviction {
+                    line: self.tags[base + w],
+                    dirty: self.dirty[base + w],
+                };
+                (w, Some(ev))
+            }
+        };
+        if evicted.is_none() {
+            self.filled += 1;
+        }
+        self.tags[base + w] = line;
+        self.dirty[base + w] = dirty;
+        self.sharers[base + w] = 0;
+        let mut policy = insert_override.unwrap_or(self.insert);
+        // BIP's epsilon: a streaming (probation) fill is occasionally
+        // inserted as regular data. This is why heavy streaming pressure
+        // (3+ BWThrs in the paper's Fig. 8) *does* erode a co-runner's
+        // cache share even under adaptive insertion, while light pressure
+        // does not.
+        if policy == InsertPolicy::Lru && self.rng.below(BIP_EPSILON_INV) == 0 {
+            policy = InsertPolicy::Mru;
+        }
+        self.probation[base + w] = policy == InsertPolicy::Lru;
+        self.stamp[base + w] = self.insert_stamp(base, w, policy);
+        evicted
+    }
+
+    /// Recency stamp for a fresh insertion, honouring the insert policy.
+    fn insert_stamp(&mut self, base: usize, w: usize, insert: InsertPolicy) -> u32 {
+        match self.replacement {
+            Replacement::Lru => {
+                let t = self.bump_tick();
+                match insert {
+                    // Probation lines keep a real timestamp so the oldest
+                    // probation line (FIFO) can be identified.
+                    InsertPolicy::Mru | InsertPolicy::Lru => t,
+                    // Mid-stack: appear "half as recent" as a fresh touch.
+                    // Using the midpoint between the set's oldest live stamp
+                    // and now keeps the line older than recently-hit lines
+                    // but younger than stale ones.
+                    InsertPolicy::Mid => {
+                        let ways = self.ways as usize;
+                        let mut oldest = t;
+                        for i in 0..ways {
+                            if i != w && self.tags[base + i] != EMPTY {
+                                oldest = oldest.min(self.stamp[base + i]);
+                            }
+                        }
+                        oldest / 2 + t / 2
+                    }
+                }
+            }
+            Replacement::BitPlru => match insert {
+                InsertPolicy::Mru | InsertPolicy::Mid => 1,
+                InsertPolicy::Lru => 0,
+            },
+            Replacement::Random => 0,
+        }
+    }
+
+    /// Choose a victim way in a full set.
+    /// Choose a victim among the ways allowed by `way_mask` in a full set.
+    fn pick_victim_masked(&mut self, base: usize, way_mask: u32) -> usize {
+        let ways = self.ways as usize;
+        let allowed = |w: usize| way_mask & (1u32 << (w as u32 & 31)) != 0;
+        match self.replacement {
+            Replacement::Lru => {
+                // Oldest probation line first (streaming data churns in
+                // the leftover ways); otherwise plain LRU.
+                let mut best_prob: Option<(usize, u32)> = None;
+                let mut best: Option<(usize, u32)> = None;
+                for w in 0..ways {
+                    if !allowed(w) {
+                        continue;
+                    }
+                    let st = self.stamp[base + w];
+                    if self.probation[base + w] && best_prob.is_none_or(|(_, bs)| st < bs) {
+                        best_prob = Some((w, st));
+                    }
+                    if best.is_none_or(|(_, bs)| st < bs) {
+                        best = Some((w, st));
+                    }
+                }
+                if let Some((w, _)) = best_prob {
+                    return w;
+                }
+                best.expect("mask allows at least one way").0
+            }
+            Replacement::BitPlru => {
+                for w in 0..ways {
+                    if allowed(w) && self.stamp[base + w] == 0 {
+                        return w;
+                    }
+                }
+                (0..ways).find(|&w| allowed(w)).unwrap_or(0)
+            }
+            Replacement::Random => loop {
+                let w = self.rng.below(ways as u64) as usize;
+                if allowed(w) {
+                    return w;
+                }
+            },
+        }
+    }
+
+    #[inline]
+    fn find(&self, line: u64) -> Option<usize> {
+        let set = self.set_of(line);
+        let base = self.base(set);
+        (0..self.ways as usize)
+            .map(|w| base + w)
+            .find(|&i| self.tags[i] == line)
+    }
+
+    /// Record `core` as a sharer of a present line (no-op when absent).
+    pub fn add_sharer(&mut self, line: u64, core: u8) {
+        if let Some(i) = self.find(line) {
+            self.sharers[i] |= 1 << core;
+        }
+    }
+
+    /// Current sharer mask of a line (0 when absent or untracked).
+    pub fn sharers(&self, line: u64) -> u16 {
+        self.find(line).map(|i| self.sharers[i]).unwrap_or(0)
+    }
+
+    /// Replace the sharer set of a present line with just `core` (the
+    /// exclusive owner after a write).
+    pub fn set_exclusive(&mut self, line: u64, core: u8) {
+        if let Some(i) = self.find(line) {
+            self.sharers[i] = 1 << core;
+        }
+    }
+
+    /// Remove a line if present; returns `Some(dirty)` when it was there.
+    pub fn invalidate(&mut self, line: u64) -> Option<bool> {
+        let set = self.set_of(line);
+        let base = self.base(set);
+        for w in 0..self.ways as usize {
+            if self.tags[base + w] == line {
+                self.tags[base + w] = EMPTY;
+                let d = self.dirty[base + w];
+                self.dirty[base + w] = false;
+                self.probation[base + w] = false;
+                self.sharers[base + w] = 0;
+                self.stamp[base + w] = 0;
+                self.filled -= 1;
+                return Some(d);
+            }
+        }
+        None
+    }
+
+    /// Mark a present line dirty; returns whether the line was found.
+    pub fn mark_dirty(&mut self, line: u64) -> bool {
+        let set = self.set_of(line);
+        let base = self.base(set);
+        for w in 0..self.ways as usize {
+            if self.tags[base + w] == line {
+                self.dirty[base + w] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Read-only presence check (no recency update).
+    pub fn contains(&self, line: u64) -> bool {
+        let set = self.set_of(line);
+        let base = self.base(set);
+        (0..self.ways as usize).any(|w| self.tags[base + w] == line)
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn occupancy(&self) -> u64 {
+        self.filled
+    }
+
+    /// Count resident lines whose line number falls within `[lo, hi)`.
+    ///
+    /// Used by validation tests and the occupancy instrumentation in the
+    /// orthogonality experiments ("how much L3 does BWThr actually hold?").
+    pub fn occupancy_in(&self, lo: u64, hi: u64) -> u64 {
+        self.tags
+            .iter()
+            .filter(|&&t| t != EMPTY && t >= lo && t < hi)
+            .count() as u64
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity_lines(&self) -> u64 {
+        self.sets as u64 * self.ways as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(ways: u32, sets_times_ways_lines: u64, repl: Replacement, ins: InsertPolicy) -> Cache {
+        let cfg = CacheConfig {
+            size_bytes: sets_times_ways_lines * 64,
+            line_bytes: 64,
+            ways,
+            latency: 1,
+            replacement: repl,
+            insert: ins,
+            hash_sets: false,
+        };
+        Cache::new(&cfg)
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny(4, 16, Replacement::Lru, InsertPolicy::Mru);
+        assert!(!c.lookup(5, false));
+        assert!(c.fill(5, false).is_none());
+        assert!(c.lookup(5, false));
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 1 set, 4 ways: lines 0,4,8,12 all map to set 0 with 4 sets...
+        // use a 4-line cache: 1 set of 4 ways.
+        let mut c = tiny(4, 4, Replacement::Lru, InsertPolicy::Mru);
+        for l in [0u64, 1, 2, 3] {
+            assert!(c.fill(l, false).is_none());
+        }
+        // Touch 0 so 1 becomes LRU.
+        assert!(c.lookup(0, false));
+        let ev = c.fill(100, false).expect("must evict");
+        assert_eq!(ev.line, 1);
+    }
+
+    #[test]
+    fn dirty_propagates_through_eviction() {
+        let mut c = tiny(2, 2, Replacement::Lru, InsertPolicy::Mru);
+        c.fill(0, false);
+        c.fill(1, false);
+        assert!(c.lookup(0, true)); // store -> dirty
+        c.lookup(1, false); // 0 is now LRU
+        let ev = c.fill(2, false).unwrap();
+        assert_eq!(ev.line, 0);
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn invalidate_removes_and_reports_dirty() {
+        let mut c = tiny(4, 16, Replacement::Lru, InsertPolicy::Mru);
+        c.fill(7, true);
+        assert_eq!(c.invalidate(7), Some(true));
+        assert_eq!(c.invalidate(7), None);
+        assert!(!c.contains(7));
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn mark_dirty_only_when_present() {
+        let mut c = tiny(4, 16, Replacement::Lru, InsertPolicy::Mru);
+        assert!(!c.mark_dirty(3));
+        c.fill(3, false);
+        assert!(c.mark_dirty(3));
+        assert_eq!(c.invalidate(3), Some(true));
+    }
+
+    #[test]
+    fn mid_insertion_protects_reused_lines_from_streaming() {
+        // 1 set, 4 ways. Lines 0..4 are "hot" (re-touched); a stream of
+        // fresh lines flows through. With Mid insertion the hot lines must
+        // survive far better than the stream.
+        let mut c = tiny(4, 4, Replacement::Lru, InsertPolicy::Mid);
+        for l in 0..3u64 {
+            c.fill(l, false);
+            c.lookup(l, false); // promote to MRU
+        }
+        let mut hot_evicted = 0;
+        for s in 0..100u64 {
+            let stream_line = 1000 + s;
+            // Re-touch hot lines between stream fills (a reuse-heavy app).
+            for l in 0..3u64 {
+                if c.contains(l) {
+                    c.lookup(l, false);
+                }
+            }
+            if let Some(ev) = c.fill(stream_line, false) {
+                if ev.line < 3 {
+                    hot_evicted += 1;
+                }
+            }
+        }
+        assert_eq!(
+            hot_evicted, 0,
+            "mid-insertion must let streams flow through without evicting hot lines"
+        );
+    }
+
+    #[test]
+    fn mru_insertion_lets_stream_displace() {
+        // Contrast case: with MRU insertion and no re-touching, a long
+        // stream evicts everything.
+        let mut c = tiny(4, 4, Replacement::Lru, InsertPolicy::Mru);
+        for l in 0..4u64 {
+            c.fill(l, false);
+        }
+        for s in 0..8u64 {
+            c.fill(1000 + s, false);
+        }
+        for l in 0..4u64 {
+            assert!(!c.contains(l));
+        }
+    }
+
+    #[test]
+    fn bitplru_cycles_through_ways() {
+        let mut c = tiny(4, 4, Replacement::BitPlru, InsertPolicy::Mru);
+        for l in 0..4u64 {
+            c.fill(l, false);
+        }
+        // All MRU bits set by inserts -> normalized; victims must still be
+        // chosen and never panic across many fills.
+        for s in 0..64u64 {
+            c.fill(100 + s, false);
+        }
+        assert_eq!(c.occupancy(), 4);
+    }
+
+    #[test]
+    fn random_replacement_stays_valid() {
+        let mut c = tiny(4, 8, Replacement::Random, InsertPolicy::Mru);
+        for l in 0..1000u64 {
+            c.fill(l, l % 3 == 0);
+        }
+        assert_eq!(c.occupancy(), 8);
+    }
+
+    #[test]
+    fn occupancy_in_ranges() {
+        let mut c = tiny(4, 64, Replacement::Lru, InsertPolicy::Mru);
+        for l in 0..10u64 {
+            c.fill(l, false);
+        }
+        for l in 100..105u64 {
+            c.fill(l, false);
+        }
+        assert_eq!(c.occupancy_in(0, 10), 10);
+        assert_eq!(c.occupancy_in(100, 200), 5);
+        assert_eq!(c.occupancy_in(50, 90), 0);
+    }
+
+    #[test]
+    fn fill_of_present_line_is_touch() {
+        let mut c = tiny(2, 2, Replacement::Lru, InsertPolicy::Mru);
+        c.fill(0, false);
+        c.fill(1, false);
+        assert!(c.fill(0, true).is_none()); // refill = touch + dirty merge
+        let ev = c.fill(2, false).unwrap();
+        assert_eq!(ev.line, 1, "0 was refreshed, so 1 is the victim");
+        assert_eq!(c.invalidate(0), Some(true), "dirtiness merged on refill");
+    }
+
+    #[test]
+    fn probation_streamer_churns_one_slot() {
+        // A hot set of 3 promoted lines + a probation streamer: the
+        // streamer's fills must evict only each other, never the hot set.
+        let mut c = tiny(4, 4, Replacement::Lru, InsertPolicy::Mru);
+        for l in 0..3u64 {
+            c.fill(l, false);
+            c.lookup(l, false); // promote
+        }
+        let mut hot_evictions = 0;
+        for s in 0..200u64 {
+            // The hot set keeps getting re-referenced, as a real working
+            // set would.
+            for l in 0..3u64 {
+                if c.contains(l) {
+                    c.lookup(l, false);
+                }
+            }
+            if let Some(ev) = c.fill_with(1000 + s, false, Some(InsertPolicy::Lru)) {
+                if ev.line < 3 {
+                    hot_evictions += 1;
+                }
+            }
+        }
+        // BIP's epsilon allows the odd promoted streaming line, but the
+        // re-referenced hot set must essentially always survive.
+        assert!(hot_evictions <= 1, "{hot_evictions} hot evictions");
+        for l in 0..3u64 {
+            assert!(c.contains(l), "hot line {l} must survive");
+        }
+    }
+
+    #[test]
+    fn probation_bip_retains_subset_of_thrashing_set() {
+        // BIP's defining property: a cyclic walk larger than the set
+        // still gets *some* hits, because epsilon-promoted lines get
+        // pinned while the probation way churns. (Contrast with plain
+        // MRU insertion, where LRU's cyclic pathology yields zero hits —
+        // see mru_insertion_lets_stream_displace.)
+        let mut c = tiny(4, 4, Replacement::Lru, InsertPolicy::Mru);
+        let mut hits = 0u32;
+        let accesses = 300u32;
+        for _round in 0..50u64 {
+            for l in 0..6u64 {
+                if c.lookup(l, false) {
+                    hits += 1;
+                } else {
+                    c.fill_with(l, false, Some(InsertPolicy::Lru));
+                }
+            }
+        }
+        assert!(hits > 0, "BIP must retain part of the thrashing set");
+        assert!(
+            hits < accesses * 3 / 4,
+            "the probation way must keep churning: {hits}/{accesses}"
+        );
+    }
+
+    #[test]
+    fn probation_cleared_on_rereference() {
+        let mut c = tiny(4, 4, Replacement::Lru, InsertPolicy::Mru);
+        c.fill_with(1, false, Some(InsertPolicy::Lru));
+        assert!(c.lookup(1, false)); // promoted off probation
+        // Fill the set; line 1 must now be treated as regular LRU data --
+        // a later probation fill is the victim, not line 1.
+        for l in [2u64, 3, 4] {
+            c.fill(l, false);
+        }
+        assert!(c.lookup(1, false), "line 1 still resident");
+        let ev = c.fill_with(100, false, Some(InsertPolicy::Lru)).unwrap();
+        assert_ne!(ev.line, 1, "promoted line must not be the victim");
+        let ev2 = c.fill_with(101, false, Some(InsertPolicy::Lru));
+        assert!(c.contains(1));
+        // The second probation fill evicts the first (oldest probation).
+        assert_eq!(ev2.map(|e| e.line), Some(100), "evicted {ev:?} {ev2:?}");
+    }
+
+    #[test]
+    fn set_mapping_disjoint() {
+        // Lines that differ in set index never conflict.
+        let mut c = tiny(1, 16, Replacement::Lru, InsertPolicy::Mru);
+        for l in 0..16u64 {
+            assert!(c.fill(l, false).is_none());
+        }
+        assert_eq!(c.occupancy(), 16);
+        // 17th line conflicts with line 1 (16 sets, direct mapped).
+        let ev = c.fill(17, false).unwrap();
+        assert_eq!(ev.line, 1);
+    }
+}
+
+#[cfg(test)]
+mod cat_tests {
+    use super::*;
+    use crate::config::CacheConfig;
+
+    fn cache(ways: u32, total_lines: u64) -> Cache {
+        Cache::new(&CacheConfig {
+            size_bytes: total_lines * 64,
+            line_bytes: 64,
+            ways,
+            latency: 1,
+            replacement: Replacement::Lru,
+            insert: InsertPolicy::Mru,
+            hash_sets: false,
+        })
+    }
+
+    #[test]
+    fn masked_fills_stay_in_their_ways() {
+        // 1 set of 8 ways; stream A owns ways 0-3, stream B ways 4-7.
+        let mut c = cache(8, 8);
+        for l in 0..4u64 {
+            assert!(c.fill_masked(l, false, None, 0x0F).is_none());
+        }
+        for l in 100..104u64 {
+            assert!(c.fill_masked(l, false, None, 0xF0).is_none());
+        }
+        // A churns through many more (disjoint) lines: B's lines must
+        // all survive.
+        for l in 1000..1200u64 {
+            if let Some(ev) = c.fill_masked(l, false, None, 0x0F) {
+                assert!(
+                    !(100..104).contains(&ev.line),
+                    "B's line {} evicted by A",
+                    ev.line
+                );
+            }
+        }
+        for l in 100..104u64 {
+            assert!(c.contains(l), "partitioned line {l} must survive");
+        }
+    }
+
+    #[test]
+    fn lookups_hit_across_partitions() {
+        // CAT restricts allocation, not presence: a line filled in B's
+        // partition still hits for anyone who looks it up.
+        let mut c = cache(8, 8);
+        c.fill_masked(42, false, None, 0xF0);
+        assert!(c.lookup(42, false));
+    }
+
+    #[test]
+    fn unrestricted_mask_behaves_like_plain_fill() {
+        let mut a = cache(4, 16);
+        let mut b = cache(4, 16);
+        for l in 0..64u64 {
+            let ea = a.fill_masked(l, l % 3 == 0, None, u32::MAX);
+            let eb = b.fill(l, l % 3 == 0);
+            assert_eq!(ea, eb);
+        }
+    }
+
+    #[test]
+    fn single_way_partition_is_direct_mapped() {
+        let mut c = cache(8, 8);
+        // Confined to way 2: every conflicting fill evicts the previous.
+        c.fill_masked(1, false, None, 0b100);
+        let ev = c.fill_masked(2, false, None, 0b100).unwrap();
+        assert_eq!(ev.line, 1);
+        let ev = c.fill_masked(3, false, None, 0b100).unwrap();
+        assert_eq!(ev.line, 2);
+    }
+}

@@ -1,0 +1,202 @@
+//! Cluster topology and MPI-style rank placement.
+//!
+//! The paper maps `p` MPI processes to each 8-core processor, leaving
+//! `8 - p` cores free for interference threads, across as many 2-socket
+//! nodes as the job needs (`ranks / (2p)` nodes). We simulate node 0 in
+//! full detail; ranks on other nodes communicate with local ranks via
+//! [`Locality::Remote`] transfers (network latency + NIC DMA through the
+//! local memory channel). Because all nodes are statistically identical
+//! and the workloads are bulk-synchronous, node 0's behaviour under
+//! interference is the quantity the paper plots.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{CoreId, MachineConfig};
+
+/// Relationship between two ranks' placements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Locality {
+    /// Same socket: communication is a memcpy through the shared L3.
+    SameSocket,
+    /// Same node, different socket: memcpy through memory (both channels).
+    SameNode,
+    /// Different node: network transfer + NIC DMA.
+    Remote,
+}
+
+/// Placement of `total_ranks` MPI ranks at `per_processor` ranks per
+/// socket, on nodes shaped like `cfg`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RankMap {
+    pub total_ranks: usize,
+    /// The paper's `p`: processes mapped to each processor (socket).
+    pub per_processor: usize,
+    pub sockets_per_node: usize,
+    pub cores_per_socket: usize,
+}
+
+impl RankMap {
+    pub fn new(cfg: &MachineConfig, total_ranks: usize, per_processor: usize) -> Self {
+        assert!(per_processor >= 1);
+        assert!(
+            per_processor <= cfg.cores_per_socket as usize,
+            "cannot map {per_processor} ranks on a {}-core socket",
+            cfg.cores_per_socket
+        );
+        Self {
+            total_ranks,
+            per_processor,
+            sockets_per_node: cfg.sockets as usize,
+            cores_per_socket: cfg.cores_per_socket as usize,
+        }
+    }
+
+    /// Number of sockets (processors) the job occupies.
+    pub fn sockets_used(&self) -> usize {
+        self.total_ranks.div_ceil(self.per_processor)
+    }
+
+    /// Number of nodes the job occupies (the paper's `ranks / (2p)`).
+    pub fn nodes(&self) -> usize {
+        self.sockets_used().div_ceil(self.sockets_per_node)
+    }
+
+    /// Global socket index of a rank.
+    pub fn socket_of(&self, rank: usize) -> usize {
+        rank / self.per_processor
+    }
+
+    /// Node index of a rank.
+    pub fn node_of(&self, rank: usize) -> usize {
+        self.socket_of(rank) / self.sockets_per_node
+    }
+
+    /// Whether a rank lives on the simulated node (node 0).
+    pub fn is_local(&self, rank: usize) -> bool {
+        rank < self.total_ranks && self.node_of(rank) == 0
+    }
+
+    /// Ranks on the simulated node.
+    pub fn local_ranks(&self) -> Vec<usize> {
+        (0..self.total_ranks).filter(|&r| self.is_local(r)).collect()
+    }
+
+    /// Core where a local rank runs. Ranks pack onto the lowest core
+    /// numbers of their socket; cores `per_processor..` stay free for
+    /// interference threads.
+    pub fn core_of(&self, rank: usize) -> Option<CoreId> {
+        if !self.is_local(rank) {
+            return None;
+        }
+        let socket = self.socket_of(rank);
+        let slot = rank % self.per_processor;
+        Some(CoreId::new(socket as u32, slot as u32))
+    }
+
+    /// Free cores on the simulated node, grouped by socket, available for
+    /// interference threads. Only sockets that actually host ranks are
+    /// reported (interfering with an idle socket is meaningless).
+    pub fn free_cores(&self) -> Vec<CoreId> {
+        let mut v = Vec::new();
+        for s in 0..self.sockets_per_node {
+            if s >= self.sockets_used() {
+                break;
+            }
+            let used = self.ranks_on_socket(s);
+            for c in used..self.cores_per_socket {
+                v.push(CoreId::new(s as u32, c as u32));
+            }
+        }
+        v
+    }
+
+    /// How many ranks land on a given local socket.
+    pub fn ranks_on_socket(&self, socket: usize) -> usize {
+        (0..self.total_ranks)
+            .filter(|&r| self.node_of(r) == 0 && self.socket_of(r) == socket)
+            .count()
+    }
+
+    /// Communication locality between two ranks.
+    pub fn locality(&self, a: usize, b: usize) -> Locality {
+        if self.socket_of(a) == self.socket_of(b) {
+            Locality::SameSocket
+        } else if self.node_of(a) == self.node_of(b) {
+            Locality::SameNode
+        } else {
+            Locality::Remote
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::xeon20mb()
+    }
+
+    #[test]
+    fn paper_mcb_mappings() {
+        // MCB: 24 ranks. p processes per processor -> 24/(2p) nodes.
+        for (p, nodes) in [(1usize, 12usize), (2, 6), (3, 4), (4, 3), (6, 2)] {
+            let m = RankMap::new(&cfg(), 24, p);
+            assert_eq!(m.nodes(), nodes, "p={p}");
+        }
+    }
+
+    #[test]
+    fn paper_lulesh_mappings() {
+        // Lulesh: 64 ranks, 1 per processor -> 32 nodes.
+        let m = RankMap::new(&cfg(), 64, 1);
+        assert_eq!(m.nodes(), 32);
+        let m4 = RankMap::new(&cfg(), 64, 4);
+        assert_eq!(m4.nodes(), 8);
+    }
+
+    #[test]
+    fn local_ranks_and_cores() {
+        let m = RankMap::new(&cfg(), 24, 3);
+        // Node 0 = sockets 0,1 -> ranks 0..6 local.
+        assert_eq!(m.local_ranks(), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(m.core_of(0), Some(CoreId::new(0, 0)));
+        assert_eq!(m.core_of(2), Some(CoreId::new(0, 2)));
+        assert_eq!(m.core_of(3), Some(CoreId::new(1, 0)));
+        assert_eq!(m.core_of(6), None);
+    }
+
+    #[test]
+    fn free_cores_exclude_rank_cores() {
+        let m = RankMap::new(&cfg(), 24, 3);
+        let free = m.free_cores();
+        // 8-3 = 5 free per socket, 2 sockets.
+        assert_eq!(free.len(), 10);
+        assert!(free.contains(&CoreId::new(0, 3)));
+        assert!(!free.contains(&CoreId::new(0, 2)));
+    }
+
+    #[test]
+    fn locality_classification() {
+        let m = RankMap::new(&cfg(), 24, 2);
+        assert_eq!(m.locality(0, 1), Locality::SameSocket);
+        assert_eq!(m.locality(0, 2), Locality::SameNode);
+        assert_eq!(m.locality(0, 4), Locality::Remote);
+    }
+
+    #[test]
+    fn single_socket_job_leaves_other_socket_alone() {
+        let m = RankMap::new(&cfg(), 4, 4);
+        assert_eq!(m.sockets_used(), 1);
+        assert_eq!(m.nodes(), 1);
+        let free = m.free_cores();
+        assert_eq!(free.len(), 4, "only socket 0's spare cores");
+        assert!(free.iter().all(|c| c.socket == 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_ranks_per_socket_panics() {
+        let _ = RankMap::new(&cfg(), 24, 9);
+    }
+}

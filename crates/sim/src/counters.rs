@@ -1,0 +1,225 @@
+//! Per-core hardware-counter equivalents.
+//!
+//! The paper reads PMU counters (L3 misses, execution time) to compute
+//! bandwidth via Eq. 1: `BW = line_bytes * misses / time`. [`CoreCounters`]
+//! exposes exactly those quantities for every simulated core, with zero
+//! measurement perturbation.
+
+use serde::Serialize;
+
+/// Event counts for one core over one run.
+#[derive(Debug, Default, Clone, Copy, Serialize)]
+pub struct CoreCounters {
+    /// Retired load operations.
+    pub loads: u64,
+    /// Retired store operations.
+    pub stores: u64,
+    /// Cycles spent in `Compute` ops.
+    pub compute_cycles: u64,
+    /// L1D hits / misses.
+    pub l1_hits: u64,
+    pub l1_misses: u64,
+    /// L2 hits / misses (L2 accesses = L1 misses).
+    pub l2_hits: u64,
+    pub l2_misses: u64,
+    /// L3 hits / misses (L3 accesses = L2 misses).
+    pub l3_hits: u64,
+    pub l3_misses: u64,
+    /// Demand lines this core fetched from DRAM (== l3_misses).
+    pub dram_demand_lines: u64,
+    /// Lines this core's prefetcher fetched from DRAM.
+    pub dram_prefetch_lines: u64,
+    /// Prefetch requests issued (including those satisfied by the L3).
+    pub prefetches_issued: u64,
+    /// Prefetches dropped due to channel backlog.
+    pub prefetches_dropped: u64,
+    /// Lines invalidated out of this core's private caches by inclusive-L3
+    /// evictions caused by *any* core on the socket.
+    pub back_invalidations: u64,
+    /// TLB hits / misses (0 when the TLB is disabled).
+    pub tlb_hits: u64,
+    pub tlb_misses: u64,
+    /// Lines invalidated out of this core's private caches by another
+    /// core's store (MESI within-socket coherence).
+    pub coherence_invalidations: u64,
+    /// Stores by this core that had to invalidate other sharers first.
+    pub coherence_upgrades: u64,
+    /// Cycles the core spent stalled waiting for memory.
+    pub stall_cycles: u64,
+    /// Cycles spent on `RemoteXfer` (network) ops.
+    pub net_cycles: u64,
+    /// Cycles spent parked at BSP barriers.
+    pub barrier_cycles: u64,
+    /// The core's clock when its stream finished (or was stopped).
+    pub cycles: u64,
+}
+
+impl CoreCounters {
+    /// Total memory operations.
+    pub fn accesses(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// L3 miss rate: misses / L3 accesses, the counter ratio the paper's
+    /// validation (Figs. 5–6) inverts. Returns 0 when the L3 was not
+    /// accessed.
+    pub fn l3_miss_rate(&self) -> f64 {
+        let acc = self.l3_hits + self.l3_misses;
+        if acc == 0 {
+            0.0
+        } else {
+            self.l3_misses as f64 / acc as f64
+        }
+    }
+
+    /// L2 miss rate.
+    pub fn l2_miss_rate(&self) -> f64 {
+        let acc = self.l2_hits + self.l2_misses;
+        if acc == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 / acc as f64
+        }
+    }
+
+    /// Demand + prefetch bytes this core pulled from DRAM.
+    pub fn dram_bytes(&self, line_bytes: u32) -> u64 {
+        (self.dram_demand_lines + self.dram_prefetch_lines) * line_bytes as u64
+    }
+
+    /// The paper's Eq. 1: bandwidth used, from miss counters and time.
+    ///
+    /// `BW = line_bytes * #misses / execution_time`
+    pub fn bandwidth_gbs(&self, line_bytes: u32, freq_ghz: f64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let seconds = self.cycles as f64 / (freq_ghz * 1e9);
+        self.dram_bytes(line_bytes) as f64 / seconds / 1e9
+    }
+
+    /// Counters accumulated since an earlier snapshot of the same core
+    /// (the PMU "read, reset, read again" idiom). `cycles` becomes the
+    /// elapsed cycles between the two snapshots.
+    pub fn delta_since(&self, earlier: &CoreCounters) -> CoreCounters {
+        CoreCounters {
+            loads: self.loads - earlier.loads,
+            stores: self.stores - earlier.stores,
+            compute_cycles: self.compute_cycles - earlier.compute_cycles,
+            l1_hits: self.l1_hits - earlier.l1_hits,
+            l1_misses: self.l1_misses - earlier.l1_misses,
+            l2_hits: self.l2_hits - earlier.l2_hits,
+            l2_misses: self.l2_misses - earlier.l2_misses,
+            l3_hits: self.l3_hits - earlier.l3_hits,
+            l3_misses: self.l3_misses - earlier.l3_misses,
+            dram_demand_lines: self.dram_demand_lines - earlier.dram_demand_lines,
+            dram_prefetch_lines: self.dram_prefetch_lines - earlier.dram_prefetch_lines,
+            prefetches_issued: self.prefetches_issued - earlier.prefetches_issued,
+            prefetches_dropped: self.prefetches_dropped - earlier.prefetches_dropped,
+            back_invalidations: self.back_invalidations - earlier.back_invalidations,
+            tlb_hits: self.tlb_hits - earlier.tlb_hits,
+            tlb_misses: self.tlb_misses - earlier.tlb_misses,
+            coherence_invalidations: self.coherence_invalidations
+                - earlier.coherence_invalidations,
+            coherence_upgrades: self.coherence_upgrades - earlier.coherence_upgrades,
+            stall_cycles: self.stall_cycles - earlier.stall_cycles,
+            net_cycles: self.net_cycles - earlier.net_cycles,
+            barrier_cycles: self.barrier_cycles - earlier.barrier_cycles,
+            cycles: self.cycles - earlier.cycles,
+        }
+    }
+
+    /// Merge another counter set into this one (for aggregating ranks).
+    pub fn merge(&mut self, o: &CoreCounters) {
+        self.loads += o.loads;
+        self.stores += o.stores;
+        self.compute_cycles += o.compute_cycles;
+        self.l1_hits += o.l1_hits;
+        self.l1_misses += o.l1_misses;
+        self.l2_hits += o.l2_hits;
+        self.l2_misses += o.l2_misses;
+        self.l3_hits += o.l3_hits;
+        self.l3_misses += o.l3_misses;
+        self.dram_demand_lines += o.dram_demand_lines;
+        self.dram_prefetch_lines += o.dram_prefetch_lines;
+        self.prefetches_issued += o.prefetches_issued;
+        self.prefetches_dropped += o.prefetches_dropped;
+        self.back_invalidations += o.back_invalidations;
+        self.tlb_hits += o.tlb_hits;
+        self.tlb_misses += o.tlb_misses;
+        self.coherence_invalidations += o.coherence_invalidations;
+        self.coherence_upgrades += o.coherence_upgrades;
+        self.stall_cycles += o.stall_cycles;
+        self.net_cycles += o.net_cycles;
+        self.barrier_cycles += o.barrier_cycles;
+        self.cycles = self.cycles.max(o.cycles);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_rates() {
+        let c = CoreCounters {
+            l3_hits: 25,
+            l3_misses: 75,
+            l2_hits: 50,
+            l2_misses: 100,
+            ..Default::default()
+        };
+        assert!((c.l3_miss_rate() - 0.75).abs() < 1e-12);
+        assert!((c.l2_miss_rate() - 100.0 / 150.0).abs() < 1e-12);
+        assert_eq!(CoreCounters::default().l3_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn eq1_bandwidth() {
+        // 1e9 lines of 64B in 2.6e9 cycles @2.6GHz = 64 GB/s.
+        let c = CoreCounters {
+            dram_demand_lines: 1_000_000_000,
+            cycles: 2_600_000_000,
+            ..Default::default()
+        };
+        let bw = c.bandwidth_gbs(64, 2.6);
+        assert!((bw - 64.0).abs() < 1e-9, "bw={bw}");
+    }
+
+    #[test]
+    fn delta_since_subtracts_fieldwise() {
+        let early = CoreCounters {
+            loads: 10,
+            l3_misses: 4,
+            cycles: 100,
+            ..Default::default()
+        };
+        let late = CoreCounters {
+            loads: 30,
+            l3_misses: 9,
+            cycles: 450,
+            ..Default::default()
+        };
+        let d = late.delta_since(&early);
+        assert_eq!(d.loads, 20);
+        assert_eq!(d.l3_misses, 5);
+        assert_eq!(d.cycles, 350);
+    }
+
+    #[test]
+    fn merge_takes_max_cycles_and_sums_events() {
+        let mut a = CoreCounters {
+            loads: 10,
+            cycles: 100,
+            ..Default::default()
+        };
+        let b = CoreCounters {
+            loads: 5,
+            cycles: 50,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.loads, 15);
+        assert_eq!(a.cycles, 100);
+    }
+}

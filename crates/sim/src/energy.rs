@@ -1,0 +1,223 @@
+//! Event-based energy accounting.
+//!
+//! The paper's opening motivation is *power*: flat power budgets are why
+//! memory per core is shrinking (§I, the Exascale study [13]). This
+//! module closes that loop: a per-event energy model over the simulator's
+//! counters shows what interference does to the energy bill — slowdowns
+//! are also joules, because static power integrates over the longer
+//! runtime.
+//!
+//! Coefficients are order-of-magnitude figures for a 32 nm-class server
+//! part (pJ per event), deliberately conservative and fully configurable.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::MachineConfig;
+use crate::counters::CoreCounters;
+
+/// Energy coefficients in picojoules per event.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EnergyModel {
+    pub pj_l1_access: f64,
+    pub pj_l2_access: f64,
+    pub pj_l3_access: f64,
+    /// Per 64-byte DRAM line transferred (read or written).
+    pub pj_dram_line: f64,
+    /// Per executed compute cycle.
+    pub pj_compute_cycle: f64,
+    /// Static/leakage power per core in watts (integrates over runtime).
+    pub static_w_per_core: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            pj_l1_access: 10.0,
+            pj_l2_access: 30.0,
+            pj_l3_access: 100.0,
+            pj_dram_line: 2000.0,
+            pj_compute_cycle: 80.0,
+            static_w_per_core: 1.5,
+        }
+    }
+}
+
+/// Energy attributed to one core's run.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct EnergyReport {
+    pub dynamic_j: f64,
+    pub static_j: f64,
+}
+
+impl EnergyReport {
+    pub fn total_j(&self) -> f64 {
+        self.dynamic_j + self.static_j
+    }
+}
+
+impl EnergyModel {
+    /// Account a core's counters over its runtime.
+    pub fn account(&self, c: &CoreCounters, cfg: &MachineConfig) -> EnergyReport {
+        let pj = (c.l1_hits + c.l1_misses) as f64 * self.pj_l1_access
+            + (c.l2_hits + c.l2_misses) as f64 * self.pj_l2_access
+            + (c.l3_hits + c.l3_misses) as f64 * self.pj_l3_access
+            + (c.dram_demand_lines + c.dram_prefetch_lines) as f64 * self.pj_dram_line
+            + c.compute_cycles as f64 * self.pj_compute_cycle;
+        let seconds = cfg.seconds(c.cycles);
+        EnergyReport {
+            dynamic_j: pj * 1e-12,
+            static_j: seconds * self.static_w_per_core,
+        }
+    }
+
+    /// Energy per memory access in nanojoules (a common efficiency
+    /// metric). Returns 0 for an idle core.
+    pub fn nj_per_access(&self, c: &CoreCounters, cfg: &MachineConfig) -> f64 {
+        let acc = c.accesses();
+        if acc == 0 {
+            return 0.0;
+        }
+        self.account(c, cfg).total_j() * 1e9 / acc as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::xeon20mb()
+    }
+
+    #[test]
+    fn dram_traffic_dominates_dynamic_energy() {
+        let m = EnergyModel::default();
+        let hit_heavy = CoreCounters {
+            loads: 1000,
+            l1_hits: 1000,
+            cycles: 10_000,
+            ..Default::default()
+        };
+        let miss_heavy = CoreCounters {
+            loads: 1000,
+            l1_misses: 1000,
+            l2_misses: 1000,
+            l3_misses: 1000,
+            dram_demand_lines: 1000,
+            cycles: 10_000,
+            ..Default::default()
+        };
+        let e_hit = m.account(&hit_heavy, &cfg()).dynamic_j;
+        let e_miss = m.account(&miss_heavy, &cfg()).dynamic_j;
+        assert!(
+            e_miss > 50.0 * e_hit,
+            "DRAM path must dwarf L1 hits: {e_hit:.3e} vs {e_miss:.3e}"
+        );
+    }
+
+    #[test]
+    fn static_energy_scales_with_runtime() {
+        let m = EnergyModel::default();
+        let short = CoreCounters {
+            cycles: 2_600_000,
+            ..Default::default()
+        };
+        let long = CoreCounters {
+            cycles: 26_000_000,
+            ..Default::default()
+        };
+        let es = m.account(&short, &cfg()).static_j;
+        let el = m.account(&long, &cfg()).static_j;
+        assert!((el / es - 10.0).abs() < 1e-9);
+        // 1 ms at 1.5 W = 1.5 mJ.
+        assert!((es - 1.5e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nj_per_access_handles_idle() {
+        let m = EnergyModel::default();
+        assert_eq!(m.nj_per_access(&CoreCounters::default(), &cfg()), 0.0);
+        let c = CoreCounters {
+            loads: 100,
+            l1_hits: 100,
+            cycles: 1000,
+            ..Default::default()
+        };
+        assert!(m.nj_per_access(&c, &cfg()) > 0.0);
+    }
+
+    #[test]
+    fn interference_raises_energy_in_a_real_run() {
+        // A capacity-sensitive probe under CSThr interference must burn
+        // more energy per access: extra DRAM events *and* longer runtime.
+        use crate::engine::{Job, RunLimit};
+        use crate::machine::Machine;
+        use crate::stream::{AccessStream, Op};
+        struct Hot {
+            base: u64,
+            lines: u64,
+            rng: crate::rng::Xoshiro256,
+            n: u64,
+        }
+        impl AccessStream for Hot {
+            fn next_op(&mut self) -> Op {
+                if self.n == 0 {
+                    return Op::Done;
+                }
+                self.n -= 1;
+                Op::Load(self.base + self.rng.below(self.lines) * 64)
+            }
+            fn mlp(&self) -> u8 {
+                2
+            }
+        }
+        struct Thrash {
+            base: u64,
+            lines: u64,
+            i: u64,
+        }
+        impl AccessStream for Thrash {
+            fn next_op(&mut self) -> Op {
+                self.i += 1;
+                Op::Load(self.base + (self.i % self.lines) * 64)
+            }
+        }
+        let mcfg = MachineConfig::xeon20mb().scaled(0.0625);
+        let model = EnergyModel::default();
+        let run = |with_interference: bool| {
+            let mut m = Machine::new(mcfg.clone());
+            let hot_bytes = mcfg.l3.size_bytes / 2;
+            let base = m.alloc(hot_bytes);
+            let mut jobs = vec![Job::primary(
+                Box::new(Hot {
+                    base,
+                    lines: hot_bytes / 64,
+                    rng: crate::rng::Xoshiro256::seed_from_u64(1),
+                    n: 200_000,
+                }),
+                crate::config::CoreId::new(0, 0),
+            )];
+            if with_interference {
+                for k in 0..3u32 {
+                    let tb = m.alloc(2 * mcfg.l3.size_bytes);
+                    jobs.push(Job::background(
+                        Box::new(Thrash {
+                            base: tb,
+                            lines: 2 * mcfg.l3.size_bytes / 64,
+                            i: k as u64 * 977, // offset the cyclic phases
+                        }),
+                        crate::config::CoreId::new(0, 1 + k),
+                    ));
+                }
+            }
+            let r = m.run(jobs, RunLimit::default());
+            model.nj_per_access(&r.jobs[0].counters, &mcfg)
+        };
+        let quiet = run(false);
+        let noisy = run(true);
+        assert!(
+            noisy > quiet * 1.05,
+            "interference must raise energy/access: {quiet:.2} -> {noisy:.2} nJ"
+        );
+    }
+}

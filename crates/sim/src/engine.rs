@@ -1,0 +1,1227 @@
+//! The execution engine: interleaves per-core instruction streams over the
+//! shared memory hierarchy.
+//!
+//! Single-threaded and deterministic. Each core has its own clock; the
+//! engine always advances the core with the smallest clock (min-heap), in
+//! batches bounded by a small quantum so cross-core interleaving through the
+//! shared L3 and DRAM channel stays causally accurate.
+//!
+//! ## Timing model
+//!
+//! * A `Load` issues in 1 cycle and completes after the hit latency of the
+//!   level that serves it (L1 4, L2 12, L3 38, DRAM 170 + channel queueing
+//!   by default). Up to `mlp()` loads may be in flight per stream — this is
+//!   how BWThr's 44-buffer trick (many independent accesses in the loop
+//!   body) is expressed.
+//! * A `Store` retires through a store buffer: caches and the channel see
+//!   it, the core does not stall.
+//! * `Compute(c)` is a data dependency: it waits for all outstanding loads,
+//!   then burns `c` cycles.
+//! * `Barrier` parks the core until every unfinished *primary* stream
+//!   arrives, then all resume at the max arrival time plus a configurable
+//!   overhead (this reproduces the noise amplification of bulk-synchronous
+//!   parallel codes the paper discusses in §IV).
+//! * `RemoteXfer(b)` models an off-node MPI message: network latency + wire
+//!   time, with the body DMA'd through the local socket's memory channel.
+//!
+//! ## Hierarchy invariants
+//!
+//! The L3 is inclusive (configurable): an L3 eviction back-invalidates the
+//! line from every private cache on the socket, and merged dirtiness is
+//! written back. L1 ⊆ L2 is maintained the same way. Dirty evictions charge
+//! write-back occupancy on the channel.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::cache::Cache;
+use crate::config::{CoreId, MachineConfig};
+use crate::counters::CoreCounters;
+use crate::dram::{DramChannel, DramStats};
+use crate::prefetch::Prefetcher;
+use crate::stream::{AccessStream, Op};
+use crate::tlb::Tlb;
+
+/// A stream placed on a core.
+pub struct Job {
+    pub stream: Box<dyn AccessStream>,
+    pub core: CoreId,
+    /// Primary jobs drive termination and participate in barriers;
+    /// background jobs (interference threads) are stopped when the last
+    /// primary finishes.
+    pub primary: bool,
+    /// Intel CAT-style allocation mask: this core's L3 fills may only
+    /// allocate into ways whose bit is set. `u32::MAX` (default) means
+    /// unrestricted. Lookups hit in any way regardless.
+    pub l3_way_mask: u32,
+}
+
+impl Job {
+    pub fn primary(stream: Box<dyn AccessStream>, core: CoreId) -> Self {
+        Self {
+            stream,
+            core,
+            primary: true,
+            l3_way_mask: u32::MAX,
+        }
+    }
+
+    pub fn background(stream: Box<dyn AccessStream>, core: CoreId) -> Self {
+        Self {
+            stream,
+            core,
+            primary: false,
+            l3_way_mask: u32::MAX,
+        }
+    }
+
+    /// Restrict this job's L3 allocations to the given ways (CAT).
+    pub fn with_l3_ways(mut self, mask: u32) -> Self {
+        assert!(mask != 0, "way mask must allow at least one way");
+        self.l3_way_mask = mask;
+        self
+    }
+}
+
+/// Run controls.
+#[derive(Debug, Clone)]
+pub struct RunLimit {
+    /// Hard stop: cores reaching this cycle count are halted.
+    pub max_cycles: Option<u64>,
+    /// Scheduling quantum in cycles (smaller = finer interleaving).
+    pub quantum: u64,
+    /// Extra cycles added when a barrier releases (collective overhead).
+    pub barrier_overhead: u32,
+    /// Line-number ranges `[lo, hi)` whose final L3 occupancy to report
+    /// per socket (for validation: "how many of CSThr's lines are
+    /// resident?"). Convert byte addresses to lines with `addr >> 6`.
+    pub watch_ranges: Vec<(u64, u64)>,
+}
+
+impl Default for RunLimit {
+    fn default() -> Self {
+        Self {
+            max_cycles: None,
+            quantum: 200,
+            barrier_overhead: 400,
+            watch_ranges: Vec::new(),
+        }
+    }
+}
+
+impl RunLimit {
+    pub fn cycles(max: u64) -> Self {
+        Self {
+            max_cycles: Some(max),
+            ..Self::default()
+        }
+    }
+}
+
+/// Outcome for one job.
+#[derive(Debug, Clone, Serialize)]
+pub struct JobReport {
+    pub label: String,
+    pub core: CoreId,
+    pub primary: bool,
+    /// Whether the stream returned `Done` (vs being stopped).
+    pub done: bool,
+    pub counters: CoreCounters,
+    /// Counter snapshots taken at each `Op::Mark`, in emission order.
+    pub marks: Vec<CoreCounters>,
+}
+
+impl JobReport {
+    /// Counters accumulated *after* the last `Op::Mark` (the measurement
+    /// phase of a warm-up/measure stream). Falls back to the full-run
+    /// counters when no mark was emitted.
+    pub fn after_last_mark(&self) -> CoreCounters {
+        match self.marks.last() {
+            Some(m) => self.counters.delta_since(m),
+            None => self.counters,
+        }
+    }
+}
+
+use serde::Serialize;
+
+/// Outcome for one socket.
+#[derive(Debug, Clone, Serialize)]
+pub struct SocketReport {
+    pub dram: DramStats,
+    /// Final L3 occupancy in lines.
+    pub l3_occupancy: u64,
+    /// Final L3 occupancy restricted to each watched range.
+    pub watched_occupancy: Vec<u64>,
+}
+
+/// Outcome of a run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// Cycle at which the last primary finished (or the stop limit).
+    pub wall_cycles: u64,
+    /// `wall_cycles` in seconds at the configured frequency.
+    pub seconds: f64,
+    pub jobs: Vec<JobReport>,
+    pub sockets: Vec<SocketReport>,
+}
+
+impl RunReport {
+    /// Report of the first primary job (convenience for single-workload
+    /// experiments).
+    pub fn primary(&self) -> &JobReport {
+        self.jobs
+            .iter()
+            .find(|j| j.primary)
+            .expect("run had no primary job")
+    }
+
+    /// Maximum finish time across primary jobs, in seconds.
+    pub fn primary_seconds(&self, cfg: &MachineConfig) -> f64 {
+        let c = self
+            .jobs
+            .iter()
+            .filter(|j| j.primary)
+            .map(|j| j.counters.cycles)
+            .max()
+            .unwrap_or(self.wall_cycles);
+        cfg.seconds(c)
+    }
+
+    /// Aggregate counters over all primary jobs.
+    pub fn primary_counters(&self) -> CoreCounters {
+        let mut agg = CoreCounters::default();
+        for j in self.jobs.iter().filter(|j| j.primary) {
+            agg.merge(&j.counters);
+        }
+        agg
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HitLevel {
+    L1,
+    L2,
+    L3,
+    Dram,
+}
+
+/// In-flight load completion times for one core (bounded by MLP).
+#[derive(Debug, Clone)]
+struct Outstanding {
+    slots: [u64; 32],
+    len: usize,
+}
+
+impl Outstanding {
+    fn new() -> Self {
+        Self {
+            slots: [0; 32],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, t: u64) {
+        debug_assert!(self.len < 32);
+        self.slots[self.len] = t;
+        self.len += 1;
+    }
+
+    /// Remove and return the earliest completion.
+    #[inline]
+    fn pop_min(&mut self) -> u64 {
+        debug_assert!(self.len > 0);
+        let mut mi = 0;
+        for i in 1..self.len {
+            if self.slots[i] < self.slots[mi] {
+                mi = i;
+            }
+        }
+        let v = self.slots[mi];
+        self.len -= 1;
+        self.slots[mi] = self.slots[self.len];
+        v
+    }
+
+    #[inline]
+    fn max(&self) -> u64 {
+        let mut m = 0;
+        for i in 0..self.len {
+            m = m.max(self.slots[i]);
+        }
+        m
+    }
+
+    #[inline]
+    fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
+struct CoreState {
+    time: u64,
+    out: Outstanding,
+    mlp: usize,
+    job: Option<usize>,
+    primary: bool,
+    done: bool,
+    /// True only when the stream itself returned `Done` (vs being stopped).
+    finished: bool,
+    parked: bool,
+    barrier_arrival: u64,
+    counters: CoreCounters,
+    marks: Vec<CoreCounters>,
+    llc_hint: Option<crate::cache::InsertPolicy>,
+    l3_way_mask: u32,
+    tlb: Tlb,
+    l1: Cache,
+    l2: Cache,
+    pf: Prefetcher,
+}
+
+struct SocketState {
+    l3: Cache,
+    dram: DramChannel,
+}
+
+/// One run of a set of jobs over a fresh (cold) memory hierarchy.
+pub struct Engine<'a> {
+    cfg: &'a MachineConfig,
+    cores: Vec<CoreState>,
+    sockets: Vec<SocketState>,
+    streams: Vec<Option<Box<dyn AccessStream>>>,
+
+    labels: Vec<String>,
+    job_meta: Vec<(CoreId, bool)>,
+}
+
+impl<'a> Engine<'a> {
+    pub fn new(cfg: &'a MachineConfig, jobs: Vec<Job>) -> Self {
+        let n = cfg.total_cores();
+        let mut cores: Vec<CoreState> = (0..n)
+            .map(|_| CoreState {
+                time: 0,
+                out: Outstanding::new(),
+                mlp: 1,
+                job: None,
+                primary: false,
+                done: true, // idle cores are "done"
+                finished: false,
+                parked: false,
+                barrier_arrival: 0,
+                counters: CoreCounters::default(),
+                marks: Vec::new(),
+                llc_hint: None,
+                l3_way_mask: u32::MAX,
+                tlb: Tlb::new(cfg.tlb),
+                l1: Cache::new(&cfg.l1),
+                l2: Cache::new(&cfg.l2),
+                pf: Prefetcher::new(cfg.prefetch, cfg.prefetch_degree),
+            })
+            .collect();
+        let sockets = (0..cfg.sockets)
+            .map(|_| SocketState {
+                l3: Cache::new(&cfg.l3),
+                dram: DramChannel::new(cfg.dram_bytes_per_cycle, cfg.l3.line_bytes),
+            })
+            .collect();
+        let mut streams: Vec<Option<Box<dyn AccessStream>>> = (0..n).map(|_| None).collect();
+        let mut labels = Vec::with_capacity(jobs.len());
+        let mut job_meta = Vec::with_capacity(jobs.len());
+        for (ji, job) in jobs.into_iter().enumerate() {
+            let fc = job.core.flat(cfg);
+            assert!(fc < n, "core {:?} out of range", job.core);
+            assert!(
+                streams[fc].is_none(),
+                "two jobs placed on core {:?}",
+                job.core
+            );
+            labels.push(job.stream.label().to_string());
+            job_meta.push((job.core, job.primary));
+            cores[fc].mlp = (job.stream.mlp() as usize).clamp(1, 32);
+            cores[fc].llc_hint = job.stream.llc_insert_hint();
+            cores[fc].l3_way_mask = job.l3_way_mask;
+            cores[fc].done = false;
+            cores[fc].primary = job.primary;
+            cores[fc].job = Some(ji);
+            streams[fc] = Some(job.stream);
+        }
+        Self {
+            cfg,
+            cores,
+            sockets,
+            streams,
+
+            labels,
+            job_meta,
+        }
+    }
+
+    /// Execute until every primary stream is done (or limits trip).
+    pub fn run(mut self, limit: &RunLimit) -> RunReport {
+        let mut primaries_left = self.cores.iter().filter(|c| c.primary && !c.done).count();
+        let had_primaries = primaries_left > 0;
+        assert!(
+            had_primaries || limit.max_cycles.is_some(),
+            "a run with no primary jobs must set max_cycles"
+        );
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        for (i, c) in self.cores.iter().enumerate() {
+            if !c.done {
+                heap.push(Reverse((0, i as u32)));
+            }
+        }
+        let max_cycles = limit.max_cycles.unwrap_or(u64::MAX);
+        while let Some(Reverse((t, ci))) = heap.pop() {
+            let ci = ci as usize;
+            if had_primaries && primaries_left == 0 {
+                // Stop the remaining (background) cores where they stand.
+                self.stop_core(ci, t);
+                continue;
+            }
+            if self.cores[ci].done || self.cores[ci].parked {
+                continue;
+            }
+            if t >= max_cycles {
+                self.stop_core(ci, t);
+                if self.cores[ci].primary {
+                    primaries_left -= 1;
+                }
+                continue;
+            }
+            let horizon = heap
+                .peek()
+                .map(|x| x.0 .0)
+                .unwrap_or(u64::MAX)
+                .saturating_add(limit.quantum);
+            loop {
+                let state = self.step(ci, limit);
+                match state {
+                    StepOutcome::Running => {
+                        let now = self.cores[ci].time;
+                        if now >= horizon || now >= max_cycles {
+                            break;
+                        }
+                    }
+                    StepOutcome::Finished => {
+                        if self.cores[ci].primary {
+                            primaries_left -= 1;
+                        }
+                        self.try_release_barrier(&mut heap, limit);
+                        break;
+                    }
+                    StepOutcome::Parked => {
+                        self.try_release_barrier(&mut heap, limit);
+                        break;
+                    }
+                }
+            }
+            if !self.cores[ci].done && !self.cores[ci].parked {
+                heap.push(Reverse((self.cores[ci].time, ci as u32)));
+            }
+        }
+        // Finalize any cores still running (e.g. stopped backgrounds).
+        for i in 0..self.cores.len() {
+            if !self.cores[i].done {
+                let t = self.cores[i].time;
+                self.stop_core(i, t);
+            }
+        }
+        self.report(limit, max_cycles, had_primaries)
+    }
+
+    fn stop_core(&mut self, ci: usize, t: u64) {
+        let c = &mut self.cores[ci];
+        if !c.done {
+            c.time = c.time.max(t);
+            c.counters.cycles = c.time;
+            c.done = true;
+        }
+    }
+
+    /// If every unfinished primary is parked at the barrier, release them.
+    fn try_release_barrier(
+        &mut self,
+        heap: &mut BinaryHeap<Reverse<(u64, u32)>>,
+        limit: &RunLimit,
+    ) {
+        let mut waiting = Vec::new();
+        for (i, c) in self.cores.iter().enumerate() {
+            if c.primary && !c.done {
+                if c.parked {
+                    waiting.push(i);
+                } else {
+                    return; // someone is still computing
+                }
+            }
+        }
+        if waiting.is_empty() {
+            return;
+        }
+        let tmax = waiting
+            .iter()
+            .map(|&i| self.cores[i].barrier_arrival)
+            .max()
+            .unwrap();
+        let resume = tmax + limit.barrier_overhead as u64;
+        for &i in &waiting {
+            let c = &mut self.cores[i];
+            c.counters.barrier_cycles += resume - c.barrier_arrival;
+            c.time = resume;
+            c.parked = false;
+            heap.push(Reverse((resume, i as u32)));
+        }
+    }
+
+    /// Execute one op on core `ci`.
+    fn step(&mut self, ci: usize, limit: &RunLimit) -> StepOutcome {
+        let op = self.streams[ci]
+            .as_mut()
+            .expect("active core must have a stream")
+            .next_op();
+        match op {
+            Op::Load(addr) => {
+                let line = addr >> 6;
+                if self.cores[ci].out.len >= self.cores[ci].mlp {
+                    let free_at = self.cores[ci].out.pop_min();
+                    let c = &mut self.cores[ci];
+                    if free_at > c.time {
+                        c.counters.stall_cycles += free_at - c.time;
+                        c.time = free_at;
+                    }
+                }
+                let now = self.cores[ci].time;
+                let walk = self.tlb_access(ci, addr);
+                let (lat, _lvl) = self.mem_access(ci, line, false, now);
+                let c = &mut self.cores[ci];
+                c.out.push(now + walk as u64 + lat as u64);
+                c.time += 1;
+                c.counters.loads += 1;
+                StepOutcome::Running
+            }
+            Op::Store(addr) => {
+                let line = addr >> 6;
+                let now = self.cores[ci].time;
+                self.tlb_access(ci, addr);
+                self.mem_access(ci, line, true, now);
+                let c = &mut self.cores[ci];
+                c.time += 1;
+                c.counters.stores += 1;
+                StepOutcome::Running
+            }
+            Op::Compute(cy) => {
+                self.drain(ci);
+                let c = &mut self.cores[ci];
+                c.time += cy as u64;
+                c.counters.compute_cycles += cy as u64;
+                StepOutcome::Running
+            }
+            Op::RemoteXfer(bytes) => {
+                self.drain(ci);
+                let now = self.cores[ci].time;
+                let s = self.cfg.socket_of(ci);
+                // NIC DMA occupies the local memory channel.
+                let dma = self.sockets[s].dram.dma(now, bytes as u64);
+                let wire =
+                    (bytes as f64 / self.cfg.net.bytes_per_cycle) as u64;
+                let d = self.cfg.net.latency_cycles as u64 + wire.max(dma);
+                let c = &mut self.cores[ci];
+                c.time += d;
+                c.counters.net_cycles += d;
+                StepOutcome::Running
+            }
+            Op::Mark => {
+                self.drain(ci);
+                let c = &mut self.cores[ci];
+                let mut snap = c.counters;
+                snap.cycles = c.time;
+                c.marks.push(snap);
+                StepOutcome::Running
+            }
+            Op::Barrier => {
+                self.drain(ci);
+                let c = &mut self.cores[ci];
+                if !c.primary {
+                    // Background streams must not barrier; treat as no-op
+                    // to keep runs deadlock-free.
+                    return StepOutcome::Running;
+                }
+                c.parked = true;
+                c.barrier_arrival = c.time;
+                let _ = limit;
+                StepOutcome::Parked
+            }
+            Op::Done => {
+                self.drain(ci);
+                let c = &mut self.cores[ci];
+                c.done = true;
+                c.finished = true;
+                c.counters.cycles = c.time;
+                StepOutcome::Finished
+            }
+        }
+    }
+
+    /// Translate through the core's TLB; returns page-walk cycles.
+    #[inline]
+    fn tlb_access(&mut self, ci: usize, addr: u64) -> u32 {
+        let c = &mut self.cores[ci];
+        let walk = c.tlb.access(addr);
+        if walk > 0 {
+            c.counters.tlb_misses += 1;
+        } else if self.cfg.tlb.is_enabled() {
+            c.counters.tlb_hits += 1;
+        }
+        walk
+    }
+
+    /// Wait for all outstanding loads.
+    fn drain(&mut self, ci: usize) {
+        let c = &mut self.cores[ci];
+        let m = c.out.max();
+        if m > c.time {
+            c.counters.stall_cycles += m - c.time;
+            c.time = m;
+        }
+        c.out.clear();
+    }
+
+    /// MESI-style within-socket coherence on a store: invalidate every
+    /// other sharer's private copies and claim exclusive ownership. The
+    /// inclusive L3's sharer mask makes this a single lookup instead of a
+    /// broadcast snoop. Returns extra latency (ownership upgrade).
+    fn coherence_store(&mut self, ci: usize, s: usize, line: u64) -> u32 {
+        let me = (ci - s * self.cfg.cores_per_socket as usize) as u8;
+        let mask = self.sockets[s].l3.sharers(line);
+        let others = mask & !(1u16 << me);
+        if others == 0 {
+            self.sockets[s].l3.set_exclusive(line, me);
+            return 0;
+        }
+        let lo = s * self.cfg.cores_per_socket as usize;
+        for c2 in 0..self.cfg.cores_per_socket as usize {
+            if others & (1 << c2) != 0 {
+                let idx = lo + c2;
+                if let Some(d) = self.cores[idx].l2.invalidate(line) {
+                    if d {
+                        self.sockets[s].l3.mark_dirty(line);
+                    }
+                }
+                if let Some(d) = self.cores[idx].l1.invalidate(line) {
+                    if d {
+                        self.sockets[s].l3.mark_dirty(line);
+                    }
+                }
+                self.cores[idx].counters.coherence_invalidations += 1;
+            }
+        }
+        self.sockets[s].l3.set_exclusive(line, me);
+        self.cores[ci].counters.coherence_upgrades += 1;
+        // Cross-core ownership transfer costs roughly an L3 round trip.
+        self.cfg.l3.latency
+    }
+
+    /// Probe the hierarchy for `line`; update caches, counters, channel.
+    /// Returns (latency, serving level).
+    fn mem_access(&mut self, ci: usize, line: u64, store: bool, now: u64) -> (u32, HitLevel) {
+        // L1
+        if self.cores[ci].l1.lookup(line, store) {
+            self.cores[ci].counters.l1_hits += 1;
+            let mut lat = self.cfg.l1.latency;
+            if store {
+                let s = self.cfg.socket_of(ci);
+                lat += self.coherence_store(ci, s, line);
+            }
+            return (lat, HitLevel::L1);
+        }
+        self.cores[ci].counters.l1_misses += 1;
+        // L2
+        if self.cores[ci].l2.lookup(line, false) {
+            self.cores[ci].counters.l2_hits += 1;
+            self.fill_l1(ci, line, store, now);
+            return (self.cfg.l2.latency, HitLevel::L2);
+        }
+        self.cores[ci].counters.l2_misses += 1;
+        // Train the prefetcher on demand L2 misses.
+        let reqs = self.cores[ci].pf.observe(line);
+        let s = self.cfg.socket_of(ci);
+        // L3
+        let result = if self.sockets[s].l3.lookup(line, false) {
+            self.cores[ci].counters.l3_hits += 1;
+            self.fill_l2(ci, s, line, now);
+            self.fill_l1(ci, line, store, now);
+            let me = (ci - s * self.cfg.cores_per_socket as usize) as u8;
+            let mut lat = self.cfg.l3.latency;
+            if store {
+                lat += self.coherence_store(ci, s, line);
+            } else {
+                self.sockets[s].l3.add_sharer(line, me);
+            }
+            (lat, HitLevel::L3)
+        } else {
+            self.cores[ci].counters.l3_misses += 1;
+            self.cores[ci].counters.dram_demand_lines += 1;
+            let delay = self.sockets[s]
+                .dram
+                .demand(now + self.cfg.l3.latency as u64);
+            let hint = self.cores[ci].llc_hint;
+            let mask = self.cores[ci].l3_way_mask;
+            self.fill_l3(s, line, now, hint, mask);
+            self.fill_l2(ci, s, line, now);
+            self.fill_l1(ci, line, store, now);
+            let me = (ci - s * self.cfg.cores_per_socket as usize) as u8;
+            if store {
+                self.sockets[s].l3.set_exclusive(line, me);
+            } else {
+                self.sockets[s].l3.add_sharer(line, me);
+            }
+            // Row access overlaps with queue drain: an uncontended miss
+            // costs the fixed DRAM latency; under contention the channel
+            // backlog dominates. Summing both would convoy bursty traffic
+            // and cap throughput far below the channel rate.
+            (
+                self.cfg.l3.latency + self.cfg.dram_latency.max(delay as u32),
+                HitLevel::Dram,
+            )
+        };
+        for i in 0..reqs.n {
+            self.issue_prefetch(ci, s, reqs.lines[i], now);
+        }
+        result
+    }
+
+    fn fill_l1(&mut self, ci: usize, line: u64, store: bool, now: u64) {
+        if let Some(ev) = self.cores[ci].l1.fill(line, store) {
+            if ev.dirty && !self.cores[ci].l2.mark_dirty(ev.line) {
+                let s = self.cfg.socket_of(ci);
+                if !self.sockets[s].l3.mark_dirty(ev.line) {
+                    self.sockets[s].dram.writeback(now);
+                }
+            }
+        }
+    }
+
+    fn fill_l2(&mut self, ci: usize, s: usize, line: u64, now: u64) {
+        if let Some(ev) = self.cores[ci].l2.fill(line, false) {
+            // Maintain L1 ⊆ L2.
+            let d1 = self.cores[ci].l1.invalidate(ev.line);
+            let dirty = ev.dirty || d1 == Some(true);
+            if dirty && !self.sockets[s].l3.mark_dirty(ev.line) {
+                self.sockets[s].dram.writeback(now);
+            }
+        }
+    }
+
+    fn fill_l3(
+        &mut self,
+        s: usize,
+        line: u64,
+        now: u64,
+        hint: Option<crate::cache::InsertPolicy>,
+        way_mask: u32,
+    ) {
+        if let Some(ev) = self.sockets[s].l3.fill_masked(line, false, hint, way_mask) {
+            let mut dirty = ev.dirty;
+            if self.cfg.inclusive_l3 {
+                let lo = (s as u32 * self.cfg.cores_per_socket) as usize;
+                let hi = lo + self.cfg.cores_per_socket as usize;
+                for c2 in lo..hi {
+                    if let Some(d) = self.cores[c2].l2.invalidate(ev.line) {
+                        dirty |= d;
+                        self.cores[c2].counters.back_invalidations += 1;
+                    }
+                    if let Some(d) = self.cores[c2].l1.invalidate(ev.line) {
+                        dirty |= d;
+                    }
+                }
+            }
+            if dirty {
+                self.sockets[s].dram.writeback(now);
+            }
+        }
+    }
+
+    fn issue_prefetch(&mut self, ci: usize, s: usize, line: u64, now: u64) {
+        self.cores[ci].counters.prefetches_issued += 1;
+        if self.cores[ci].l2.contains(line) {
+            return;
+        }
+        if self.sockets[s].l3.contains(line) {
+            self.sockets[s].l3.lookup(line, false);
+            self.fill_l2(ci, s, line, now);
+            return;
+        }
+        // Throttle under channel saturation (as hardware does).
+        let backlog = self.sockets[s].dram.backlog(now);
+        if backlog > 16.0 * self.sockets[s].dram.service_per_line() {
+            self.cores[ci].counters.prefetches_dropped += 1;
+            return;
+        }
+        self.sockets[s].dram.prefetch_fetch(now);
+        self.cores[ci].counters.dram_prefetch_lines += 1;
+        let hint = self.cores[ci].llc_hint;
+        let mask = self.cores[ci].l3_way_mask;
+        self.fill_l3(s, line, now, hint, mask);
+        self.fill_l2(ci, s, line, now);
+    }
+
+    fn report(self, limit: &RunLimit, max_cycles: u64, had_primaries: bool) -> RunReport {
+        let wall = if had_primaries {
+            self.cores
+                .iter()
+                .filter(|c| c.primary)
+                .map(|c| c.counters.cycles)
+                .max()
+                .unwrap_or(0)
+        } else {
+            max_cycles
+        };
+        let mut jobs = Vec::with_capacity(self.labels.len());
+        for (ji, label) in self.labels.iter().enumerate() {
+            let (core, primary) = self.job_meta[ji];
+            let fc = core.flat(self.cfg);
+            let st = &self.cores[fc];
+            jobs.push(JobReport {
+                label: label.clone(),
+                core,
+                primary,
+                done: st.job == Some(ji) && st.finished,
+                counters: st.counters,
+                marks: st.marks.clone(),
+            });
+        }
+        let sockets = self
+            .sockets
+            .iter()
+            .map(|s| SocketReport {
+                dram: s.dram.stats(),
+                l3_occupancy: s.l3.occupancy(),
+                watched_occupancy: limit
+                    .watch_ranges
+                    .iter()
+                    .map(|&(lo, hi)| s.l3.occupancy_in(lo, hi))
+                    .collect(),
+            })
+            .collect();
+        RunReport {
+            wall_cycles: wall,
+            seconds: self.cfg.seconds(wall),
+            jobs,
+            sockets,
+        }
+    }
+
+}
+
+enum StepOutcome {
+    Running,
+    Finished,
+    Parked,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use crate::stream::{Op, ScriptStream};
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::xeon20mb().scaled(0.125)
+    }
+
+    fn run_script(ops: Vec<Op>, mlp: u8) -> RunReport {
+        let c = cfg();
+        let jobs = vec![Job::primary(
+            Box::new(ScriptStream::new(ops).with_mlp(mlp)),
+            CoreId::new(0, 0),
+        )];
+        Engine::new(&c, jobs).run(&RunLimit::default())
+    }
+
+    #[test]
+    fn single_load_costs_full_miss_path() {
+        let r = run_script(vec![Op::Load(0x1000_0000), Op::Compute(0)], 1);
+        let c = &r.jobs[0].counters;
+        assert_eq!(c.loads, 1);
+        assert_eq!(c.l1_misses, 1);
+        assert_eq!(c.l2_misses, 1);
+        assert_eq!(c.l3_misses, 1);
+        assert_eq!(c.dram_demand_lines, 1);
+        // latency = l3(38) + dram(170) + transfer(~10) plus 1 issue cycle.
+        let m = cfg();
+        let expected_min = (m.l3.latency + m.dram_latency) as u64;
+        assert!(r.wall_cycles >= expected_min, "wall={}", r.wall_cycles);
+        assert!(r.wall_cycles < expected_min + 40);
+    }
+
+    #[test]
+    fn second_access_hits_l1() {
+        let a = 0x1000_0000u64;
+        let r = run_script(vec![Op::Load(a), Op::Compute(0), Op::Load(a), Op::Compute(0)], 1);
+        let c = &r.jobs[0].counters;
+        assert_eq!(c.l1_hits, 1);
+        assert_eq!(c.l1_misses, 1);
+    }
+
+    #[test]
+    fn same_line_different_word_hits() {
+        let a = 0x1000_0000u64;
+        let r = run_script(
+            vec![Op::Load(a), Op::Compute(0), Op::Load(a + 8), Op::Compute(0)],
+            1,
+        );
+        assert_eq!(r.jobs[0].counters.l1_hits, 1);
+    }
+
+    #[test]
+    fn mlp_overlaps_misses() {
+        // 8 loads to distinct lines far apart (no prefetch help), then a
+        // dependency. With MLP 8 the total time must be far below 8 serial
+        // misses.
+        let mk = |mlp: u8| {
+            let ops: Vec<Op> = (0..8)
+                .map(|i| Op::Load(0x1000_0000 + i * 8192))
+                .chain(std::iter::once(Op::Compute(1)))
+                .collect();
+            run_script(ops, mlp).wall_cycles
+        };
+        let serial = mk(1);
+        let overlapped = mk(8);
+        assert!(
+            (overlapped as f64) < serial as f64 * 0.45,
+            "serial={serial} overlapped={overlapped}"
+        );
+    }
+
+    #[test]
+    fn stores_do_not_stall() {
+        // 100 store misses to distinct lines: wall time ~100 issue cycles,
+        // not 100 miss latencies.
+        let ops: Vec<Op> = (0..100)
+            .map(|i| Op::Store(0x1000_0000 + i * 4096))
+            .collect();
+        let r = run_script(ops, 1);
+        assert!(r.wall_cycles < 2000, "wall={}", r.wall_cycles);
+        assert_eq!(r.jobs[0].counters.stores, 100);
+        assert_eq!(r.jobs[0].counters.l3_misses, 100);
+    }
+
+    #[test]
+    fn compute_waits_for_loads() {
+        let r = run_script(
+            vec![Op::Load(0x1000_0000), Op::Compute(5)],
+            4,
+        );
+        let c = &r.jobs[0].counters;
+        assert!(c.stall_cycles > 100, "compute must wait for the miss");
+        assert_eq!(c.compute_cycles, 5);
+    }
+
+    #[test]
+    fn dirty_writeback_reaches_dram() {
+        // Store a line, then evict it by filling its L1/L2/L3 sets... use
+        // small scaled machine; stream enough distinct lines to force the
+        // dirty line out of the entire hierarchy.
+        let m = cfg();
+        let l3_lines = m.l3.lines();
+        let victim = 0x1000_0000u64;
+        let mut ops = vec![Op::Store(victim)];
+        // Fill with 3x the L3 to guarantee eviction even with Mid insert.
+        for i in 1..(3 * l3_lines) {
+            ops.push(Op::Load(victim + i * 64));
+        }
+        ops.push(Op::Compute(0));
+        let jobs = vec![Job::primary(
+            Box::new(ScriptStream::new(ops).with_mlp(8)),
+            CoreId::new(0, 0),
+        )];
+        let r = Engine::new(&m, jobs).run(&RunLimit::default());
+        assert!(
+            r.sockets[0].dram.writeback_lines >= 1,
+            "dirty line must be written back"
+        );
+    }
+
+    #[test]
+    fn two_cores_interleave_on_shared_l3() {
+        // Two cores each loop over a small buffer; both finish, and the
+        // socket L3 ends up holding both working sets.
+        let m = cfg();
+        let mk = |base: u64| {
+            let ops: Vec<Op> = (0..4096u64).map(|i| Op::Load(base + (i % 512) * 64)).collect();
+            ScriptStream::new(ops).with_mlp(2)
+        };
+        let jobs = vec![
+            Job::primary(Box::new(mk(0x1000_0000)), CoreId::new(0, 0)),
+            Job::primary(Box::new(mk(0x2000_0000)), CoreId::new(0, 1)),
+        ];
+        let r = Engine::new(&m, jobs).run(&RunLimit::default());
+        assert!(r.jobs[0].done && r.jobs[1].done);
+        assert!(r.sockets[0].l3_occupancy >= 1024);
+        assert_eq!(r.sockets[1].l3_occupancy, 0, "other socket untouched");
+    }
+
+    #[test]
+    fn background_jobs_stop_with_primaries() {
+        struct Forever(u64);
+        impl crate::stream::AccessStream for Forever {
+            fn next_op(&mut self) -> Op {
+                self.0 = self.0.wrapping_add(64);
+                Op::Load(0x4000_0000 + (self.0 % (1 << 20)))
+            }
+        }
+        let m = cfg();
+        let ops: Vec<Op> = (0..1000u64).map(|i| Op::Load(0x1000_0000 + i * 64)).collect();
+        let jobs = vec![
+            Job::primary(Box::new(ScriptStream::new(ops)), CoreId::new(0, 0)),
+            Job::background(Box::new(Forever(0)), CoreId::new(0, 1)),
+        ];
+        let r = Engine::new(&m, jobs).run(&RunLimit::default());
+        assert!(r.jobs[0].done);
+        let bg = &r.jobs[1];
+        assert!(bg.counters.loads > 0, "background ran");
+        // Background time is close to the primary's finish time.
+        assert!(bg.counters.cycles <= r.wall_cycles + RunLimit::default().quantum * 2);
+    }
+
+    #[test]
+    fn max_cycles_stops_everything() {
+        struct Forever;
+        impl crate::stream::AccessStream for Forever {
+            fn next_op(&mut self) -> Op {
+                Op::Compute(10)
+            }
+        }
+        let m = cfg();
+        let jobs = vec![Job::background(Box::new(Forever), CoreId::new(0, 0))];
+        let r = Engine::new(&m, jobs).run(&RunLimit::cycles(10_000));
+        assert!(r.jobs[0].counters.cycles >= 10_000);
+        assert!(r.jobs[0].counters.cycles < 11_000);
+    }
+
+    #[test]
+    fn barrier_synchronizes_primaries() {
+        // Core 0 computes 100 cycles, core 1 computes 10_000; after the
+        // barrier both do one load. Their finish times must be near-equal.
+        let mk = |work: u32| {
+            ScriptStream::new(vec![
+                Op::Compute(work),
+                Op::Barrier,
+                Op::Load(0x1000_0000),
+                Op::Compute(0),
+            ])
+        };
+        let m = cfg();
+        let jobs = vec![
+            Job::primary(Box::new(mk(100)), CoreId::new(0, 0)),
+            Job::primary(Box::new(mk(10_000)), CoreId::new(0, 1)),
+        ];
+        let r = Engine::new(&m, jobs).run(&RunLimit::default());
+        let c0 = r.jobs[0].counters.cycles;
+        let c1 = r.jobs[1].counters.cycles;
+        assert!(c0.abs_diff(c1) < 500, "c0={c0} c1={c1}");
+        assert!(r.jobs[0].counters.barrier_cycles > 9000);
+        assert!(r.jobs[1].counters.barrier_cycles < 1000);
+    }
+
+    #[test]
+    fn barrier_in_background_is_noop() {
+        let m = cfg();
+        let prim = ScriptStream::new(vec![Op::Compute(1000)]);
+        let bg = ScriptStream::new(vec![Op::Barrier, Op::Compute(50), Op::Barrier, Op::Compute(50)]);
+        let jobs = vec![
+            Job::primary(Box::new(prim), CoreId::new(0, 0)),
+            Job::background(Box::new(bg), CoreId::new(0, 1)),
+        ];
+        // Must terminate (background barrier doesn't deadlock the run).
+        let r = Engine::new(&m, jobs).run(&RunLimit::default());
+        assert!(r.jobs[0].done);
+    }
+
+    #[test]
+    fn remote_xfer_charges_network_and_dma() {
+        let m = cfg();
+        let ops = vec![Op::RemoteXfer(64 * 1024), Op::Compute(0)];
+        let jobs = vec![Job::primary(Box::new(ScriptStream::new(ops)), CoreId::new(0, 0))];
+        let r = Engine::new(&m, jobs).run(&RunLimit::default());
+        let c = &r.jobs[0].counters;
+        assert!(c.net_cycles as f64 >= m.net.latency_cycles as f64);
+        assert_eq!(r.sockets[0].dram.dma_bytes, 64 * 1024);
+    }
+
+    #[test]
+    fn watch_ranges_report_occupancy() {
+        let m = cfg();
+        let base = 0x1000_0000u64;
+        let ops: Vec<Op> = (0..256u64).map(|i| Op::Load(base + i * 64)).collect();
+        let jobs = vec![Job::primary(Box::new(ScriptStream::new(ops)), CoreId::new(0, 0))];
+        let mut lim = RunLimit::default();
+        lim.watch_ranges.push((base >> 6, (base >> 6) + 256));
+        let r = Engine::new(&m, jobs).run(&lim);
+        assert_eq!(r.sockets[0].watched_occupancy[0], 256);
+    }
+
+    #[test]
+    fn mark_snapshots_counters() {
+        let a = 0x1000_0000u64;
+        let ops = vec![
+            Op::Load(a),
+            Op::Compute(0),
+            Op::Mark,
+            Op::Load(a),          // warm: hits L1
+            Op::Load(a + 8192),   // new line: misses
+            Op::Compute(0),
+        ];
+        let r = run_script(ops, 1);
+        let j = &r.jobs[0];
+        assert_eq!(j.marks.len(), 1);
+        assert_eq!(j.marks[0].loads, 1);
+        let phase = j.after_last_mark();
+        assert_eq!(phase.loads, 2);
+        assert_eq!(phase.l1_hits, 1);
+        assert_eq!(phase.l3_misses, 1);
+        assert!(phase.cycles > 0 && phase.cycles < j.counters.cycles);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mk = || {
+            let m = cfg();
+            let mut rng = crate::rng::Xoshiro256::seed_from_u64(11);
+            let ops: Vec<Op> = (0..20_000)
+                .map(|_| Op::Load(0x1000_0000 + rng.below(1 << 22) * 64))
+                .collect();
+            let jobs = vec![Job::primary(
+                Box::new(ScriptStream::new(ops).with_mlp(4)),
+                CoreId::new(0, 0),
+            )];
+            Engine::new(&m, jobs).run(&RunLimit::default())
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.wall_cycles, b.wall_cycles);
+        assert_eq!(a.jobs[0].counters.l3_misses, b.jobs[0].counters.l3_misses);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_core_placement_panics() {
+        let m = cfg();
+        let jobs = vec![
+            Job::primary(Box::new(ScriptStream::new(vec![])), CoreId::new(0, 0)),
+            Job::primary(Box::new(ScriptStream::new(vec![])), CoreId::new(0, 0)),
+        ];
+        let _ = Engine::new(&m, jobs);
+    }
+
+    #[test]
+    #[should_panic]
+    fn no_primary_no_limit_panics() {
+        struct Forever;
+        impl crate::stream::AccessStream for Forever {
+            fn next_op(&mut self) -> Op {
+                Op::Compute(1)
+            }
+        }
+        let m = cfg();
+        let jobs = vec![Job::background(Box::new(Forever), CoreId::new(0, 0))];
+        let _ = Engine::new(&m, jobs).run(&RunLimit::default());
+    }
+}
+
+#[cfg(test)]
+mod coherence_tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use crate::stream::{Op, ScriptStream};
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::xeon20mb().scaled(0.125)
+    }
+
+    #[test]
+    fn store_invalidates_other_sharers() {
+        // Core 1 reads a line (becomes a sharer); core 0 then stores to
+        // it: core 1's private copies must be invalidated, so its next
+        // read goes back to the L3, and the counters record the event.
+        let a = 0x1000_0000u64;
+        let reader = ScriptStream::new(vec![
+            Op::Load(a),
+            Op::Compute(0),
+            Op::Barrier,       // writer stores during this window
+            Op::Load(a),       // must re-fetch from L3 (invalidated)
+            Op::Compute(0),
+        ]);
+        let writer = ScriptStream::new(vec![
+            Op::Load(a),
+            Op::Compute(200), // let the reader get its first load in
+            Op::Store(a),
+            Op::Barrier,
+            Op::Compute(0),
+        ]);
+        let m = cfg();
+        let jobs = vec![
+            Job::primary(Box::new(writer), CoreId::new(0, 0)),
+            Job::primary(Box::new(reader), CoreId::new(0, 1)),
+        ];
+        let r = Engine::new(&m, jobs).run(&RunLimit::default());
+        let reader_c = &r.jobs[1].counters;
+        let writer_c = &r.jobs[0].counters;
+        assert!(
+            reader_c.coherence_invalidations >= 1,
+            "reader must lose its copy: {reader_c:?}"
+        );
+        assert!(writer_c.coherence_upgrades >= 1);
+        // The reader's second load cannot be an L1 hit.
+        assert!(
+            reader_c.l1_hits == 0,
+            "second load must miss L1 after invalidation, got {} hits",
+            reader_c.l1_hits
+        );
+    }
+
+    #[test]
+    fn private_lines_pay_no_coherence() {
+        // Two cores hammering disjoint lines: zero coherence traffic.
+        let mk = |base: u64| {
+            let ops: Vec<Op> = (0..2000u64)
+                .flat_map(|i| [Op::Load(base + (i % 64) * 64), Op::Store(base + (i % 64) * 64)])
+                .collect();
+            ScriptStream::new(ops)
+        };
+        let m = cfg();
+        let jobs = vec![
+            Job::primary(Box::new(mk(0x1000_0000)), CoreId::new(0, 0)),
+            Job::primary(Box::new(mk(0x2000_0000)), CoreId::new(0, 1)),
+        ];
+        let r = Engine::new(&m, jobs).run(&RunLimit::default());
+        for j in &r.jobs {
+            assert_eq!(j.counters.coherence_invalidations, 0);
+            assert_eq!(j.counters.coherence_upgrades, 0);
+        }
+    }
+
+    #[test]
+    fn repeated_stores_by_owner_upgrade_once() {
+        // After the first ownership upgrade the writer stays exclusive:
+        // subsequent stores are free.
+        let a = 0x1000_0000u64;
+        let reader = ScriptStream::new(vec![Op::Load(a), Op::Compute(0), Op::Barrier]);
+        let writer = ScriptStream::new(vec![
+            Op::Load(a),
+            Op::Compute(300),
+            Op::Store(a),
+            Op::Store(a),
+            Op::Store(a),
+            Op::Barrier,
+        ]);
+        let m = cfg();
+        let jobs = vec![
+            Job::primary(Box::new(writer), CoreId::new(0, 0)),
+            Job::primary(Box::new(reader), CoreId::new(0, 1)),
+        ];
+        let r = Engine::new(&m, jobs).run(&RunLimit::default());
+        assert_eq!(r.jobs[0].counters.coherence_upgrades, 1);
+    }
+}

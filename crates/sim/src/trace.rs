@@ -1,0 +1,374 @@
+//! Address-trace recording, replay, and stack-distance analysis.
+//!
+//! Recording the address stream of any workload enables the *offline*
+//! counterpart of the paper's active measurement: Mattson's classic stack
+//! algorithm turns a trace into exact LRU reuse distances, whose
+//! histogram is a complete miss-ratio curve — every cache size at once.
+//! Cross-checking the offline MRC against the interference-measured one
+//! (see `amem-core::mrc`) validates both instruments.
+//!
+//! The recorder is itself an [`AccessStream`] wrapper, so any workload can
+//! be traced by interposition; replay turns a trace back into a stream.
+
+use serde::{Deserialize, Serialize};
+
+use crate::stream::{AccessStream, Op};
+
+/// One recorded event. Compute durations are preserved so replay is
+/// timing-faithful; barriers and marks are kept for structure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    Load(u64),
+    Store(u64),
+    Compute(u32),
+    RemoteXfer(u32),
+    Barrier,
+    Mark,
+}
+
+/// A recorded trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Number of memory references (loads + stores).
+    pub fn references(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Load(_) | TraceEvent::Store(_)))
+            .count()
+    }
+
+    /// Line-granular address sequence (loads and stores).
+    pub fn lines(&self) -> impl Iterator<Item = u64> + '_ {
+        self.events.iter().filter_map(|e| match e {
+            TraceEvent::Load(a) | TraceEvent::Store(a) => Some(a >> 6),
+            _ => None,
+        })
+    }
+
+    /// Exact LRU reuse distances of every reference (Mattson's stack
+    /// algorithm, O(n log n) via a Fenwick tree over access timestamps).
+    /// `None` entries are cold (first-touch) references.
+    pub fn reuse_distances(&self) -> Vec<Option<u64>> {
+        let refs: Vec<u64> = self.lines().collect();
+        let n = refs.len();
+        let mut bit = Fenwick::new(n + 1);
+        let mut last: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        let mut out = Vec::with_capacity(n);
+        for (t, &line) in refs.iter().enumerate() {
+            match last.get(&line) {
+                Some(&prev) => {
+                    // Distinct lines touched strictly after `prev`:
+                    // positions (prev, t) holding a live last-access mark.
+                    let d = bit.range_sum(prev + 1, t);
+                    out.push(Some(d));
+                    bit.add(prev, -1);
+                }
+                None => out.push(None),
+            }
+            bit.add(t, 1);
+            last.insert(line, t);
+        }
+        out
+    }
+
+    /// Miss ratio of a fully-associative LRU cache of `capacity_lines`,
+    /// computed from the reuse-distance profile (Mattson inclusion: one
+    /// pass serves every size).
+    pub fn lru_miss_ratio(&self, capacity_lines: u64) -> f64 {
+        self.lru_miss_ratio_after(0, capacity_lines)
+    }
+
+    /// Like [`Trace::lru_miss_ratio`], but statistics cover only the
+    /// references from index `skip_refs` on, while reuse distances still
+    /// see the whole history — the offline equivalent of warming up
+    /// before `Op::Mark`. Without this, every line's first trace
+    /// appearance counts as a cold miss even if a warm-up pass (outside
+    /// the recorded window) had cached it.
+    pub fn lru_miss_ratio_after(&self, skip_refs: usize, capacity_lines: u64) -> f64 {
+        let rd = self.reuse_distances();
+        if rd.len() <= skip_refs {
+            return 0.0;
+        }
+        let window = &rd[skip_refs..];
+        let misses = window
+            .iter()
+            .filter(|d| match d {
+                None => true,
+                Some(d) => *d >= capacity_lines,
+            })
+            .count();
+        misses as f64 / window.len() as f64
+    }
+
+    /// Full miss-ratio curve at the given capacities (single profile pass).
+    pub fn mrc(&self, capacities_lines: &[u64]) -> Vec<(u64, f64)> {
+        let rd = self.reuse_distances();
+        let total = rd.len().max(1) as f64;
+        capacities_lines
+            .iter()
+            .map(|&c| {
+                let misses = rd
+                    .iter()
+                    .filter(|d| match d {
+                        None => true,
+                        Some(d) => *d >= c,
+                    })
+                    .count();
+                (c, misses as f64 / total)
+            })
+            .collect()
+    }
+
+    /// Number of distinct lines (the trace's footprint).
+    pub fn footprint_lines(&self) -> u64 {
+        let mut set = std::collections::HashSet::new();
+        for l in self.lines() {
+            set.insert(l);
+        }
+        set.len() as u64
+    }
+}
+
+/// Fenwick tree over i64 counts.
+struct Fenwick {
+    t: Vec<i64>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Self { t: vec![0; n + 1] }
+    }
+
+    fn add(&mut self, mut i: usize, v: i64) {
+        i += 1;
+        while i < self.t.len() {
+            self.t[i] += v;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of [0, i] inclusive.
+    fn prefix(&self, mut i: usize) -> i64 {
+        i += 1;
+        let mut s = 0;
+        while i > 0 {
+            s += self.t[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Sum over [lo, hi) — 0 when the range is empty.
+    fn range_sum(&self, lo: usize, hi: usize) -> u64 {
+        if hi <= lo {
+            return 0;
+        }
+        (self.prefix(hi - 1) - if lo == 0 { 0 } else { self.prefix(lo - 1) }).max(0) as u64
+    }
+}
+
+/// Records every op a wrapped stream emits.
+pub struct TraceRecorder<S> {
+    inner: S,
+    trace: Trace,
+}
+
+impl<S: AccessStream> TraceRecorder<S> {
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            trace: Trace::default(),
+        }
+    }
+
+    /// Finish recording and take the trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+impl<S: AccessStream> AccessStream for TraceRecorder<S> {
+    fn next_op(&mut self) -> Op {
+        let op = self.inner.next_op();
+        let ev = match op {
+            Op::Load(a) => Some(TraceEvent::Load(a)),
+            Op::Store(a) => Some(TraceEvent::Store(a)),
+            Op::Compute(c) => Some(TraceEvent::Compute(c)),
+            Op::RemoteXfer(b) => Some(TraceEvent::RemoteXfer(b)),
+            Op::Barrier => Some(TraceEvent::Barrier),
+            Op::Mark => Some(TraceEvent::Mark),
+            Op::Done => None,
+        };
+        if let Some(ev) = ev {
+            self.trace.events.push(ev);
+        }
+        op
+    }
+    fn mlp(&self) -> u8 {
+        self.inner.mlp()
+    }
+    fn label(&self) -> &str {
+        self.inner.label()
+    }
+    fn llc_insert_hint(&self) -> Option<crate::cache::InsertPolicy> {
+        self.inner.llc_insert_hint()
+    }
+}
+
+/// Replays a recorded trace as a stream.
+pub struct TraceReplay {
+    events: std::vec::IntoIter<TraceEvent>,
+    mlp: u8,
+}
+
+impl TraceReplay {
+    pub fn new(trace: Trace, mlp: u8) -> Self {
+        Self {
+            events: trace.events.into_iter(),
+            mlp,
+        }
+    }
+}
+
+impl AccessStream for TraceReplay {
+    fn next_op(&mut self) -> Op {
+        match self.events.next() {
+            Some(TraceEvent::Load(a)) => Op::Load(a),
+            Some(TraceEvent::Store(a)) => Op::Store(a),
+            Some(TraceEvent::Compute(c)) => Op::Compute(c),
+            Some(TraceEvent::RemoteXfer(b)) => Op::RemoteXfer(b),
+            Some(TraceEvent::Barrier) => Op::Barrier,
+            Some(TraceEvent::Mark) => Op::Mark,
+            None => Op::Done,
+        }
+    }
+    fn mlp(&self) -> u8 {
+        self.mlp
+    }
+    fn label(&self) -> &str {
+        "trace-replay"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::ScriptStream;
+
+    fn trace_of(lines: &[u64]) -> Trace {
+        Trace {
+            events: lines.iter().map(|&l| TraceEvent::Load(l * 64)).collect(),
+        }
+    }
+
+    #[test]
+    fn reuse_distances_by_hand() {
+        // a b c a b b: distances None None None 2 2 0
+        let t = trace_of(&[1, 2, 3, 1, 2, 2]);
+        assert_eq!(
+            t.reuse_distances(),
+            vec![None, None, None, Some(2), Some(2), Some(0)]
+        );
+    }
+
+    #[test]
+    fn lru_miss_ratio_matches_simulated_fa_cache() {
+        // Cross-check against an actual fully-associative LRU cache: the
+        // stack algorithm and the cache model must agree exactly.
+        use crate::cache::{Cache, InsertPolicy, Replacement};
+        use crate::config::CacheConfig;
+        let mut rng = crate::rng::Xoshiro256::seed_from_u64(33);
+        let lines: Vec<u64> = (0..4000).map(|_| rng.below(200)).collect();
+        let t = trace_of(&lines);
+        for cap in [16u64, 64, 128] {
+            let cfg = CacheConfig {
+                size_bytes: cap * 64,
+                line_bytes: 64,
+                ways: cap as u32, // fully associative: 1 set
+                latency: 1,
+                replacement: Replacement::Lru,
+                insert: InsertPolicy::Mru,
+                hash_sets: false,
+            };
+            let mut cache = Cache::new(&cfg);
+            let mut misses = 0u64;
+            for &l in &lines {
+                if !cache.lookup(l, false) {
+                    misses += 1;
+                    cache.fill(l, false);
+                }
+            }
+            let simulated = misses as f64 / lines.len() as f64;
+            let analytic = t.lru_miss_ratio(cap);
+            assert!(
+                (simulated - analytic).abs() < 1e-12,
+                "cap {cap}: simulated {simulated} vs stack {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn mrc_is_monotone_nonincreasing() {
+        let mut rng = crate::rng::Xoshiro256::seed_from_u64(7);
+        let lines: Vec<u64> = (0..5000).map(|_| rng.below(500)).collect();
+        let t = trace_of(&lines);
+        let caps: Vec<u64> = (1..10).map(|i| i * 60).collect();
+        let mrc = t.mrc(&caps);
+        for w in mrc.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-12, "MRC must not rise: {mrc:?}");
+        }
+    }
+
+    #[test]
+    fn recorder_captures_and_replay_reproduces() {
+        let ops = vec![
+            Op::Load(64),
+            Op::Compute(3),
+            Op::Store(128),
+            Op::Barrier,
+            Op::Mark,
+        ];
+        let mut rec = TraceRecorder::new(ScriptStream::new(ops.clone()));
+        while rec.next_op() != Op::Done {}
+        let trace = rec.into_trace();
+        assert_eq!(trace.events.len(), 5);
+        assert_eq!(trace.references(), 2);
+        let mut rep = TraceReplay::new(trace, 4);
+        let mut replayed = Vec::new();
+        loop {
+            let op = rep.next_op();
+            if op == Op::Done {
+                break;
+            }
+            replayed.push(op);
+        }
+        assert_eq!(replayed, ops);
+        assert_eq!(rep.mlp(), 4);
+    }
+
+    #[test]
+    fn footprint_counts_distinct_lines() {
+        let t = trace_of(&[5, 5, 6, 7, 6]);
+        assert_eq!(t.footprint_lines(), 3);
+    }
+
+    #[test]
+    fn cyclic_pattern_has_cliff_mrc() {
+        // A cyclic walk over N lines: miss ratio 1.0 below N, 0 above —
+        // LRU's cyclic pathology, the exact mechanism BWThr exploits.
+        let n = 64u64;
+        let lines: Vec<u64> = (0..10 * n).map(|i| i % n).collect();
+        let t = trace_of(&lines);
+        assert!(t.lru_miss_ratio(n - 1) > 0.99);
+        // At capacity >= n everything after warm-up hits.
+        assert!(t.lru_miss_ratio(n) < 0.15);
+    }
+}

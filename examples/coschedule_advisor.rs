@@ -1,0 +1,99 @@
+//! Co-scheduling advisor: the paper's "more intelligent work scheduling"
+//! use case (§IV). Measure two applications' per-process resource use,
+//! then decide whether they can share a socket without hurting each other
+//! — the same question Bubble-Up/Bubble-Flux answer for datacenters, but
+//! decomposed per resource as only Active Measurement can.
+//!
+//! ```sh
+//! cargo run --release --example coschedule_advisor
+//! ```
+
+use active_mem::core::estimate::{
+    bandwidth_use_per_process, storage_use_per_process, ResourceInterval,
+};
+use active_mem::core::platform::{LuleshWorkload, McbWorkload, SimPlatform, Workload};
+use active_mem::core::sweep::run_sweep;
+use active_mem::core::{BandwidthMap, CapacityMap};
+use active_mem::interfere::InterferenceKind;
+use active_mem::miniapps::{LuleshCfg, McbCfg};
+use active_mem::sim::MachineConfig;
+
+struct Profile {
+    name: String,
+    storage: ResourceInterval,
+    bandwidth: ResourceInterval,
+}
+
+fn profile(
+    platform: &SimPlatform,
+    w: &dyn Workload,
+    cmap: &CapacityMap,
+    bmap: &BandwidthMap,
+) -> Profile {
+    let per = 2;
+    let s = run_sweep(platform, w, per, InterferenceKind::Storage, 6);
+    let b = run_sweep(platform, w, per, InterferenceKind::Bandwidth, 2);
+    Profile {
+        name: w.name(),
+        storage: storage_use_per_process(&s, cmap, per, 3.0),
+        bandwidth: bandwidth_use_per_process(&b, bmap, per, 3.0),
+    }
+}
+
+fn main() {
+    let machine = MachineConfig::xeon20mb().scaled(0.125);
+    let platform = SimPlatform::new(machine.clone());
+    let cmap = CapacityMap::paper_xeon20mb(&machine);
+    let bmap = BandwidthMap::calibrate(&machine);
+
+    println!("profiling candidate applications (this runs the sweeps)...\n");
+    let apps = [
+        profile(
+            &platform,
+            &McbWorkload(McbCfg::new(&machine, 20_000)),
+            &cmap,
+            &bmap,
+        ),
+        profile(
+            &platform,
+            &LuleshWorkload(LuleshCfg::new(LuleshCfg::scaled_edge(&machine, 26))),
+            &cmap,
+            &bmap,
+        ),
+    ];
+    let mb = (1 << 20) as f64;
+    for a in &apps {
+        println!(
+            "{:<24} storage {:.2}-{:.2} MB/process, bandwidth {:.2}-{:.2} GB/s/process",
+            a.name, a.storage.lo / mb, a.storage.hi / mb, a.bandwidth.lo, a.bandwidth.hi
+        );
+    }
+
+    // Can one process of each share a socket? Conservative test: the sum
+    // of upper bounds must fit the socket's resources.
+    let l3 = machine.l3.size_bytes as f64;
+    let bw = bmap.total_gbs;
+    let st_sum = apps.iter().map(|a| a.storage.hi).sum::<f64>();
+    let bw_sum = apps.iter().map(|a| a.bandwidth.hi).sum::<f64>();
+    println!(
+        "\nco-schedule check (1 process each on one socket):\n  storage: {:.2} of {:.2} MB -> {}",
+        st_sum / mb,
+        l3 / mb,
+        if st_sum <= l3 { "OK" } else { "OVERCOMMITTED" }
+    );
+    println!(
+        "  bandwidth: {:.2} of {:.2} GB/s -> {}",
+        bw_sum,
+        bw,
+        if bw_sum <= bw { "OK" } else { "OVERCOMMITTED" }
+    );
+    let verdict = st_sum <= l3 && bw_sum <= bw;
+    println!(
+        "\nverdict: {}",
+        if verdict {
+            "safe to co-schedule (by upper-bound arithmetic)"
+        } else {
+            "do not co-schedule: at least one shared resource is oversubscribed"
+        }
+    );
+}

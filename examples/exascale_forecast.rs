@@ -1,0 +1,59 @@
+//! Predict application performance on future memory-starved machines —
+//! the paper's motivating scenario: "next-generation Exascale systems may
+//! provide one or two orders of magnitude less memory capacity and
+//! bandwidth per core" (§I).
+//!
+//! ```sh
+//! cargo run --release --example exascale_forecast
+//! ```
+
+use active_mem::core::platform::{LuleshWorkload, SimPlatform};
+use active_mem::core::predict::{predict_combined, DegradationModel, HypotheticalMachine};
+use active_mem::core::sweep::run_sweep;
+use active_mem::core::{BandwidthMap, CapacityMap};
+use active_mem::interfere::InterferenceKind;
+use active_mem::miniapps::LuleshCfg;
+use active_mem::sim::MachineConfig;
+
+fn main() {
+    let machine = MachineConfig::xeon20mb().scaled(0.125);
+    let platform = SimPlatform::new(machine.clone());
+    let edge = LuleshCfg::scaled_edge(&machine, 28);
+    let workload = LuleshWorkload(LuleshCfg::new(edge));
+
+    println!("measuring Lulesh 28^3-equivalent under interference sweeps...");
+    let storage = run_sweep(&platform, &workload, 2, InterferenceKind::Storage, 6);
+    let bandwidth = run_sweep(&platform, &workload, 2, InterferenceKind::Bandwidth, 2);
+
+    let cmap = CapacityMap::paper_xeon20mb(&machine);
+    let bmap = BandwidthMap::calibrate(&machine);
+    let smodel = DegradationModel::from_storage_sweep(&storage, &cmap);
+    let bmodel = DegradationModel::from_bandwidth_sweep(&bandwidth, &bmap);
+    let baseline = storage.baseline_seconds();
+    println!("baseline: {:.3} ms\n", baseline * 1e3);
+
+    println!("{:<28} {:>14} {:>10}", "hypothetical machine", "predicted", "slowdown");
+    for (name, l3_frac, bw_frac) in [
+        ("today", 1.0, 1.0),
+        ("half the cache", 0.5, 1.0),
+        ("half the bandwidth", 1.0, 0.5),
+        ("exascale-ish (1/4, 1/2)", 0.25, 0.5),
+        ("worst case (1/8, 1/4)", 0.125, 0.25),
+    ] {
+        let hyp = HypotheticalMachine {
+            l3_bytes: machine.l3.size_bytes as f64 * l3_frac,
+            bw_gbs: bmap.total_gbs * bw_frac,
+        };
+        let t = predict_combined(&smodel, &bmodel, &hyp, baseline);
+        println!(
+            "{:<28} {:>11.3} ms {:>9.2}x",
+            name,
+            t * 1e3,
+            t / baseline
+        );
+    }
+    println!(
+        "\nPredictions below the most constrained measured point are lower \
+         bounds (the curves are clamped, not extrapolated)."
+    );
+}

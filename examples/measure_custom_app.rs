@@ -1,0 +1,159 @@
+//! Measure a *custom* application's memory-resource consumption.
+//!
+//! Anything that implements `AccessStream` can be measured: here we write
+//! a small in-memory key-value scan (hash-probe-like random lookups over a
+//! table, with a hot index) and ask the Active Measurement machinery how
+//! much shared cache it effectively uses.
+//!
+//! ```sh
+//! cargo run --release --example measure_custom_app
+//! ```
+
+use active_mem::core::estimate::storage_use_per_process;
+use active_mem::core::platform::{SimPlatform, Workload};
+use active_mem::core::sweep::run_sweep;
+use active_mem::core::CapacityMap;
+use active_mem::interfere::InterferenceKind;
+use active_mem::sim::cluster::RankMap;
+use active_mem::sim::machine::Machine;
+use active_mem::sim::prelude::*;
+
+/// A toy key-value store workload: a hot index (always resident) plus a
+/// larger table probed at random; ~25 cycles of "comparison" per lookup.
+struct KvScan {
+    index_base: u64,
+    index_lines: u64,
+    table_base: u64,
+    table_lines: u64,
+    rng: Xoshiro256,
+    remaining: u64,
+    warm: u64,
+    marked: bool,
+    pending: u8,
+}
+
+impl KvScan {
+    fn new(machine: &mut Machine, index_bytes: u64, table_bytes: u64, lookups: u64) -> Self {
+        Self {
+            index_base: machine.alloc(index_bytes),
+            index_lines: index_bytes / 64,
+            table_base: machine.alloc(table_bytes),
+            table_lines: table_bytes / 64,
+            rng: Xoshiro256::seed_from_u64(0xCAFE),
+            remaining: lookups,
+            warm: lookups / 2,
+            marked: false,
+            pending: 0,
+        }
+    }
+}
+
+impl AccessStream for KvScan {
+    fn next_op(&mut self) -> Op {
+        match self.pending {
+            1 => {
+                // Table probe after the index hop.
+                self.pending = 2;
+                let l = self.rng.below(self.table_lines);
+                Op::Load(self.table_base + l * 64)
+            }
+            2 => {
+                self.pending = 0;
+                Op::Compute(25)
+            }
+            _ => {
+                if self.warm > 0 {
+                    self.warm -= 1;
+                } else if !self.marked {
+                    self.marked = true;
+                    return Op::Mark;
+                } else if self.remaining == 0 {
+                    return Op::Done;
+                } else {
+                    self.remaining -= 1;
+                }
+                self.pending = 1;
+                let l = self.rng.below(self.index_lines);
+                Op::Load(self.index_base + l * 64)
+            }
+        }
+    }
+
+    fn mlp(&self) -> u8 {
+        2
+    }
+
+    fn label(&self) -> &str {
+        "kv-scan"
+    }
+}
+
+/// Wrap the stream as a single-rank workload.
+struct KvWorkload {
+    index_bytes: u64,
+    table_bytes: u64,
+    lookups: u64,
+}
+
+impl Workload for KvWorkload {
+    fn ranks(&self) -> usize {
+        1
+    }
+    fn build(&self, machine: &mut Machine, map: &RankMap) -> Vec<Job> {
+        let core = map.core_of(0).expect("rank 0 local");
+        vec![Job::primary(
+            Box::new(KvScan::new(
+                machine,
+                self.index_bytes,
+                self.table_bytes,
+                self.lookups,
+            )),
+            core,
+        )]
+    }
+    fn name(&self) -> String {
+        "kv-scan".into()
+    }
+}
+
+fn main() {
+    let machine = MachineConfig::xeon20mb().scaled(0.125);
+    let l3 = machine.l3.size_bytes;
+    let platform = SimPlatform::new(machine.clone());
+
+    // Working set: index = 30% of L3 (hot), table = 4x L3 (streams).
+    let w = KvWorkload {
+        index_bytes: (l3 as f64 * 0.3) as u64,
+        table_bytes: 4 * l3,
+        lookups: 6 * machine.l3.lines(),
+    };
+
+    println!("sweeping CSThr interference against the kv-scan...");
+    let sweep = run_sweep(&platform, &w, 1, InterferenceKind::Storage, 5);
+    for p in &sweep.points {
+        println!(
+            "  {} CSThr: {:.3} ms (+{:.1}%), L3 miss rate {:.3}",
+            p.count,
+            p.seconds * 1e3,
+            p.degradation_pct,
+            p.l3_miss_rate
+        );
+    }
+
+    let cmap = CapacityMap::paper_xeon20mb(&machine);
+    // A streaming-heavy app is mildly slowed by *any* interference (its
+    // misses queue behind the intruder), so use a wider noise tolerance
+    // to find the capacity knee proper.
+    let iv = storage_use_per_process(&sweep, &cmap, 1, 5.0);
+    println!(
+        "\nkv-scan actively uses {:.2}-{:.2} MB of the {:.2} MB L3",
+        iv.lo / (1 << 20) as f64,
+        iv.hi / (1 << 20) as f64,
+        l3 as f64 / (1 << 20) as f64,
+    );
+    println!(
+        "(its index is {:.2} MB; the table is measured as bandwidth, not storage — \
+         exactly the distinction the paper's methodology draws)",
+        w.index_bytes as f64 / (1 << 20) as f64
+    );
+}

@@ -1,0 +1,82 @@
+//! Quickstart: measure how much shared cache and memory bandwidth MCB
+//! uses, with the paper's Active Measurement methodology.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use active_mem::core::estimate::{bandwidth_use_per_process, storage_use_per_process};
+use active_mem::core::platform::{McbWorkload, SimPlatform};
+use active_mem::core::sweep::run_sweep;
+use active_mem::core::{BandwidthMap, CapacityMap};
+use active_mem::interfere::InterferenceKind;
+use active_mem::miniapps::McbCfg;
+use active_mem::sim::MachineConfig;
+
+fn main() {
+    // A shrunken Xeon20MB (paper Table I at 1/8 size) keeps this example
+    // fast; pass-through of every ratio makes the numbers scale-invariant.
+    let machine = MachineConfig::xeon20mb().scaled(0.125);
+    let l3_mb = machine.l3.size_bytes as f64 / (1 << 20) as f64;
+    println!("machine: {} (L3 {l3_mb:.2} MB/socket)", machine.name);
+
+    let platform = SimPlatform::new(machine.clone());
+    let workload = McbWorkload(McbCfg::new(&machine, 20_000));
+    let ranks_per_socket = 2;
+
+    // 1. Sweep interference levels: k CSThrs / k BWThrs on the free cores.
+    println!("sweeping storage interference (CSThr)...");
+    let storage = run_sweep(
+        &platform,
+        &workload,
+        ranks_per_socket,
+        InterferenceKind::Storage,
+        6,
+    );
+    println!("sweeping bandwidth interference (BWThr)...");
+    let bandwidth = run_sweep(
+        &platform,
+        &workload,
+        ranks_per_socket,
+        InterferenceKind::Bandwidth,
+        2,
+    );
+    for p in &storage.points {
+        println!(
+            "  {} CSThr: {:.3} ms  (+{:.1}%)",
+            p.count,
+            p.seconds * 1e3,
+            p.degradation_pct
+        );
+    }
+    for p in &bandwidth.points {
+        println!(
+            "  {} BWThr: {:.3} ms  (+{:.1}%)",
+            p.count,
+            p.seconds * 1e3,
+            p.degradation_pct
+        );
+    }
+
+    // 2. Calibrate what each interference level leaves available. (The
+    //    probe-based calibration is the accurate-but-slow path; here the
+    //    paper's published ladder keeps the quickstart quick.)
+    let cmap = CapacityMap::paper_xeon20mb(&machine);
+    let bmap = BandwidthMap::calibrate(&machine);
+
+    // 3. Turn the degradation knees into per-process resource use.
+    let s = storage_use_per_process(&storage, &cmap, ranks_per_socket, 3.0);
+    let b = bandwidth_use_per_process(&bandwidth, &bmap, ranks_per_socket, 3.0);
+    println!(
+        "\neach MCB process actively uses {:.2}-{:.2} MB of shared cache{}",
+        s.lo / (1 << 20) as f64,
+        s.hi / (1 << 20) as f64,
+        if s.bracketed { "" } else { " (lower bound)" }
+    );
+    println!(
+        "and {:.2}-{:.2} GB/s of memory bandwidth{}",
+        b.lo,
+        b.hi,
+        if b.bracketed { "" } else { " (lower bound)" }
+    );
+}

@@ -1,0 +1,61 @@
+//! Explicit TLB modelling: the shipped Xeon20MB preset folds average
+//! translation cost into its DRAM latency; this example switches on the
+//! 64-entry DTLB model and shows where page walks actually bite — random
+//! access over many pages (the paper's probe buffers!) versus streaming.
+//!
+//! ```sh
+//! cargo run --release --example tlb_effects
+//! ```
+
+use active_mem::probes::dist::AccessDist;
+use active_mem::probes::probe::{run_probe, ProbeCfg};
+use active_mem::sim::tlb::TlbConfig;
+use active_mem::sim::MachineConfig;
+
+fn main() {
+    let base = MachineConfig::xeon20mb().scaled(0.125);
+    let mut with_tlb = base.clone();
+    with_tlb.tlb = TlbConfig::xeon_dtlb();
+
+    println!(
+        "DTLB: {} entries x {} B pages = {:.0} KB reach; walk = {} cycles\n",
+        with_tlb.tlb.entries,
+        with_tlb.tlb.page_bytes,
+        (with_tlb.tlb.entries as u64 * with_tlb.tlb.page_bytes) as f64 / 1024.0,
+        with_tlb.tlb.walk_cycles
+    );
+
+    println!("{:<28} {:>12} {:>12} {:>8}", "probe", "no TLB (ms)", "with TLB", "walks");
+    for (name, dist, ratio) in [
+        ("uniform over 2.5x L3", AccessDist::Uniform, 2.5),
+        (
+            "concentrated (sigma=n/8)",
+            AccessDist::Normal { mu: 0.5, sigma: 0.125 },
+            2.5,
+        ),
+        (
+            "zipf-like heavy head",
+            AccessDist::Pareto { alpha: 1.2, x_min: 1e-4 },
+            2.5,
+        ),
+    ] {
+        let p0 = ProbeCfg::for_machine(&base, dist, ratio, 1);
+        let r0 = run_probe(&base, &p0, |_| Vec::new());
+        let p1 = ProbeCfg::for_machine(&with_tlb, dist, ratio, 1);
+        let r1 = run_probe(&with_tlb, &p1, |_| Vec::new());
+        println!(
+            "{:<28} {:>12.3} {:>9.3} ({:+.0}%) {:>6}",
+            name,
+            r0.seconds * 1e3,
+            r1.seconds * 1e3,
+            (r1.seconds / r0.seconds - 1.0) * 100.0,
+            r1.counters.tlb_misses,
+        );
+    }
+    println!(
+        "\nRandom probes over thousands of pages walk the page table on \
+         nearly every access; heavy-headed patterns keep their hot pages in \
+         the TLB. On the paper's real machine this cost is part of the \
+         measured miss penalty — here it can be toggled and attributed."
+    );
+}

@@ -1,0 +1,114 @@
+//! End-to-end integration: the whole Active Measurement pipeline — sweep,
+//! knee, calibration, estimation, prediction — on small MCB/Lulesh runs.
+
+use active_mem::core::estimate::{bandwidth_use_per_process, storage_use_per_process};
+use active_mem::core::knee::find_knee;
+use active_mem::core::platform::{LuleshWorkload, McbWorkload, SimPlatform};
+use active_mem::core::predict::DegradationModel;
+use active_mem::core::sweep::run_sweep;
+use active_mem::core::{BandwidthMap, CapacityMap};
+use active_mem::interfere::InterferenceKind;
+use active_mem::miniapps::{LuleshCfg, McbCfg};
+use active_mem::sim::MachineConfig;
+
+fn machine() -> MachineConfig {
+    MachineConfig::xeon20mb().scaled(0.0625)
+}
+
+#[test]
+fn mcb_pipeline_brackets_the_mesh_footprint() {
+    let m = machine();
+    let plat = SimPlatform::new(m.clone());
+    let cfg = McbCfg::new(&m, 20_000);
+    let w = McbWorkload(cfg);
+    let sweep = run_sweep(&plat, &w, 2, InterferenceKind::Storage, 6);
+    assert_eq!(sweep.points[0].degradation_pct, 0.0);
+
+    let cmap = CapacityMap::paper_xeon20mb(&m);
+    let iv = storage_use_per_process(&sweep, &cmap, 2, 3.0);
+    assert!(iv.lo <= iv.hi);
+    // The known ground truth: each rank's resident set is its mesh
+    // (27% of L3) plus small particle/comm arrays. The measured interval
+    // must overlap [0.5x, 3x] of the mesh bytes.
+    let mesh = cfg.mesh_bytes(&m) as f64;
+    assert!(
+        iv.hi >= 0.5 * mesh && iv.lo <= 3.0 * mesh,
+        "interval [{:.0}, {:.0}] vs mesh {:.0}",
+        iv.lo,
+        iv.hi,
+        mesh
+    );
+}
+
+#[test]
+fn mcb_bandwidth_use_rises_as_processes_spread_out() {
+    // The paper's Fig. 10 trend: fewer ranks per processor => more
+    // bandwidth consumed per process (communication through the bus).
+    let m = machine();
+    let plat = SimPlatform::new(m.clone());
+    let bmap = BandwidthMap::calibrate(&m);
+    let mut mids = Vec::new();
+    for p in [1usize, 4] {
+        let w = McbWorkload(McbCfg::new(&m, 20_000));
+        let sweep = run_sweep(&plat, &w, p, InterferenceKind::Bandwidth, 2);
+        let iv = bandwidth_use_per_process(&sweep, &bmap, p, 3.0);
+        mids.push(iv.midpoint());
+    }
+    assert!(
+        mids[0] > mids[1],
+        "per-process BW at p=1 ({:.2}) must exceed p=4 ({:.2})",
+        mids[0],
+        mids[1]
+    );
+}
+
+#[test]
+fn lulesh_overflow_scales_with_domain_size() {
+    // Small cubes resist storage interference; big cubes overflow at low
+    // interference — the knee must move left as the domain grows.
+    let m = machine();
+    let plat = SimPlatform::new(m.clone());
+    let mut knees = Vec::new();
+    for full_edge in [22u32, 36] {
+        let edge = LuleshCfg::scaled_edge(&m, full_edge);
+        let w = LuleshWorkload(LuleshCfg::new(edge));
+        let sweep = run_sweep(&plat, &w, 1, InterferenceKind::Storage, 6);
+        let knee = find_knee(&sweep, 3.0);
+        knees.push(knee.first_degraded.unwrap_or(usize::MAX));
+    }
+    assert!(
+        knees[1] < knees[0],
+        "36^3 must degrade earlier than 22^3: knees {knees:?}"
+    );
+}
+
+#[test]
+fn degradation_models_interpolate_and_clamp() {
+    let m = machine();
+    let plat = SimPlatform::new(m.clone());
+    let w = McbWorkload(McbCfg::new(&m, 20_000));
+    let sweep = run_sweep(&plat, &w, 2, InterferenceKind::Storage, 5);
+    let cmap = CapacityMap::paper_xeon20mb(&m);
+    let model = DegradationModel::from_storage_sweep(&sweep, &cmap);
+    // More cache can never predict worse performance than less cache at
+    // the model's sampled points (monotone data in, monotone out).
+    let lo = model.predict_pct(cmap.available_bytes(5));
+    let hi = model.predict_pct(cmap.available_bytes(0));
+    assert!(lo >= hi, "lo={lo} hi={hi}");
+    // Clamping: predictions outside the measured range are finite.
+    assert!(model.predict_pct(0.0).is_finite());
+    assert!(model.predict_pct(f64::MAX / 2.0).is_finite());
+}
+
+#[test]
+fn measurements_are_reproducible_end_to_end() {
+    let m = machine();
+    let plat = SimPlatform::new(m.clone());
+    let w = McbWorkload(McbCfg::new(&m, 10_000));
+    let a = run_sweep(&plat, &w, 2, InterferenceKind::Storage, 3);
+    let b = run_sweep(&plat, &w, 2, InterferenceKind::Storage, 3);
+    for (x, y) in a.points.iter().zip(&b.points) {
+        assert_eq!(x.seconds, y.seconds);
+        assert_eq!(x.l3_miss_rate, y.l3_miss_rate);
+    }
+}

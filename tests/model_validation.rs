@@ -1,0 +1,101 @@
+//! Integration tests for the analytic model (§III-C, paper Fig. 5): the
+//! Eq. 4 prediction must track measured miss rates within the paper's
+//! error bands.
+
+use active_mem::probes::dist::table2;
+use active_mem::probes::ehr;
+use active_mem::probes::probe::{run_probe, ProbeCfg};
+use active_mem::sim::MachineConfig;
+
+fn machine() -> MachineConfig {
+    MachineConfig::xeon20mb().scaled(0.0625)
+}
+
+#[test]
+fn fig5_error_bands_hold() {
+    // A thinned version of Fig. 5: across distributions and two buffer
+    // sizes, mean |measured - predicted| < 10% and mean + sigma <= 18%
+    // (the paper reports <10% and <=15% on real hardware; we allow a
+    // little slack for the small scaled cache).
+    let m = machine();
+    let mut errs = Vec::new();
+    for nd in table2() {
+        for ratio in [1.8, 3.0] {
+            let p = ProbeCfg::for_machine(&m, nd.dist, ratio, 1);
+            let r = run_probe(&m, &p, |_| Vec::new());
+            let ssq = ehr::sum_sq_line_mass(&nd.dist, p.buffer_bytes, 4, 64);
+            let predicted = ehr::expected_miss_rate(m.l3.lines(), ssq);
+            errs.push((r.l3_miss_rate - predicted).abs() * 100.0);
+        }
+    }
+    let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+    let sd =
+        (errs.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / errs.len() as f64).sqrt();
+    assert!(mean < 10.0, "mean abs error {mean:.1}% >= 10%");
+    assert!(mean + sd <= 18.0, "mean+sigma {:.1}% > 18%", mean + sd);
+}
+
+#[test]
+fn model_underpredicts_for_small_buffers() {
+    // The paper's explanation of the Fig. 5 shape: the fully-associative
+    // assumption under-predicts misses, most visibly for small buffers.
+    // Measured miss rate therefore tends to sit above the prediction at
+    // 1.5x the cache.
+    let m = machine();
+    let mut above = 0;
+    let mut total = 0;
+    for nd in table2() {
+        let p = ProbeCfg::for_machine(&m, nd.dist, 1.5, 1);
+        let r = run_probe(&m, &p, |_| Vec::new());
+        let ssq = ehr::sum_sq_line_mass(&nd.dist, p.buffer_bytes, 4, 64);
+        let predicted = ehr::expected_miss_rate(m.l3.lines(), ssq);
+        total += 1;
+        if r.l3_miss_rate >= predicted - 0.02 {
+            above += 1;
+        }
+    }
+    assert!(
+        above * 10 >= total * 7,
+        "only {above}/{total} measurements at/above prediction"
+    );
+}
+
+#[test]
+fn no_interference_inversion_recovers_the_machine() {
+    // Inverting Eq. 4 on an uninterfered probe must report close to the
+    // actual L3 capacity (Fig. 6, "No Interference" column).
+    let m = machine();
+    let l3 = m.l3.size_bytes as f64;
+    let mut caps = Vec::new();
+    for nd in table2().into_iter().step_by(2) {
+        let p = ProbeCfg::for_machine(&m, nd.dist, 3.0, 1);
+        let r = run_probe(&m, &p, |_| Vec::new());
+        let ssq = ehr::sum_sq_line_mass(&nd.dist, p.buffer_bytes, 4, 64);
+        caps.push(ehr::effective_cache_bytes(r.l3_miss_rate, ssq, 64));
+    }
+    let mean = caps.iter().sum::<f64>() / caps.len() as f64;
+    assert!(
+        mean > 0.75 * l3 && mean < 1.1 * l3,
+        "inverted capacity {:.2} MB vs real {:.2} MB",
+        mean / (1 << 20) as f64,
+        l3 / (1 << 20) as f64
+    );
+}
+
+#[test]
+fn miss_rates_span_the_papers_range() {
+    // §III-C2: distributions and sizes must produce miss rates from
+    // below ~10-20% to above 60-80%, making the validation representative.
+    let m = machine();
+    let mut rates = Vec::new();
+    for nd in table2() {
+        for ratio in [1.5, 3.7] {
+            let p = ProbeCfg::for_machine(&m, nd.dist, ratio, 1);
+            rates.push(run_probe(&m, &p, |_| Vec::new()).l3_miss_rate);
+        }
+    }
+    let min = rates.iter().cloned().fold(f64::MAX, f64::min);
+    let max = rates.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(min < 0.35, "min miss rate {min:.3}");
+    assert!(max > 0.60, "max miss rate {max:.3}");
+}

@@ -1,0 +1,112 @@
+//! The paper's headline numeric claims, asserted against the simulator at
+//! reduced scale (all quantities are capacity-relative, so they transfer).
+
+use active_mem::core::CapacityMap;
+use active_mem::interfere::calibrate::{bw_threads_gbs, cs_residency};
+use active_mem::probes::stream::measure_stream;
+use active_mem::sim::MachineConfig;
+
+fn machine() -> MachineConfig {
+    MachineConfig::xeon20mb().scaled(0.0625)
+}
+
+#[test]
+fn one_bwthr_is_about_2_8_gbs() {
+    // §III-A: "a single BWThr utilizes 2.8GB/s per core".
+    let cal = bw_threads_gbs(&machine(), 1);
+    assert!(
+        (cal.per_thread_gbs - 2.8).abs() < 0.5,
+        "per-thread {:.2} GB/s",
+        cal.per_thread_gbs
+    );
+}
+
+#[test]
+fn stream_measures_about_17_gbs() {
+    // §II-A: "Xeon20MB provides 17GB/s ... according to STREAM".
+    let m = machine();
+    let r = measure_stream(&m, m.cores_per_socket as usize);
+    assert!(
+        r.total_gbs > 15.0 && r.total_gbs < 18.5,
+        "STREAM {:.2} GB/s",
+        r.total_gbs
+    );
+}
+
+#[test]
+fn seven_bwthrs_nominally_saturate() {
+    // §III-A: "7 BWThr running on 7 different cores would consume
+    // approximately 100% of the available bandwidth".
+    let m = machine();
+    let stream = measure_stream(&m, m.cores_per_socket as usize).total_gbs;
+    let one = bw_threads_gbs(&m, 1).per_thread_gbs;
+    let sat = stream / one;
+    assert!(
+        (5.0..=8.5).contains(&sat),
+        "nominal saturation at {sat:.1} threads"
+    );
+}
+
+#[test]
+fn capacity_ladder_matches_the_papers_fractions() {
+    // §III-C3 / Fig. 6: CSThrs leave ≈ {100, 75, 60, 35, 25, 12.5}% of
+    // the L3. Our measured ladder must be monotone and land within
+    // ±12 percentage points of the paper at k = 1..3 (where the paper's
+    // own dispersion is low).
+    let m = machine();
+    let cmap = CapacityMap::calibrate(&m, &Default::default());
+    let l3 = m.l3.size_bytes as f64;
+    let frac = |k: usize| cmap.available_bytes(k) / l3;
+    let paper = [1.0, 0.75, 0.60, 0.35, 0.25, 0.125];
+    for k in 0..=5 {
+        assert!(
+            frac(k) <= frac(k.saturating_sub(1)) + 0.02,
+            "ladder must fall: k={k}"
+        );
+    }
+    for (k, &expected) in paper.iter().enumerate().take(4).skip(1) {
+        assert!(
+            (frac(k) - expected).abs() < 0.12,
+            "k={k}: {:.2} vs paper {:.2}",
+            frac(k),
+            expected
+        );
+    }
+}
+
+#[test]
+fn csthr_residency_is_near_total_for_few_threads() {
+    // §II-B: CSThr "predictably utilizes a fixed fraction of the target
+    // shared cache". One or two threads must hold ≥90% of their buffers.
+    let m = machine();
+    for k in [1usize, 2] {
+        let res = cs_residency(&m, k);
+        for (i, r) in res.iter().enumerate() {
+            assert!(*r > 0.9, "thread {i} of {k}: residency {r:.2}");
+        }
+    }
+}
+
+#[test]
+fn lulesh_footprints_match_paper() {
+    use active_mem::miniapps::LuleshCfg;
+    // Figs. 11-12: per-process storage 3.5 MB at 22^3 growing past 15 MB
+    // at 36^3 (full scale).
+    let f = |e: u32| LuleshCfg::new(e).footprint() as f64 / 1e6;
+    assert!((f(22) - 3.5).abs() < 0.3, "22^3 -> {:.1} MB", f(22));
+    assert!(f(36) > 15.0, "36^3 -> {:.1} MB", f(36));
+    assert!(f(36) < 17.0);
+}
+
+#[test]
+fn mcb_process_counts_match_paper_node_math() {
+    use active_mem::sim::cluster::RankMap;
+    // §IV: "MCB uses a total of 24 processes and each node has 2
+    // processors, when p processes run on one processor the overall
+    // application uses 24/(2p) nodes".
+    let m = MachineConfig::xeon20mb();
+    for p in [1usize, 2, 3, 4, 6] {
+        let map = RankMap::new(&m, 24, p);
+        assert_eq!(map.nodes(), 24 / (2 * p), "p={p}");
+    }
+}

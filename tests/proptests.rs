@@ -1,0 +1,263 @@
+//! Property-based tests over the core data structures and invariants.
+
+use active_mem::probes::dist::AccessDist;
+use active_mem::probes::ehr;
+use active_mem::sim::cache::{Cache, InsertPolicy, Replacement};
+use active_mem::sim::cluster::RankMap;
+use active_mem::sim::config::{CacheConfig, MachineConfig};
+use active_mem::sim::rng::Xoshiro256;
+use proptest::prelude::*;
+
+fn any_dist() -> impl Strategy<Value = AccessDist> {
+    prop_oneof![
+        (0.3f64..0.7, 0.05f64..0.4).prop_map(|(mu, sigma)| AccessDist::Normal { mu, sigma }),
+        (1.0f64..12.0).prop_map(|rate| AccessDist::Exponential { rate }),
+        (0.05f64..0.95).prop_map(|mode| AccessDist::Triangular { mode }),
+        Just(AccessDist::Uniform),
+    ]
+}
+
+fn any_cache_cfg() -> impl Strategy<Value = CacheConfig> {
+    (1u32..6, 1u32..9, any::<bool>()).prop_map(|(ways_pow, sets_pow, hash)| CacheConfig {
+        size_bytes: 64u64 << (ways_pow + sets_pow),
+        line_bytes: 64,
+        ways: 1 << ways_pow,
+        latency: 1,
+        replacement: Replacement::Lru,
+        insert: InsertPolicy::Mru,
+        hash_sets: hash,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cdf_is_monotone_and_proper(dist in any_dist(), xs in proptest::collection::vec(0.0f64..1.0, 2..20)) {
+        prop_assert_eq!(dist.cdf(0.0), 0.0);
+        prop_assert_eq!(dist.cdf(1.0), 1.0);
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for x in sorted {
+            let c = dist.cdf(x);
+            prop_assert!((0.0..=1.0).contains(&c));
+            prop_assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn samples_lie_in_range(dist in any_dist(), seed in any::<u64>(), n in 1u64..10_000) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(dist.sample_index(&mut rng, n) < n);
+        }
+    }
+
+    #[test]
+    fn line_masses_sum_to_one(dist in any_dist(), kb in 64u64..4096) {
+        let masses = ehr::line_masses(&dist, kb * 1024, 4, 64);
+        let sum: f64 = masses.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum = {}", sum);
+        prop_assert!(masses.iter().all(|&g| g >= 0.0));
+    }
+
+    #[test]
+    fn ehr_inversion_roundtrips(dist in any_dist(), cache_kb in 64u64..1024, buffer_mult in 2u64..6) {
+        let buffer = cache_kb * 1024 * buffer_mult;
+        let cache_lines = cache_kb * 1024 / 64;
+        let ssq = ehr::sum_sq_line_mass(&dist, buffer, 4, 64);
+        prop_assume!(ssq > 0.0);
+        let mr = ehr::expected_miss_rate(cache_lines, ssq);
+        // Only invertible while the model is in its linear (unclamped)
+        // regime, i.e. EHR < 1.
+        prop_assume!(mr > 1e-9);
+        let back = ehr::effective_cache_lines(mr, ssq);
+        prop_assert!((back - cache_lines as f64).abs() < 1.0,
+            "{} vs {}", back, cache_lines);
+    }
+
+    #[test]
+    fn cache_occupancy_never_exceeds_capacity(
+        cfg in any_cache_cfg(),
+        ops in proptest::collection::vec((0u64..100_000, any::<bool>()), 1..400),
+    ) {
+        let mut c = Cache::new(&cfg);
+        for (line, store) in ops {
+            if !c.lookup(line, store) {
+                c.fill(line, store);
+            }
+            prop_assert!(c.occupancy() <= c.capacity_lines());
+        }
+    }
+
+    #[test]
+    fn cache_fill_then_lookup_hits(cfg in any_cache_cfg(), line in 0u64..1_000_000) {
+        let mut c = Cache::new(&cfg);
+        c.fill(line, false);
+        prop_assert!(c.lookup(line, false));
+        prop_assert!(c.contains(line));
+    }
+
+    #[test]
+    fn cache_invalidate_removes(cfg in any_cache_cfg(), lines in proptest::collection::vec(0u64..10_000, 1..50)) {
+        let mut c = Cache::new(&cfg);
+        for &l in &lines {
+            c.fill(l, true);
+        }
+        for &l in &lines {
+            c.invalidate(l);
+            prop_assert!(!c.contains(l));
+        }
+        prop_assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn rankmap_places_every_local_rank_uniquely(
+        ranks in 1usize..65,
+        per in 1usize..9,
+    ) {
+        let m = MachineConfig::xeon20mb();
+        let map = RankMap::new(&m, ranks, per);
+        let mut cores = std::collections::HashSet::new();
+        for r in map.local_ranks() {
+            let core = map.core_of(r).expect("local rank has a core");
+            prop_assert!(cores.insert((core.socket, core.core)), "core reused");
+            prop_assert!((core.core as usize) < per);
+        }
+        // Free cores never collide with rank cores.
+        for f in map.free_cores() {
+            prop_assert!(!cores.contains(&(f.socket, f.core)));
+        }
+    }
+
+    #[test]
+    fn rankmap_locality_is_symmetric(
+        ranks in 2usize..65,
+        per in 1usize..9,
+        a in 0usize..64,
+        b in 0usize..64,
+    ) {
+        prop_assume!(a < ranks && b < ranks);
+        let m = MachineConfig::xeon20mb();
+        let map = RankMap::new(&m, ranks, per);
+        prop_assert_eq!(map.locality(a, b), map.locality(b, a));
+    }
+
+    #[test]
+    fn xoshiro_below_is_always_in_range(seed in any::<u64>(), n in 1u64..u64::MAX) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        for _ in 0..20 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn scaled_machines_keep_valid_geometry(denom in 1u32..6) {
+        let f = 1.0 / (1u64 << denom) as f64;
+        let m = MachineConfig::xeon20mb().scaled(f);
+        prop_assert!(m.l1.sets() >= 1);
+        prop_assert!(m.l2.sets() >= 1);
+        prop_assert!(m.l3.sets() >= 1);
+        // Hierarchy ordering is preserved.
+        prop_assert!(m.l1.size_bytes <= m.l2.size_bytes);
+        prop_assert!(m.l2.size_bytes <= m.l3.size_bytes);
+    }
+}
+
+/// Engine-level invariants over random instruction scripts.
+mod engine_invariants {
+    use active_mem::sim::engine::RunLimit;
+    use active_mem::sim::prelude::*;
+    use active_mem::sim::stream::ScriptStream;
+    use proptest::prelude::*;
+
+    fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+        proptest::collection::vec(
+            prop_oneof![
+                (0u64..1 << 22).prop_map(|a| Op::Load(0x1000_0000 + a)),
+                (0u64..1 << 22).prop_map(|a| Op::Store(0x1000_0000 + a)),
+                (0u32..200).prop_map(Op::Compute),
+            ],
+            1..300,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn counters_are_hierarchy_consistent(ops in arb_ops(), mlp in 1u8..9) {
+            let cfg = MachineConfig::xeon20mb().scaled(0.0625);
+            let mut m = Machine::new(cfg);
+            let jobs = vec![Job::primary(
+                Box::new(ScriptStream::new(ops.clone()).with_mlp(mlp)),
+                CoreId::new(0, 0),
+            )];
+            let r = m.run(jobs, RunLimit::default());
+            let c = &r.jobs[0].counters;
+            // Every access resolves at exactly one level.
+            prop_assert_eq!(c.l1_hits + c.l1_misses, c.loads + c.stores);
+            prop_assert_eq!(c.l2_hits + c.l2_misses, c.l1_misses);
+            prop_assert_eq!(c.l3_hits + c.l3_misses, c.l2_misses);
+            prop_assert_eq!(c.dram_demand_lines, c.l3_misses);
+            // Op counts match the script.
+            let loads = ops.iter().filter(|o| matches!(o, Op::Load(_))).count() as u64;
+            let stores = ops.iter().filter(|o| matches!(o, Op::Store(_))).count() as u64;
+            prop_assert_eq!(c.loads, loads);
+            prop_assert_eq!(c.stores, stores);
+            // Time accounting: the job finished, wall time covers it.
+            prop_assert!(r.jobs[0].done);
+            prop_assert_eq!(r.wall_cycles, c.cycles);
+            // Compute cycles accumulate exactly.
+            let compute: u64 = ops
+                .iter()
+                .filter_map(|o| match o {
+                    Op::Compute(x) => Some(*x as u64),
+                    _ => None,
+                })
+                .sum();
+            prop_assert_eq!(c.compute_cycles, compute);
+        }
+
+        #[test]
+        fn runs_are_deterministic(ops in arb_ops()) {
+            let run = || {
+                let cfg = MachineConfig::xeon20mb().scaled(0.0625);
+                let mut m = Machine::new(cfg);
+                let jobs = vec![Job::primary(
+                    Box::new(ScriptStream::new(ops.clone()).with_mlp(4)),
+                    CoreId::new(0, 0),
+                )];
+                m.run(jobs, RunLimit::default())
+            };
+            let a = run();
+            let b = run();
+            prop_assert_eq!(a.wall_cycles, b.wall_cycles);
+            prop_assert_eq!(a.jobs[0].counters.l3_misses, b.jobs[0].counters.l3_misses);
+            prop_assert_eq!(
+                a.sockets[0].dram.writeback_lines,
+                b.sockets[0].dram.writeback_lines
+            );
+        }
+
+        #[test]
+        fn two_core_runs_conserve_events(ops_a in arb_ops(), ops_b in arb_ops()) {
+            let cfg = MachineConfig::xeon20mb().scaled(0.0625);
+            let mut m = Machine::new(cfg.clone());
+            let jobs = vec![
+                Job::primary(Box::new(ScriptStream::new(ops_a.clone())), CoreId::new(0, 0)),
+                Job::primary(Box::new(ScriptStream::new(ops_b.clone())), CoreId::new(0, 1)),
+            ];
+            let r = m.run(jobs, RunLimit::default());
+            // Socket demand = sum of the cores' demand lines.
+            let demand: u64 = r.jobs.iter().map(|j| j.counters.dram_demand_lines).sum();
+            prop_assert_eq!(r.sockets[0].dram.demand_lines, demand);
+            // Wall is the max of the two finish times.
+            let max_cyc = r.jobs.iter().map(|j| j.counters.cycles).max().unwrap();
+            prop_assert_eq!(r.wall_cycles, max_cyc);
+            prop_assert!(r.jobs.iter().all(|j| j.done));
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Cross-validation of the two MRC instruments: the *offline* Mattson
+//! stack analysis of a recorded trace vs the *online* active-measurement
+//! estimate (interference + Eq. 4 inversion). Agreement here means the
+//! paper's methodology recovers what a trace-based tool would — without
+//! ever recording a trace, which is the whole point.
+
+use active_mem::probes::dist::AccessDist;
+use active_mem::probes::ehr;
+use active_mem::probes::probe::{ProbeCfg, ProbeStream};
+use active_mem::sim::machine::Machine;
+use active_mem::sim::prelude::*;
+use active_mem::sim::trace::TraceRecorder;
+
+fn machine_cfg() -> MachineConfig {
+    MachineConfig::xeon20mb().scaled(0.0625)
+}
+
+/// Record a probe's full address trace and the index where its warm-up
+/// ends (the `Op::Mark` position in reference counts).
+fn record_probe(
+    cfg: &MachineConfig,
+    dist: AccessDist,
+    ratio: f64,
+) -> (active_mem::sim::trace::Trace, usize) {
+    let mut m = Machine::new(cfg.clone());
+    let pcfg = ProbeCfg::for_machine(cfg, dist, ratio, 1);
+    let mut rec = TraceRecorder::new(ProbeStream::new(&mut m, &pcfg));
+    // Drive the stream directly (no engine needed to collect addresses).
+    let mut trace = active_mem::sim::trace::Trace::default();
+    let mut warm_refs = 0usize;
+    let mut marked = false;
+    loop {
+        let op = rec.next_op();
+        match op {
+            Op::Done => break,
+            Op::Mark => marked = true,
+            Op::Load(a) => {
+                trace.events.push(active_mem::sim::trace::TraceEvent::Load(a));
+                if !marked {
+                    warm_refs += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    (trace, warm_refs)
+}
+
+#[test]
+fn offline_mrc_matches_eq4_for_uniform() {
+    // For uniform access, Eq. 4's miss rate (1 - C/L) and the stack
+    // distance analysis must agree: reuse distances of uniform random
+    // access are geometric over the footprint.
+    let cfg = machine_cfg();
+    let (trace, warm) = record_probe(&cfg, AccessDist::Uniform, 2.0);
+    let buffer_bytes = (cfg.l3.size_bytes as f64 * 2.0) as u64;
+    let ssq = ehr::sum_sq_line_mass(&AccessDist::Uniform, buffer_bytes, 4, 64);
+    for frac in [0.25, 0.5, 0.75] {
+        let cap_lines = (cfg.l3.lines() as f64 * frac) as u64;
+        let offline = trace.lru_miss_ratio_after(warm, cap_lines);
+        let analytic = ehr::expected_miss_rate(cap_lines, ssq);
+        assert!(
+            (offline - analytic).abs() < 0.08,
+            "frac {frac}: offline {offline:.3} vs Eq.4 {analytic:.3}"
+        );
+    }
+}
+
+#[test]
+fn offline_mrc_matches_measured_miss_rate() {
+    // The trace's stack-distance miss ratio at the machine's real L3
+    // capacity must match what the cycle-level simulation measures for
+    // the same probe (fully-associative assumption => small gap).
+    use active_mem::probes::probe::run_probe;
+    let cfg = machine_cfg();
+    let dist = AccessDist::Exponential { rate: 6.0 };
+    let (trace, warm) = record_probe(&cfg, dist, 2.5);
+    let offline = trace.lru_miss_ratio_after(warm, cfg.l3.lines());
+    let pcfg = ProbeCfg::for_machine(&cfg, dist, 2.5, 1);
+    let measured = run_probe(&cfg, &pcfg, |_| Vec::new()).l3_miss_rate;
+    assert!(
+        (offline - measured).abs() < 0.12,
+        "offline {offline:.3} vs measured {measured:.3}"
+    );
+}
+
+#[test]
+fn concentrated_distributions_have_lower_stack_misses() {
+    let cfg = machine_cfg();
+    let cap = cfg.l3.lines();
+    let (ut, uw) = record_probe(&cfg, AccessDist::Uniform, 2.5);
+    let uni = ut.lru_miss_ratio_after(uw, cap);
+    let (nt, nw) = record_probe(
+        &cfg,
+        AccessDist::Normal {
+            mu: 0.5,
+            sigma: 0.125,
+        },
+        2.5,
+    );
+    let narrow = nt.lru_miss_ratio_after(nw, cap);
+    assert!(
+        narrow < uni,
+        "concentrated {narrow:.3} must miss less than uniform {uni:.3}"
+    );
+}
