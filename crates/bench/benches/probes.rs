@@ -60,5 +60,11 @@ fn bench_xray(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_sampling, bench_model, bench_probe_run, bench_xray);
+criterion_group!(
+    benches,
+    bench_sampling,
+    bench_model,
+    bench_probe_run,
+    bench_xray
+);
 criterion_main!(benches);

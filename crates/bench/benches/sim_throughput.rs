@@ -66,9 +66,7 @@ fn bench_engine(c: &mut Criterion) {
                         let ops: Vec<Op> = (0..n / 8)
                             .map(|_| {
                                 Op::Load(
-                                    0x1000_0000
-                                        + core as u64 * (1 << 26)
-                                        + rng.below(1 << 15) * 64,
+                                    0x1000_0000 + core as u64 * (1 << 26) + rng.below(1 << 15) * 64,
                                 )
                             })
                             .collect();

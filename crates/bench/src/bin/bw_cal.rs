@@ -2,17 +2,20 @@
 //! saturation as threads are added. Paper: ≈2.8 GB/s per thread; seven
 //! threads ≈ 100% of the machine's 17 GB/s.
 
-use amem_bench::Args;
+use amem_bench::Harness;
 use amem_core::report::Table;
 use amem_interfere::calibrate::bw_threads_gbs;
 use amem_probes::stream::measure_stream;
 
 fn main() {
-    let args = Args::parse();
-    let m = args.machine();
+    let mut h = Harness::new("bw_cal");
+    let m = h.machine();
     let stream = measure_stream(&m, m.cores_per_socket as usize).total_gbs;
     let mut t = Table::new(
-        format!("BWThr calibration on {} (STREAM total {:.2} GB/s)", m.name, stream),
+        format!(
+            "BWThr calibration on {} (STREAM total {:.2} GB/s)",
+            m.name, stream
+        ),
         &[
             "BWThrs",
             "Eq.1 GB/s per thread",
@@ -31,7 +34,7 @@ fn main() {
             format!("{:.0}%", 100.0 * c.total_channel_gbs / stream),
         ]);
     }
-    args.emit("bw_cal", &t);
+    h.emit("bw_cal", &t);
     let one = bw_threads_gbs(&m, 1);
     println!(
         "One BWThr uses {:.2} GB/s by Eq. 1 (paper: 2.8 GB/s at full scale); \
@@ -39,4 +42,5 @@ fn main() {
         one.per_thread_gbs,
         stream / one.per_thread_gbs
     );
+    h.finish();
 }

@@ -7,7 +7,7 @@
 //! If way partitioning works, the degradation knee disappears — the
 //! probe's effective capacity stays at the protected share.
 
-use amem_bench::Args;
+use amem_bench::Harness;
 use amem_core::report::Table;
 use amem_interfere::{CsThread, CsThreadCfg};
 use amem_probes::dist::AccessDist;
@@ -39,8 +39,8 @@ fn run(m_cfg: &MachineConfig, k: usize, cat_mask: Option<u32>) -> (f64, f64) {
 }
 
 fn main() {
-    let args = Args::parse();
-    let m = args.machine();
+    let mut h = Harness::new("cat");
+    let m = h.machine();
     // Confine interference to the low quarter of the L3's ways.
     let quarter: u32 = (1u32 << (m.l3.ways / 4).max(1)) - 1;
     let pcfg = ProbeCfg::for_machine(&m, AccessDist::Uniform, 2.0, 1);
@@ -71,10 +71,11 @@ fn main() {
             format!("{:.2}", cap(mr_cat)),
         ]);
     }
-    args.emit("cat", &t);
+    h.emit("cat", &t);
     println!(
         "With CAT, the probe's effective capacity floors at the protected \
          3/4 share no matter how many CSThrs run — the degradation knee the \
          paper uses as its measurement signal is engineered away."
     );
+    h.finish();
 }

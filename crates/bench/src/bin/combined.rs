@@ -6,16 +6,16 @@
 //! directly: run MCB under *simultaneous* CSThr+BWThr interference and
 //! compare against the product of the individually-measured slowdowns.
 
-use amem_bench::Args;
-use amem_core::platform::{McbWorkload, SimPlatform};
+use amem_bench::Harness;
+use amem_core::platform::McbWorkload;
 use amem_core::report::Table;
 use amem_interfere::{InterferenceMix, InterferenceSpec};
 use amem_miniapps::McbCfg;
 
 fn main() {
-    let args = Args::parse();
-    let m = args.machine();
-    let plat = SimPlatform::new(m.clone());
+    let mut h = Harness::new("combined");
+    let m = h.machine();
+    let plat = h.platform();
     let w = McbWorkload(McbCfg::new(&m, 60_000));
     let per = 2;
 
@@ -47,10 +47,11 @@ fn main() {
             format!("{:+.1}%", (composed / mixed - 1.0) * 100.0),
         ]);
     }
-    args.emit("combined", &t);
+    h.emit("combined", &t);
     println!(
         "Small errors validate treating the two resources as an orthogonal \
          basis (the paper's 2-D projection, §III-D); positive errors mean \
          composition over-predicts (the resources overlap slightly)."
     );
+    h.finish();
 }

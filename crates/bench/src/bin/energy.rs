@@ -2,17 +2,17 @@
 //! numerically): the same MCB run under rising interference, accounted
 //! with the event-energy model — slowdowns are also joules.
 
-use amem_bench::Args;
-use amem_core::platform::{McbWorkload, SimPlatform};
+use amem_bench::Harness;
+use amem_core::platform::McbWorkload;
 use amem_core::report::Table;
 use amem_interfere::{InterferenceKind, InterferenceSpec};
 use amem_miniapps::McbCfg;
 use amem_sim::energy::EnergyModel;
 
 fn main() {
-    let args = Args::parse();
-    let m = args.machine();
-    let plat = SimPlatform::new(m.clone());
+    let mut h = Harness::new("energy");
+    let m = h.machine();
+    let plat = h.platform();
     let w = McbWorkload(McbCfg::new(&m, 60_000));
     let model = EnergyModel::default();
     let mut t = Table::new(
@@ -54,10 +54,11 @@ fn main() {
             ]);
         }
     }
-    args.emit("energy", &t);
+    h.emit("energy", &t);
     println!(
         "Interference costs energy twice: extra DRAM events (dynamic) and \
          longer runtime under constant leakage (static) — the flat-power \
          arithmetic behind the paper's shrinking memory-per-core premise."
     );
+    h.finish();
 }

@@ -2,8 +2,8 @@
 //! interfere with increasing fractions of a resource until the
 //! application's performance degrades; the knee reveals its use.
 
-use amem_bench::Args;
-use amem_core::platform::{ProbeWorkload, SimPlatform};
+use amem_bench::Harness;
+use amem_core::platform::ProbeWorkload;
 use amem_core::report::Table;
 use amem_core::sweep::run_sweep;
 use amem_core::CapacityMap;
@@ -12,15 +12,18 @@ use amem_probes::dist::AccessDist;
 use amem_probes::probe::ProbeCfg;
 
 fn main() {
-    let args = Args::parse();
-    let m = args.machine();
-    let plat = SimPlatform::new(m.clone());
+    let mut h = Harness::new("fig1");
+    let m = h.machine();
+    let plat = h.platform();
     let cmap = CapacityMap::paper_xeon20mb(&m);
     // A workload with a known appetite: a concentrated probe whose hot
     // set is ≈ half the L3.
     let w = ProbeWorkload(ProbeCfg::for_machine(
         &m,
-        AccessDist::Normal { mu: 0.5, sigma: 0.125 },
+        AccessDist::Normal {
+            mu: 0.5,
+            sigma: 0.125,
+        },
         2.0,
         1,
     ));
@@ -49,5 +52,6 @@ fn main() {
             },
         ]);
     }
-    args.emit("fig1", &t);
+    h.emit("fig1", &t);
+    h.finish();
 }

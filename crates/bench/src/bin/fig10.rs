@@ -7,9 +7,9 @@
 //! processes spread out (3.5–4.25 GB/s at p=4 up to 11.4–14.2 at p=1) —
 //! spread-out processes push all communication through the memory bus.
 
-use amem_bench::Args;
+use amem_bench::Harness;
 use amem_core::estimate::{bandwidth_use_per_process, storage_use_per_process};
-use amem_core::platform::{McbWorkload, SimPlatform};
+use amem_core::platform::McbWorkload;
 use amem_core::report::{fmt_mb, Table};
 use amem_core::sweep::run_sweep;
 use amem_core::{BandwidthMap, CapacityMap};
@@ -19,9 +19,9 @@ use amem_miniapps::McbCfg;
 const TOL_PCT: f64 = 3.0;
 
 fn main() {
-    let args = Args::parse();
-    let m = args.machine();
-    let plat = SimPlatform::new(m.clone());
+    let mut h = Harness::new("fig10");
+    let m = h.machine();
+    let plat = h.platform();
     // Calibration: effective capacity per CSThr level (measured, like the
     // paper's §III-C3) and bandwidth per BWThr.
     eprintln!("calibrating capacity and bandwidth maps...");
@@ -52,10 +52,11 @@ fn main() {
             format!("{:.2}", b_iv.hi),
         ]);
     }
-    args.emit("fig10", &t);
+    h.emit("fig10", &t);
     println!("* = never degraded within the sweep (true use may be lower).");
     println!(
         "Paper (full scale): storage ≈3.5-7 MB/process, flat across mappings; \
          bandwidth/process grows as processes spread out."
     );
+    h.finish();
 }

@@ -10,17 +10,17 @@
 //! any storage interference. Bandwidth interference costs >10% for 32³
 //! and 36³ (the working set no longer fits, so the memory bus is hot).
 
-use amem_bench::Args;
-use amem_core::platform::{LuleshWorkload, SimPlatform};
+use amem_bench::Harness;
+use amem_core::platform::LuleshWorkload;
 use amem_core::report::Table;
 use amem_core::sweep::run_sweep;
 use amem_interfere::InterferenceKind;
 use amem_miniapps::LuleshCfg;
 
 fn main() {
-    let args = Args::parse();
-    let m = args.machine();
-    let plat = SimPlatform::new(m.clone());
+    let mut h = Harness::new("fig11");
+    let m = h.machine();
+    let plat = h.platform();
     let edge_of = |full: u32| LuleshCfg::scaled_edge(&m, full);
 
     // ---- Top: mapping sweep at 22^3 ----------------------------------
@@ -30,7 +30,12 @@ fn main() {
     ] {
         let mut t = Table::new(
             format!("Fig. 11 (top, {tag}) — Lulesh 64 ranks, 22^3 domain, mapping sweep"),
-            &["Ranks/processor", "Interference", "Time (ms)", "Degradation (%)"],
+            &[
+                "Ranks/processor",
+                "Interference",
+                "Time (ms)",
+                "Degradation (%)",
+            ],
         );
         for p in [1usize, 2, 4] {
             let w = LuleshWorkload(LuleshCfg::new(edge_of(22)));
@@ -44,11 +49,11 @@ fn main() {
                 ]);
             }
         }
-        args.emit(&format!("fig11_top_{tag}"), &t);
+        h.emit(&format!("fig11_top_{tag}"), &t);
     }
 
     // ---- Bottom: domain-size sweep at 1 rank/processor ----------------
-    let edges_full: Vec<u32> = if args.full {
+    let edges_full: Vec<u32> = if h.full {
         vec![22, 24, 26, 28, 30, 32, 34, 36]
     } else {
         vec![22, 26, 30, 32, 36]
@@ -59,7 +64,12 @@ fn main() {
     ] {
         let mut t = Table::new(
             format!("Fig. 11 (bottom, {tag}) — Lulesh 64 ranks, 1 rank/processor, size sweep"),
-            &["Domain edge (full-scale)", "Interference", "Time (ms)", "Degradation (%)"],
+            &[
+                "Domain edge (full-scale)",
+                "Interference",
+                "Time (ms)",
+                "Degradation (%)",
+            ],
         );
         for &e in &edges_full {
             let w = LuleshWorkload(LuleshCfg::new(edge_of(e)));
@@ -73,6 +83,7 @@ fn main() {
                 ]);
             }
         }
-        args.emit(&format!("fig11_bottom_{tag}"), &t);
+        h.emit(&format!("fig11_bottom_{tag}"), &t);
     }
+    h.finish();
 }

@@ -6,9 +6,9 @@
 //! processes keep MPI buffers in cache longer and push communication
 //! through the memory bus).
 
-use amem_bench::Args;
+use amem_bench::Harness;
 use amem_core::estimate::{bandwidth_use_per_process, storage_use_per_process};
-use amem_core::platform::{LuleshWorkload, SimPlatform};
+use amem_core::platform::LuleshWorkload;
 use amem_core::report::{fmt_mb, Table};
 use amem_core::sweep::run_sweep;
 use amem_core::{BandwidthMap, CapacityMap};
@@ -18,9 +18,9 @@ use amem_miniapps::LuleshCfg;
 const TOL_PCT: f64 = 3.0;
 
 fn main() {
-    let args = Args::parse();
-    let m = args.machine();
-    let plat = SimPlatform::new(m.clone());
+    let mut h = Harness::new("fig12");
+    let m = h.machine();
+    let plat = h.platform();
     eprintln!("calibrating capacity and bandwidth maps...");
     let cmap = CapacityMap::calibrate(&m, &Default::default());
     let bmap = BandwidthMap::calibrate(&m);
@@ -57,10 +57,11 @@ fn main() {
                 ),
             ]);
         }
-        args.emit(&format!("fig12_{full_edge}"), &t);
+        h.emit(&format!("fig12_{full_edge}"), &t);
     }
     println!(
         "Paper (full scale): 22^3 needs 3.5-7 MB/process, 36^3 needs 7-20 MB; \
          storage and bandwidth use rise as processes spread out."
     );
+    h.finish();
 }

@@ -7,7 +7,7 @@
 //! ≤ 15%, shrinking as buffers grow (the fully-associative assumption
 //! matters less once most accesses miss).
 
-use amem_bench::Args;
+use amem_bench::Harness;
 use amem_core::report::Table;
 use amem_probes::dist::table2;
 use amem_probes::ehr;
@@ -15,9 +15,9 @@ use amem_probes::probe::{run_probe, ProbeCfg};
 use rayon::prelude::*;
 
 fn main() {
-    let args = Args::parse();
-    let m = args.machine();
-    let ratios: Vec<f64> = if args.full {
+    let mut h = Harness::new("fig5");
+    let m = h.machine();
+    let ratios: Vec<f64> = if h.full {
         // The paper's 22 sizes: 30..74 MB of a 20 MB L3 → 1.5..3.7.
         (0..22).map(|i| 1.5 + 0.1 * i as f64).collect()
     } else {
@@ -39,7 +39,12 @@ fn main() {
         .collect();
     let mut t = Table::new(
         "Fig. 5 — |measured - predicted| L3 miss rate, averaged over the 10 distributions",
-        &["Buffer (MB)", "Buffer/L3", "Mean abs error (%)", "Mean + sigma (%)"],
+        &[
+            "Buffer (MB)",
+            "Buffer/L3",
+            "Mean abs error (%)",
+            "Mean + sigma (%)",
+        ],
     );
     for (ri, ratio) in ratios.iter().enumerate() {
         let vals: Vec<f64> = errs
@@ -48,8 +53,8 @@ fn main() {
             .map(|(_, e)| *e)
             .collect();
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-        let sd = (vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64)
-            .sqrt();
+        let sd =
+            (vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64).sqrt();
         let buffer_mb = m.l3.size_bytes as f64 * ratio / (1 << 20) as f64;
         t.row(vec![
             format!("{buffer_mb:.1}"),
@@ -58,5 +63,6 @@ fn main() {
             format!("{:.1}", mean + sd),
         ]);
     }
-    args.emit("fig5", &t);
+    h.emit("fig5", &t);
+    h.finish();
 }

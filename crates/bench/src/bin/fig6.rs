@@ -7,7 +7,7 @@
 //! paper's ladder: 20, 15, 12, 7, 5(4), 2.5(3) MB — and the dispersion
 //! across distributions grows with access frequency and interference.
 
-use amem_bench::Args;
+use amem_bench::Harness;
 use amem_core::report::Table;
 use amem_interfere::InterferenceSpec;
 use amem_probes::dist::table2;
@@ -17,9 +17,9 @@ use amem_sim::config::CoreId;
 use rayon::prelude::*;
 
 fn main() {
-    let args = Args::parse();
-    let m = args.machine();
-    let (ratios, dist_step): (Vec<f64>, usize) = if args.full {
+    let mut h = Harness::new("fig6");
+    let m = h.machine();
+    let (ratios, dist_step): (Vec<f64>, usize) = if h.full {
         ((0..22).map(|i| 1.5 + 0.1 * i as f64).collect(), 1)
     } else {
         (vec![1.8, 2.5, 3.2], 3)
@@ -59,7 +59,9 @@ fn main() {
 
     let l3_mb = m.l3.size_bytes as f64 / (1 << 20) as f64;
     let mut t = Table::new(
-        format!("Fig. 6 — effective L3 capacity (MB) under CSThr interference (L3 = {l3_mb:.1} MB)"),
+        format!(
+            "Fig. 6 — effective L3 capacity (MB) under CSThr interference (L3 = {l3_mb:.1} MB)"
+        ),
         &[
             "Adds/load",
             "CSThrs",
@@ -88,9 +90,10 @@ fn main() {
             ]);
         }
     }
-    args.emit("fig6", &t);
+    h.emit("fig6", &t);
     println!(
         "Paper ladder at full scale: 0->20, 1->15, 2->12, 3->7, 4->5, 5->2.5 MB \
          (100/75/60/35/25/12.5% of L3)."
     );
+    h.finish();
 }

@@ -5,7 +5,7 @@
 //! paper's result: bandwidth use, L3 miss rate and completion time of the
 //! BWThr stay flat — CSThrs do not consume measurable bandwidth.
 
-use amem_bench::Args;
+use amem_bench::Harness;
 use amem_core::report::Table;
 use amem_interfere::{BwThread, BwThreadCfg, InterferenceSpec};
 use amem_sim::config::CoreId;
@@ -13,8 +13,8 @@ use amem_sim::engine::{Job, RunLimit};
 use amem_sim::machine::Machine;
 
 fn main() {
-    let args = Args::parse();
-    let m = args.machine();
+    let mut h = Harness::new("fig7");
+    let m = h.machine();
     let iters = 6_000u64;
     let mut t = Table::new(
         format!("Fig. 7 — one BWThr ({iters} iterations) vs 0-5 concurrent CSThrs"),
@@ -46,6 +46,7 @@ fn main() {
             format!("{:.3}", m.seconds(c.cycles) * 1e3),
         ]);
     }
-    args.emit("fig7", &t);
+    h.emit("fig7", &t);
     println!("Paper: all three columns flat across 0-5 CSThrs.");
+    h.finish();
 }

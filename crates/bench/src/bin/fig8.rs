@@ -6,7 +6,7 @@
 //! but 3+ BWThrs displace enough cache to slow the CSThr and raise its
 //! bandwidth use — the boundary of the methods' independence.
 
-use amem_bench::Args;
+use amem_bench::Harness;
 use amem_core::report::Table;
 use amem_interfere::{CsThread, CsThreadCfg, InterferenceSpec};
 use amem_sim::config::CoreId;
@@ -14,8 +14,8 @@ use amem_sim::engine::{Job, RunLimit};
 use amem_sim::machine::Machine;
 
 fn main() {
-    let args = Args::parse();
-    let m = args.machine();
+    let mut h = Harness::new("fig8");
+    let m = h.machine();
     let rounds = 400_000u64;
     let mut t = Table::new(
         format!("Fig. 8 — one CSThr ({rounds} rounds) vs 0-5 concurrent BWThrs"),
@@ -47,9 +47,10 @@ fn main() {
             format!("{:.2}", m.seconds(c.cycles) * 1e9 / rounds as f64),
         ]);
     }
-    args.emit("fig8", &t);
+    h.emit("fig8", &t);
     println!(
         "Paper: flat for 0-2 BWThrs; visible slowdown and extra bandwidth \
          use from 3 BWThrs on (they start stealing cache storage)."
     );
+    h.finish();
 }

@@ -9,17 +9,17 @@
 //! Storage: little degradation through 3 CSThrs, 20–25% at 4–5. Bandwidth:
 //! impact grows to ≈90 k particles, then declines as compute dominates.
 
-use amem_bench::Args;
-use amem_core::platform::{McbWorkload, SimPlatform};
+use amem_bench::Harness;
+use amem_core::platform::McbWorkload;
 use amem_core::report::Table;
 use amem_core::sweep::run_sweep;
-use amem_interfere::InterferenceKind;
+use amem_interfere::{InterferenceKind, InterferenceSpec};
 use amem_miniapps::McbCfg;
 
 fn main() {
-    let args = Args::parse();
-    let m = args.machine();
-    let plat = SimPlatform::new(m.clone());
+    let mut h = Harness::new("fig9");
+    let m = h.machine();
+    let plat = h.platform();
 
     // ---- Top: mapping sweep at 20k particles --------------------------
     for (kind, max, tag) in [
@@ -28,7 +28,12 @@ fn main() {
     ] {
         let mut t = Table::new(
             format!("Fig. 9 (top, {tag}) — MCB 24 ranks, 20k particles, mapping sweep"),
-            &["Ranks/processor", "Interference", "Time (ms)", "Degradation (%)"],
+            &[
+                "Ranks/processor",
+                "Interference",
+                "Time (ms)",
+                "Degradation (%)",
+            ],
         );
         for p in [1usize, 2, 3, 4, 6] {
             let w = McbWorkload(McbCfg::new(&m, 20_000));
@@ -42,11 +47,11 @@ fn main() {
                 ]);
             }
         }
-        args.emit(&format!("fig9_top_{tag}"), &t);
+        h.emit(&format!("fig9_top_{tag}"), &t);
     }
 
     // ---- Bottom: particle sweep at 1 rank/processor -------------------
-    let particles: Vec<u64> = if args.full {
+    let particles: Vec<u64> = if h.full {
         (0..=12).map(|i| 20_000 + 20_000 * i).collect()
     } else {
         vec![20_000, 60_000, 90_000, 140_000, 200_000, 260_000]
@@ -71,6 +76,22 @@ fn main() {
                 ]);
             }
         }
-        args.emit(&format!("fig9_bottom_{tag}"), &t);
+        h.emit(&format!("fig9_bottom_{tag}"), &t);
     }
+
+    // ---- Telemetry capture (--sample / --trace) -----------------------
+    // One representative point of the sweep, instrumented: per-core
+    // time-series JSONL plus a Perfetto-loadable Chrome trace, and the
+    // manifest's headline counters.
+    if h.telemetry_enabled() {
+        let w = McbWorkload(McbCfg::new(&m, 20_000));
+        let spec = InterferenceSpec {
+            kind: InterferenceKind::Storage,
+            count: 3,
+        };
+        let meas = plat.run(&w, 1, spec);
+        h.record_measurement(&meas);
+        h.export_telemetry("fig9_mcb", &meas.report);
+    }
+    h.finish();
 }

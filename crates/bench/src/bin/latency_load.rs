@@ -2,14 +2,14 @@
 //! companion to Eq. 1's bandwidth view ("cache misses take longer to
 //! complete" — paper §IV).
 
-use amem_bench::Args;
+use amem_bench::Harness;
 use amem_core::report::Table;
 use amem_interfere::latency::loaded_latency;
 use amem_interfere::InterferenceSpec;
 
 fn main() {
-    let args = Args::parse();
-    let m = args.machine();
+    let mut h = Harness::new("latency_load");
+    let m = h.machine();
     let mut t = Table::new(
         "Loaded DRAM latency (dependent chase over 4x the LLC)",
         &["Interference", "Cycles per miss", "ns per miss"],
@@ -36,10 +36,11 @@ fn main() {
             format!("{:.1}", l / m.freq_ghz),
         ]);
     }
-    args.emit("latency_load", &t);
+    h.emit("latency_load", &t);
     println!(
         "Bandwidth interference queues the probe's misses; storage \
          interference barely moves them — the same orthogonality as Figs. 7-8, \
          seen from the latency side."
     );
+    h.finish();
 }

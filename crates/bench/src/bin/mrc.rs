@@ -1,9 +1,9 @@
 //! Miss-ratio curves via active measurement, and Hartstein's "is it √2?"
 //! power law (the paper's ref [9]) tested on several workloads.
 
-use amem_bench::Args;
+use amem_bench::Harness;
 use amem_core::mrc::MissRatioCurve;
-use amem_core::platform::{McbWorkload, ProbeWorkload, SimPlatform, Workload};
+use amem_core::platform::{McbWorkload, ProbeWorkload, Workload};
 use amem_core::report::Table;
 use amem_core::sweep::run_sweep;
 use amem_core::CapacityMap;
@@ -13,9 +13,9 @@ use amem_probes::dist::AccessDist;
 use amem_probes::probe::ProbeCfg;
 
 fn main() {
-    let args = Args::parse();
-    let m = args.machine();
-    let plat = SimPlatform::new(m.clone());
+    let mut h = Harness::new("mrc");
+    let m = h.machine();
+    let plat = h.platform();
     let cmap = CapacityMap::paper_xeon20mb(&m);
 
     let workloads: Vec<(&str, Box<dyn Workload>)> = vec![
@@ -32,15 +32,15 @@ fn main() {
             "probe-zipf",
             Box::new(ProbeWorkload(ProbeCfg::for_machine(
                 &m,
-                AccessDist::Pareto { alpha: 1.2, x_min: 1e-4 },
+                AccessDist::Pareto {
+                    alpha: 1.2,
+                    x_min: 1e-4,
+                },
                 2.5,
                 1,
             ))),
         ),
-        (
-            "mcb-20k",
-            Box::new(McbWorkload(McbCfg::new(&m, 20_000))),
-        ),
+        ("mcb-20k", Box::new(McbWorkload(McbCfg::new(&m, 20_000)))),
     ];
 
     let mut t = Table::new(
@@ -65,9 +65,10 @@ fn main() {
             ]);
         }
     }
-    args.emit("mrc", &t);
+    h.emit("mrc", &t);
     println!(
         "Hartstein et al. (paper ref [9]) report alpha ≈ 0.5 for typical \
          workloads; uniform random access is the analytic alpha = 1 corner."
     );
+    h.finish();
 }

@@ -1,18 +1,19 @@
 //! Noise amplification (paper §IV, refs [11][18]): interference-induced
 //! jitter is amplified by BSP barriers as ranks multiply.
 
-use amem_bench::Args;
+use amem_bench::Harness;
 use amem_core::noise::{measure_amplification, NoiseCfg};
 use amem_core::report::Table;
 
 fn main() {
-    let args = Args::parse();
-    let m = args.machine();
+    let mut h = Harness::new("noise_amp");
+    let m = h.machine();
     let noise = NoiseCfg {
         rate: 5e-3,
         mean_cycles: 5_000.0,
         seed: 7,
     };
+    h.set_seed(noise.seed);
     let mut t = Table::new(
         "Barrier amplification of stochastic slowdown",
         &[
@@ -34,10 +35,11 @@ fn main() {
             format!("{:.2}x", a.amplification()),
         ]);
     }
-    args.emit("noise_amp", &t);
+    h.emit("noise_amp", &t);
     println!(
         "The max over per-rank noise grows with the rank count while the \
          mean stays put — why the paper's parallel runs feel interference \
          harder than single-process ones."
     );
+    h.finish();
 }

@@ -6,8 +6,8 @@
 //! memory bandwidth — the Exascale "1-2 orders of magnitude less memory
 //! per core" scenario the paper motivates with.
 
-use amem_bench::Args;
-use amem_core::platform::{McbWorkload, SimPlatform};
+use amem_bench::Harness;
+use amem_core::platform::McbWorkload;
 use amem_core::predict::{predict_combined, DegradationModel, HypotheticalMachine};
 use amem_core::report::Table;
 use amem_core::sweep::run_sweep;
@@ -16,9 +16,9 @@ use amem_interfere::InterferenceKind;
 use amem_miniapps::McbCfg;
 
 fn main() {
-    let args = Args::parse();
-    let m = args.machine();
-    let plat = SimPlatform::new(m.clone());
+    let mut h = Harness::new("predict");
+    let m = h.machine();
+    let plat = h.platform();
     eprintln!("calibrating and sweeping...");
     let cmap = CapacityMap::calibrate(&m, &Default::default());
     let bmap = BandwidthMap::calibrate(&m);
@@ -65,9 +65,10 @@ fn main() {
             format!("{:.2}x", pred / baseline),
         ]);
     }
-    args.emit("predict", &t);
+    h.emit("predict", &t);
     println!(
         "Predictions interpolate measured degradation; below the most \
          constrained measured point they are lower bounds."
     );
+    h.finish();
 }

@@ -1,12 +1,24 @@
-//! Run the entire reproduction suite in sequence.
+//! Run the entire reproduction suite in sequence, then aggregate every
+//! run's manifest into a cross-experiment comparison report.
 //!
 //! Equivalent to running every table/figure binary with the same
-//! arguments; results land in `target/repro/*.csv`.
+//! arguments; CSVs, manifests (and, with `--sample`/`--trace`, telemetry
+//! files) land in `target/repro/`. Sweep progress logging is enabled for
+//! the children (set `AMEM_PROGRESS=0` to silence it).
 
+use std::path::PathBuf;
 use std::process::Command;
+
+use amem_core::manifest::{self, RunManifest};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let out: PathBuf = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/repro"));
     let bins = [
         "table1",
         "table2",
@@ -35,13 +47,40 @@ fn main() {
         .parent()
         .expect("exe dir")
         .to_path_buf();
-    for bin in bins {
-        println!("=== {bin} {} ===", args.join(" "));
+    let progress = std::env::var("AMEM_PROGRESS").unwrap_or_else(|_| "1".into());
+    for (i, bin) in bins.iter().enumerate() {
+        println!(
+            "=== [{}/{}] {bin} {} ===",
+            i + 1,
+            bins.len(),
+            args.join(" ")
+        );
         let status = Command::new(exe_dir.join(bin))
             .args(&args)
+            .env("AMEM_PROGRESS", &progress)
             .status()
             .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
         assert!(status.success(), "{bin} failed with {status}");
     }
-    println!("All reproduction binaries completed; CSVs in target/repro/.");
+
+    // ---- Aggregate the manifests every binary just wrote --------------
+    let (manifests, errors) = manifest::load_dir(&out);
+    for e in &errors {
+        eprintln!("warning: {e}");
+    }
+    let table = manifest::comparison_table(&manifests);
+    println!("{}", table.render());
+    let csv = out.join("repro_all.csv");
+    if let Err(e) = table.write_csv(&csv) {
+        eprintln!("warning: could not write {}: {e}", csv.display());
+    }
+    let total_wall: f64 = manifests.iter().map(|m: &RunManifest| m.wall_seconds).sum();
+    println!(
+        "All {} reproduction binaries completed ({} manifests, {:.1}s total child wall time); \
+         outputs in {}.",
+        bins.len(),
+        manifests.len(),
+        total_wall,
+        out.display()
+    );
 }

@@ -1,13 +1,13 @@
 //! STREAM calibration: the paper's "17 GB/s between the L3 cache and
 //! memory according to the STREAM benchmark".
 
-use amem_bench::Args;
+use amem_bench::Harness;
 use amem_core::report::Table;
 use amem_probes::stream::measure_stream;
 
 fn main() {
-    let args = Args::parse();
-    let m = args.machine();
+    let mut h = Harness::new("stream_cal");
+    let m = h.machine();
     let mut t = Table::new(
         format!(
             "STREAM triad on {} (raw channel {:.1} GB/s per socket)",
@@ -25,10 +25,11 @@ fn main() {
             format!("{:.0}%", 100.0 * r.total_gbs / m.raw_dram_gbs()),
         ]);
     }
-    args.emit("stream_cal", &t);
+    h.emit("stream_cal", &t);
     let full = measure_stream(&m, m.cores_per_socket as usize);
     println!(
         "Machine bandwidth (the paper's '17 GB/s'): {:.2} GB/s",
         full.total_gbs
     );
+    h.finish();
 }

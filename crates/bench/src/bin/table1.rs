@@ -1,17 +1,24 @@
 //! Table I: the Xeon20MB memory hierarchy (as simulated).
 
-use amem_bench::Args;
+use amem_bench::Harness;
 use amem_core::report::Table;
 
 fn main() {
-    let args = Args::parse();
-    let m = args.machine();
+    let mut h = Harness::new("table1");
+    let m = h.machine();
     let mut t = Table::new(
         format!(
             "Table I — {} memory hierarchy ({} sockets x {} cores @ {} GHz, scale {})",
-            m.name, m.sockets, m.cores_per_socket, m.freq_ghz, args.scale
+            m.name, m.sockets, m.cores_per_socket, m.freq_ghz, h.scale
         ),
-        &["Cache", "Scope", "Capacity", "Line Size", "Associativity", "Latency (cyc)"],
+        &[
+            "Cache",
+            "Scope",
+            "Capacity",
+            "Line Size",
+            "Associativity",
+            "Latency (cyc)",
+        ],
     );
     let kb = |b: u64| {
         if b >= 1 << 20 {
@@ -52,5 +59,6 @@ fn main() {
         "-".into(),
         m.dram_latency.to_string(),
     ]);
-    args.emit("table1", &t);
+    h.emit("table1", &t);
+    h.finish();
 }

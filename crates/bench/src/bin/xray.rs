@@ -2,13 +2,13 @@
 //! dependent pointer chases sweep the working set and report each level's
 //! capacity and latency — doubling as a simulator self-check.
 
-use amem_bench::Args;
+use amem_bench::Harness;
 use amem_core::report::Table;
 use amem_probes::xray::{detect_levels, latency_curve};
 
 fn main() {
-    let args = Args::parse();
-    let m = args.machine();
+    let mut h = Harness::new("xray");
+    let m = h.machine();
     eprintln!("chasing pointers across working-set sizes...");
     let curve = latency_curve(&m, 1 << 10, 3 * m.l3.size_bytes, 15_000);
     let mut t = Table::new(
@@ -21,12 +21,17 @@ fn main() {
             format!("{:.1}", p.cycles_per_load),
         ]);
     }
-    args.emit("xray_curve", &t);
+    h.emit("xray_curve", &t);
 
     let levels = detect_levels(&curve, 1.6);
     let mut t = Table::new(
         "Detected hierarchy levels vs ground truth",
-        &["Level", "Detected capacity (KB)", "Detected latency (cyc)", "Configured"],
+        &[
+            "Level",
+            "Detected capacity (KB)",
+            "Detected latency (cyc)",
+            "Configured",
+        ],
     );
     let truth = [
         format!("L1 {}KB @{}cyc", m.l1.size_bytes >> 10, m.l1.latency),
@@ -42,5 +47,6 @@ fn main() {
             truth.get(i).cloned().unwrap_or_else(|| "-".into()),
         ]);
     }
-    args.emit("xray_levels", &t);
+    h.emit("xray_levels", &t);
+    h.finish();
 }

@@ -37,8 +37,13 @@
 //! Tables print to stdout and are mirrored as CSV under `target/repro/`.
 
 use std::path::PathBuf;
+use std::time::Instant;
 
+use amem_core::manifest::RunManifest;
+use amem_core::platform::{Measurement, SimPlatform};
 use amem_sim::config::MachineConfig;
+use amem_sim::engine::RunReport;
+use amem_sim::CoreCounters;
 
 /// Parsed common CLI arguments.
 #[derive(Debug, Clone)]
@@ -49,6 +54,10 @@ pub struct Args {
     pub full: bool,
     /// Output directory for CSV mirrors.
     pub out: PathBuf,
+    /// Counter-sampling interval in cycles (`--sample`), off by default.
+    pub sample: Option<u64>,
+    /// Span-trace ring capacity in events (`--trace`), off by default.
+    pub trace: Option<usize>,
 }
 
 impl Default for Args {
@@ -57,12 +66,15 @@ impl Default for Args {
             scale: 0.125,
             full: false,
             out: PathBuf::from("target/repro"),
+            sample: None,
+            trace: None,
         }
     }
 }
 
 impl Args {
-    /// Parse `--scale <f>`, `--full`, `--out <dir>` from the process args.
+    /// Parse `--scale <f>`, `--full`, `--out <dir>`, `--sample <cycles>`,
+    /// `--trace <events>` from the process args.
     pub fn parse() -> Self {
         let mut out = Self::default();
         let mut it = std::env::args().skip(1);
@@ -77,7 +89,21 @@ impl Args {
                 "--out" => {
                     out.out = PathBuf::from(it.next().expect("--out needs a value"));
                 }
-                other => panic!("unknown argument: {other} (expected --scale/--full/--out)"),
+                "--sample" => {
+                    let v = it.next().expect("--sample needs a cycle interval");
+                    let n: u64 = v.parse().expect("--sample must be an integer");
+                    assert!(n > 0, "--sample must be positive");
+                    out.sample = Some(n);
+                }
+                "--trace" => {
+                    let v = it.next().expect("--trace needs an event capacity");
+                    let n: usize = v.parse().expect("--trace must be an integer");
+                    assert!(n > 0, "--trace must be positive");
+                    out.trace = Some(n);
+                }
+                other => panic!(
+                    "unknown argument: {other} (expected --scale/--full/--out/--sample/--trace)"
+                ),
             }
         }
         out
@@ -103,6 +129,153 @@ impl Args {
             println!("[csv] {}\n", path.display());
         }
     }
+
+    /// A platform with this invocation's sampling/tracing knobs applied.
+    pub fn platform(&self) -> SimPlatform {
+        let mut p = SimPlatform::new(self.machine());
+        if let Some(iv) = self.sample {
+            p = p.with_sampling(iv);
+        }
+        if let Some(cap) = self.trace {
+            p = p.with_tracing(cap);
+        }
+        p
+    }
+}
+
+/// The shared experiment harness: wraps [`Args`], times the run, records
+/// every emitted table, and writes a schema-versioned
+/// [`RunManifest`] to `<out>/<name>.manifest.json` on [`Harness::finish`].
+/// When `--sample`/`--trace` are given, [`Harness::export_telemetry`]
+/// additionally writes per-core sample JSONL and a Chrome trace-event file
+/// (loadable in Perfetto / `chrome://tracing`).
+pub struct Harness {
+    args: Args,
+    manifest: RunManifest,
+    start: Instant,
+}
+
+impl std::ops::Deref for Harness {
+    type Target = Args;
+    fn deref(&self) -> &Args {
+        &self.args
+    }
+}
+
+impl Harness {
+    /// Parse the CLI and open a manifest for experiment `name`.
+    pub fn new(name: &str) -> Self {
+        Self::with_args(name, Args::parse())
+    }
+
+    /// Like [`Harness::new`] with explicit arguments (for tests).
+    pub fn with_args(name: &str, args: Args) -> Self {
+        let mut manifest = RunManifest::new(name, args.machine());
+        manifest.scale = args.scale;
+        Self {
+            args,
+            manifest,
+            start: Instant::now(),
+        }
+    }
+
+    pub fn args(&self) -> &Args {
+        &self.args
+    }
+
+    /// Whether this invocation asked for sampling or tracing.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.args.sample.is_some() || self.args.trace.is_some()
+    }
+
+    /// Print a table, mirror it to CSV, and record it in the manifest.
+    pub fn emit(&mut self, name: &str, table: &amem_core::report::Table) {
+        self.args.emit(name, table);
+        self.manifest.tables.push(table.clone());
+    }
+
+    /// Record the RNG seed the experiment used.
+    pub fn set_seed(&mut self, seed: u64) {
+        self.manifest.seed = Some(seed);
+    }
+
+    /// Record a human-readable interference description.
+    pub fn set_interference(&mut self, desc: impl Into<String>) {
+        self.manifest.interference = Some(desc.into());
+    }
+
+    /// Append a free-form note to the manifest.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.manifest.notes.push(note.into());
+    }
+
+    /// Record a headline measurement: simulated seconds plus the merged
+    /// end-of-run counters of its primary ranks.
+    pub fn record_measurement(&mut self, m: &Measurement) {
+        self.manifest.sim_seconds = Some(m.seconds);
+        let mut agg = CoreCounters::default();
+        for j in m.report.jobs.iter().filter(|j| j.primary) {
+            agg.merge(&j.counters);
+        }
+        self.manifest.final_counters = Some(agg);
+        self.manifest.interference = Some(format!("{:?} x{}", m.spec.kind, m.spec.count));
+    }
+
+    /// Export a run's telemetry (when captured) as `<out>/<name>.samples.jsonl`
+    /// and `<out>/<name>.trace.json`. No-op if the run carried no telemetry.
+    pub fn export_telemetry(&mut self, name: &str, report: &RunReport) {
+        let Some(tel) = report.telemetry.as_ref() else {
+            return;
+        };
+        let freq = self.args.machine().freq_ghz;
+        let jsonl = self.args.out.join(format!("{name}.samples.jsonl"));
+        let trace = self.args.out.join(format!("{name}.trace.json"));
+        if let Some(dir) = jsonl.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(&jsonl, tel.samples_jsonl()) {
+            Ok(()) => {
+                println!(
+                    "[telemetry] {} ({} samples)",
+                    jsonl.display(),
+                    tel.samples.len()
+                );
+                self.note(format!("telemetry samples: {}", jsonl.display()));
+            }
+            Err(e) => eprintln!("warning: could not write {}: {e}", jsonl.display()),
+        }
+        match std::fs::write(&trace, tel.chrome_trace(freq)) {
+            Ok(()) => {
+                println!(
+                    "[telemetry] {} ({} spans, {} dropped)",
+                    trace.display(),
+                    tel.events.len(),
+                    tel.dropped_events
+                );
+                self.note(format!("chrome trace: {}", trace.display()));
+            }
+            Err(e) => eprintln!("warning: could not write {}: {e}", trace.display()),
+        }
+    }
+
+    /// Read-only view of the manifest built so far.
+    pub fn manifest(&self) -> &RunManifest {
+        &self.manifest
+    }
+
+    /// Stamp the wall time and write the manifest. Returns its path.
+    pub fn finish(mut self) -> PathBuf {
+        self.manifest.wall_seconds = self.start.elapsed().as_secs_f64();
+        let path = self
+            .args
+            .out
+            .join(format!("{}.manifest.json", self.manifest.name));
+        match self.manifest.write(&path) {
+            Ok(()) => println!("[manifest] {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+        path
+    }
 }
 
 #[cfg(test)]
@@ -122,5 +295,43 @@ mod tests {
     fn csv_paths() {
         let a = Args::default();
         assert!(a.csv("fig5").ends_with("target/repro/fig5.csv"));
+    }
+
+    #[test]
+    fn platform_carries_sampling_knobs() {
+        let a = Args {
+            sample: Some(10_000),
+            trace: Some(256),
+            ..Default::default()
+        };
+        let p = a.platform();
+        assert_eq!(p.limit().sample_interval, Some(10_000));
+        assert_eq!(p.limit().trace_capacity, 256);
+        assert!(p.limit().telemetry_enabled());
+        assert!(!Args::default().platform().limit().telemetry_enabled());
+    }
+
+    #[test]
+    fn harness_writes_schema_versioned_manifest() {
+        let dir = std::env::temp_dir().join("amem_harness_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let args = Args {
+            out: dir.clone(),
+            ..Default::default()
+        };
+        let mut h = Harness::with_args("unit", args);
+        let mut t = amem_core::report::Table::new("t", &["a"]);
+        t.row(vec!["1".into()]);
+        h.emit("unit_t", &t);
+        h.set_seed(7);
+        h.note("from the unit test");
+        let path = h.finish();
+        let m = RunManifest::load(&path).unwrap();
+        assert_eq!(m.schema_version, amem_core::manifest::SCHEMA_VERSION);
+        assert_eq!(m.name, "unit");
+        assert_eq!(m.seed, Some(7));
+        assert_eq!(m.tables.len(), 1);
+        assert!(m.wall_seconds >= 0.0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -40,7 +40,13 @@ pub fn profile(
         InterferenceKind::Storage,
         cmap.max_level().min(8 - per_processor),
     );
-    let b = run_sweep(platform, workload, per_processor, InterferenceKind::Bandwidth, 2);
+    let b = run_sweep(
+        platform,
+        workload,
+        per_processor,
+        InterferenceKind::Bandwidth,
+        2,
+    );
     AppProfile {
         name: workload.name(),
         storage: storage_use_per_process(&s, cmap, per_processor, tol_pct),
@@ -171,7 +177,10 @@ mod tests {
         // Two big apps cannot share; the small ones slot beside one big.
         assert_eq!(assign.len(), 4);
         assert_ne!(assign[0], assign[3], "two big apps on distinct sockets");
-        let sockets_used = assign.iter().collect::<std::collections::HashSet<_>>().len();
+        let sockets_used = assign
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len();
         assert!(sockets_used <= 3);
     }
 
@@ -185,6 +194,13 @@ mod tests {
             },
         );
         assert!(v.safe && v.plausible);
-        assert!(first_fit_pack(&[], SocketBudget { l3_bytes: 1.0, bw_gbs: 1.0 }).is_empty());
+        assert!(first_fit_pack(
+            &[],
+            SocketBudget {
+                l3_bytes: 1.0,
+                bw_gbs: 1.0
+            }
+        )
+        .is_empty());
     }
 }

@@ -59,7 +59,10 @@ pub struct CapacityMap {
 impl CapacityMap {
     /// Calibrate on a machine by running the probe grid.
     pub fn calibrate(cfg: &MachineConfig, opts: &CalibrateOpts) -> Self {
-        let dists: Vec<_> = table2().into_iter().step_by(opts.dist_step.max(1)).collect();
+        let dists: Vec<_> = table2()
+            .into_iter()
+            .step_by(opts.dist_step.max(1))
+            .collect();
         let grid: Vec<(usize, usize, usize)> = (0..=opts.max_cs)
             .flat_map(|k| {
                 let ratios = 0..opts.ratios.len();

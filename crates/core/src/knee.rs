@@ -71,7 +71,13 @@ mod tests {
     fn clean_knee() {
         let s = sweep_from(&[(0, 0.0), (1, 0.5), (2, 1.0), (3, 8.0), (4, 20.0)]);
         let k = find_knee(&s, 3.0);
-        assert_eq!(k, Knee { last_ok: 2, first_degraded: Some(3) });
+        assert_eq!(
+            k,
+            Knee {
+                last_ok: 2,
+                first_degraded: Some(3)
+            }
+        );
     }
 
     #[test]
@@ -86,14 +92,26 @@ mod tests {
     fn degrades_immediately() {
         let s = sweep_from(&[(0, 0.0), (1, 12.0), (2, 30.0)]);
         let k = find_knee(&s, 3.0);
-        assert_eq!(k, Knee { last_ok: 0, first_degraded: Some(1) });
+        assert_eq!(
+            k,
+            Knee {
+                last_ok: 0,
+                first_degraded: Some(1)
+            }
+        );
     }
 
     #[test]
     fn noisy_dip_after_knee_does_not_reset() {
         let s = sweep_from(&[(0, 0.0), (1, 6.0), (2, 2.0), (3, 15.0)]);
         let k = find_knee(&s, 3.0);
-        assert_eq!(k, Knee { last_ok: 0, first_degraded: Some(1) });
+        assert_eq!(
+            k,
+            Knee {
+                last_ok: 0,
+                first_degraded: Some(1)
+            }
+        );
     }
 
     #[test]
@@ -101,6 +119,12 @@ mod tests {
         // Sweep that could only run counts 0, 2, 4.
         let s = sweep_from(&[(0, 0.0), (2, 1.0), (4, 9.0)]);
         let k = find_knee(&s, 3.0);
-        assert_eq!(k, Knee { last_ok: 2, first_degraded: Some(4) });
+        assert_eq!(
+            k,
+            Knee {
+                last_ok: 2,
+                first_degraded: Some(4)
+            }
+        );
     }
 }

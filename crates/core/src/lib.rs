@@ -31,6 +31,7 @@ pub mod bandwidth;
 pub mod capacity;
 pub mod estimate;
 pub mod knee;
+pub mod manifest;
 pub mod mrc;
 pub mod multinode;
 pub mod native_platform;
@@ -44,6 +45,7 @@ pub use bandwidth::BandwidthMap;
 pub use capacity::CapacityMap;
 pub use estimate::ResourceInterval;
 pub use knee::Knee;
+pub use manifest::{RunManifest, SCHEMA_VERSION};
 pub use mrc::MissRatioCurve;
 pub use platform::{Measurement, SimPlatform, Workload};
 pub use predict::DegradationModel;

@@ -1,0 +1,271 @@
+//! Run manifests: the reproducibility record every experiment leaves behind.
+//!
+//! Each reproduction binary writes a schema-versioned
+//! `target/repro/<name>.manifest.json` capturing *everything needed to
+//! re-run and compare*: the machine configuration, scale, seed,
+//! interference spec, host wall time, simulated time, final aggregate
+//! counters and the derived result tables. `repro_all` then loads every
+//! manifest in the directory and renders a cross-experiment comparison
+//! report.
+//!
+//! Schema policy (see EXPERIMENTS.md): `schema_version` bumps on any
+//! field removal or meaning change; additive fields keep the version.
+//! Readers accept any version `<= SCHEMA_VERSION` (unknown old fields
+//! simply deserialize into their defaults) and refuse newer ones.
+
+use std::path::{Path, PathBuf};
+
+use amem_sim::config::MachineConfig;
+use amem_sim::CoreCounters;
+use serde::{Deserialize, Serialize};
+
+use crate::report::Table;
+
+/// Current manifest schema version. Bump on breaking changes only.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Everything one experiment run wants remembered.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Schema version this manifest was written with.
+    pub schema_version: u32,
+    /// Experiment name (the binary name, e.g. `fig9_mcb_sweep`).
+    pub name: String,
+    /// Full machine configuration the run simulated.
+    pub machine: MachineConfig,
+    /// Geometry scale factor applied to the base machine (1.0 = full).
+    pub scale: f64,
+    /// RNG seed, when the experiment draws random numbers.
+    pub seed: Option<u64>,
+    /// Human-readable interference description (kind x count), if any.
+    pub interference: Option<String>,
+    /// Host wall-clock seconds the reproduction took.
+    pub wall_seconds: f64,
+    /// Simulated seconds of the headline run, when meaningful.
+    pub sim_seconds: Option<f64>,
+    /// Aggregate end-of-run counters of the headline run, when captured.
+    pub final_counters: Option<CoreCounters>,
+    /// The derived result tables (same data as the printed output/CSV).
+    pub tables: Vec<Table>,
+    /// Free-form notes (deviations, tolerances, pointers to figures).
+    pub notes: Vec<String>,
+}
+
+impl RunManifest {
+    /// A fresh manifest at the current schema version.
+    pub fn new(name: impl Into<String>, machine: MachineConfig) -> Self {
+        Self {
+            schema_version: SCHEMA_VERSION,
+            name: name.into(),
+            machine,
+            scale: 1.0,
+            seed: None,
+            interference: None,
+            wall_seconds: 0.0,
+            sim_seconds: None,
+            final_counters: None,
+            tables: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Canonical on-disk location: `target/repro/<name>.manifest.json`.
+    pub fn default_path(&self) -> PathBuf {
+        Path::new("target/repro").join(format!("{}.manifest.json", self.name))
+    }
+
+    /// Pretty-JSON encoding.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("manifests are serializable")
+    }
+
+    /// Write to `path`, creating parent directories as needed.
+    pub fn write(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Write to the canonical `target/repro/` location, returning the path.
+    pub fn write_default(&self) -> std::io::Result<PathBuf> {
+        let path = self.default_path();
+        self.write(&path)?;
+        Ok(path)
+    }
+
+    /// Parse a manifest, refusing versions newer than this reader.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let m: RunManifest =
+            serde_json::from_str(json).map_err(|e| format!("manifest parse error: {e:?}"))?;
+        if m.schema_version > SCHEMA_VERSION {
+            return Err(format!(
+                "manifest '{}' has schema v{} but this reader only knows v{}",
+                m.name, m.schema_version, SCHEMA_VERSION
+            ));
+        }
+        Ok(m)
+    }
+
+    /// Load one manifest from disk.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, String> {
+        let path = path.as_ref();
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::from_json(&json)
+    }
+}
+
+/// Load every `*.manifest.json` under `dir`, sorted by experiment name.
+/// Unreadable or future-versioned manifests are returned as errors in the
+/// second list rather than aborting the aggregation.
+pub fn load_dir(dir: impl AsRef<Path>) -> (Vec<RunManifest>, Vec<String>) {
+    let mut manifests = Vec::new();
+    let mut errors = Vec::new();
+    let entries = match std::fs::read_dir(dir.as_ref()) {
+        Ok(e) => e,
+        Err(e) => {
+            errors.push(format!("cannot list {}: {e}", dir.as_ref().display()));
+            return (manifests, errors);
+        }
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let is_manifest = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with(".manifest.json"));
+        if !is_manifest {
+            continue;
+        }
+        match RunManifest::load(&path) {
+            Ok(m) => manifests.push(m),
+            Err(e) => errors.push(e),
+        }
+    }
+    manifests.sort_by(|a, b| a.name.cmp(&b.name));
+    (manifests, errors)
+}
+
+/// One row per run: the cross-experiment comparison `repro_all` prints.
+pub fn comparison_table(manifests: &[RunManifest]) -> Table {
+    let mut t = Table::new(
+        "Reproduction manifests",
+        &[
+            "experiment",
+            "machine",
+            "scale",
+            "wall (s)",
+            "sim (s)",
+            "L3 miss",
+            "tables",
+        ],
+    );
+    for m in manifests {
+        t.row(vec![
+            m.name.clone(),
+            m.machine.name.clone(),
+            format!("{:.3}", m.scale),
+            format!("{:.2}", m.wall_seconds),
+            m.sim_seconds
+                .map(|s| format!("{s:.4}"))
+                .unwrap_or_else(|| "-".into()),
+            m.final_counters
+                .map(|c| format!("{:.3}", c.l3_miss_rate()))
+                .unwrap_or_else(|| "-".into()),
+            m.tables.len().to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunManifest {
+        let mut m = RunManifest::new("demo_experiment", MachineConfig::xeon20mb().scaled(0.125));
+        m.scale = 0.125;
+        m.seed = Some(42);
+        m.interference = Some("Storage x3".into());
+        m.wall_seconds = 1.5;
+        m.sim_seconds = Some(0.02);
+        m.final_counters = Some(CoreCounters {
+            loads: 100,
+            l3_hits: 30,
+            l3_misses: 10,
+            cycles: 1000,
+            ..Default::default()
+        });
+        let mut t = Table::new("demo", &["k", "s"]);
+        t.row(vec!["0".into(), "1.0".into()]);
+        m.tables.push(t);
+        m.notes.push("unit-test manifest".into());
+        m
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let m = sample();
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
+        assert_eq!(back.name, m.name);
+        assert_eq!(back.machine.name, m.machine.name);
+        assert_eq!(back.seed, Some(42));
+        assert_eq!(back.final_counters.unwrap().loads, 100);
+        assert_eq!(back.tables.len(), 1);
+        assert_eq!(back.tables[0].rows[0][1], "1.0");
+    }
+
+    #[test]
+    fn rejects_future_schema_versions() {
+        let mut m = sample();
+        m.schema_version = SCHEMA_VERSION + 1;
+        let err = RunManifest::from_json(&m.to_json()).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn default_path_is_under_target_repro() {
+        let m = sample();
+        assert_eq!(
+            m.default_path(),
+            Path::new("target/repro/demo_experiment.manifest.json")
+        );
+    }
+
+    #[test]
+    fn load_dir_collects_and_sorts() {
+        let dir = std::env::temp_dir().join("amem_manifest_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut b = sample();
+        b.name = "bbb".into();
+        b.write(dir.join("bbb.manifest.json")).unwrap();
+        let mut a = sample();
+        a.name = "aaa".into();
+        a.write(dir.join("aaa.manifest.json")).unwrap();
+        // A future-versioned manifest must surface as an error, not a panic.
+        let mut f = sample();
+        f.name = "future".into();
+        f.schema_version = SCHEMA_VERSION + 7;
+        f.write(dir.join("future.manifest.json")).unwrap();
+        std::fs::write(dir.join("not-a-manifest.txt"), "ignored").unwrap();
+        let (ms, errs) = load_dir(&dir);
+        assert_eq!(
+            ms.iter().map(|m| m.name.as_str()).collect::<Vec<_>>(),
+            vec!["aaa", "bbb"]
+        );
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn comparison_table_has_one_row_per_manifest() {
+        let t = comparison_table(&[sample(), sample()]);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0][0], "demo_experiment");
+        assert_eq!(t.rows[0][2], "0.125");
+    }
+}

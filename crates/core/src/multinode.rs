@@ -55,7 +55,11 @@ where
     MultiNodeReport {
         job_seconds,
         mean_seconds: mean,
-        imbalance: if mean > 0.0 { job_seconds / mean - 1.0 } else { 0.0 },
+        imbalance: if mean > 0.0 {
+            job_seconds / mean - 1.0
+        } else {
+            0.0
+        },
         node_seconds,
     }
 }
@@ -88,7 +92,10 @@ mod tests {
     #[test]
     fn job_time_is_the_slowest_node() {
         let r = run_nodes(&cfg(), 3, |n, _m| {
-            vec![Job::primary(Box::new(work(1000 * (n + 1))), CoreId::new(0, 0))]
+            vec![Job::primary(
+                Box::new(work(1000 * (n + 1))),
+                CoreId::new(0, 0),
+            )]
         });
         assert_eq!(r.job_seconds, r.node_seconds[2]);
         assert!(r.imbalance > 0.3);

@@ -227,11 +227,7 @@ mod tests {
             mean_cycles: 5.0,
             seed: 9,
         };
-        let mut s = NoisyStream::new(
-            ScriptStream::new(vec![Op::Barrier, Op::Done]),
-            noise,
-            1,
-        );
+        let mut s = NoisyStream::new(ScriptStream::new(vec![Op::Barrier, Op::Done]), noise, 1);
         assert_eq!(s.next_op(), Op::Barrier);
         assert_eq!(s.next_op(), Op::Done);
     }

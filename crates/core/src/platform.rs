@@ -98,15 +98,43 @@ pub struct Measurement {
 #[derive(Debug, Clone)]
 pub struct SimPlatform {
     cfg: MachineConfig,
+    limit: RunLimit,
 }
 
 impl SimPlatform {
     pub fn new(cfg: MachineConfig) -> Self {
-        Self { cfg }
+        Self {
+            cfg,
+            limit: RunLimit::default(),
+        }
     }
 
     pub fn cfg(&self) -> &MachineConfig {
         &self.cfg
+    }
+
+    /// The run controls every measurement uses.
+    pub fn limit(&self) -> &RunLimit {
+        &self.limit
+    }
+
+    /// Replace the run controls wholesale.
+    pub fn with_limit(mut self, limit: RunLimit) -> Self {
+        self.limit = limit;
+        self
+    }
+
+    /// Enable per-core counter sampling every `interval` cycles on all
+    /// measurements. Observation-only: counters and timing are unchanged.
+    pub fn with_sampling(mut self, interval: u64) -> Self {
+        self.limit = self.limit.clone().with_sampling(interval);
+        self
+    }
+
+    /// Enable span/instant tracing with a ring of `capacity` events.
+    pub fn with_tracing(mut self, capacity: usize) -> Self {
+        self.limit = self.limit.clone().with_tracing(capacity);
+        self
     }
 
     /// Run `workload` mapped at `per_processor` ranks per socket, with the
@@ -126,7 +154,7 @@ impl SimPlatform {
         let mut jobs = workload.build(&mut machine, &map);
         assert!(!jobs.is_empty(), "workload produced no local ranks");
         jobs.extend(spec.build_jobs(&mut machine, &map.free_cores()));
-        let report = machine.run(jobs, RunLimit::default());
+        let report = machine.run(jobs, self.limit.clone());
         // Measure the steady-state (post-Mark) phase: warm-up transients
         // are excluded exactly as the paper's long runs amortize them.
         let mut agg = amem_sim::CoreCounters::default();
@@ -160,7 +188,7 @@ impl SimPlatform {
         let mut machine = Machine::new(self.cfg.clone());
         let mut jobs = workload.build(&mut machine, &map);
         jobs.extend(mix.build_jobs(&mut machine, &map.free_cores()));
-        let report = machine.run(jobs, RunLimit::default());
+        let report = machine.run(jobs, self.limit.clone());
         let mut agg = amem_sim::CoreCounters::default();
         let mut seconds = 0.0f64;
         let mut bw = 0.0;

@@ -119,16 +119,23 @@ mod tests {
             workload: "t".into(),
             kind: InterferenceKind::Storage,
             per_processor: 1,
-            points: [(0usize, 0.0f64), (1, 0.0), (2, 2.0), (3, 8.0), (4, 15.0), (5, 25.0)]
-                .iter()
-                .map(|&(count, d)| SweepPoint {
-                    count,
-                    seconds: 1.0 + d / 100.0,
-                    degradation_pct: d,
-                    l3_miss_rate: 0.0,
-                    app_bandwidth_gbs: 0.0,
-                })
-                .collect(),
+            points: [
+                (0usize, 0.0f64),
+                (1, 0.0),
+                (2, 2.0),
+                (3, 8.0),
+                (4, 15.0),
+                (5, 25.0),
+            ]
+            .iter()
+            .map(|&(count, d)| SweepPoint {
+                count,
+                seconds: 1.0 + d / 100.0,
+                degradation_pct: d,
+                l3_miss_rate: 0.0,
+                app_bandwidth_gbs: 0.0,
+            })
+            .collect(),
         };
         DegradationModel::from_storage_sweep(&sweep, &cmap)
     }

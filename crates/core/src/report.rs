@@ -7,10 +7,10 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// A simple rectangular table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table {
     pub title: String,
     pub headers: Vec<String>,
@@ -89,7 +89,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for r in &self.rows {
             let _ = writeln!(
@@ -204,7 +208,9 @@ pub fn sparkline(values: &[f64]) -> String {
 /// Render a sweep's degradation curve as `label [spark] 0..max%`.
 pub fn sweep_sparkline(sweep: &crate::sweep::Sweep) -> String {
     let d: Vec<f64> = sweep.points.iter().map(|p| p.degradation_pct).collect();
-    let hi = d.iter().cloned().fold(f64::MIN, f64::max);
+    // Fold from 0.0, not f64::MIN: an empty (or all-negative) sweep must
+    // render `0..0%`, not `0..-inf%`.
+    let hi = d.iter().cloned().fold(0.0f64, f64::max);
     format!(
         "{} [{}] 0..{:.0}% over {} levels",
         sweep.workload,
@@ -250,5 +256,20 @@ mod sparkline_tests {
         let line = sweep_sparkline(&s);
         assert!(line.starts_with("demo ["));
         assert!(line.contains("0..30%"));
+    }
+
+    #[test]
+    fn empty_sweep_sparkline_is_finite() {
+        use crate::sweep::Sweep;
+        use amem_interfere::InterferenceKind;
+        let s = Sweep {
+            workload: "empty".into(),
+            kind: InterferenceKind::Storage,
+            per_processor: 1,
+            points: Vec::new(),
+        };
+        let line = sweep_sparkline(&s);
+        assert_eq!(line, "empty [] 0..0% over 0 levels");
+        assert!(!line.contains("inf"), "no -inf formatting: {line}");
     }
 }

@@ -5,11 +5,22 @@
 //! bandwidth at each level. Levels run in parallel on the host — each
 //! level is an independent, deterministic simulation.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use amem_interfere::{InterferenceKind, InterferenceSpec};
 use rayon::prelude::*;
 use serde::Serialize;
 
 use crate::platform::{SimPlatform, Workload};
+
+/// Whether sweep progress lines should be printed to stderr. Off by
+/// default so test output stays clean; set `AMEM_PROGRESS=1` to watch
+/// long Fig. 9-style sweeps advance level by level.
+fn progress_enabled() -> bool {
+    std::env::var("AMEM_PROGRESS")
+        .map(|v| v != "0" && !v.is_empty())
+        .unwrap_or(false)
+}
 
 /// One sweep point.
 #[derive(Debug, Clone, Serialize)]
@@ -67,11 +78,27 @@ pub fn run_sweep(
     let feasible: Vec<usize> = (0..=max_count)
         .filter(|&k| platform.feasible(workload, per_processor, k))
         .collect();
+    let total = feasible.len();
+    let progress = progress_enabled();
+    let done = AtomicUsize::new(0);
     let mut results: Vec<(usize, crate::platform::Measurement)> = feasible
         .par_iter()
         .map(|&k| {
             let spec = InterferenceSpec { kind, count: k };
-            (k, platform.run(workload, per_processor, spec))
+            let m = platform.run(workload, per_processor, spec);
+            if progress {
+                let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!(
+                    "[sweep {}/{}] {} {:?} k={} -> {:.4}s",
+                    n,
+                    total,
+                    workload.name(),
+                    kind,
+                    k,
+                    m.seconds
+                );
+            }
+            (k, m)
         })
         .collect();
     results.sort_by_key(|(k, _)| *k);

@@ -219,8 +219,20 @@ mod tests {
         let mut m = machine();
         let c1 = CsThreadCfg::default().with_seed(1);
         let c2 = CsThreadCfg::default().with_seed(2);
-        let mut t1 = CsThread::new(&mut m, &CsThreadCfg { buffer_bytes: 1 << 16, ..c1 });
-        let mut t2 = CsThread::new(&mut m, &CsThreadCfg { buffer_bytes: 1 << 16, ..c2 });
+        let mut t1 = CsThread::new(
+            &mut m,
+            &CsThreadCfg {
+                buffer_bytes: 1 << 16,
+                ..c1
+            },
+        );
+        let mut t2 = CsThread::new(
+            &mut m,
+            &CsThreadCfg {
+                buffer_bytes: 1 << 16,
+                ..c2
+            },
+        );
         let a1: Vec<Op> = (0..16).map(|_| t1.next_op()).collect();
         let a2: Vec<Op> = (0..16).map(|_| t2.next_op()).collect();
         // Same base offsets would make ops equal; different seeds must not.

@@ -84,7 +84,9 @@ impl InterferenceSpec {
                 self.count
             );
             for &core in on_socket.iter().take(self.count) {
-                seed = seed.wrapping_mul(0x9E37_79B9).wrapping_add(core.core as u64);
+                seed = seed
+                    .wrapping_mul(0x9E37_79B9)
+                    .wrapping_add(core.core as u64);
                 let stream: Box<dyn amem_sim::AccessStream> = match self.kind {
                     InterferenceKind::Storage => {
                         let cfg = CsThreadCfg::for_machine(machine.cfg()).with_seed(seed);
@@ -155,7 +157,9 @@ impl InterferenceMix {
                 self.threads()
             );
             for (i, &core) in on_socket.iter().take(self.threads()).enumerate() {
-                seed = seed.wrapping_mul(0x9E37_79B9).wrapping_add(core.core as u64);
+                seed = seed
+                    .wrapping_mul(0x9E37_79B9)
+                    .wrapping_add(core.core as u64);
                 let stream: Box<dyn amem_sim::AccessStream> = if i < self.storage {
                     let cfg = CsThreadCfg::for_machine(machine.cfg()).with_seed(seed);
                     Box::new(CsThread::new(machine, &cfg))

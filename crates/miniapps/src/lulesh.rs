@@ -312,10 +312,7 @@ pub fn build_jobs(machine: &mut Machine, cfg: &LuleshCfg, map: &RankMap) -> Vec<
         .map(|&r| LuleshRank::new(machine, cfg, map, r))
         .collect();
     let e = cfg.proc_edge();
-    let send_of: Vec<(usize, Vec<u64>)> = ranks
-        .iter()
-        .map(|r| (r.rank, r.send.clone()))
-        .collect();
+    let send_of: Vec<(usize, Vec<u64>)> = ranks.iter().map(|r| (r.rank, r.send.clone())).collect();
     for r in ranks.iter_mut() {
         let nbs = face_neighbors(r.rank, e);
         for (face, &nb) in nbs.iter().enumerate() {
@@ -339,7 +336,6 @@ pub fn build_jobs(machine: &mut Machine, cfg: &LuleshCfg, map: &RankMap) -> Vec<
 mod tests {
     use super::*;
     use amem_sim::engine::RunLimit;
-    
 
     fn cfg() -> MachineConfig {
         MachineConfig::xeon20mb().scaled(0.125)

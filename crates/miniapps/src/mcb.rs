@@ -272,7 +272,11 @@ impl McbRank {
                 // remote halves over the wire.
                 let half = self.crossers / 2;
                 for (i, &(loc, _)) in self.neighbors.iter().enumerate() {
-                    let count = if i == 0 { half.max(1) } else { (self.crossers - half).max(1) };
+                    let count = if i == 0 {
+                        half.max(1)
+                    } else {
+                        (self.crossers - half).max(1)
+                    };
                     for k in 0..count {
                         let p = self.rng.below(self.bufs.particle_lines);
                         self.q.push(Op::Load(self.bufs.particles + p * 64));
@@ -291,7 +295,11 @@ impl McbRank {
                 // particle array.
                 let half = self.crossers / 2;
                 for (i, &(loc, peer)) in self.neighbors.iter().enumerate() {
-                    let count = if i == 0 { half.max(1) } else { (self.crossers - half).max(1) };
+                    let count = if i == 0 {
+                        half.max(1)
+                    } else {
+                        (self.crossers - half).max(1)
+                    };
                     let src = match (loc, peer) {
                         (Locality::Remote, _) | (_, None) => self.bufs.remote_recv,
                         (_, Some(addr)) => addr,
@@ -392,7 +400,6 @@ pub fn build_jobs(machine: &mut Machine, cfg: &McbCfg, map: &RankMap) -> Vec<Job
 mod tests {
     use super::*;
     use amem_sim::engine::RunLimit;
-    
 
     fn cfg() -> MachineConfig {
         MachineConfig::xeon20mb().scaled(0.125)

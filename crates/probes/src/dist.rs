@@ -196,25 +196,83 @@ pub struct NamedDist {
 /// Extension presets beyond Table II: heavy-tail and bimodal patterns.
 pub fn extensions() -> Vec<NamedDist> {
     vec![
-        NamedDist { name: "Zipf_1.2", dist: AccessDist::Pareto { alpha: 1.2, x_min: 1e-4 } },
-        NamedDist { name: "Zipf_2.5", dist: AccessDist::Pareto { alpha: 2.5, x_min: 1e-3 } },
-        NamedDist { name: "Bimodal", dist: AccessDist::Bimodal { mu1: 0.25, mu2: 0.75, sigma: 0.08 } },
+        NamedDist {
+            name: "Zipf_1.2",
+            dist: AccessDist::Pareto {
+                alpha: 1.2,
+                x_min: 1e-4,
+            },
+        },
+        NamedDist {
+            name: "Zipf_2.5",
+            dist: AccessDist::Pareto {
+                alpha: 2.5,
+                x_min: 1e-3,
+            },
+        },
+        NamedDist {
+            name: "Bimodal",
+            dist: AccessDist::Bimodal {
+                mu1: 0.25,
+                mu2: 0.75,
+                sigma: 0.08,
+            },
+        },
     ]
 }
 
 /// The ten distributions of Table II.
 pub fn table2() -> Vec<NamedDist> {
     vec![
-        NamedDist { name: "Norm_4", dist: AccessDist::Normal { mu: 0.5, sigma: 0.25 } },
-        NamedDist { name: "Norm_6", dist: AccessDist::Normal { mu: 0.5, sigma: 1.0 / 6.0 } },
-        NamedDist { name: "Norm_8", dist: AccessDist::Normal { mu: 0.5, sigma: 0.125 } },
-        NamedDist { name: "Exp_4", dist: AccessDist::Exponential { rate: 4.0 } },
-        NamedDist { name: "Exp_6", dist: AccessDist::Exponential { rate: 6.0 } },
-        NamedDist { name: "Exp_8", dist: AccessDist::Exponential { rate: 8.0 } },
-        NamedDist { name: "Tri_1", dist: AccessDist::Triangular { mode: 0.4 } },
-        NamedDist { name: "Tri_2", dist: AccessDist::Triangular { mode: 0.6 } },
-        NamedDist { name: "Tri_3", dist: AccessDist::Triangular { mode: 0.8 } },
-        NamedDist { name: "Uni", dist: AccessDist::Uniform },
+        NamedDist {
+            name: "Norm_4",
+            dist: AccessDist::Normal {
+                mu: 0.5,
+                sigma: 0.25,
+            },
+        },
+        NamedDist {
+            name: "Norm_6",
+            dist: AccessDist::Normal {
+                mu: 0.5,
+                sigma: 1.0 / 6.0,
+            },
+        },
+        NamedDist {
+            name: "Norm_8",
+            dist: AccessDist::Normal {
+                mu: 0.5,
+                sigma: 0.125,
+            },
+        },
+        NamedDist {
+            name: "Exp_4",
+            dist: AccessDist::Exponential { rate: 4.0 },
+        },
+        NamedDist {
+            name: "Exp_6",
+            dist: AccessDist::Exponential { rate: 6.0 },
+        },
+        NamedDist {
+            name: "Exp_8",
+            dist: AccessDist::Exponential { rate: 8.0 },
+        },
+        NamedDist {
+            name: "Tri_1",
+            dist: AccessDist::Triangular { mode: 0.4 },
+        },
+        NamedDist {
+            name: "Tri_2",
+            dist: AccessDist::Triangular { mode: 0.6 },
+        },
+        NamedDist {
+            name: "Tri_3",
+            dist: AccessDist::Triangular { mode: 0.8 },
+        },
+        NamedDist {
+            name: "Uni",
+            dist: AccessDist::Uniform,
+        },
     ]
 }
 
@@ -294,8 +352,14 @@ mod tests {
     fn concentration_orders_by_sigma() {
         // Smaller σ ⇒ more mass near the center ⇒ larger CDF increase
         // around µ.
-        let wide = AccessDist::Normal { mu: 0.5, sigma: 0.25 };
-        let narrow = AccessDist::Normal { mu: 0.5, sigma: 0.125 };
+        let wide = AccessDist::Normal {
+            mu: 0.5,
+            sigma: 0.25,
+        };
+        let narrow = AccessDist::Normal {
+            mu: 0.5,
+            sigma: 0.125,
+        };
         let mass_wide = wide.cdf(0.6) - wide.cdf(0.4);
         let mass_narrow = narrow.cdf(0.6) - narrow.cdf(0.4);
         assert!(mass_narrow > mass_wide);
@@ -309,7 +373,10 @@ mod tests {
 
     #[test]
     fn pareto_is_heavy_headed() {
-        let d = AccessDist::Pareto { alpha: 1.2, x_min: 1e-4 };
+        let d = AccessDist::Pareto {
+            alpha: 1.2,
+            x_min: 1e-4,
+        };
         // Most of the truncated mass sits in a tiny prefix.
         assert!(d.cdf(0.01) > 0.5, "cdf(0.01) = {}", d.cdf(0.01));
         assert_eq!(d.cdf(0.0), 0.0);
@@ -337,7 +404,11 @@ mod tests {
 
     #[test]
     fn bimodal_has_two_hot_regions() {
-        let d = AccessDist::Bimodal { mu1: 0.25, mu2: 0.75, sigma: 0.08 };
+        let d = AccessDist::Bimodal {
+            mu1: 0.25,
+            mu2: 0.75,
+            sigma: 0.08,
+        };
         let mass = |a: f64, b: f64| d.cdf(b) - d.cdf(a);
         assert!(mass(0.15, 0.35) > 0.3);
         assert!(mass(0.65, 0.85) > 0.3);

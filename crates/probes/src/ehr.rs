@@ -107,10 +107,7 @@ pub fn expected_hit_rate_clamped(cache_lines: u64, masses: &[f64]) -> f64 {
         free_mass_sq = fms;
     }
     let budget = (c - saturated).max(0.0);
-    let sat_mass: f64 = masses
-        .iter()
-        .filter(|&&g| budget * g >= 1.0)
-        .sum();
+    let sat_mass: f64 = masses.iter().filter(|&&g| budget * g >= 1.0).sum();
     (sat_mass + budget * free_mass_sq).clamp(0.0, 1.0)
 }
 
@@ -161,9 +158,8 @@ mod tests {
         let buffer = 48 * MB;
         let cache_lines = 20 * MB / 64;
         let t = table2();
-        let ehr_of = |i: usize| {
-            expected_hit_rate(cache_lines, sum_sq_line_mass(&t[i].dist, buffer, 4, 64))
-        };
+        let ehr_of =
+            |i: usize| expected_hit_rate(cache_lines, sum_sq_line_mass(&t[i].dist, buffer, 4, 64));
         let norm4 = ehr_of(0);
         let norm8 = ehr_of(2);
         let uni = ehr_of(9);

@@ -681,8 +681,8 @@ mod tests {
         let mut c = tiny(4, 4, Replacement::Lru, InsertPolicy::Mru);
         c.fill_with(1, false, Some(InsertPolicy::Lru));
         assert!(c.lookup(1, false)); // promoted off probation
-        // Fill the set; line 1 must now be treated as regular LRU data --
-        // a later probation fill is the victim, not line 1.
+                                     // Fill the set; line 1 must now be treated as regular LRU data --
+                                     // a later probation fill is the victim, not line 1.
         for l in [2u64, 3, 4] {
             c.fill(l, false);
         }

@@ -78,7 +78,9 @@ impl RankMap {
 
     /// Ranks on the simulated node.
     pub fn local_ranks(&self) -> Vec<usize> {
-        (0..self.total_ranks).filter(|&r| self.is_local(r)).collect()
+        (0..self.total_ranks)
+            .filter(|&r| self.is_local(r))
+            .collect()
     }
 
     /// Core where a local rank runs. Ranks pack onto the lowest core

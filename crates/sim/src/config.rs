@@ -348,8 +348,7 @@ mod tests {
         assert!(big.raw_dram_gbs() > MachineConfig::xeon20mb().raw_dram_gbs());
         let exa = MachineConfig::exascale_node();
         // The paper's premise: much less cache and bandwidth per core.
-        let per_core_cache =
-            |m: &MachineConfig| m.l3.size_bytes as f64 / m.cores_per_socket as f64;
+        let per_core_cache = |m: &MachineConfig| m.l3.size_bytes as f64 / m.cores_per_socket as f64;
         let per_core_bw = |m: &MachineConfig| m.raw_dram_gbs() / m.cores_per_socket as f64;
         let base = MachineConfig::xeon20mb();
         assert!(per_core_cache(&exa) < per_core_cache(&base) / 8.0);

@@ -5,10 +5,10 @@
 //! exposes exactly those quantities for every simulated core, with zero
 //! measurement perturbation.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Event counts for one core over one run.
-#[derive(Debug, Default, Clone, Copy, Serialize)]
+#[derive(Debug, Default, Clone, Copy, Serialize, Deserialize)]
 pub struct CoreCounters {
     /// Retired load operations.
     pub loads: u64,
@@ -101,31 +101,50 @@ impl CoreCounters {
     /// Counters accumulated since an earlier snapshot of the same core
     /// (the PMU "read, reset, read again" idiom). `cycles` becomes the
     /// elapsed cycles between the two snapshots.
+    ///
+    /// Counters are monotone, so `earlier` must really be the earlier
+    /// snapshot. Swapped arguments are a caller bug: debug builds panic,
+    /// release builds saturate to zero instead of wrapping to near-`u64::MAX`
+    /// garbage.
     pub fn delta_since(&self, earlier: &CoreCounters) -> CoreCounters {
+        macro_rules! sub {
+            ($f:ident) => {{
+                debug_assert!(
+                    self.$f >= earlier.$f,
+                    concat!(
+                        "delta_since: snapshots swapped (field `",
+                        stringify!($f),
+                        "` went backwards: {} -> {})"
+                    ),
+                    earlier.$f,
+                    self.$f,
+                );
+                self.$f.saturating_sub(earlier.$f)
+            }};
+        }
         CoreCounters {
-            loads: self.loads - earlier.loads,
-            stores: self.stores - earlier.stores,
-            compute_cycles: self.compute_cycles - earlier.compute_cycles,
-            l1_hits: self.l1_hits - earlier.l1_hits,
-            l1_misses: self.l1_misses - earlier.l1_misses,
-            l2_hits: self.l2_hits - earlier.l2_hits,
-            l2_misses: self.l2_misses - earlier.l2_misses,
-            l3_hits: self.l3_hits - earlier.l3_hits,
-            l3_misses: self.l3_misses - earlier.l3_misses,
-            dram_demand_lines: self.dram_demand_lines - earlier.dram_demand_lines,
-            dram_prefetch_lines: self.dram_prefetch_lines - earlier.dram_prefetch_lines,
-            prefetches_issued: self.prefetches_issued - earlier.prefetches_issued,
-            prefetches_dropped: self.prefetches_dropped - earlier.prefetches_dropped,
-            back_invalidations: self.back_invalidations - earlier.back_invalidations,
-            tlb_hits: self.tlb_hits - earlier.tlb_hits,
-            tlb_misses: self.tlb_misses - earlier.tlb_misses,
-            coherence_invalidations: self.coherence_invalidations
-                - earlier.coherence_invalidations,
-            coherence_upgrades: self.coherence_upgrades - earlier.coherence_upgrades,
-            stall_cycles: self.stall_cycles - earlier.stall_cycles,
-            net_cycles: self.net_cycles - earlier.net_cycles,
-            barrier_cycles: self.barrier_cycles - earlier.barrier_cycles,
-            cycles: self.cycles - earlier.cycles,
+            loads: sub!(loads),
+            stores: sub!(stores),
+            compute_cycles: sub!(compute_cycles),
+            l1_hits: sub!(l1_hits),
+            l1_misses: sub!(l1_misses),
+            l2_hits: sub!(l2_hits),
+            l2_misses: sub!(l2_misses),
+            l3_hits: sub!(l3_hits),
+            l3_misses: sub!(l3_misses),
+            dram_demand_lines: sub!(dram_demand_lines),
+            dram_prefetch_lines: sub!(dram_prefetch_lines),
+            prefetches_issued: sub!(prefetches_issued),
+            prefetches_dropped: sub!(prefetches_dropped),
+            back_invalidations: sub!(back_invalidations),
+            tlb_hits: sub!(tlb_hits),
+            tlb_misses: sub!(tlb_misses),
+            coherence_invalidations: sub!(coherence_invalidations),
+            coherence_upgrades: sub!(coherence_upgrades),
+            stall_cycles: sub!(stall_cycles),
+            net_cycles: sub!(net_cycles),
+            barrier_cycles: sub!(barrier_cycles),
+            cycles: sub!(cycles),
         }
     }
 
@@ -204,6 +223,30 @@ mod tests {
         assert_eq!(d.loads, 20);
         assert_eq!(d.l3_misses, 5);
         assert_eq!(d.cycles, 350);
+    }
+
+    #[test]
+    fn delta_since_rejects_swapped_snapshots() {
+        let early = CoreCounters {
+            loads: 10,
+            cycles: 100,
+            ..Default::default()
+        };
+        let late = CoreCounters {
+            loads: 30,
+            cycles: 450,
+            ..Default::default()
+        };
+        // Arguments the wrong way round: debug builds assert, release
+        // builds saturate to zero instead of wrapping.
+        if cfg!(debug_assertions) {
+            let r = std::panic::catch_unwind(|| early.delta_since(&late));
+            assert!(r.is_err(), "swapped snapshots must trip the debug assert");
+        } else {
+            let d = early.delta_since(&late);
+            assert_eq!(d.loads, 0);
+            assert_eq!(d.cycles, 0);
+        }
     }
 
     #[test]

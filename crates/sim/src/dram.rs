@@ -10,6 +10,8 @@
 
 use serde::Serialize;
 
+use crate::telemetry::CycleHistogram;
+
 /// Per-channel transfer statistics (the "uncore counters").
 #[derive(Debug, Default, Clone, Copy, Serialize)]
 pub struct DramStats {
@@ -28,8 +30,7 @@ pub struct DramStats {
 impl DramStats {
     /// All bytes moved over the channel.
     pub fn total_bytes(&self, line_bytes: u32) -> u64 {
-        (self.demand_lines + self.prefetch_lines + self.writeback_lines)
-            * line_bytes as u64
+        (self.demand_lines + self.prefetch_lines + self.writeback_lines) * line_bytes as u64
             + self.dma_bytes
     }
 }
@@ -45,6 +46,9 @@ pub struct DramChannel {
     /// Time at which the channel next becomes free.
     next_free: f64,
     stats: DramStats,
+    /// Histogram of per-demand queue+transfer delay; `None` (the default)
+    /// costs one branch per demand and records nothing.
+    queue_hist: Option<CycleHistogram>,
 }
 
 impl DramChannel {
@@ -56,7 +60,19 @@ impl DramChannel {
             line_bytes,
             next_free: 0.0,
             stats: DramStats::default(),
+            queue_hist: None,
         }
+    }
+
+    /// Start recording the queue+transfer delay of every demand read into
+    /// a [`CycleHistogram`]. Observation-only: timing is unaffected.
+    pub fn enable_queue_histogram(&mut self) {
+        self.queue_hist = Some(CycleHistogram::new());
+    }
+
+    /// The demand queue-delay histogram, if enabled.
+    pub fn queue_histogram(&self) -> Option<&CycleHistogram> {
+        self.queue_hist.as_ref()
     }
 
     /// Occupy the channel for `bytes` starting no earlier than `at`.
@@ -75,7 +91,11 @@ impl DramChannel {
     #[inline]
     pub fn demand(&mut self, at: u64) -> u64 {
         self.stats.demand_lines += 1;
-        self.occupy(at, self.line_bytes as u64)
+        let delay = self.occupy(at, self.line_bytes as u64);
+        if let Some(h) = self.queue_hist.as_mut() {
+            h.record(delay);
+        }
+        delay
     }
 
     /// A prefetch line read. Occupies the channel; the core never stalls.
@@ -178,6 +198,30 @@ mod tests {
         ch.demand(0);
         assert!(ch.backlog(0) >= 8.0);
         assert_eq!(ch.backlog(1_000_000), 0.0);
+    }
+
+    #[test]
+    fn queue_histogram_records_demand_delays_only_when_enabled() {
+        let mut ch = DramChannel::new(8.0, 64);
+        ch.demand(0);
+        assert!(ch.queue_histogram().is_none());
+        ch.enable_queue_histogram();
+        ch.demand(1000); // idle: 8 cycles
+        ch.demand(1000); // queued: 16 cycles
+        let h = ch.queue_histogram().unwrap();
+        assert_eq!(h.total, 2);
+        assert_eq!(h.sum, 24);
+        assert_eq!(h.max, 16);
+    }
+
+    #[test]
+    fn histogram_does_not_change_timing() {
+        let mut plain = DramChannel::new(8.0, 64);
+        let mut instrumented = DramChannel::new(8.0, 64);
+        instrumented.enable_queue_histogram();
+        for t in [0u64, 0, 3, 500, 501, 502] {
+            assert_eq!(plain.demand(t), instrumented.demand(t));
+        }
     }
 
     #[test]

@@ -40,6 +40,7 @@ use crate::counters::CoreCounters;
 use crate::dram::{DramChannel, DramStats};
 use crate::prefetch::Prefetcher;
 use crate::stream::{AccessStream, Op};
+use crate::telemetry::{CycleHistogram, EventRing, Sampler, SpanEvent, Telemetry};
 use crate::tlb::Tlb;
 
 /// A stream placed on a core.
@@ -96,6 +97,13 @@ pub struct RunLimit {
     /// per socket (for validation: "how many of CSThr's lines are
     /// resident?"). Convert byte addresses to lines with `addr >> 6`.
     pub watch_ranges: Vec<(u64, u64)>,
+    /// Sample every core's counters each time its clock crosses a multiple
+    /// of this many cycles (`None` disables sampling). Sampling is
+    /// observation-only: it never changes counters or timing.
+    pub sample_interval: Option<u64>,
+    /// Capacity of the span/instant event ring buffer (0 disables
+    /// tracing). When full, the oldest events are dropped and counted.
+    pub trace_capacity: usize,
 }
 
 impl Default for RunLimit {
@@ -105,6 +113,8 @@ impl Default for RunLimit {
             quantum: 200,
             barrier_overhead: 400,
             watch_ranges: Vec::new(),
+            sample_interval: None,
+            trace_capacity: 0,
         }
     }
 }
@@ -115,6 +125,25 @@ impl RunLimit {
             max_cycles: Some(max),
             ..Self::default()
         }
+    }
+
+    /// Enable periodic counter sampling every `interval` cycles.
+    pub fn with_sampling(mut self, interval: u64) -> Self {
+        assert!(interval > 0, "sampling interval must be positive");
+        self.sample_interval = Some(interval);
+        self
+    }
+
+    /// Enable span/instant tracing with a ring buffer of `capacity` events.
+    pub fn with_tracing(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Whether any telemetry (sampling, tracing) is requested.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.sample_interval.is_some() || self.trace_capacity > 0
     }
 }
 
@@ -164,6 +193,9 @@ pub struct RunReport {
     pub seconds: f64,
     pub jobs: Vec<JobReport>,
     pub sockets: Vec<SocketReport>,
+    /// Samples, spans and histograms; present only when the run's
+    /// [`RunLimit`] enabled sampling or tracing.
+    pub telemetry: Option<Telemetry>,
 }
 
 impl RunReport {
@@ -270,6 +302,8 @@ struct CoreState {
     finished: bool,
     parked: bool,
     barrier_arrival: u64,
+    /// Start cycle of the current BSP phase (for span tracing).
+    phase_start: u64,
     counters: CoreCounters,
     marks: Vec<CoreCounters>,
     llc_hint: Option<crate::cache::InsertPolicy>,
@@ -294,6 +328,12 @@ pub struct Engine<'a> {
 
     labels: Vec<String>,
     job_meta: Vec<(CoreId, bool)>,
+
+    // Observation-only telemetry; all None/empty unless the RunLimit asks.
+    sampler: Option<Sampler>,
+    ring: Option<EventRing>,
+    /// Per-socket demand-miss latency histograms (with sampling enabled).
+    demand_hist: Vec<CycleHistogram>,
 }
 
 impl<'a> Engine<'a> {
@@ -310,6 +350,7 @@ impl<'a> Engine<'a> {
                 finished: false,
                 parked: false,
                 barrier_arrival: 0,
+                phase_start: 0,
                 counters: CoreCounters::default(),
                 marks: Vec::new(),
                 llc_hint: None,
@@ -355,11 +396,30 @@ impl<'a> Engine<'a> {
 
             labels,
             job_meta,
+
+            sampler: None,
+            ring: None,
+            demand_hist: Vec::new(),
         }
     }
 
     /// Execute until every primary stream is done (or limits trip).
     pub fn run(mut self, limit: &RunLimit) -> RunReport {
+        if let Some(iv) = limit.sample_interval {
+            self.sampler = Some(Sampler::new(
+                iv,
+                self.cores.len(),
+                self.cfg.l3.line_bytes,
+                self.cfg.freq_ghz,
+            ));
+            for s in &mut self.sockets {
+                s.dram.enable_queue_histogram();
+            }
+            self.demand_hist = vec![CycleHistogram::new(); self.sockets.len()];
+        }
+        if limit.trace_capacity > 0 {
+            self.ring = Some(EventRing::new(limit.trace_capacity));
+        }
         let mut primaries_left = self.cores.iter().filter(|c| c.primary && !c.done).count();
         let had_primaries = primaries_left > 0;
         assert!(
@@ -397,6 +457,12 @@ impl<'a> Engine<'a> {
                 .saturating_add(limit.quantum);
             loop {
                 let state = self.step(ci, limit);
+                if let Some(sm) = self.sampler.as_mut() {
+                    let c = &self.cores[ci];
+                    if sm.due(ci, c.time) {
+                        sm.sample(ci, c.time, &c.counters);
+                    }
+                }
                 match state {
                     StepOutcome::Running => {
                         let now = self.cores[ci].time;
@@ -470,6 +536,11 @@ impl<'a> Engine<'a> {
             c.counters.barrier_cycles += resume - c.barrier_arrival;
             c.time = resume;
             c.parked = false;
+            let arrival = c.barrier_arrival;
+            c.phase_start = resume;
+            if let Some(r) = self.ring.as_mut() {
+                r.push(SpanEvent::span("barrier-wait", i, arrival, resume));
+            }
             heap.push(Reverse((resume, i as u32)));
         }
     }
@@ -523,8 +594,7 @@ impl<'a> Engine<'a> {
                 let s = self.cfg.socket_of(ci);
                 // NIC DMA occupies the local memory channel.
                 let dma = self.sockets[s].dram.dma(now, bytes as u64);
-                let wire =
-                    (bytes as f64 / self.cfg.net.bytes_per_cycle) as u64;
+                let wire = (bytes as f64 / self.cfg.net.bytes_per_cycle) as u64;
                 let d = self.cfg.net.latency_cycles as u64 + wire.max(dma);
                 let c = &mut self.cores[ci];
                 c.time += d;
@@ -537,6 +607,10 @@ impl<'a> Engine<'a> {
                 let mut snap = c.counters;
                 snap.cycles = c.time;
                 c.marks.push(snap);
+                let at = c.time;
+                if let Some(r) = self.ring.as_mut() {
+                    r.push(SpanEvent::instant("mark", ci, at));
+                }
                 StepOutcome::Running
             }
             Op::Barrier => {
@@ -549,6 +623,10 @@ impl<'a> Engine<'a> {
                 }
                 c.parked = true;
                 c.barrier_arrival = c.time;
+                let (start, end) = (c.phase_start, c.time);
+                if let Some(r) = self.ring.as_mut() {
+                    r.push(SpanEvent::span("phase", ci, start, end));
+                }
                 let _ = limit;
                 StepOutcome::Parked
             }
@@ -558,6 +636,13 @@ impl<'a> Engine<'a> {
                 c.done = true;
                 c.finished = true;
                 c.counters.cycles = c.time;
+                let (start, end) = (c.phase_start, c.time);
+                if let Some(r) = self.ring.as_mut() {
+                    if end > start {
+                        r.push(SpanEvent::span("phase", ci, start, end));
+                    }
+                    r.push(SpanEvent::instant("done", ci, end));
+                }
                 StepOutcome::Finished
             }
         }
@@ -680,10 +765,11 @@ impl<'a> Engine<'a> {
             // costs the fixed DRAM latency; under contention the channel
             // backlog dominates. Summing both would convoy bursty traffic
             // and cap throughput far below the channel rate.
-            (
-                self.cfg.l3.latency + self.cfg.dram_latency.max(delay as u32),
-                HitLevel::Dram,
-            )
+            let lat = self.cfg.l3.latency + self.cfg.dram_latency.max(delay as u32);
+            if let Some(h) = self.demand_hist.get_mut(s) {
+                h.record(lat as u64);
+            }
+            (lat, HitLevel::Dram)
         };
         for i in 0..reqs.n {
             self.issue_prefetch(ci, s, reqs.lines[i], now);
@@ -766,7 +852,41 @@ impl<'a> Engine<'a> {
         self.fill_l2(ci, s, line, now);
     }
 
-    fn report(self, limit: &RunLimit, max_cycles: u64, had_primaries: bool) -> RunReport {
+    fn report(mut self, limit: &RunLimit, max_cycles: u64, had_primaries: bool) -> RunReport {
+        // Close out each active core's final partial sample so per-slice
+        // deltas sum exactly to the end-of-run counters.
+        if let Some(mut sm) = self.sampler.take() {
+            for (ci, c) in self.cores.iter().enumerate() {
+                if c.job.is_some() {
+                    sm.finalize(ci, c.counters.cycles, &c.counters);
+                }
+            }
+            self.sampler = Some(sm);
+        }
+        let telemetry = if self.sampler.is_some() || self.ring.is_some() {
+            let (events, dropped_events) = match self.ring.take() {
+                Some(r) => r.into_parts(),
+                None => (Vec::new(), 0),
+            };
+            let (sample_interval, samples) = match self.sampler.take() {
+                Some(sm) => (sm.interval(), sm.into_samples()),
+                None => (0, Vec::new()),
+            };
+            Some(Telemetry {
+                sample_interval,
+                samples,
+                events,
+                dropped_events,
+                dram_queue_delay: self
+                    .sockets
+                    .iter()
+                    .map(|s| s.dram.queue_histogram().cloned().unwrap_or_default())
+                    .collect(),
+                demand_latency: std::mem::take(&mut self.demand_hist),
+            })
+        } else {
+            None
+        };
         let wall = if had_primaries {
             self.cores
                 .iter()
@@ -809,9 +929,9 @@ impl<'a> Engine<'a> {
             seconds: self.cfg.seconds(wall),
             jobs,
             sockets,
+            telemetry,
         }
     }
-
 }
 
 enum StepOutcome {
@@ -858,7 +978,10 @@ mod tests {
     #[test]
     fn second_access_hits_l1() {
         let a = 0x1000_0000u64;
-        let r = run_script(vec![Op::Load(a), Op::Compute(0), Op::Load(a), Op::Compute(0)], 1);
+        let r = run_script(
+            vec![Op::Load(a), Op::Compute(0), Op::Load(a), Op::Compute(0)],
+            1,
+        );
         let c = &r.jobs[0].counters;
         assert_eq!(c.l1_hits, 1);
         assert_eq!(c.l1_misses, 1);
@@ -909,10 +1032,7 @@ mod tests {
 
     #[test]
     fn compute_waits_for_loads() {
-        let r = run_script(
-            vec![Op::Load(0x1000_0000), Op::Compute(5)],
-            4,
-        );
+        let r = run_script(vec![Op::Load(0x1000_0000), Op::Compute(5)], 4);
         let c = &r.jobs[0].counters;
         assert!(c.stall_cycles > 100, "compute must wait for the miss");
         assert_eq!(c.compute_cycles, 5);
@@ -949,7 +1069,9 @@ mod tests {
         // socket L3 ends up holding both working sets.
         let m = cfg();
         let mk = |base: u64| {
-            let ops: Vec<Op> = (0..4096u64).map(|i| Op::Load(base + (i % 512) * 64)).collect();
+            let ops: Vec<Op> = (0..4096u64)
+                .map(|i| Op::Load(base + (i % 512) * 64))
+                .collect();
             ScriptStream::new(ops).with_mlp(2)
         };
         let jobs = vec![
@@ -972,7 +1094,9 @@ mod tests {
             }
         }
         let m = cfg();
-        let ops: Vec<Op> = (0..1000u64).map(|i| Op::Load(0x1000_0000 + i * 64)).collect();
+        let ops: Vec<Op> = (0..1000u64)
+            .map(|i| Op::Load(0x1000_0000 + i * 64))
+            .collect();
         let jobs = vec![
             Job::primary(Box::new(ScriptStream::new(ops)), CoreId::new(0, 0)),
             Job::background(Box::new(Forever(0)), CoreId::new(0, 1)),
@@ -1029,7 +1153,12 @@ mod tests {
     fn barrier_in_background_is_noop() {
         let m = cfg();
         let prim = ScriptStream::new(vec![Op::Compute(1000)]);
-        let bg = ScriptStream::new(vec![Op::Barrier, Op::Compute(50), Op::Barrier, Op::Compute(50)]);
+        let bg = ScriptStream::new(vec![
+            Op::Barrier,
+            Op::Compute(50),
+            Op::Barrier,
+            Op::Compute(50),
+        ]);
         let jobs = vec![
             Job::primary(Box::new(prim), CoreId::new(0, 0)),
             Job::background(Box::new(bg), CoreId::new(0, 1)),
@@ -1043,7 +1172,10 @@ mod tests {
     fn remote_xfer_charges_network_and_dma() {
         let m = cfg();
         let ops = vec![Op::RemoteXfer(64 * 1024), Op::Compute(0)];
-        let jobs = vec![Job::primary(Box::new(ScriptStream::new(ops)), CoreId::new(0, 0))];
+        let jobs = vec![Job::primary(
+            Box::new(ScriptStream::new(ops)),
+            CoreId::new(0, 0),
+        )];
         let r = Engine::new(&m, jobs).run(&RunLimit::default());
         let c = &r.jobs[0].counters;
         assert!(c.net_cycles as f64 >= m.net.latency_cycles as f64);
@@ -1055,7 +1187,10 @@ mod tests {
         let m = cfg();
         let base = 0x1000_0000u64;
         let ops: Vec<Op> = (0..256u64).map(|i| Op::Load(base + i * 64)).collect();
-        let jobs = vec![Job::primary(Box::new(ScriptStream::new(ops)), CoreId::new(0, 0))];
+        let jobs = vec![Job::primary(
+            Box::new(ScriptStream::new(ops)),
+            CoreId::new(0, 0),
+        )];
         let mut lim = RunLimit::default();
         lim.watch_ranges.push((base >> 6, (base >> 6) + 256));
         let r = Engine::new(&m, jobs).run(&lim);
@@ -1069,8 +1204,8 @@ mod tests {
             Op::Load(a),
             Op::Compute(0),
             Op::Mark,
-            Op::Load(a),          // warm: hits L1
-            Op::Load(a + 8192),   // new line: misses
+            Op::Load(a),        // warm: hits L1
+            Op::Load(a + 8192), // new line: misses
             Op::Compute(0),
         ];
         let r = run_script(ops, 1);
@@ -1149,8 +1284,8 @@ mod coherence_tests {
         let reader = ScriptStream::new(vec![
             Op::Load(a),
             Op::Compute(0),
-            Op::Barrier,       // writer stores during this window
-            Op::Load(a),       // must re-fetch from L3 (invalidated)
+            Op::Barrier, // writer stores during this window
+            Op::Load(a), // must re-fetch from L3 (invalidated)
             Op::Compute(0),
         ]);
         let writer = ScriptStream::new(vec![
@@ -1186,7 +1321,12 @@ mod coherence_tests {
         // Two cores hammering disjoint lines: zero coherence traffic.
         let mk = |base: u64| {
             let ops: Vec<Op> = (0..2000u64)
-                .flat_map(|i| [Op::Load(base + (i % 64) * 64), Op::Store(base + (i % 64) * 64)])
+                .flat_map(|i| {
+                    [
+                        Op::Load(base + (i % 64) * 64),
+                        Op::Store(base + (i % 64) * 64),
+                    ]
+                })
                 .collect();
             ScriptStream::new(ops)
         };

@@ -64,6 +64,7 @@ pub mod machine;
 pub mod prefetch;
 pub mod rng;
 pub mod stream;
+pub mod telemetry;
 pub mod tlb;
 pub mod trace;
 
@@ -75,6 +76,7 @@ pub mod prelude {
     pub use crate::machine::Machine;
     pub use crate::rng::Xoshiro256;
     pub use crate::stream::{AccessStream, Op, OpQueue};
+    pub use crate::telemetry::{CycleHistogram, Sample, SpanEvent, Telemetry};
 }
 
 pub use config::{CacheConfig, CoreId, MachineConfig};
@@ -82,3 +84,4 @@ pub use counters::CoreCounters;
 pub use engine::{Job, JobReport, RunLimit, RunReport, SocketReport};
 pub use machine::Machine;
 pub use stream::{AccessStream, Op, OpQueue};
+pub use telemetry::{CycleHistogram, Sample, SpanEvent, Telemetry};

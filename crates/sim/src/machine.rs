@@ -63,7 +63,10 @@ mod tests {
         assert_ne!(a, b);
         let ops = vec![Op::Load(a), Op::Load(b), Op::Compute(0)];
         let r = m.run(
-            vec![Job::primary(Box::new(ScriptStream::new(ops)), CoreId::new(0, 0))],
+            vec![Job::primary(
+                Box::new(ScriptStream::new(ops)),
+                CoreId::new(0, 0),
+            )],
             RunLimit::default(),
         );
         assert!(r.jobs[0].done);
@@ -76,11 +79,17 @@ mod tests {
         let a = m.alloc(4096);
         let mk = || vec![Op::Load(a), Op::Compute(0)];
         let r1 = m.run(
-            vec![Job::primary(Box::new(ScriptStream::new(mk())), CoreId::new(0, 0))],
+            vec![Job::primary(
+                Box::new(ScriptStream::new(mk())),
+                CoreId::new(0, 0),
+            )],
             RunLimit::default(),
         );
         let r2 = m.run(
-            vec![Job::primary(Box::new(ScriptStream::new(mk())), CoreId::new(0, 0))],
+            vec![Job::primary(
+                Box::new(ScriptStream::new(mk())),
+                CoreId::new(0, 0),
+            )],
             RunLimit::default(),
         );
         // Identical cold-start behaviour: the second run misses again.

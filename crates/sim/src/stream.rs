@@ -218,8 +218,11 @@ mod tests {
 
     #[test]
     fn boxed_stream_delegates() {
-        let s: Box<dyn AccessStream> =
-            Box::new(ScriptStream::new(vec![Op::Done]).with_mlp(7).with_label("x"));
+        let s: Box<dyn AccessStream> = Box::new(
+            ScriptStream::new(vec![Op::Done])
+                .with_mlp(7)
+                .with_label("x"),
+        );
         let mut b = s;
         assert_eq!(b.mlp(), 7);
         assert_eq!(b.label(), "x");

@@ -65,7 +65,11 @@ fn main() {
     for a in &apps {
         println!(
             "{:<24} storage {:.2}-{:.2} MB/process, bandwidth {:.2}-{:.2} GB/s/process",
-            a.name, a.storage.lo / mb, a.storage.hi / mb, a.bandwidth.lo, a.bandwidth.hi
+            a.name,
+            a.storage.lo / mb,
+            a.storage.hi / mb,
+            a.bandwidth.lo,
+            a.bandwidth.hi
         );
     }
 

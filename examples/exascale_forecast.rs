@@ -32,7 +32,10 @@ fn main() {
     let baseline = storage.baseline_seconds();
     println!("baseline: {:.3} ms\n", baseline * 1e3);
 
-    println!("{:<28} {:>14} {:>10}", "hypothetical machine", "predicted", "slowdown");
+    println!(
+        "{:<28} {:>14} {:>10}",
+        "hypothetical machine", "predicted", "slowdown"
+    );
     for (name, l3_frac, bw_frac) in [
         ("today", 1.0, 1.0),
         ("half the cache", 0.5, 1.0),
@@ -45,12 +48,7 @@ fn main() {
             bw_gbs: bmap.total_gbs * bw_frac,
         };
         let t = predict_combined(&smodel, &bmodel, &hyp, baseline);
-        println!(
-            "{:<28} {:>11.3} ms {:>9.2}x",
-            name,
-            t * 1e3,
-            t / baseline
-        );
+        println!("{:<28} {:>11.3} ms {:>9.2}x", name, t * 1e3, t / baseline);
     }
     println!(
         "\nPredictions below the most constrained measured point are lower \

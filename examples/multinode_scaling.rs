@@ -24,7 +24,10 @@ fn main() {
         "per-rank noise: rate {:.0e}/op, mean bubble {:.0} cycles\n",
         noise.rate, noise.mean_cycles
     );
-    println!("{:>6} {:>12} {:>12} {:>11}", "nodes", "mean (ms)", "job (ms)", "straggle");
+    println!(
+        "{:>6} {:>12} {:>12} {:>11}",
+        "nodes", "mean (ms)", "job (ms)", "straggle"
+    );
     let mut jobs = Vec::new();
     for nodes in [1usize, 2, 4, 8, 16, 32] {
         let r = run_nodes(&cfg, nodes, |n, _m| {

@@ -61,7 +61,10 @@ fn main() {
     let cmap = CapacityMap::paper_xeon20mb(&cfg);
     let online = MissRatioCurve::from_sweep(&sweep, &cmap);
 
-    println!("\n{:>14} {:>10} {:>10} {:>8}", "capacity (MB)", "offline", "online", "delta");
+    println!(
+        "\n{:>14} {:>10} {:>10} {:>8}",
+        "capacity (MB)", "offline", "online", "delta"
+    );
     let mut offline_vals = Vec::new();
     let mut online_vals = Vec::new();
     for p in &online.points {

@@ -25,17 +25,26 @@ fn main() {
         with_tlb.tlb.walk_cycles
     );
 
-    println!("{:<28} {:>12} {:>12} {:>8}", "probe", "no TLB (ms)", "with TLB", "walks");
+    println!(
+        "{:<28} {:>12} {:>12} {:>8}",
+        "probe", "no TLB (ms)", "with TLB", "walks"
+    );
     for (name, dist, ratio) in [
         ("uniform over 2.5x L3", AccessDist::Uniform, 2.5),
         (
             "concentrated (sigma=n/8)",
-            AccessDist::Normal { mu: 0.5, sigma: 0.125 },
+            AccessDist::Normal {
+                mu: 0.5,
+                sigma: 0.125,
+            },
             2.5,
         ),
         (
             "zipf-like heavy head",
-            AccessDist::Pareto { alpha: 1.2, x_min: 1e-4 },
+            AccessDist::Pareto {
+                alpha: 1.2,
+                x_min: 1e-4,
+            },
             2.5,
         ),
     ] {

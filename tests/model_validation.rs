@@ -29,8 +29,7 @@ fn fig5_error_bands_hold() {
         }
     }
     let mean = errs.iter().sum::<f64>() / errs.len() as f64;
-    let sd =
-        (errs.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / errs.len() as f64).sqrt();
+    let sd = (errs.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / errs.len() as f64).sqrt();
     assert!(mean < 10.0, "mean abs error {mean:.1}% >= 10%");
     assert!(mean + sd <= 18.0, "mean+sigma {:.1}% > 18%", mean + sd);
 }

@@ -110,7 +110,10 @@ fn csthr_uses_negligible_bandwidth() {
     let gbs = r.jobs[0]
         .counters
         .bandwidth_gbs(cfg.l3.line_bytes, cfg.freq_ghz);
-    assert!(gbs < 0.8, "CSThr bandwidth must be negligible: {gbs:.2} GB/s");
+    assert!(
+        gbs < 0.8,
+        "CSThr bandwidth must be negligible: {gbs:.2} GB/s"
+    );
 }
 
 #[test]

@@ -35,7 +35,9 @@ fn record_probe(
             Op::Done => break,
             Op::Mark => marked = true,
             Op::Load(a) => {
-                trace.events.push(active_mem::sim::trace::TraceEvent::Load(a));
+                trace
+                    .events
+                    .push(active_mem::sim::trace::TraceEvent::Load(a));
                 if !marked {
                     warm_refs += 1;
                 }

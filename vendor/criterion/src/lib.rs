@@ -1,0 +1,181 @@
+//! Offline stand-in for `criterion`, covering the subset the workspace's
+//! benches use: `benchmark_group`, `sample_size`, `throughput`,
+//! `bench_function`, `Bencher::{iter, iter_batched}`, `finish`, plus the
+//! `criterion_group!` / `criterion_main!` macros and `black_box`.
+//!
+//! Instead of criterion's full statistical pipeline this runs each
+//! benchmark for a handful of timed iterations and prints the mean wall
+//! time (and throughput when configured). Good enough to keep the
+//! `cargo bench` targets compiling and producing indicative numbers
+//! without network access to crates.io.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            throughput: None,
+            _c: self,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        // One untimed warm-up pass, then the measured samples.
+        f(&mut b);
+        b.total = Duration::ZERO;
+        b.iters = 0;
+        for _ in 0..self.samples {
+            f(&mut b);
+        }
+        let mean = if b.iters > 0 {
+            b.total / b.iters as u32
+        } else {
+            Duration::ZERO
+        };
+        let mut line = format!("{}/{id}: {:?}/iter", self.name, mean);
+        if let Some(t) = self.throughput {
+            let secs = mean.as_secs_f64();
+            if secs > 0.0 {
+                match t {
+                    Throughput::Elements(n) => {
+                        line += &format!(" ({:.3} Melem/s)", n as f64 / secs / 1e6)
+                    }
+                    Throughput::Bytes(n) => {
+                        line += &format!(" ({:.3} MiB/s)", n as f64 / secs / (1 << 20) as f64)
+                    }
+                }
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    total: Duration,
+    iters: usize,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.total += start.elapsed();
+        self.iters += 1;
+    }
+
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.total += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        let mut calls = 0u32;
+        g.sample_size(3)
+            .throughput(Throughput::Elements(10))
+            .bench_function("f", |b| {
+                b.iter(|| {
+                    calls += 1;
+                })
+            });
+        g.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn iter_batched_feeds_setup_output() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).bench_function("b", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+}

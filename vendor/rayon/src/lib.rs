@@ -1,0 +1,202 @@
+//! Offline stand-in for `rayon`, covering the subset this workspace uses:
+//! `par_iter()` / `into_par_iter()` followed by `.map(f).collect()`.
+//!
+//! Work is executed on `std::thread::scope` workers pulling items off a
+//! shared queue — coarse-grained, which is exactly right here: every
+//! parallel item is a whole simulator run (milliseconds to seconds), so
+//! queue-lock overhead is noise. Results are written back by index, so
+//! `collect()` preserves input order just like real rayon's indexed
+//! parallel iterators.
+
+use std::sync::Mutex;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Eagerly materialized parallel iterator.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+/// A mapped parallel iterator, pending execution at `collect()`.
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I: Send> ParIter<I> {
+    pub fn map<R, F>(self, f: F) -> ParMap<I, F>
+    where
+        F: Fn(I) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<I: Send, F> ParMap<I, F> {
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(I) -> R + Sync,
+        R: Send,
+        C: From<Vec<R>>,
+    {
+        C::from(run_parallel(self.items, &self.f))
+    }
+}
+
+/// Run `f` over every item on a small worker pool; results in input order.
+fn run_parallel<I: Send, R: Send>(items: Vec<I>, f: &(impl Fn(I) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue = Mutex::new(items.into_iter().enumerate().collect::<Vec<_>>());
+    let results = Mutex::new((0..n).map(|_| None).collect::<Vec<Option<R>>>());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let (i, item) = match queue.lock().unwrap().pop() {
+                    Some(x) => x,
+                    None => break,
+                };
+                let r = f(item);
+                results.lock().unwrap()[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("worker completed every queued item"))
+        .collect()
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+macro_rules! par_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+        impl IntoParallelIterator for std::ops::RangeInclusive<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+par_range!(u32, u64, usize);
+
+/// Conversion into a borrowing parallel iterator (`.par_iter()`).
+pub trait IntoParallelRefIterator<'data> {
+    type Item: Send;
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, T: ?Sized> IntoParallelRefIterator<'data> for T
+where
+    T: 'data,
+    &'data T: IntoParallelIterator,
+{
+    type Item = <&'data T as IntoParallelIterator>::Item;
+    fn par_iter(&'data self) -> ParIter<Self::Item> {
+        self.into_par_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let out: Vec<usize> = (0..17usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(out.len(), 17);
+        assert_eq!(out[16], 256);
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let _: Vec<()> = (0..64usize)
+            .into_par_iter()
+            .map(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                seen.lock().unwrap().insert(std::thread::current().id());
+            })
+            .collect();
+        let n = seen.lock().unwrap().len();
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        assert!(n >= 1 && n <= cores.max(1));
+        if cores > 1 {
+            assert!(
+                n > 1,
+                "expected multi-threaded execution, saw {n} thread(s)"
+            );
+        }
+    }
+}

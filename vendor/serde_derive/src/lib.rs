@@ -1,0 +1,419 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Parses the derive input at the token level (no `syn`/`quote` — the
+//! build container is offline) and generates impls of the stand-in's
+//! `Serialize`/`Deserialize` traits. Supported shapes, which cover every
+//! derive in this workspace:
+//!
+//! * structs with named fields,
+//! * tuple structs (1-field newtypes serialize transparently),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants (externally tagged,
+//!   matching real serde's JSON representation).
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally not
+//! supported; hitting one is a compile-time panic, not silent misbehavior.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Advance past any `#[...]` attributes (including doc comments).
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i < tokens.len() && is_punct(&tokens[i], '#') {
+        i += 1; // '#'
+        if i < tokens.len()
+            && matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Advance past `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if i < tokens.len() && is_ident(&tokens[i], "pub") {
+        i += 1;
+        if i < tokens.len()
+            && matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Index just past the token run ending at a top-level `,` (which is
+/// consumed). Tracks `<`/`>` depth so `HashMap<K, V>` commas don't split.
+fn skip_to_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle = 0i32;
+    while i < tokens.len() {
+        if is_punct(&tokens[i], '<') {
+            angle += 1;
+        } else if is_punct(&tokens[i], '>') {
+            angle -= 1;
+        } else if is_punct(&tokens[i], ',') && angle <= 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(group: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < group.len() {
+        i = skip_attrs(group, i);
+        i = skip_vis(group, i);
+        if i >= group.len() {
+            break;
+        }
+        match &group[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("serde stub derive: expected field name, got {other}"),
+        }
+        i += 1;
+        assert!(
+            i < group.len() && is_punct(&group[i], ':'),
+            "serde stub derive: expected `:` after field `{}`",
+            fields.last().unwrap()
+        );
+        i = skip_to_comma(group, i + 1);
+    }
+    fields
+}
+
+/// Count comma-separated entries at angle-depth 0 (tuple fields).
+fn count_tuple_fields(group: &[TokenTree]) -> usize {
+    if group.is_empty() {
+        return 0;
+    }
+    let mut n = 0;
+    let mut i = 0;
+    while i < group.len() {
+        n += 1;
+        i = skip_to_comma(group, i);
+    }
+    n
+}
+
+fn parse_variants(group: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < group.len() {
+        i = skip_attrs(group, i);
+        if i >= group.len() {
+            break;
+        }
+        let name = match &group[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stub derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        let shape = if i < group.len() {
+            match &group[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    i += 1;
+                    VariantShape::Tuple(count_tuple_fields(&inner))
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    i += 1;
+                    VariantShape::Named(parse_named_fields(&inner))
+                }
+                _ => VariantShape::Unit,
+            }
+        } else {
+            VariantShape::Unit
+        };
+        variants.push(Variant { name, shape });
+        // Skip an optional discriminant and the trailing comma.
+        i = skip_to_comma(group, i);
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let is_enum = if is_ident(&tokens[i], "struct") {
+        false
+    } else if is_ident(&tokens[i], "enum") {
+        true
+    } else {
+        panic!(
+            "serde stub derive: expected `struct` or `enum`, got {}",
+            tokens[i]
+        );
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("serde stub derive: generic type `{name}` is not supported");
+    }
+    let shape = if is_enum {
+        match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::Enum(parse_variants(&inner))
+            }
+            other => panic!("serde stub derive: expected enum body, got {other}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::NamedStruct(parse_named_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::TupleStruct(count_tuple_fields(&inner))
+            }
+            Some(t) if is_punct(t, ';') => Shape::UnitStruct,
+            None => Shape::UnitStruct,
+            Some(other) => panic!("serde stub derive: unexpected struct body {other}"),
+        }
+    };
+    Item { name, shape }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new(); {pushes} ::serde::Value::Object(fields)"
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Object(vec![({vn:?}.to_string(), \
+                             ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![({vn:?}.to_string(), \
+                                 ::serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![({vn:?}\
+                                 .to_string(), ::serde::Value::Object(vec![{}]))]),",
+                                pushes.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde stub derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(v, {f:?})?"))
+                .collect();
+            format!(
+                "if v.as_object().is_none() {{ return Err(::serde::unexpected(\"object\", v)); }}\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::unexpected(\"array\", v))?;\n\
+                 if items.len() != {n} {{ return Err(::serde::Error::msg(format!(\
+                 \"expected {n} fields for {name}, got {{}}\", items.len()))); }}\n\
+                 Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("let _ = v; Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("{:?} => Ok({name}::{}),", v.name, v.name))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "{vn:?} => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                 let items = inner.as_array().ok_or_else(|| \
+                                 ::serde::unexpected(\"array\", inner))?;\n\
+                                 if items.len() != {n} {{ return Err(::serde::Error::msg(\
+                                 \"wrong tuple arity for variant {vn}\")); }}\n\
+                                 Ok({name}::{vn}({}))\n}},",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantShape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::field(inner, {f:?})?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => Ok({name}::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            let str_arm = if unit_arms.is_empty() {
+                "::serde::Value::Str(_) => Err(::serde::unexpected(\"externally tagged variant\", v)),"
+                    .to_string()
+            } else {
+                format!(
+                    "::serde::Value::Str(s) => match s.as_str() {{ {unit_arms} other => \
+                     Err(::serde::Error::msg(format!(\"unknown variant `{{other}}` of {name}\"))) }},"
+                )
+            };
+            let obj_arm = if data_arms.is_empty() {
+                "::serde::Value::Object(_) => Err(::serde::unexpected(\"unit variant name\", v)),"
+                    .to_string()
+            } else {
+                format!(
+                    "::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                     let (tag, inner) = &pairs[0];\n\
+                     match tag.as_str() {{ {data_arms} other => Err(::serde::Error::msg(\
+                     format!(\"unknown variant `{{other}}` of {name}\"))) }}\n}},"
+                )
+            };
+            format!(
+                "match v {{ {str_arm} {obj_arm} other => \
+                 Err(::serde::unexpected(\"enum value\", other)) }}"
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde stub derive: generated Deserialize impl must parse")
+}
