@@ -9,17 +9,20 @@
 use amem_bench::Harness;
 use amem_core::platform::McbWorkload;
 use amem_core::report::Table;
-use amem_interfere::{InterferenceMix, InterferenceSpec};
+use amem_interfere::InterferenceMix;
 use amem_miniapps::McbCfg;
 
 fn main() {
     let mut h = Harness::new("combined");
     let m = h.machine();
-    let plat = h.platform();
+    let exec = h.executor();
     let w = McbWorkload(McbCfg::new(&m, 60_000));
     let per = 2;
 
-    let baseline = plat.run(&w, per, InterferenceSpec::none()).seconds;
+    let baseline = exec
+        .run(&w, per, InterferenceMix::none())
+        .expect("baseline run")
+        .seconds;
     let mut t = Table::new(
         "Combined interference vs multiplicative composition (MCB, 60k particles)",
         &[
@@ -33,10 +36,19 @@ fn main() {
         if cs + bw > 8 - per {
             continue;
         }
-        let s_only = plat.run(&w, per, InterferenceSpec::storage(cs)).seconds / baseline;
-        let b_only = plat.run(&w, per, InterferenceSpec::bandwidth(bw)).seconds / baseline;
-        let mixed = plat
-            .run_mixed(&w, per, InterferenceMix::new(cs, bw))
+        let s_only = exec
+            .run(&w, per, InterferenceMix::storage(cs))
+            .expect("storage run")
+            .seconds
+            / baseline;
+        let b_only = exec
+            .run(&w, per, InterferenceMix::bandwidth(bw))
+            .expect("bandwidth run")
+            .seconds
+            / baseline;
+        let mixed = exec
+            .run(&w, per, InterferenceMix::new(cs, bw))
+            .expect("mixed run")
             .seconds
             / baseline;
         let composed = s_only * b_only;

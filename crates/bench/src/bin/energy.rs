@@ -5,14 +5,14 @@
 use amem_bench::Harness;
 use amem_core::platform::McbWorkload;
 use amem_core::report::Table;
-use amem_interfere::{InterferenceKind, InterferenceSpec};
+use amem_interfere::{InterferenceKind, InterferenceMix};
 use amem_miniapps::McbCfg;
 use amem_sim::energy::EnergyModel;
 
 fn main() {
     let mut h = Harness::new("energy");
     let m = h.machine();
-    let plat = h.platform();
+    let exec = h.executor();
     let w = McbWorkload(McbCfg::new(&m, 60_000));
     let model = EnergyModel::default();
     let mut t = Table::new(
@@ -32,7 +32,8 @@ fn main() {
         (InterferenceKind::Bandwidth, vec![1usize, 2]),
     ] {
         for k in counts {
-            let meas = plat.run(&w, 2, InterferenceSpec { kind, count: k });
+            let mix = InterferenceMix::of_kind(kind, k);
+            let meas = exec.run(&w, 2, mix).expect("energy run");
             let mut dyn_j = 0.0;
             let mut stat_j = 0.0;
             for j in meas.report.jobs.iter().filter(|j| j.primary) {
@@ -45,7 +46,7 @@ fn main() {
                 baseline_total = total;
             }
             t.row(vec![
-                InterferenceSpec { kind, count: k }.describe(),
+                mix.describe(),
                 format!("{:.3}", meas.seconds * 1e3),
                 format!("{:.3}", dyn_j * 1e3),
                 format!("{:.3}", stat_j * 1e3),

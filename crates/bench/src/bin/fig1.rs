@@ -14,7 +14,7 @@ use amem_probes::probe::ProbeCfg;
 fn main() {
     let mut h = Harness::new("fig1");
     let m = h.machine();
-    let plat = h.platform();
+    let exec = h.executor();
     let cmap = CapacityMap::paper_xeon20mb(&m);
     // A workload with a known appetite: a concentrated probe whose hot
     // set is ≈ half the L3.
@@ -27,7 +27,7 @@ fn main() {
         2.0,
         1,
     ));
-    let sweep = run_sweep(&plat, &w, 1, InterferenceKind::Storage, 5);
+    let sweep = run_sweep(&exec, &w, 1, InterferenceKind::Storage, 5).expect("fig1 sweep");
     let mut t = Table::new(
         "Fig. 1 — increasing interference until performance degrades",
         &[

@@ -13,14 +13,15 @@
 use amem_bench::Harness;
 use amem_core::platform::LuleshWorkload;
 use amem_core::report::Table;
-use amem_core::sweep::run_sweep;
+use amem_core::sweep::run_sweeps;
+use amem_core::SweepRequest;
 use amem_interfere::InterferenceKind;
 use amem_miniapps::LuleshCfg;
 
 fn main() {
     let mut h = Harness::new("fig11");
     let m = h.machine();
-    let plat = h.platform();
+    let exec = h.executor();
     let edge_of = |full: u32| LuleshCfg::scaled_edge(&m, full);
 
     // ---- Top: mapping sweep at 22^3 ----------------------------------
@@ -37,9 +38,19 @@ fn main() {
                 "Degradation (%)",
             ],
         );
-        for p in [1usize, 2, 4] {
-            let w = LuleshWorkload(LuleshCfg::new(edge_of(22)));
-            let sweep = run_sweep(&plat, &w, p, kind, max);
+        let w = LuleshWorkload(LuleshCfg::new(edge_of(22)));
+        let ps = [1usize, 2, 4];
+        let requests: Vec<SweepRequest> = ps
+            .iter()
+            .map(|&p| SweepRequest {
+                workload: &w,
+                per_processor: p,
+                kind,
+                max_count: max,
+            })
+            .collect();
+        let sweeps = run_sweeps(&exec, &requests).expect("fig11 top sweeps");
+        for (&p, sweep) in ps.iter().zip(&sweeps) {
             for pt in &sweep.points {
                 t.row(vec![
                     p.to_string(),
@@ -71,9 +82,21 @@ fn main() {
                 "Degradation (%)",
             ],
         );
-        for &e in &edges_full {
-            let w = LuleshWorkload(LuleshCfg::new(edge_of(e)));
-            let sweep = run_sweep(&plat, &w, 1, kind, max);
+        let workloads: Vec<LuleshWorkload> = edges_full
+            .iter()
+            .map(|&e| LuleshWorkload(LuleshCfg::new(edge_of(e))))
+            .collect();
+        let requests: Vec<SweepRequest> = workloads
+            .iter()
+            .map(|w| SweepRequest {
+                workload: w,
+                per_processor: 1,
+                kind,
+                max_count: max,
+            })
+            .collect();
+        let sweeps = run_sweeps(&exec, &requests).expect("fig11 bottom sweeps");
+        for (&e, sweep) in edges_full.iter().zip(&sweeps) {
             for pt in &sweep.points {
                 t.row(vec![
                     e.to_string(),

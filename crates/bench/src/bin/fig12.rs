@@ -10,8 +10,8 @@ use amem_bench::Harness;
 use amem_core::estimate::{bandwidth_use_per_process, storage_use_per_process};
 use amem_core::platform::LuleshWorkload;
 use amem_core::report::{fmt_mb, Table};
-use amem_core::sweep::run_sweep;
-use amem_core::{BandwidthMap, CapacityMap};
+use amem_core::sweep::run_sweeps;
+use amem_core::{BandwidthMap, CapacityMap, SweepRequest};
 use amem_interfere::InterferenceKind;
 use amem_miniapps::LuleshCfg;
 
@@ -20,9 +20,9 @@ const TOL_PCT: f64 = 3.0;
 fn main() {
     let mut h = Harness::new("fig12");
     let m = h.machine();
-    let plat = h.platform();
+    let exec = h.executor();
     eprintln!("calibrating capacity and bandwidth maps...");
-    let cmap = CapacityMap::calibrate(&m, &Default::default());
+    let cmap = CapacityMap::calibrate(&exec, &Default::default()).expect("capacity calibration");
     let bmap = BandwidthMap::calibrate(&m);
 
     for full_edge in [22u32, 36] {
@@ -38,12 +38,35 @@ fn main() {
                 "Bracketed",
             ],
         );
-        for p in [1usize, 2, 4] {
-            let w = LuleshWorkload(LuleshCfg::new(edge));
-            let cs = run_sweep(&plat, &w, p, InterferenceKind::Storage, 7);
-            let bw = run_sweep(&plat, &w, p, InterferenceKind::Bandwidth, 2);
-            let s_iv = storage_use_per_process(&cs, &cmap, p, TOL_PCT);
-            let b_iv = bandwidth_use_per_process(&bw, &bmap, p, TOL_PCT);
+        // One batch per domain size: six sweeps sharing baselines and a
+        // rayon pool through the executor.
+        let w = LuleshWorkload(LuleshCfg::new(edge));
+        let ps = [1usize, 2, 4];
+        let requests: Vec<SweepRequest> = ps
+            .iter()
+            .flat_map(|&p| {
+                [
+                    SweepRequest {
+                        workload: &w,
+                        per_processor: p,
+                        kind: InterferenceKind::Storage,
+                        max_count: 7,
+                    },
+                    SweepRequest {
+                        workload: &w,
+                        per_processor: p,
+                        kind: InterferenceKind::Bandwidth,
+                        max_count: 2,
+                    },
+                ]
+            })
+            .collect();
+        let sweeps = run_sweeps(&exec, &requests).expect("fig12 sweeps");
+        for (i, &p) in ps.iter().enumerate() {
+            let cs = &sweeps[2 * i];
+            let bw = &sweeps[2 * i + 1];
+            let s_iv = storage_use_per_process(cs, &cmap, p, TOL_PCT);
+            let b_iv = bandwidth_use_per_process(bw, &bmap, p, TOL_PCT);
             t.row(vec![
                 p.to_string(),
                 fmt_mb(s_iv.lo),

@@ -8,17 +8,18 @@
 //! across distributions grows with access frequency and interference.
 
 use amem_bench::Harness;
+use amem_core::platform::ProbeWorkload;
 use amem_core::report::Table;
-use amem_interfere::InterferenceSpec;
+use amem_interfere::InterferenceMix;
 use amem_probes::dist::table2;
 use amem_probes::ehr;
-use amem_probes::probe::{run_probe, ProbeCfg};
-use amem_sim::config::CoreId;
+use amem_probes::probe::ProbeCfg;
 use rayon::prelude::*;
 
 fn main() {
     let mut h = Harness::new("fig6");
     let m = h.machine();
+    let exec = h.executor();
     let (ratios, dist_step): (Vec<f64>, usize) = if h.full {
         ((0..22).map(|i| 1.5 + 0.1 * i as f64).collect(), 1)
     } else {
@@ -44,13 +45,9 @@ fn main() {
         .par_iter()
         .map(|&(adds, k, ri, di)| {
             let p = ProbeCfg::for_machine(&m, dists[di].dist, ratios[ri], adds);
-            let r = run_probe(&m, &p, |mach| {
-                if k == 0 {
-                    return Vec::new();
-                }
-                let free: Vec<CoreId> = (1..=k as u32).map(|c| CoreId::new(0, c)).collect();
-                InterferenceSpec::storage(k).build_jobs(mach, &free)
-            });
+            let r = exec
+                .run(&ProbeWorkload(p), 1, InterferenceMix::storage(k))
+                .expect("probe runs at 1 rank with at most 5 CSThrs");
             let ssq = ehr::sum_sq_line_mass(&dists[di].dist, p.buffer_bytes, 4, 64);
             let cap = ehr::effective_cache_bytes(r.l3_miss_rate, ssq, 64);
             ((adds, k, ri), cap)

@@ -12,16 +12,18 @@
 use amem_bench::Harness;
 use amem_core::platform::McbWorkload;
 use amem_core::report::Table;
-use amem_core::sweep::run_sweep;
-use amem_interfere::{InterferenceKind, InterferenceSpec};
+use amem_core::sweep::run_sweeps;
+use amem_core::SweepRequest;
+use amem_interfere::{InterferenceKind, InterferenceMix};
 use amem_miniapps::McbCfg;
 
 fn main() {
     let mut h = Harness::new("fig9");
     let m = h.machine();
-    let plat = h.platform();
+    let exec = h.executor();
 
     // ---- Top: mapping sweep at 20k particles --------------------------
+    let w20k = McbWorkload(McbCfg::new(&m, 20_000));
     for (kind, max, tag) in [
         (InterferenceKind::Storage, 7usize, "storage"),
         (InterferenceKind::Bandwidth, 2usize, "bandwidth"),
@@ -35,9 +37,18 @@ fn main() {
                 "Degradation (%)",
             ],
         );
-        for p in [1usize, 2, 3, 4, 6] {
-            let w = McbWorkload(McbCfg::new(&m, 20_000));
-            let sweep = run_sweep(&plat, &w, p, kind, max);
+        let ps = [1usize, 2, 3, 4, 6];
+        let requests: Vec<SweepRequest> = ps
+            .iter()
+            .map(|&p| SweepRequest {
+                workload: &w20k,
+                per_processor: p,
+                kind,
+                max_count: max,
+            })
+            .collect();
+        let sweeps = run_sweeps(&exec, &requests).expect("fig9 top sweeps");
+        for (&p, sweep) in ps.iter().zip(&sweeps) {
             for pt in &sweep.points {
                 t.row(vec![
                     p.to_string(),
@@ -64,9 +75,21 @@ fn main() {
             format!("Fig. 9 (bottom, {tag}) — MCB 24 ranks, 1 rank/processor, particle sweep"),
             &["Particles", "Interference", "Time (ms)", "Degradation (%)"],
         );
-        for &n in &particles {
-            let w = McbWorkload(McbCfg::new(&m, n));
-            let sweep = run_sweep(&plat, &w, 1, kind, max);
+        let workloads: Vec<McbWorkload> = particles
+            .iter()
+            .map(|&n| McbWorkload(McbCfg::new(&m, n)))
+            .collect();
+        let requests: Vec<SweepRequest> = workloads
+            .iter()
+            .map(|w| SweepRequest {
+                workload: w,
+                per_processor: 1,
+                kind,
+                max_count: max,
+            })
+            .collect();
+        let sweeps = run_sweeps(&exec, &requests).expect("fig9 bottom sweeps");
+        for (&n, sweep) in particles.iter().zip(&sweeps) {
             for pt in &sweep.points {
                 t.row(vec![
                     n.to_string(),
@@ -84,12 +107,9 @@ fn main() {
     // time-series JSONL plus a Perfetto-loadable Chrome trace, and the
     // manifest's headline counters.
     if h.telemetry_enabled() {
-        let w = McbWorkload(McbCfg::new(&m, 20_000));
-        let spec = InterferenceSpec {
-            kind: InterferenceKind::Storage,
-            count: 3,
-        };
-        let meas = plat.run(&w, 1, spec);
+        let meas = exec
+            .run(&w20k, 1, InterferenceMix::storage(3))
+            .expect("fig9 telemetry run");
         h.record_measurement(&meas);
         h.export_telemetry("fig9_mcb", &meas.report);
     }

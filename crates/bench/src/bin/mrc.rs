@@ -1,5 +1,5 @@
 //! Miss-ratio curves via active measurement, and Hartstein's "is it √2?"
-//! power law (the paper's ref [9]) tested on several workloads.
+//! power law (the paper's ref \[9\]) tested on several workloads.
 
 use amem_bench::Harness;
 use amem_core::mrc::MissRatioCurve;
@@ -15,7 +15,7 @@ use amem_probes::probe::ProbeCfg;
 fn main() {
     let mut h = Harness::new("mrc");
     let m = h.machine();
-    let plat = h.platform();
+    let exec = h.executor();
     let cmap = CapacityMap::paper_xeon20mb(&m);
 
     let workloads: Vec<(&str, Box<dyn Workload>)> = vec![
@@ -48,7 +48,8 @@ fn main() {
         &["Workload", "Capacity (MB)", "L3 miss rate", "alpha", "R^2"],
     );
     for (name, w) in workloads {
-        let sweep = run_sweep(&plat, w.as_ref(), 1, InterferenceKind::Storage, 5);
+        let sweep =
+            run_sweep(&exec, w.as_ref(), 1, InterferenceKind::Storage, 5).expect("mrc sweep");
         let mrc = MissRatioCurve::from_sweep(&sweep, &cmap);
         let fit = mrc.fit_power_law();
         for (i, p) in mrc.points.iter().enumerate() {

@@ -1,4 +1,4 @@
-//! Noise amplification (paper §IV, refs [11][18]): interference-induced
+//! Noise amplification (paper §IV, refs \[11\]\[18\]): interference-induced
 //! jitter is amplified by BSP barriers as ranks multiply.
 
 use amem_bench::Harness;

@@ -10,24 +10,43 @@ use amem_bench::Harness;
 use amem_core::platform::McbWorkload;
 use amem_core::predict::{predict_combined, DegradationModel, HypotheticalMachine};
 use amem_core::report::Table;
-use amem_core::sweep::run_sweep;
-use amem_core::{BandwidthMap, CapacityMap};
+use amem_core::sweep::run_sweeps;
+use amem_core::{BandwidthMap, CapacityMap, SweepRequest};
 use amem_interfere::InterferenceKind;
 use amem_miniapps::McbCfg;
 
 fn main() {
     let mut h = Harness::new("predict");
     let m = h.machine();
-    let plat = h.platform();
+    let exec = h.executor();
     eprintln!("calibrating and sweeping...");
-    let cmap = CapacityMap::calibrate(&m, &Default::default());
+    let cmap = CapacityMap::calibrate(&exec, &Default::default()).expect("capacity calibration");
     let bmap = BandwidthMap::calibrate(&m);
     let w = McbWorkload(McbCfg::new(&m, 60_000));
-    let cs = run_sweep(&plat, &w, 2, InterferenceKind::Storage, 6);
-    let bw = run_sweep(&plat, &w, 2, InterferenceKind::Bandwidth, 2);
+    // One executor batch: the storage and bandwidth sweeps share the
+    // zero-interference baseline simulation.
+    let sweeps = run_sweeps(
+        &exec,
+        &[
+            SweepRequest {
+                workload: &w,
+                per_processor: 2,
+                kind: InterferenceKind::Storage,
+                max_count: 6,
+            },
+            SweepRequest {
+                workload: &w,
+                per_processor: 2,
+                kind: InterferenceKind::Bandwidth,
+                max_count: 2,
+            },
+        ],
+    )
+    .expect("predict sweeps");
+    let [cs, bw]: [_; 2] = sweeps.try_into().expect("two requests, two sweeps");
     let smodel = DegradationModel::from_storage_sweep(&cs, &cmap);
     let bmodel = DegradationModel::from_bandwidth_sweep(&bw, &bmap);
-    let baseline = cs.baseline_seconds();
+    let baseline = cs.baseline_seconds().expect("storage sweep has a baseline");
 
     let l3 = m.l3.size_bytes as f64;
     let total_bw = bmap.total_gbs;

@@ -1,24 +1,64 @@
-//! Run the entire reproduction suite in sequence, then aggregate every
-//! run's manifest into a cross-experiment comparison report.
+//! Run the entire reproduction suite, then aggregate every run's manifest
+//! into a cross-experiment comparison report.
 //!
 //! Equivalent to running every table/figure binary with the same
 //! arguments; CSVs, manifests (and, with `--sample`/`--trace`, telemetry
 //! files) land in `target/repro/`. Sweep progress logging is enabled for
 //! the children (set `AMEM_PROGRESS=0` to silence it).
+//!
+//! Children run `--jobs <n>` at a time (default: half the cores, capped
+//! at 4 — each child saturates its own rayon pool) and share one on-disk
+//! measurement cache, so the many points the figures have in common —
+//! baselines above all — are simulated once across the whole suite. A
+//! second back-to-back invocation is served almost entirely from cache.
 
+use std::io::Write;
 use std::path::PathBuf;
 use std::process::Command;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 use amem_core::manifest::{self, RunManifest};
+use amem_core::CacheStats;
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| (n.get() / 2).clamp(1, 4))
+        .unwrap_or(1)
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--jobs` is consumed here: it bounds the child-process pool, while
+    // each child parallelises its own sweep points internally.
+    let jobs = match args.iter().position(|a| a == "--jobs") {
+        Some(i) => {
+            let v = args
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("--jobs needs a count"))
+                .clone();
+            args.drain(i..=i + 1);
+            let n: usize = v.parse().expect("--jobs must be an integer");
+            assert!(n > 0, "--jobs must be positive");
+            n
+        }
+        None => default_jobs(),
+    };
     let out: PathBuf = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("target/repro"));
+    // Every child shares one disk cache (respecting an explicit
+    // `--cache-dir`/`$AMEM_CACHE_DIR`), so common points cross-pollinate.
+    let cache_dir: PathBuf = args
+        .iter()
+        .position(|a| a == "--cache-dir")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .or_else(|| std::env::var_os("AMEM_CACHE_DIR").map(PathBuf::from))
+        .unwrap_or_else(|| PathBuf::from("target/amem-cache"));
     let bins = [
         "table1",
         "table2",
@@ -48,19 +88,76 @@ fn main() {
         .expect("exe dir")
         .to_path_buf();
     let progress = std::env::var("AMEM_PROGRESS").unwrap_or_else(|_| "1".into());
-    for (i, bin) in bins.iter().enumerate() {
-        println!(
-            "=== [{}/{}] {bin} {} ===",
-            i + 1,
-            bins.len(),
-            args.join(" ")
-        );
-        let status = Command::new(exe_dir.join(bin))
-            .args(&args)
-            .env("AMEM_PROGRESS", &progress)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
-        assert!(status.success(), "{bin} failed with {status}");
+    println!(
+        "running {} experiments, {jobs} at a time (shared cache: {})",
+        bins.len(),
+        cache_dir.display()
+    );
+
+    if jobs == 1 {
+        // Sequential: stream each child's output live.
+        for (i, bin) in bins.iter().enumerate() {
+            println!(
+                "=== [{}/{}] {bin} {} ===",
+                i + 1,
+                bins.len(),
+                args.join(" ")
+            );
+            let status = Command::new(exe_dir.join(bin))
+                .args(&args)
+                .env("AMEM_PROGRESS", &progress)
+                .env("AMEM_CACHE_DIR", &cache_dir)
+                .status()
+                .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+            assert!(status.success(), "{bin} failed with {status}");
+        }
+    } else {
+        // Bounded pool: capture each child's output, replay in suite order.
+        let slots: Vec<Option<std::io::Result<std::process::Output>>> =
+            bins.iter().map(|_| None).collect();
+        let state = (Mutex::new(slots), Condvar::new());
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..jobs.min(bins.len()) {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= bins.len() {
+                        break;
+                    }
+                    let output = Command::new(exe_dir.join(bins[i]))
+                        .args(&args)
+                        .env("AMEM_PROGRESS", &progress)
+                        .env("AMEM_CACHE_DIR", &cache_dir)
+                        .output();
+                    let (lock, cv) = &state;
+                    lock.lock().unwrap()[i] = Some(output);
+                    cv.notify_all();
+                });
+            }
+            for (i, bin) in bins.iter().enumerate() {
+                let (lock, cv) = &state;
+                let mut done = lock.lock().unwrap();
+                while done[i].is_none() {
+                    done = cv.wait(done).unwrap();
+                }
+                let output = done[i].take().unwrap();
+                drop(done);
+                println!(
+                    "=== [{}/{}] {bin} {} ===",
+                    i + 1,
+                    bins.len(),
+                    args.join(" ")
+                );
+                let output = output.unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+                std::io::stdout().write_all(&output.stdout).ok();
+                std::io::stderr().write_all(&output.stderr).ok();
+                assert!(
+                    output.status.success(),
+                    "{bin} failed with {}",
+                    output.status
+                );
+            }
+        });
     }
 
     // ---- Aggregate the manifests every binary just wrote --------------
@@ -73,6 +170,25 @@ fn main() {
     let csv = out.join("repro_all.csv");
     if let Err(e) = table.write_csv(&csv) {
         eprintln!("warning: could not write {}: {e}", csv.display());
+    }
+    let agg = manifests
+        .iter()
+        .filter_map(|m| m.cache)
+        .fold(CacheStats::default(), |mut a, c| {
+            a.sim_runs += c.sim_runs;
+            a.mem_hits += c.mem_hits;
+            a.disk_hits += c.disk_hits;
+            a.dedup_hits += c.dedup_hits;
+            a.stores += c.stores;
+            a
+        });
+    if agg.lookups() > 0 {
+        println!(
+            "[cache] suite total: {}/{} measurements served from cache ({:.0}% hit rate)",
+            agg.hits(),
+            agg.lookups(),
+            agg.hit_rate() * 100.0
+        );
     }
     let total_wall: f64 = manifests.iter().map(|m: &RunManifest| m.wall_seconds).sum();
     println!(

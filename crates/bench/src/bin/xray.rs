@@ -1,4 +1,4 @@
-//! Hierarchy parameter discovery (the paper's related work [23][24]):
+//! Hierarchy parameter discovery (the paper's related work \[23\]\[24\]):
 //! dependent pointer chases sweep the working set and report each level's
 //! capacity and latency — doubling as a simulator self-check.
 

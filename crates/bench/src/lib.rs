@@ -25,9 +25,9 @@
 //!
 //! | binary         | shows                                                  |
 //! |----------------|--------------------------------------------------------|
-//! | `xray`         | hierarchy discovery by pointer chase (refs [23][24])   |
-//! | `mrc`          | miss-ratio curves + Hartstein's power law (ref [9])    |
-//! | `noise_amp`    | barrier amplification of jitter (refs [11][18])        |
+//! | `xray`         | hierarchy discovery by pointer chase (refs \[23\]\[24\])   |
+//! | `mrc`          | miss-ratio curves + Hartstein's power law (ref \[9\])    |
+//! | `noise_amp`    | barrier amplification of jitter (refs \[11\]\[18\])        |
 //! | `latency_load` | loaded memory latency vs interference level            |
 //!
 //! All binaries accept `--scale <f>` (default 0.125): the machine's caches
@@ -35,12 +35,21 @@
 //! while cutting simulation cost (use `--scale 1` for the full-size
 //! Xeon20MB). `--full` widens fig5/fig6 to the paper's complete grid.
 //! Tables print to stdout and are mirrored as CSV under `target/repro/`.
+//!
+//! Measurements flow through the [`amem_core::Executor`]: identical
+//! points (baselines above all) are simulated once and served from a
+//! content-addressed cache afterwards. `--cache-dir <dir>` (or
+//! `$AMEM_CACHE_DIR`) relocates the on-disk cache, `--no-cache` disables
+//! reuse entirely, and every manifest records the run's hit/miss
+//! counters.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 use amem_core::manifest::RunManifest;
 use amem_core::platform::{Measurement, SimPlatform};
+use amem_core::Executor;
 use amem_sim::config::MachineConfig;
 use amem_sim::engine::RunReport;
 use amem_sim::CoreCounters;
@@ -58,6 +67,13 @@ pub struct Args {
     pub sample: Option<u64>,
     /// Span-trace ring capacity in events (`--trace`), off by default.
     pub trace: Option<usize>,
+    /// Disable the measurement cache (`--no-cache`).
+    pub no_cache: bool,
+    /// Explicit on-disk cache directory (`--cache-dir`); defaults to
+    /// `$AMEM_CACHE_DIR` or `target/amem-cache`.
+    pub cache_dir: Option<PathBuf>,
+    /// Concurrent child experiments for `repro_all` (`--jobs`).
+    pub jobs: Option<usize>,
 }
 
 impl Default for Args {
@@ -68,13 +84,17 @@ impl Default for Args {
             out: PathBuf::from("target/repro"),
             sample: None,
             trace: None,
+            no_cache: false,
+            cache_dir: None,
+            jobs: None,
         }
     }
 }
 
 impl Args {
     /// Parse `--scale <f>`, `--full`, `--out <dir>`, `--sample <cycles>`,
-    /// `--trace <events>` from the process args.
+    /// `--trace <events>`, `--no-cache`, `--cache-dir <dir>` and
+    /// `--jobs <n>` from the process args.
     pub fn parse() -> Self {
         let mut out = Self::default();
         let mut it = std::env::args().skip(1);
@@ -101,8 +121,20 @@ impl Args {
                     assert!(n > 0, "--trace must be positive");
                     out.trace = Some(n);
                 }
+                "--no-cache" => out.no_cache = true,
+                "--cache-dir" => {
+                    out.cache_dir =
+                        Some(PathBuf::from(it.next().expect("--cache-dir needs a dir")));
+                }
+                "--jobs" => {
+                    let v = it.next().expect("--jobs needs a count");
+                    let n: usize = v.parse().expect("--jobs must be an integer");
+                    assert!(n > 0, "--jobs must be positive");
+                    out.jobs = Some(n);
+                }
                 other => panic!(
-                    "unknown argument: {other} (expected --scale/--full/--out/--sample/--trace)"
+                    "unknown argument: {other} (expected --scale/--full/--out/--sample/--trace/\
+                     --no-cache/--cache-dir/--jobs)"
                 ),
             }
         }
@@ -141,6 +173,20 @@ impl Args {
         }
         p
     }
+
+    /// An executor over [`Args::platform`] honouring `--no-cache` and
+    /// `--cache-dir` (falling back to `$AMEM_CACHE_DIR`, then
+    /// `target/amem-cache`).
+    pub fn executor(&self) -> Arc<Executor> {
+        let plat = self.platform();
+        Arc::new(if self.no_cache {
+            Executor::uncached(plat)
+        } else if let Some(dir) = &self.cache_dir {
+            Executor::with_cache_dir(plat, dir.clone())
+        } else {
+            Executor::new(plat)
+        })
+    }
 }
 
 /// The shared experiment harness: wraps [`Args`], times the run, records
@@ -151,6 +197,7 @@ impl Args {
 /// (loadable in Perfetto / `chrome://tracing`).
 pub struct Harness {
     args: Args,
+    exec: Arc<Executor>,
     manifest: RunManifest,
     start: Instant,
 }
@@ -172,8 +219,10 @@ impl Harness {
     pub fn with_args(name: &str, args: Args) -> Self {
         let mut manifest = RunManifest::new(name, args.machine());
         manifest.scale = args.scale;
+        let exec = args.executor();
         Self {
             args,
+            exec,
             manifest,
             start: Instant::now(),
         }
@@ -181,6 +230,12 @@ impl Harness {
 
     pub fn args(&self) -> &Args {
         &self.args
+    }
+
+    /// The measurement executor every experiment point goes through.
+    /// Cloning the `Arc` lets sweeps fan points out across threads.
+    pub fn executor(&self) -> Arc<Executor> {
+        Arc::clone(&self.exec)
     }
 
     /// Whether this invocation asked for sampling or tracing.
@@ -218,7 +273,7 @@ impl Harness {
             agg.merge(&j.counters);
         }
         self.manifest.final_counters = Some(agg);
-        self.manifest.interference = Some(format!("{:?} x{}", m.spec.kind, m.spec.count));
+        self.manifest.interference = Some(m.mix.describe());
     }
 
     /// Export a run's telemetry (when captured) as `<out>/<name>.samples.jsonl`
@@ -263,9 +318,23 @@ impl Harness {
         &self.manifest
     }
 
-    /// Stamp the wall time and write the manifest. Returns its path.
+    /// Stamp the wall time, record the cache counters and write the
+    /// manifest. Returns its path.
     pub fn finish(mut self) -> PathBuf {
         self.manifest.wall_seconds = self.start.elapsed().as_secs_f64();
+        let stats = self.exec.stats();
+        if stats.lookups() > 0 {
+            println!(
+                "[cache] {}/{} from cache ({} sim, {} mem, {} disk, {} dedup)",
+                stats.hits(),
+                stats.lookups(),
+                stats.sim_runs,
+                stats.mem_hits,
+                stats.disk_hits,
+                stats.dedup_hits
+            );
+        }
+        self.manifest.cache = Some(stats);
         let path = self
             .args
             .out
@@ -332,6 +401,25 @@ mod tests {
         assert_eq!(m.seed, Some(7));
         assert_eq!(m.tables.len(), 1);
         assert!(m.wall_seconds >= 0.0);
+        assert!(m.cache.is_some(), "manifests record cache counters");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn executor_honours_cache_flags() {
+        let a = Args {
+            no_cache: true,
+            ..Default::default()
+        };
+        assert!(
+            a.executor().cache_dir().is_none(),
+            "--no-cache disables disk"
+        );
+        let dir = std::env::temp_dir().join("amem_bench_cache_flag_test");
+        let a = Args {
+            cache_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        assert_eq!(a.executor().cache_dir(), Some(dir.as_path()));
     }
 }

@@ -1,7 +1,7 @@
 //! Co-scheduling advisor: the paper's "more intelligent work scheduling"
 //! payoff (§I, §IV) as an API.
 //!
-//! Bubble-Up and Bubble-Flux (the paper's refs [14][22]) predict pairwise
+//! Bubble-Up and Bubble-Flux (the paper's refs \[14\]\[22\]) predict pairwise
 //! interference with a single generic pressure knob; Active Measurement's
 //! advantage is *decomposition*: knowing each application's storage and
 //! bandwidth appetite separately lets a scheduler reason about arbitrary
@@ -11,9 +11,11 @@ use serde::Serialize;
 
 use crate::bandwidth::BandwidthMap;
 use crate::capacity::CapacityMap;
+use crate::error::AmemError;
 use crate::estimate::{bandwidth_use_per_process, storage_use_per_process, ResourceInterval};
-use crate::platform::{SimPlatform, Workload};
-use crate::sweep::run_sweep;
+use crate::executor::Executor;
+use crate::platform::Workload;
+use crate::sweep::{run_sweeps, SweepRequest};
 use amem_interfere::InterferenceKind;
 
 /// A measured per-process resource profile.
@@ -24,34 +26,40 @@ pub struct AppProfile {
     pub bandwidth: ResourceInterval,
 }
 
-/// Measure a workload's profile at a given mapping.
+/// Measure a workload's profile at a given mapping. Both resource sweeps
+/// go through the executor as one batch, so they share the baseline
+/// simulation (and anything the cache already holds).
 pub fn profile(
-    platform: &SimPlatform,
+    exec: &Executor,
     workload: &dyn Workload,
     per_processor: usize,
     cmap: &CapacityMap,
     bmap: &BandwidthMap,
     tol_pct: f64,
-) -> AppProfile {
-    let s = run_sweep(
-        platform,
-        workload,
-        per_processor,
-        InterferenceKind::Storage,
-        cmap.max_level().min(8 - per_processor),
-    );
-    let b = run_sweep(
-        platform,
-        workload,
-        per_processor,
-        InterferenceKind::Bandwidth,
-        2,
-    );
-    AppProfile {
+) -> Result<AppProfile, AmemError> {
+    let sweeps = run_sweeps(
+        exec,
+        &[
+            SweepRequest {
+                workload,
+                per_processor,
+                kind: InterferenceKind::Storage,
+                max_count: cmap.max_level().min(8 - per_processor),
+            },
+            SweepRequest {
+                workload,
+                per_processor,
+                kind: InterferenceKind::Bandwidth,
+                max_count: 2,
+            },
+        ],
+    )?;
+    let [s, b]: [_; 2] = sweeps.try_into().expect("two requests, two sweeps");
+    Ok(AppProfile {
         name: workload.name(),
         storage: storage_use_per_process(&s, cmap, per_processor, tol_pct),
         bandwidth: bandwidth_use_per_process(&b, bmap, per_processor, tol_pct),
-    }
+    })
 }
 
 /// Socket resources available to co-scheduled processes.

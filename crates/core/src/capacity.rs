@@ -10,13 +10,17 @@
 //! also be constructed from the paper's published fractions
 //! ([`CapacityMap::paper_xeon20mb`]) when the machine *is* the paper's.
 
-use amem_interfere::InterferenceSpec;
+use amem_interfere::InterferenceMix;
 use amem_probes::dist::table2;
 use amem_probes::ehr;
-use amem_probes::probe::{run_probe, ProbeCfg};
+use amem_probes::probe::ProbeCfg;
 use amem_sim::config::MachineConfig;
 use rayon::prelude::*;
 use serde::Serialize;
+
+use crate::error::AmemError;
+use crate::executor::Executor;
+use crate::platform::ProbeWorkload;
 
 /// Calibration options (grid resolution).
 #[derive(Debug, Clone)]
@@ -57,8 +61,11 @@ pub struct CapacityMap {
 }
 
 impl CapacityMap {
-    /// Calibrate on a machine by running the probe grid.
-    pub fn calibrate(cfg: &MachineConfig, opts: &CalibrateOpts) -> Self {
+    /// Calibrate by running the probe grid through an executor, so
+    /// repeated calibrations (across figures or whole reproduction runs)
+    /// are served from the measurement cache instead of re-simulated.
+    pub fn calibrate(exec: &Executor, opts: &CalibrateOpts) -> Result<Self, AmemError> {
+        let cfg = exec.platform().cfg().clone();
         let dists: Vec<_> = table2()
             .into_iter()
             .step_by(opts.dist_step.max(1))
@@ -73,27 +80,24 @@ impl CapacityMap {
                     .collect::<Vec<_>>()
             })
             .collect();
-        let caps: Vec<(usize, f64)> = grid
+        let caps: Vec<(usize, Result<f64, AmemError>)> = grid
             .par_iter()
             .map(|&(k, di, ri)| {
                 let dist = dists[di].dist;
-                let p = ProbeCfg::for_machine(cfg, dist, opts.ratios[ri], opts.adds_per_load);
-                let r = run_probe(cfg, &p, |m| {
-                    if k == 0 {
-                        return Vec::new();
-                    }
-                    let free: Vec<_> = (1..=k as u32)
-                        .map(|c| amem_sim::config::CoreId::new(0, c))
-                        .collect();
-                    InterferenceSpec::storage(k).build_jobs(m, &free)
-                });
-                let ssq = ehr::sum_sq_line_mass(&dist, p.buffer_bytes, 4, 64);
-                (
-                    k,
-                    ehr::effective_cache_bytes(r.l3_miss_rate, ssq, cfg.l3.line_bytes as u64),
-                )
+                let p = ProbeCfg::for_machine(&cfg, dist, opts.ratios[ri], opts.adds_per_load);
+                let cap = exec
+                    .run(&ProbeWorkload(p), 1, InterferenceMix::storage(k))
+                    .map(|m| {
+                        let ssq = ehr::sum_sq_line_mass(&dist, p.buffer_bytes, 4, 64);
+                        ehr::effective_cache_bytes(m.l3_miss_rate, ssq, cfg.l3.line_bytes as u64)
+                    });
+                (k, cap)
             })
             .collect();
+        let caps: Vec<(usize, f64)> = caps
+            .into_iter()
+            .map(|(k, c)| c.map(|c| (k, c)))
+            .collect::<Result<_, _>>()?;
         let points = (0..=opts.max_cs)
             .map(|k| {
                 let vals: Vec<f64> = caps
@@ -111,7 +115,7 @@ impl CapacityMap {
                 }
             })
             .collect();
-        Self { points }
+        Ok(Self { points })
     }
 
     /// The paper's measured Xeon20MB ladder (§III-C3 / §IV), expressed as
@@ -155,6 +159,7 @@ impl CapacityMap {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::platform::SimPlatform;
 
     fn cfg() -> MachineConfig {
         MachineConfig::xeon20mb().scaled(0.0625)
@@ -187,7 +192,8 @@ mod tests {
             adds_per_load: 1,
             max_cs: 3,
         };
-        let m = CapacityMap::calibrate(&cfg(), &opts);
+        let exec = Executor::memory_only(SimPlatform::new(cfg()));
+        let m = CapacityMap::calibrate(&exec, &opts).expect("calibrate");
         assert_eq!(m.points.len(), 4);
         for w in m.points.windows(2) {
             assert!(

@@ -1,0 +1,102 @@
+//! Typed errors for the measurement pipeline.
+//!
+//! The paper's own phrasing — "not all combinations of mapping and
+//! interference can be executed" — is a *user-reachable* condition, so the
+//! platform run path reports it as a value instead of panicking. Errors
+//! are `Clone + PartialEq` so the executor can hand one result (success or
+//! failure) to every deduplicated waiter of an in-flight measurement.
+
+use std::fmt;
+
+/// Everything that can go wrong between asking for a measurement and
+/// getting one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AmemError {
+    /// The mapping itself is impossible: more ranks per processor than
+    /// the socket has cores (or zero).
+    InvalidMapping {
+        per_processor: usize,
+        cores_per_socket: usize,
+    },
+    /// The mapping is valid but leaves too few free cores on some socket
+    /// for the requested interference threads.
+    InfeasibleMapping {
+        socket: u32,
+        free_cores: usize,
+        needed: usize,
+    },
+    /// The workload instantiated no local ranks on the simulated node.
+    EmptyWorkload { workload: String },
+    /// A sweep produced no points (every level was infeasible).
+    EmptySweep { workload: String },
+    /// The measurement cache could not be read or written.
+    Cache(String),
+    /// The platform cannot run this workload (e.g. a sim-only workload
+    /// handed to the native platform).
+    Unsupported(String),
+}
+
+impl fmt::Display for AmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidMapping {
+                per_processor,
+                cores_per_socket,
+            } => write!(
+                f,
+                "cannot map {per_processor} ranks per processor on a \
+                 {cores_per_socket}-core socket"
+            ),
+            Self::InfeasibleMapping {
+                socket,
+                free_cores,
+                needed,
+            } => write!(
+                f,
+                "socket {socket} has only {free_cores} free cores for \
+                 {needed} interference threads"
+            ),
+            Self::EmptyWorkload { workload } => {
+                write!(f, "workload '{workload}' produced no local ranks")
+            }
+            Self::EmptySweep { workload } => {
+                write!(f, "sweep of '{workload}' has no feasible points")
+            }
+            Self::Cache(msg) => write!(f, "measurement cache: {msg}"),
+            Self::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AmemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_condition() {
+        let e = AmemError::InfeasibleMapping {
+            socket: 1,
+            free_cores: 2,
+            needed: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("socket 1"), "{s}");
+        assert!(s.contains("2 free cores"), "{s}");
+        assert!(s.contains('5'), "{s}");
+        assert!(AmemError::EmptyWorkload {
+            workload: "mcb".into()
+        }
+        .to_string()
+        .contains("mcb"));
+    }
+
+    #[test]
+    fn errors_are_cloneable_and_comparable() {
+        // The executor hands the same error to every deduplicated waiter.
+        let e = AmemError::Cache("corrupt entry".into());
+        assert_eq!(e.clone(), e);
+        let _: &dyn std::error::Error = &e;
+    }
+}

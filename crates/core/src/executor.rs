@@ -1,0 +1,466 @@
+//! The measurement executor: content-addressed caching, in-flight
+//! deduplication and batch scheduling on top of any [`Platform`].
+//!
+//! Every figure of the paper re-measures points other figures already
+//! ran — most obviously the zero-interference baselines. The executor
+//! makes those measurements *content-addressed*: a run's identity is the
+//! canonical JSON of `(schema, machine, run limits, workload config,
+//! ranks-per-processor, interference mix)`, and a cache entry is only
+//! ever returned for an exact key match, so a hit is byte-identical to
+//! the simulation it replaced (wall cycles, counters, report and all).
+//!
+//! Three layers:
+//!
+//! 1. **In-memory cache** — `Arc<Measurement>` per key, shared freely.
+//! 2. **On-disk cache** — one JSON file per key under
+//!    `$AMEM_CACHE_DIR` (default `target/amem-cache`), written atomically
+//!    (temp file + rename) so concurrent processes never see a torn
+//!    entry. Entries embed [`CACHE_SCHEMA_VERSION`] and their full key;
+//!    a version bump, corrupt file or key mismatch is silently a miss and
+//!    the entry is re-simulated and overwritten.
+//! 3. **In-flight deduplication** — when two threads (e.g. a storage
+//!    sweep and a bandwidth sweep sharing a baseline) ask for the same
+//!    key concurrently, one simulates and the rest block on a condvar for
+//!    the same result.
+//!
+//! Caching is *gated on determinism*: a workload without a
+//! [`Workload::cache_key`] or a platform whose
+//! [`Platform::deterministic`] is `false` (the native, wall-clock one)
+//! always simulates fresh.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use amem_interfere::InterferenceMix;
+use amem_sim::config::MachineConfig;
+use amem_sim::engine::RunLimit;
+use amem_sim::fingerprint::fnv1a;
+use serde::{Deserialize, Serialize};
+
+use crate::error::AmemError;
+use crate::platform::{Measurement, Platform, Workload};
+
+/// Version of the cache entry format *and* of the measurement semantics.
+/// Bump whenever the simulator, the aggregation in `Platform::run`, or
+/// the entry layout changes meaning: every existing entry then reads as
+/// a miss and is re-simulated.
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// The full content-addressed identity of one measurement.
+#[derive(Serialize)]
+struct CacheKey {
+    schema: u32,
+    machine: MachineConfig,
+    limit: RunLimit,
+    workload: String,
+    per_processor: usize,
+    mix: InterferenceMix,
+}
+
+/// One on-disk cache entry. The embedded `key` is compared on load so an
+/// FNV filename collision degrades to a miss, never a wrong measurement.
+#[derive(Serialize, Deserialize)]
+struct DiskEntry {
+    schema_version: u32,
+    key: String,
+    measurement: Measurement,
+}
+
+/// Counters describing how an executor satisfied its requests. Snapshot
+/// with [`Executor::stats`]; recorded into run manifests so a
+/// reproduction documents how much of it was served from cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Fresh platform runs (simulations) actually executed.
+    pub sim_runs: u64,
+    /// Requests served from the in-memory cache.
+    pub mem_hits: u64,
+    /// Requests served from the on-disk cache.
+    pub disk_hits: u64,
+    /// Requests that joined an identical in-flight run.
+    pub dedup_hits: u64,
+    /// Entries written to disk.
+    pub stores: u64,
+}
+
+impl CacheStats {
+    /// Requests satisfied without a fresh simulation.
+    pub fn hits(&self) -> u64 {
+        self.mem_hits + self.disk_hits + self.dedup_hits
+    }
+
+    /// Total requests seen.
+    pub fn lookups(&self) -> u64 {
+        self.hits() + self.sim_runs
+    }
+
+    /// Fraction of requests served from cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / self.lookups() as f64
+        }
+    }
+}
+
+/// How aggressively the executor caches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CacheMode {
+    /// Memory + disk + dedup (the default).
+    Disk(PathBuf),
+    /// Memory + dedup only — nothing persists across processes.
+    Memory,
+    /// No reuse at all: every request simulates (`--no-cache`).
+    Off,
+}
+
+/// A result slot one thread fills and any number of waiters read.
+struct Inflight {
+    done: Mutex<Option<Result<Arc<Measurement>, AmemError>>>,
+    cv: Condvar,
+}
+
+impl Inflight {
+    fn new() -> Self {
+        Self {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn resolve(&self, result: Result<Arc<Measurement>, AmemError>) {
+        *self.done.lock().unwrap() = Some(result);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<Arc<Measurement>, AmemError> {
+        let mut done = self.done.lock().unwrap();
+        while done.is_none() {
+            done = self.cv.wait(done).unwrap();
+        }
+        done.as_ref().unwrap().clone()
+    }
+}
+
+#[derive(Default)]
+struct ExecState {
+    mem: HashMap<String, Arc<Measurement>>,
+    inflight: HashMap<String, Arc<Inflight>>,
+}
+
+/// The measurement executor. Cheap to share (`Arc<Executor>`) and safe to
+/// call from many threads — sweeps fan their points out over rayon and
+/// every point goes through [`Executor::run`].
+pub struct Executor {
+    platform: Box<dyn Platform>,
+    mode: CacheMode,
+    state: Mutex<ExecState>,
+    sim_runs: AtomicU64,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    dedup_hits: AtomicU64,
+    stores: AtomicU64,
+}
+
+impl Executor {
+    /// Full caching (memory + disk + dedup). The disk directory comes
+    /// from `$AMEM_CACHE_DIR`, defaulting to `target/amem-cache`.
+    pub fn new(platform: impl Platform + 'static) -> Self {
+        let dir = std::env::var_os("AMEM_CACHE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target/amem-cache"));
+        Self::with_cache_dir(platform, dir)
+    }
+
+    /// Full caching with an explicit disk directory.
+    pub fn with_cache_dir(platform: impl Platform + 'static, dir: impl Into<PathBuf>) -> Self {
+        Self::build(platform, CacheMode::Disk(dir.into()))
+    }
+
+    /// Memory-only caching: dedup and reuse within this process, nothing
+    /// persisted.
+    pub fn memory_only(platform: impl Platform + 'static) -> Self {
+        Self::build(platform, CacheMode::Memory)
+    }
+
+    /// No caching at all: every request runs a fresh simulation
+    /// (`--no-cache`).
+    pub fn uncached(platform: impl Platform + 'static) -> Self {
+        Self::build(platform, CacheMode::Off)
+    }
+
+    fn build(platform: impl Platform + 'static, mode: CacheMode) -> Self {
+        Self {
+            platform: Box::new(platform),
+            mode,
+            state: Mutex::new(ExecState::default()),
+            sim_runs: AtomicU64::new(0),
+            mem_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+        }
+    }
+
+    /// The platform measurements execute on.
+    pub fn platform(&self) -> &dyn Platform {
+        self.platform.as_ref()
+    }
+
+    /// The on-disk cache directory, when disk caching is enabled.
+    pub fn cache_dir(&self) -> Option<&Path> {
+        match &self.mode {
+            CacheMode::Disk(dir) => Some(dir),
+            _ => None,
+        }
+    }
+
+    /// Snapshot of the hit/miss counters so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            sim_runs: self.sim_runs.load(Ordering::Relaxed),
+            mem_hits: self.mem_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether an interference level is placeable (delegates to the
+    /// platform; never simulates).
+    pub fn feasible(
+        &self,
+        workload: &dyn Workload,
+        per_processor: usize,
+        threads_per_socket: usize,
+    ) -> bool {
+        self.platform
+            .feasible(workload, per_processor, threads_per_socket)
+    }
+
+    /// Measure `workload` under `mix`, serving from cache when the
+    /// identical measurement already exists.
+    pub fn run(
+        &self,
+        workload: &dyn Workload,
+        per_processor: usize,
+        mix: InterferenceMix,
+    ) -> Result<Arc<Measurement>, AmemError> {
+        let key = match self.cache_key(workload, per_processor, mix) {
+            Some(k) => k,
+            None => {
+                // Uncacheable: no key, a nondeterministic platform, or
+                // caching switched off.
+                self.sim_runs.fetch_add(1, Ordering::Relaxed);
+                return self
+                    .platform
+                    .run(workload, per_processor, mix)
+                    .map(Arc::new);
+            }
+        };
+
+        // Fast path + in-flight claim under one lock.
+        let cell = {
+            let mut state = self.state.lock().unwrap();
+            if let Some(m) = state.mem.get(&key) {
+                self.mem_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(m));
+            }
+            if let Some(cell) = state.inflight.get(&key) {
+                let cell = Arc::clone(cell);
+                drop(state);
+                self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                return cell.wait();
+            }
+            let cell = Arc::new(Inflight::new());
+            state.inflight.insert(key.clone(), Arc::clone(&cell));
+            cell
+        };
+
+        // We own this key: disk lookup, then a fresh simulation.
+        let result = match self.load_disk(&key) {
+            Some(m) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                Ok(Arc::new(m))
+            }
+            None => {
+                self.sim_runs.fetch_add(1, Ordering::Relaxed);
+                let res = self
+                    .platform
+                    .run(workload, per_processor, mix)
+                    .map(Arc::new);
+                if let Ok(m) = &res {
+                    self.store_disk(&key, m);
+                }
+                res
+            }
+        };
+
+        let mut state = self.state.lock().unwrap();
+        if let Ok(m) = &result {
+            state.mem.insert(key.clone(), Arc::clone(m));
+        }
+        state.inflight.remove(&key);
+        drop(state);
+        cell.resolve(result.clone());
+        result
+    }
+
+    /// The canonical key string for one request, or `None` when the
+    /// request must not be cached.
+    fn cache_key(
+        &self,
+        workload: &dyn Workload,
+        per_processor: usize,
+        mix: InterferenceMix,
+    ) -> Option<String> {
+        if self.mode == CacheMode::Off || !self.platform.deterministic() {
+            return None;
+        }
+        let workload_key = workload.cache_key()?;
+        Some(amem_sim::canonical_json(&CacheKey {
+            schema: CACHE_SCHEMA_VERSION,
+            machine: self.platform.cfg().clone(),
+            limit: self.platform.limit().clone(),
+            workload: workload_key,
+            per_processor,
+            mix,
+        }))
+    }
+
+    /// On-disk path of a key: the FNV-1a fingerprint names the file.
+    fn entry_path(&self, key: &str) -> Option<PathBuf> {
+        self.cache_dir()
+            .map(|dir| dir.join(format!("{:016x}.json", fnv1a(key.as_bytes()))))
+    }
+
+    /// Load a disk entry, treating *any* problem — missing file, parse
+    /// error, schema mismatch, key mismatch — as a miss.
+    fn load_disk(&self, key: &str) -> Option<Measurement> {
+        let path = self.entry_path(key)?;
+        let json = std::fs::read_to_string(path).ok()?;
+        let entry: DiskEntry = serde_json::from_str(&json).ok()?;
+        if entry.schema_version != CACHE_SCHEMA_VERSION || entry.key != key {
+            return None;
+        }
+        Some(entry.measurement)
+    }
+
+    /// Persist an entry atomically (temp file + rename) so a concurrent
+    /// reader or a crash never observes a torn entry. Failures are
+    /// swallowed: the cache is an accelerator, not a correctness layer.
+    fn store_disk(&self, key: &str, measurement: &Measurement) {
+        let Some(path) = self.entry_path(key) else {
+            return;
+        };
+        let entry = DiskEntry {
+            schema_version: CACHE_SCHEMA_VERSION,
+            key: key.to_string(),
+            measurement: measurement.clone(),
+        };
+        let Ok(json) = serde_json::to_string(&entry) else {
+            return;
+        };
+        let Some(dir) = path.parent() else {
+            return;
+        };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        if std::fs::write(&tmp, json).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
+            self.stores.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::{McbWorkload, SimPlatform};
+    use amem_miniapps::McbCfg;
+
+    fn plat() -> SimPlatform {
+        SimPlatform::new(MachineConfig::xeon20mb().scaled(0.0625))
+    }
+
+    fn tiny_mcb() -> McbWorkload {
+        McbWorkload(McbCfg {
+            ranks: 4,
+            steps: 2,
+            ..McbCfg::new(&MachineConfig::xeon20mb().scaled(0.0625), 4000)
+        })
+    }
+
+    #[test]
+    fn memory_cache_hits_are_the_same_measurement() {
+        let exec = Executor::memory_only(plat());
+        let a = exec.run(&tiny_mcb(), 2, InterferenceMix::none()).unwrap();
+        let b = exec.run(&tiny_mcb(), 2, InterferenceMix::none()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "memory hit shares the Arc");
+        let s = exec.stats();
+        assert_eq!(s.sim_runs, 1);
+        assert_eq!(s.mem_hits, 1);
+        assert_eq!(s.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn different_requests_do_not_collide() {
+        let exec = Executor::memory_only(plat());
+        let base = exec.run(&tiny_mcb(), 2, InterferenceMix::none()).unwrap();
+        let loaded = exec
+            .run(&tiny_mcb(), 2, InterferenceMix::storage(3))
+            .unwrap();
+        let remapped = exec.run(&tiny_mcb(), 4, InterferenceMix::none()).unwrap();
+        assert!(loaded.seconds > base.seconds);
+        assert_ne!(
+            base.report.wall_cycles, remapped.report.wall_cycles,
+            "different mapping is a different measurement"
+        );
+        assert_eq!(exec.stats().sim_runs, 3);
+        assert_eq!(exec.stats().hits(), 0);
+    }
+
+    #[test]
+    fn uncached_mode_always_simulates() {
+        let exec = Executor::uncached(plat());
+        exec.run(&tiny_mcb(), 2, InterferenceMix::none()).unwrap();
+        exec.run(&tiny_mcb(), 2, InterferenceMix::none()).unwrap();
+        let s = exec.stats();
+        assert_eq!(s.sim_runs, 2);
+        assert_eq!(s.hits(), 0);
+        assert!(exec.cache_dir().is_none());
+    }
+
+    #[test]
+    fn errors_pass_through_typed() {
+        let exec = Executor::memory_only(plat());
+        let err = exec
+            .run(&tiny_mcb(), 2, InterferenceMix::storage(7))
+            .unwrap_err();
+        assert!(matches!(err, AmemError::InfeasibleMapping { .. }), "{err}");
+        // Errors are not cached as measurements.
+        assert!(exec.state.lock().unwrap().mem.is_empty());
+        assert!(exec.state.lock().unwrap().inflight.is_empty());
+    }
+
+    #[test]
+    fn stats_snapshot_is_serializable() {
+        let s = CacheStats {
+            sim_runs: 2,
+            mem_hits: 5,
+            disk_hits: 1,
+            dedup_hits: 3,
+            stores: 2,
+        };
+        assert_eq!(s.hits(), 9);
+        assert_eq!(s.lookups(), 11);
+        let back: CacheStats = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+}

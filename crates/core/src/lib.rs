@@ -21,15 +21,24 @@
 //!    paper's Exascale motivation).
 //! 7. [`report`] — ASCII tables, CSV and JSON for every result.
 //!
+//! Measurements execute through the [`executor`]: a content-addressed
+//! measurement cache (in-memory + on-disk, schema-versioned) with
+//! in-flight deduplication, sitting on top of the [`platform::Platform`]
+//! trait ([`platform::SimPlatform`] for the simulator,
+//! [`native_platform::NativePlatform`] for real hardware). Failures come
+//! back as typed [`error::AmemError`]s.
+//!
 //! Extensions beyond the paper: [`mrc`] measures full miss-ratio curves
-//! (and tests Hartstein's √2 rule, the paper's ref [9]) and [`noise`]
+//! (and tests Hartstein's √2 rule, the paper's ref \[9\]) and [`noise`]
 //! quantifies barrier amplification of interference-induced jitter (refs
-//! [11][18]).
+//! \[11\]\[18\]).
 
 pub mod advisor;
 pub mod bandwidth;
 pub mod capacity;
+pub mod error;
 pub mod estimate;
+pub mod executor;
 pub mod knee;
 pub mod manifest;
 pub mod mrc;
@@ -43,10 +52,13 @@ pub mod sweep;
 
 pub use bandwidth::BandwidthMap;
 pub use capacity::CapacityMap;
+pub use error::AmemError;
 pub use estimate::ResourceInterval;
+pub use executor::{CacheStats, Executor, CACHE_SCHEMA_VERSION};
 pub use knee::Knee;
 pub use manifest::{RunManifest, SCHEMA_VERSION};
 pub use mrc::MissRatioCurve;
-pub use platform::{Measurement, SimPlatform, Workload};
+pub use native_platform::NativePlatform;
+pub use platform::{Measurement, Platform, SimPlatform, Workload};
 pub use predict::DegradationModel;
-pub use sweep::{Sweep, SweepPoint};
+pub use sweep::{Sweep, SweepPoint, SweepRequest};

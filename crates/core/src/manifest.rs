@@ -49,6 +49,9 @@ pub struct RunManifest {
     pub tables: Vec<Table>,
     /// Free-form notes (deviations, tolerances, pointers to figures).
     pub notes: Vec<String>,
+    /// Measurement-cache counters of the run's executor, when it had one
+    /// (additive in schema v1: absent in older manifests).
+    pub cache: Option<crate::executor::CacheStats>,
 }
 
 impl RunManifest {
@@ -66,6 +69,7 @@ impl RunManifest {
             final_counters: None,
             tables: Vec::new(),
             notes: Vec::new(),
+            cache: None,
         }
     }
 
@@ -159,6 +163,7 @@ pub fn comparison_table(manifests: &[RunManifest]) -> Table {
             "wall (s)",
             "sim (s)",
             "L3 miss",
+            "cache",
             "tables",
         ],
     );
@@ -173,6 +178,10 @@ pub fn comparison_table(manifests: &[RunManifest]) -> Table {
                 .unwrap_or_else(|| "-".into()),
             m.final_counters
                 .map(|c| format!("{:.3}", c.l3_miss_rate()))
+                .unwrap_or_else(|| "-".into()),
+            m.cache
+                .filter(|c| c.lookups() > 0)
+                .map(|c| format!("{}/{}", c.hits(), c.lookups()))
                 .unwrap_or_else(|| "-".into()),
             m.tables.len().to_string(),
         ]);
@@ -216,6 +225,32 @@ mod tests {
         assert_eq!(back.final_counters.unwrap().loads, 100);
         assert_eq!(back.tables.len(), 1);
         assert_eq!(back.tables[0].rows[0][1], "1.0");
+    }
+
+    #[test]
+    fn cache_stats_round_trip() {
+        let mut m = sample();
+        m.cache = Some(crate::executor::CacheStats {
+            sim_runs: 3,
+            mem_hits: 7,
+            disk_hits: 2,
+            dedup_hits: 1,
+            stores: 3,
+        });
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back.cache, m.cache);
+        assert_eq!(back.cache.unwrap().hits(), 10);
+    }
+
+    #[test]
+    fn manifests_without_cache_field_still_load() {
+        // Additive schema policy: a v1 manifest written before the cache
+        // field existed (no `cache` key at all) must deserialize.
+        let json = sample().to_json().replace(",\n  \"cache\": null", "");
+        assert!(!json.contains("cache"));
+        let back = RunManifest::from_json(&json).unwrap();
+        assert_eq!(back.name, "demo_experiment");
+        assert!(back.cache.is_none());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Miss-ratio curves via active measurement.
 //!
 //! The paper cites Hartstein et al., *"On the nature of cache miss
-//! behavior: is it √2?"* [9] — the empirical power law
+//! behavior: is it √2?"* \[9\] — the empirical power law
 //! `miss_rate(C) ∝ C^(-α)` with α ≈ 0.5 — as prior art its analytic model
 //! improves on. This module closes the loop: sweeping CSThr interference
 //! samples an application's miss rate at several *effective* capacities,
@@ -199,14 +199,15 @@ mod tests {
     fn measured_mrc_from_a_real_probe() {
         // End-to-end: a uniform probe's MRC must fall with capacity and
         // fit a positive alpha.
+        use crate::executor::Executor;
         use crate::platform::{ProbeWorkload, SimPlatform};
         use crate::sweep::run_sweep;
         use amem_probes::dist::AccessDist;
         use amem_probes::probe::ProbeCfg;
         let cfg = MachineConfig::xeon20mb().scaled(0.0625);
-        let plat = SimPlatform::new(cfg.clone());
+        let exec = Executor::memory_only(SimPlatform::new(cfg.clone()));
         let w = ProbeWorkload(ProbeCfg::for_machine(&cfg, AccessDist::Uniform, 2.5, 1));
-        let sweep = run_sweep(&plat, &w, 1, InterferenceKind::Storage, 5);
+        let sweep = run_sweep(&exec, &w, 1, InterferenceKind::Storage, 5).unwrap();
         let cmap = CapacityMap::paper_xeon20mb(&cfg);
         let mrc = MissRatioCurve::from_sweep(&sweep, &cmap);
         // Monotone: less capacity, more misses (allow tiny noise).

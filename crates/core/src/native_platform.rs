@@ -18,9 +18,15 @@
 use std::time::Instant;
 
 use amem_interfere::native::{spawn_bw, spawn_cs, NativeHandle};
-use amem_interfere::{BwThreadCfg, CsThreadCfg, InterferenceKind};
+use amem_interfere::{BwThreadCfg, CsThreadCfg, InterferenceKind, InterferenceMix};
+use amem_sim::cluster::RankMap;
+use amem_sim::config::MachineConfig;
+use amem_sim::engine::{Job, RunLimit, RunReport};
+use amem_sim::machine::Machine;
 use serde::Serialize;
 
+use crate::error::AmemError;
+use crate::platform::{Measurement, Platform, Workload};
 use crate::sweep::{Sweep, SweepPoint};
 
 /// Options for a native sweep.
@@ -77,6 +83,120 @@ fn spawn(kind: InterferenceKind, count: usize, cfg: &NativeSweepCfg) -> Option<N
         ),
         InterferenceKind::Bandwidth => spawn_bw(count, &BwThreadCfg::default()),
     })
+}
+
+/// A closure-backed workload for the native platform: `ranks()` is 1,
+/// [`Workload::build`] produces nothing (it cannot run in the
+/// simulator), and [`Workload::native_body`] invokes the closure.
+pub struct NativeWorkload<F: Fn() + Sync> {
+    name: String,
+    body: F,
+}
+
+impl<F: Fn() + Sync> NativeWorkload<F> {
+    pub fn new(name: impl Into<String>, body: F) -> Self {
+        Self {
+            name: name.into(),
+            body,
+        }
+    }
+}
+
+impl<F: Fn() + Sync> Workload for NativeWorkload<F> {
+    fn ranks(&self) -> usize {
+        1
+    }
+    fn build(&self, _machine: &mut Machine, _map: &RankMap) -> Vec<Job> {
+        Vec::new()
+    }
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+    fn native_body(&self) -> Option<Box<dyn FnMut() + '_>> {
+        Some(Box::new(|| (self.body)()))
+    }
+}
+
+/// The real-hardware [`Platform`]: times a workload's
+/// [`Workload::native_body`] with the wall clock while native CSThr /
+/// BWThr interference threads run alongside.
+///
+/// `cfg` describes the host the caller *believes* it is running on (used
+/// for reporting and feasibility arithmetic only — thread placement is
+/// the OS scheduler's). Wall-clock timing is noisy, so
+/// [`Platform::deterministic`] is `false` and the executor never caches
+/// native measurements.
+pub struct NativePlatform {
+    cfg: MachineConfig,
+    limit: RunLimit,
+    sweep_cfg: NativeSweepCfg,
+}
+
+impl NativePlatform {
+    pub fn new(cfg: MachineConfig) -> Self {
+        Self {
+            cfg,
+            limit: RunLimit::default(),
+            sweep_cfg: NativeSweepCfg::default(),
+        }
+    }
+
+    /// Set repetition/warm-up counts and CSThr buffer size.
+    pub fn with_sweep_cfg(mut self, sweep_cfg: NativeSweepCfg) -> Self {
+        self.sweep_cfg = sweep_cfg;
+        self
+    }
+}
+
+impl Platform for NativePlatform {
+    fn cfg(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    fn limit(&self) -> &RunLimit {
+        &self.limit
+    }
+
+    /// Wall-clock timing; never cached.
+    fn deterministic(&self) -> bool {
+        false
+    }
+
+    fn run(
+        &self,
+        workload: &dyn Workload,
+        per_processor: usize,
+        mix: InterferenceMix,
+    ) -> Result<Measurement, AmemError> {
+        crate::platform::validate_mapping(&self.cfg, workload, per_processor)?;
+        let mut body = workload.native_body().ok_or_else(|| {
+            AmemError::Unsupported(format!(
+                "workload '{}' has no native body (sim-only)",
+                workload.name()
+            ))
+        })?;
+        let cs = spawn(InterferenceKind::Storage, mix.storage, &self.sweep_cfg);
+        let bw = spawn(InterferenceKind::Bandwidth, mix.bandwidth, &self.sweep_cfg);
+        let seconds = time_reps(&mut body, self.sweep_cfg.warmup_reps, self.sweep_cfg.reps);
+        for h in [cs, bw].into_iter().flatten() {
+            let _ = h.stop();
+        }
+        // No PMU access: counters and the report stay empty, only the
+        // wall time is real.
+        Ok(Measurement {
+            mix,
+            seconds,
+            l3_miss_rate: 0.0,
+            app_bandwidth_gbs: 0.0,
+            report: RunReport {
+                wall_cycles: 0,
+                seconds,
+                jobs: Vec::new(),
+                sockets: Vec::new(),
+                telemetry: None,
+            },
+        })
+    }
 }
 
 /// Sweep native interference against a workload closure.
@@ -148,6 +268,59 @@ mod tests {
         assert_eq!(sweep.points[0].degradation_pct, 0.0);
         assert!(sweep.points.iter().all(|p| p.seconds > 0.0));
         assert_eq!(sweep.max_count(), 2);
+    }
+
+    #[test]
+    fn native_platform_runs_a_closure_workload() {
+        let plat = NativePlatform::new(MachineConfig::xeon20mb()).with_sweep_cfg(NativeSweepCfg {
+            max_count: 0,
+            reps: 2,
+            warmup_reps: 0,
+            cs_buffer_bytes: 64 << 10,
+        });
+        assert!(!plat.deterministic());
+        let w = NativeWorkload::new("spin", || {
+            let mut x = 0u64;
+            for i in 0..50_000u64 {
+                x = x.wrapping_add(i);
+            }
+            std::hint::black_box(x);
+        });
+        let m = plat.run(&w, 1, InterferenceMix::none()).unwrap();
+        assert!(m.seconds > 0.0);
+        assert!(m.mix.is_baseline());
+        assert!(m.report.jobs.is_empty(), "no simulated jobs on hardware");
+    }
+
+    #[test]
+    fn native_platform_rejects_sim_only_workloads() {
+        use crate::platform::McbWorkload;
+        use amem_miniapps::McbCfg;
+        let cfg = MachineConfig::xeon20mb().scaled(0.0625);
+        let plat = NativePlatform::new(cfg.clone());
+        let w = McbWorkload(McbCfg::new(&cfg, 4000));
+        let err = plat.run(&w, 1, InterferenceMix::none()).unwrap_err();
+        assert!(matches!(err, AmemError::Unsupported(_)), "{err}");
+    }
+
+    #[test]
+    fn executor_never_caches_native_measurements() {
+        use crate::executor::Executor;
+        let plat = NativePlatform::new(MachineConfig::xeon20mb()).with_sweep_cfg(NativeSweepCfg {
+            max_count: 0,
+            reps: 1,
+            warmup_reps: 0,
+            cs_buffer_bytes: 64 << 10,
+        });
+        let exec = Executor::memory_only(plat);
+        let w = NativeWorkload::new("spin", || {
+            std::hint::black_box(0u64);
+        });
+        exec.run(&w, 1, InterferenceMix::none()).unwrap();
+        exec.run(&w, 1, InterferenceMix::none()).unwrap();
+        let s = exec.stats();
+        assert_eq!(s.sim_runs, 2, "wall-clock runs must never be cached");
+        assert_eq!(s.hits(), 0);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! instructions *stochastically*, and that "this non-deterministic
 //! slowdown of instructions introduces noise into the application's
 //! execution, which is a well-known source of slowdown for parallel
-//! applications" (citing Petrini et al. [18] and Hoefler et al. [11]).
+//! applications" (citing Petrini et al. \[18\] and Hoefler et al. \[11\]).
 //! This module makes that mechanism measurable in isolation: wrap any
 //! rank stream in a [`NoisyStream`] that injects random preemption
 //! bubbles, then compare the slowdown of a bulk-synchronous job against

@@ -1,18 +1,25 @@
 //! Platforms and workloads: what gets measured, and where.
 //!
 //! A [`Workload`] knows how to instantiate itself as a set of rank streams
-//! on a simulated node given an MPI-style mapping; the [`SimPlatform`]
-//! runs it with a chosen [`InterferenceSpec`] on the cores the mapping
-//! leaves free — the physical setup of every experiment in the paper.
+//! on a simulated node given an MPI-style mapping; a [`Platform`] runs it
+//! with a chosen [`InterferenceMix`] on the cores the mapping leaves free
+//! — the physical setup of every experiment in the paper. Two platforms
+//! exist: [`SimPlatform`] (the deterministic simulator) and
+//! [`crate::native_platform::NativePlatform`] (real hardware, wall-clock
+//! timed). Most callers should go through [`crate::executor::Executor`],
+//! which adds content-addressed caching and in-flight deduplication on
+//! top of any platform.
 
-use amem_interfere::InterferenceSpec;
+use amem_interfere::InterferenceMix;
 use amem_miniapps::{lulesh, mcb, LuleshCfg, McbCfg};
 use amem_probes::probe::{ProbeCfg, ProbeStream};
 use amem_sim::cluster::RankMap;
 use amem_sim::config::MachineConfig;
 use amem_sim::engine::{Job, RunLimit, RunReport};
 use amem_sim::machine::Machine;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+
+use crate::error::AmemError;
 
 /// A measurable application.
 pub trait Workload: Sync {
@@ -24,6 +31,24 @@ pub trait Workload: Sync {
 
     /// Display name.
     fn name(&self) -> String;
+
+    /// Stable identity of this workload's *configuration* for the
+    /// measurement cache: two workloads with equal keys must produce
+    /// identical simulations. `None` (the default) marks the workload
+    /// uncacheable — the executor then simulates it fresh every time.
+    /// Implementations conventionally return
+    /// `"{kind}/{canonical_json(cfg)}"`.
+    fn cache_key(&self) -> Option<String> {
+        None
+    }
+
+    /// One native (real-hardware) repetition of the workload, when it can
+    /// run outside the simulator. `None` (the default) means sim-only;
+    /// the native platform refuses such workloads with
+    /// [`AmemError::Unsupported`].
+    fn native_body(&self) -> Option<Box<dyn FnMut() + '_>> {
+        None
+    }
 }
 
 /// MCB as a workload.
@@ -40,6 +65,9 @@ impl Workload for McbWorkload {
     fn name(&self) -> String {
         format!("MCB({} particles)", self.0.total_particles)
     }
+    fn cache_key(&self) -> Option<String> {
+        Some(format!("mcb/{}", amem_sim::canonical_json(&self.0)))
+    }
 }
 
 /// Lulesh as a workload.
@@ -55,6 +83,9 @@ impl Workload for LuleshWorkload {
     }
     fn name(&self) -> String {
         format!("Lulesh({0}x{0}x{0})", self.0.edge)
+    }
+    fn cache_key(&self) -> Option<String> {
+        Some(format!("lulesh/{}", amem_sim::canonical_json(&self.0)))
     }
 }
 
@@ -77,13 +108,17 @@ impl Workload for ProbeWorkload {
     fn name(&self) -> String {
         "probe".to_string()
     }
+    fn cache_key(&self) -> Option<String> {
+        Some(format!("probe/{}", amem_sim::canonical_json(&self.0)))
+    }
 }
 
-/// One measured run.
-#[derive(Debug, Clone, Serialize)]
+/// One measured run. Carries the *actual* interference mix applied —
+/// including true mixed (CSThr + BWThr) runs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Measurement {
     /// Interference applied.
-    pub spec: InterferenceSpec,
+    pub mix: InterferenceMix,
     /// Execution time (max over primary ranks).
     pub seconds: f64,
     /// Aggregate L3 miss rate over primary ranks.
@@ -92,6 +127,98 @@ pub struct Measurement {
     pub app_bandwidth_gbs: f64,
     /// Full run report (counters for every job).
     pub report: RunReport,
+}
+
+/// Somewhere a measurement can execute.
+///
+/// `run` takes an [`InterferenceMix`] — an `InterferenceSpec` is just a
+/// one-kind mix (`spec.into()`), and the zero mix is the baseline. All
+/// user-reachable failure conditions (impossible mapping, infeasible
+/// interference level, empty workload) come back as [`AmemError`]s, never
+/// panics.
+pub trait Platform: Send + Sync {
+    /// The machine this platform measures on.
+    fn cfg(&self) -> &MachineConfig;
+
+    /// The run controls every measurement uses.
+    fn limit(&self) -> &RunLimit;
+
+    /// Run `workload` mapped at `per_processor` ranks per socket, with
+    /// `mix` interference threads on the free cores of each occupied
+    /// socket.
+    fn run(
+        &self,
+        workload: &dyn Workload,
+        per_processor: usize,
+        mix: InterferenceMix,
+    ) -> Result<Measurement, AmemError>;
+
+    /// Whether `threads_per_socket` interference threads are placeable
+    /// under this mapping (the paper's "not all combinations of mapping
+    /// and interference can be executed").
+    fn feasible(
+        &self,
+        workload: &dyn Workload,
+        per_processor: usize,
+        threads_per_socket: usize,
+    ) -> bool {
+        validate_mapping(self.cfg(), workload, per_processor)
+            .and_then(|map| check_feasible(&map, threads_per_socket))
+            .is_ok()
+    }
+
+    /// Whether identical requests produce identical measurements. The
+    /// executor only caches measurements from deterministic platforms;
+    /// wall-clock platforms must return `false`.
+    fn deterministic(&self) -> bool {
+        true
+    }
+}
+
+/// Build the rank mapping, reporting invalid geometry as an error instead
+/// of panicking like [`RankMap::new`].
+pub(crate) fn validate_mapping(
+    cfg: &MachineConfig,
+    workload: &dyn Workload,
+    per_processor: usize,
+) -> Result<RankMap, AmemError> {
+    if per_processor < 1 || per_processor > cfg.cores_per_socket as usize {
+        return Err(AmemError::InvalidMapping {
+            per_processor,
+            cores_per_socket: cfg.cores_per_socket as usize,
+        });
+    }
+    Ok(RankMap::new(cfg, workload.ranks(), per_processor))
+}
+
+/// Check that every occupied socket can host `needed` interference
+/// threads on its free cores.
+pub(crate) fn check_feasible(map: &RankMap, needed: usize) -> Result<(), AmemError> {
+    if needed == 0 {
+        return Ok(());
+    }
+    let free = map.free_cores();
+    let mut sockets: Vec<u32> = free.iter().map(|c| c.socket).collect();
+    sockets.sort_unstable();
+    sockets.dedup();
+    if sockets.is_empty() {
+        return Err(AmemError::InfeasibleMapping {
+            socket: 0,
+            free_cores: 0,
+            needed,
+        });
+    }
+    for &s in &sockets {
+        let n = free.iter().filter(|c| c.socket == s).count();
+        if n < needed {
+            return Err(AmemError::InfeasibleMapping {
+                socket: s,
+                free_cores: n,
+                needed,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// The simulated-node platform.
@@ -136,24 +263,33 @@ impl SimPlatform {
         self.limit = self.limit.clone().with_tracing(capacity);
         self
     }
+}
 
-    /// Run `workload` mapped at `per_processor` ranks per socket, with the
-    /// given interference on the free cores.
-    ///
-    /// Panics (like the hardware would refuse) if the mapping leaves too
-    /// few free cores for the interference level — the paper's "not all
-    /// combinations of mapping and interference can be executed".
-    pub fn run(
+impl Platform for SimPlatform {
+    fn cfg(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    fn limit(&self) -> &RunLimit {
+        &self.limit
+    }
+
+    fn run(
         &self,
         workload: &dyn Workload,
         per_processor: usize,
-        spec: InterferenceSpec,
-    ) -> Measurement {
-        let map = RankMap::new(&self.cfg, workload.ranks(), per_processor);
+        mix: InterferenceMix,
+    ) -> Result<Measurement, AmemError> {
+        let map = validate_mapping(&self.cfg, workload, per_processor)?;
+        check_feasible(&map, mix.threads())?;
         let mut machine = Machine::new(self.cfg.clone());
         let mut jobs = workload.build(&mut machine, &map);
-        assert!(!jobs.is_empty(), "workload produced no local ranks");
-        jobs.extend(spec.build_jobs(&mut machine, &map.free_cores()));
+        if jobs.is_empty() {
+            return Err(AmemError::EmptyWorkload {
+                workload: workload.name(),
+            });
+        }
+        jobs.extend(mix.build_jobs(&mut machine, &map.free_cores()));
         let report = machine.run(jobs, self.limit.clone());
         // Measure the steady-state (post-Mark) phase: warm-up transients
         // are excluded exactly as the paper's long runs amortize them.
@@ -166,63 +302,20 @@ impl SimPlatform {
             seconds = seconds.max(self.cfg.seconds(c.cycles));
             bw += c.bandwidth_gbs(self.cfg.l3.line_bytes, self.cfg.freq_ghz);
         }
-        Measurement {
-            spec,
+        Ok(Measurement {
+            mix,
             seconds,
             l3_miss_rate: agg.l3_miss_rate(),
             app_bandwidth_gbs: bw,
             report,
-        }
-    }
-
-    /// Like [`SimPlatform::run`], but with simultaneous storage *and*
-    /// bandwidth interference — used to test the multiplicative
-    /// composition assumption of [`crate::predict`].
-    pub fn run_mixed(
-        &self,
-        workload: &dyn Workload,
-        per_processor: usize,
-        mix: amem_interfere::InterferenceMix,
-    ) -> Measurement {
-        let map = RankMap::new(&self.cfg, workload.ranks(), per_processor);
-        let mut machine = Machine::new(self.cfg.clone());
-        let mut jobs = workload.build(&mut machine, &map);
-        jobs.extend(mix.build_jobs(&mut machine, &map.free_cores()));
-        let report = machine.run(jobs, self.limit.clone());
-        let mut agg = amem_sim::CoreCounters::default();
-        let mut seconds = 0.0f64;
-        let mut bw = 0.0;
-        for j in report.jobs.iter().filter(|j| j.primary) {
-            let c = j.after_last_mark();
-            agg.merge(&c);
-            seconds = seconds.max(self.cfg.seconds(c.cycles));
-            bw += c.bandwidth_gbs(self.cfg.l3.line_bytes, self.cfg.freq_ghz);
-        }
-        Measurement {
-            spec: amem_interfere::InterferenceSpec::none(),
-            seconds,
-            l3_miss_rate: agg.l3_miss_rate(),
-            app_bandwidth_gbs: bw,
-            report,
-        }
-    }
-
-    /// Whether an interference level is placeable under a mapping.
-    pub fn feasible(&self, workload: &dyn Workload, per_processor: usize, count: usize) -> bool {
-        let map = RankMap::new(&self.cfg, workload.ranks(), per_processor);
-        let free = map.free_cores();
-        let mut sockets: Vec<u32> = free.iter().map(|c| c.socket).collect();
-        sockets.sort_unstable();
-        sockets.dedup();
-        sockets
-            .iter()
-            .all(|&s| free.iter().filter(|c| c.socket == s).count() >= count)
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use amem_interfere::InterferenceSpec;
 
     fn plat() -> SimPlatform {
         SimPlatform::new(MachineConfig::xeon20mb().scaled(0.0625))
@@ -239,17 +332,18 @@ mod tests {
     #[test]
     fn baseline_run_produces_time_and_counters() {
         let p = plat();
-        let m = p.run(&tiny_mcb(), 2, InterferenceSpec::none());
+        let m = p.run(&tiny_mcb(), 2, InterferenceMix::none()).unwrap();
         assert!(m.seconds > 0.0);
         assert!(m.l3_miss_rate >= 0.0 && m.l3_miss_rate <= 1.0);
         assert!(m.report.jobs.iter().filter(|j| j.primary).count() == 4);
+        assert!(m.mix.is_baseline());
     }
 
     #[test]
     fn storage_interference_slows_the_workload() {
         let p = plat();
-        let base = p.run(&tiny_mcb(), 2, InterferenceSpec::none());
-        let loaded = p.run(&tiny_mcb(), 2, InterferenceSpec::storage(5));
+        let base = p.run(&tiny_mcb(), 2, InterferenceMix::none()).unwrap();
+        let loaded = p.run(&tiny_mcb(), 2, InterferenceMix::storage(5)).unwrap();
         assert!(
             loaded.seconds > base.seconds,
             "5 CSThrs must cost something: {} vs {}",
@@ -268,6 +362,48 @@ mod tests {
     }
 
     #[test]
+    fn infeasible_mix_is_a_typed_error_not_a_panic() {
+        let p = plat();
+        let err = p
+            .run(&tiny_mcb(), 2, InterferenceMix::storage(7))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AmemError::InfeasibleMapping {
+                    free_cores: 6,
+                    needed: 7,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn invalid_mapping_is_a_typed_error_not_a_panic() {
+        let p = plat();
+        let err = p.run(&tiny_mcb(), 99, InterferenceMix::none()).unwrap_err();
+        assert!(matches!(err, AmemError::InvalidMapping { .. }), "{err}");
+        let err = p.run(&tiny_mcb(), 0, InterferenceMix::none()).unwrap_err();
+        assert!(matches!(err, AmemError::InvalidMapping { .. }), "{err}");
+        assert!(!p.feasible(&tiny_mcb(), 99, 0));
+    }
+
+    #[test]
+    fn mixed_run_carries_its_actual_mix() {
+        // Regression: `run_mixed` used to return `InterferenceSpec::none()`
+        // as the measurement's interference description.
+        let p = plat();
+        let mix = InterferenceMix::new(2, 1);
+        let m = p.run(&tiny_mcb(), 2, mix).unwrap();
+        assert_eq!(m.mix, mix);
+        assert_eq!(m.mix.describe(), "2 CSThr + 1 BWThr");
+        let backgrounds = m.report.jobs.iter().filter(|j| !j.primary).count();
+        assert_eq!(backgrounds, 6, "3 threads per socket x 2 sockets");
+    }
+
+    #[test]
     fn probe_workload_runs() {
         let p = plat();
         let probe = ProbeWorkload(ProbeCfg::for_machine(
@@ -276,7 +412,9 @@ mod tests {
             2.0,
             1,
         ));
-        let m = p.run(&probe, 1, InterferenceSpec::storage(2));
+        let m = p
+            .run(&probe, 1, InterferenceSpec::storage(2).into())
+            .unwrap();
         assert!(m.seconds > 0.0);
         assert!(m.report.jobs.len() == 3, "1 probe + 2 CSThr");
     }
@@ -284,8 +422,38 @@ mod tests {
     #[test]
     fn deterministic_measurements() {
         let p = plat();
-        let a = p.run(&tiny_mcb(), 2, InterferenceSpec::storage(1));
-        let b = p.run(&tiny_mcb(), 2, InterferenceSpec::storage(1));
+        assert!(p.deterministic());
+        let a = p.run(&tiny_mcb(), 2, InterferenceMix::storage(1)).unwrap();
+        let b = p.run(&tiny_mcb(), 2, InterferenceMix::storage(1)).unwrap();
         assert_eq!(a.report.wall_cycles, b.report.wall_cycles);
+    }
+
+    #[test]
+    fn builtin_workloads_have_cache_keys() {
+        let w = tiny_mcb();
+        let k = w.cache_key().unwrap();
+        assert!(k.starts_with("mcb/"), "{k}");
+        // The key is the workload *config*: a different particle count
+        // must produce a different key.
+        let other = McbWorkload(McbCfg {
+            ranks: 4,
+            steps: 2,
+            ..McbCfg::new(&MachineConfig::xeon20mb().scaled(0.0625), 8000)
+        });
+        assert_ne!(k, other.cache_key().unwrap());
+        assert_eq!(k, tiny_mcb().cache_key().unwrap());
+        assert!(w.native_body().is_none(), "sim workloads are sim-only");
+    }
+
+    #[test]
+    fn measurement_round_trips_through_json() {
+        let p = plat();
+        let m = p.run(&tiny_mcb(), 2, InterferenceMix::storage(1)).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Measurement = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.mix, m.mix);
+        assert_eq!(back.seconds.to_bits(), m.seconds.to_bits());
+        assert_eq!(back.report.wall_cycles, m.report.wall_cycles);
+        assert_eq!(back.report.jobs.len(), m.report.jobs.len());
     }
 }

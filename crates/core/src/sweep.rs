@@ -2,16 +2,21 @@
 //!
 //! A sweep runs a workload at interference levels `0..=max` (skipping
 //! physically impossible combinations) and records time, miss rate and
-//! bandwidth at each level. Levels run in parallel on the host — each
-//! level is an independent, deterministic simulation.
+//! bandwidth at each level. All points — across *all* sweeps of a batch
+//! ([`run_sweeps`]) — are flattened into one bounded-concurrency rayon
+//! pool, and each point goes through the [`Executor`], so shared points
+//! (most obviously the zero-interference baselines) are simulated once
+//! and served from cache everywhere else.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use amem_interfere::{InterferenceKind, InterferenceSpec};
+use amem_interfere::{InterferenceKind, InterferenceMix};
 use rayon::prelude::*;
 use serde::Serialize;
 
-use crate::platform::{SimPlatform, Workload};
+use crate::error::AmemError;
+use crate::executor::Executor;
+use crate::platform::Workload;
 
 /// Whether sweep progress lines should be printed to stderr. Off by
 /// default so test output stays clean; set `AMEM_PROGRESS=1` to watch
@@ -45,11 +50,13 @@ pub struct Sweep {
 
 impl Sweep {
     /// The zero-interference baseline time.
-    pub fn baseline_seconds(&self) -> f64 {
+    pub fn baseline_seconds(&self) -> Result<f64, AmemError> {
         self.points
             .first()
-            .expect("sweep always contains the baseline")
-            .seconds
+            .map(|p| p.seconds)
+            .ok_or_else(|| AmemError::EmptySweep {
+                workload: self.workload.clone(),
+            })
     }
 
     /// Degradation at a given interference count, if measured.
@@ -66,73 +73,138 @@ impl Sweep {
     }
 }
 
+/// One sweep a batch should measure: `workload` at `per_processor` ranks
+/// per socket, under `kind` interference from 0 to `max_count` threads.
+pub struct SweepRequest<'a> {
+    pub workload: &'a dyn Workload,
+    pub per_processor: usize,
+    pub kind: InterferenceKind,
+    pub max_count: usize,
+}
+
 /// Sweep `workload` under `kind` interference from 0 to `max_count`
 /// threads per socket (inclusive), at the given mapping.
 pub fn run_sweep(
-    platform: &SimPlatform,
+    exec: &Executor,
     workload: &dyn Workload,
     per_processor: usize,
     kind: InterferenceKind,
     max_count: usize,
-) -> Sweep {
-    let feasible: Vec<usize> = (0..=max_count)
-        .filter(|&k| platform.feasible(workload, per_processor, k))
-        .collect();
-    let total = feasible.len();
+) -> Result<Sweep, AmemError> {
+    let mut sweeps = run_sweeps(
+        exec,
+        &[SweepRequest {
+            workload,
+            per_processor,
+            kind,
+            max_count,
+        }],
+    )?;
+    Ok(sweeps.remove(0))
+}
+
+/// Run a *batch* of sweeps through one parallel pool.
+///
+/// Every feasible `(sweep, level)` pair becomes one task; the executor
+/// deduplicates identical points across sweeps (two sweeps of the same
+/// workload and mapping share a single baseline simulation, even when
+/// they target different resources, because the zero mix is
+/// kind-independent). Points come back in order within each sweep.
+pub fn run_sweeps(exec: &Executor, requests: &[SweepRequest]) -> Result<Vec<Sweep>, AmemError> {
+    // Flatten all feasible points of all sweeps into one task list.
+    let mut tasks: Vec<(usize, usize)> = Vec::new(); // (request index, level)
+    for (ri, req) in requests.iter().enumerate() {
+        let feasible: Vec<usize> = (0..=req.max_count)
+            .filter(|&k| exec.feasible(req.workload, req.per_processor, k))
+            .collect();
+        if feasible.is_empty() {
+            // Even k=0 was rejected: the mapping itself is invalid.
+            return Err(AmemError::EmptySweep {
+                workload: req.workload.name(),
+            });
+        }
+        tasks.extend(feasible.into_iter().map(|k| (ri, k)));
+    }
+    let total = tasks.len();
     let progress = progress_enabled();
     let done = AtomicUsize::new(0);
-    let mut results: Vec<(usize, crate::platform::Measurement)> = feasible
-        .par_iter()
-        .map(|&k| {
-            let spec = InterferenceSpec { kind, count: k };
-            let m = platform.run(workload, per_processor, spec);
+    let results: Vec<(usize, usize, Result<_, AmemError>)> = tasks
+        .into_par_iter()
+        .map(|(ri, k)| {
+            let req = &requests[ri];
+            let mix = InterferenceMix::of_kind(req.kind, k);
+            let res = exec.run(req.workload, req.per_processor, mix);
             if progress {
                 let n = done.fetch_add(1, Ordering::Relaxed) + 1;
-                eprintln!(
-                    "[sweep {}/{}] {} {:?} k={} -> {:.4}s",
-                    n,
-                    total,
-                    workload.name(),
-                    kind,
-                    k,
-                    m.seconds
-                );
+                match &res {
+                    Ok(m) => eprintln!(
+                        "[sweep {}/{}] {} {:?} k={} -> {:.4}s",
+                        n,
+                        total,
+                        req.workload.name(),
+                        req.kind,
+                        k,
+                        m.seconds
+                    ),
+                    Err(e) => eprintln!(
+                        "[sweep {}/{}] {} {:?} k={} -> error: {e}",
+                        n,
+                        total,
+                        req.workload.name(),
+                        req.kind,
+                        k
+                    ),
+                }
             }
-            (k, m)
+            (ri, k, res)
         })
         .collect();
-    results.sort_by_key(|(k, _)| *k);
-    let baseline = results
-        .first()
-        .expect("count 0 is always feasible")
-        .1
-        .seconds;
-    let points = results
-        .into_iter()
-        .map(|(k, m)| SweepPoint {
-            count: k,
-            seconds: m.seconds,
-            degradation_pct: (m.seconds / baseline - 1.0) * 100.0,
-            l3_miss_rate: m.l3_miss_rate,
-            app_bandwidth_gbs: m.app_bandwidth_gbs,
-        })
-        .collect();
-    Sweep {
-        workload: workload.name(),
-        kind,
-        per_processor,
-        points,
+
+    // Regroup per request and turn measurements into degradation points.
+    let mut sweeps = Vec::with_capacity(requests.len());
+    for (ri, req) in requests.iter().enumerate() {
+        let mut measured: Vec<(usize, _)> = Vec::new();
+        for (i, k, res) in results.iter().filter(|(i, _, _)| *i == ri) {
+            debug_assert_eq!(*i, ri);
+            measured.push((*k, res.clone()?));
+        }
+        measured.sort_by_key(|(k, _)| *k);
+        let baseline =
+            measured
+                .first()
+                .map(|(_, m)| m.seconds)
+                .ok_or_else(|| AmemError::EmptySweep {
+                    workload: req.workload.name(),
+                })?;
+        let points = measured
+            .into_iter()
+            .map(|(k, m)| SweepPoint {
+                count: k,
+                seconds: m.seconds,
+                degradation_pct: (m.seconds / baseline - 1.0) * 100.0,
+                l3_miss_rate: m.l3_miss_rate,
+                app_bandwidth_gbs: m.app_bandwidth_gbs,
+            })
+            .collect();
+        sweeps.push(Sweep {
+            workload: req.workload.name(),
+            kind: req.kind,
+            per_processor: req.per_processor,
+            points,
+        });
     }
+    Ok(sweeps)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::platform::SimPlatform;
     use amem_miniapps::McbCfg;
     use amem_sim::config::MachineConfig;
 
-    fn plat() -> SimPlatform {
-        SimPlatform::new(MachineConfig::xeon20mb().scaled(0.0625))
+    fn exec() -> Executor {
+        Executor::memory_only(SimPlatform::new(MachineConfig::xeon20mb().scaled(0.0625)))
     }
 
     fn w() -> crate::platform::McbWorkload {
@@ -145,31 +217,85 @@ mod tests {
 
     #[test]
     fn sweep_has_baseline_and_monotone_counts() {
-        let s = run_sweep(&plat(), &w(), 2, InterferenceKind::Storage, 5);
+        let s = run_sweep(&exec(), &w(), 2, InterferenceKind::Storage, 5).unwrap();
         assert_eq!(s.points[0].count, 0);
         assert_eq!(s.points[0].degradation_pct, 0.0);
         assert!(s.points.windows(2).all(|ab| ab[0].count < ab[1].count));
         assert_eq!(s.max_count(), 5);
+        assert_eq!(s.baseline_seconds().unwrap(), s.points[0].seconds);
     }
 
     #[test]
     fn infeasible_levels_are_skipped() {
         // Mapping 4 ranks/socket leaves 4 free cores: counts 5+ skipped.
-        let s = run_sweep(&plat(), &w(), 4, InterferenceKind::Storage, 8);
+        let s = run_sweep(&exec(), &w(), 4, InterferenceKind::Storage, 8).unwrap();
         assert_eq!(s.max_count(), 4);
     }
 
     #[test]
     fn heavy_storage_interference_shows_degradation() {
-        let s = run_sweep(&plat(), &w(), 2, InterferenceKind::Storage, 6);
+        let s = run_sweep(&exec(), &w(), 2, InterferenceKind::Storage, 6).unwrap();
         let high = s.degradation_at(6).unwrap();
         assert!(high > 0.0, "6 CSThrs should degrade MCB, got {high:.2}%");
     }
 
     #[test]
     fn degradation_at_missing_count_is_none() {
-        let s = run_sweep(&plat(), &w(), 4, InterferenceKind::Bandwidth, 2);
+        let s = run_sweep(&exec(), &w(), 4, InterferenceKind::Bandwidth, 2).unwrap();
         assert!(s.degradation_at(3).is_none());
         assert!(s.degradation_at(1).is_some());
+    }
+
+    #[test]
+    fn invalid_mapping_is_an_error_not_an_expect() {
+        let err = run_sweep(&exec(), &w(), 99, InterferenceKind::Storage, 2).unwrap_err();
+        assert!(matches!(err, AmemError::EmptySweep { .. }), "{err}");
+    }
+
+    #[test]
+    fn empty_sweep_baseline_is_an_error() {
+        let s = Sweep {
+            workload: "ghost".into(),
+            kind: InterferenceKind::Storage,
+            per_processor: 1,
+            points: Vec::new(),
+        };
+        let err = s.baseline_seconds().unwrap_err();
+        assert!(matches!(err, AmemError::EmptySweep { .. }), "{err}");
+    }
+
+    #[test]
+    fn batched_sweeps_share_their_baseline() {
+        let exec = exec();
+        let workload = w();
+        let sweeps = run_sweeps(
+            &exec,
+            &[
+                SweepRequest {
+                    workload: &workload,
+                    per_processor: 2,
+                    kind: InterferenceKind::Storage,
+                    max_count: 2,
+                },
+                SweepRequest {
+                    workload: &workload,
+                    per_processor: 2,
+                    kind: InterferenceKind::Bandwidth,
+                    max_count: 2,
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(sweeps.len(), 2);
+        assert_eq!(
+            sweeps[0].baseline_seconds().unwrap(),
+            sweeps[1].baseline_seconds().unwrap(),
+            "the k=0 point is kind-independent"
+        );
+        let s = exec.stats();
+        // 6 requested points, but the two baselines are one measurement.
+        assert_eq!(s.lookups(), 6);
+        assert_eq!(s.sim_runs, 5, "{s:?}");
+        assert_eq!(s.hits(), 1, "{s:?}");
     }
 }

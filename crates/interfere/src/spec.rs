@@ -127,6 +127,37 @@ impl InterferenceMix {
         Self { storage, bandwidth }
     }
 
+    /// No interference at all (the baseline run). All baselines are the
+    /// same mix regardless of which resource a sweep targets — which is
+    /// what lets the measurement cache share one baseline simulation
+    /// between a storage sweep and a bandwidth sweep.
+    pub fn none() -> Self {
+        Self::new(0, 0)
+    }
+
+    /// `k` CSThrs per socket, no BWThrs.
+    pub fn storage(k: usize) -> Self {
+        Self::new(k, 0)
+    }
+
+    /// `k` BWThrs per socket, no CSThrs.
+    pub fn bandwidth(k: usize) -> Self {
+        Self::new(0, k)
+    }
+
+    /// `k` threads of one kind per socket (how sweeps build their levels).
+    pub fn of_kind(kind: InterferenceKind, k: usize) -> Self {
+        match kind {
+            InterferenceKind::Storage => Self::storage(k),
+            InterferenceKind::Bandwidth => Self::bandwidth(k),
+        }
+    }
+
+    /// Whether this is the zero-interference baseline.
+    pub fn is_baseline(&self) -> bool {
+        self.threads() == 0
+    }
+
     /// Total threads required per socket.
     pub fn threads(&self) -> usize {
         self.storage + self.bandwidth
@@ -173,8 +204,21 @@ impl InterferenceMix {
         jobs
     }
 
+    /// Human-readable level: single-kind mixes render like an
+    /// [`InterferenceSpec`] (`"3 CSThr"`), true mixes spell out both.
     pub fn describe(&self) -> String {
-        format!("{} CSThr + {} BWThr", self.storage, self.bandwidth)
+        match (self.storage, self.bandwidth) {
+            (s, 0) => format!("{s} CSThr"),
+            (0, b) => format!("{b} BWThr"),
+            (s, b) => format!("{s} CSThr + {b} BWThr"),
+        }
+    }
+}
+
+/// An [`InterferenceSpec`] is just a one-kind mix.
+impl From<InterferenceSpec> for InterferenceMix {
+    fn from(spec: InterferenceSpec) -> Self {
+        Self::of_kind(spec.kind, spec.count)
     }
 }
 
@@ -217,6 +261,31 @@ mod tests {
         assert_eq!(InterferenceSpec::storage(4).describe(), "4 CSThr");
         assert_eq!(InterferenceSpec::bandwidth(2).describe(), "2 BWThr");
         assert_eq!(InterferenceMix::new(3, 2).describe(), "3 CSThr + 2 BWThr");
+        assert_eq!(InterferenceMix::storage(3).describe(), "3 CSThr");
+        assert_eq!(InterferenceMix::bandwidth(2).describe(), "2 BWThr");
+    }
+
+    #[test]
+    fn spec_converts_to_single_kind_mix() {
+        let m: InterferenceMix = InterferenceSpec::storage(4).into();
+        assert_eq!(m, InterferenceMix::new(4, 0));
+        let m: InterferenceMix = InterferenceSpec::bandwidth(2).into();
+        assert_eq!(m, InterferenceMix::new(0, 2));
+        let m: InterferenceMix = InterferenceSpec::none().into();
+        assert!(m.is_baseline());
+        assert_eq!(m, InterferenceMix::none());
+    }
+
+    #[test]
+    fn baselines_of_both_kinds_are_identical() {
+        // The cache relies on this: a storage sweep's k=0 and a bandwidth
+        // sweep's k=0 must be the *same* measurement.
+        assert_eq!(
+            InterferenceMix::of_kind(InterferenceKind::Storage, 0),
+            InterferenceMix::of_kind(InterferenceKind::Bandwidth, 0),
+        );
+        assert!(InterferenceMix::none().is_baseline());
+        assert!(!InterferenceMix::storage(1).is_baseline());
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! * [`stream`] — a STREAM-style triad used to measure the machine's peak
 //!   memory bandwidth (the paper's quoted 17 GB/s for Xeon20MB).
 //! * [`xray`] — automatic measurement of hierarchy parameters via
-//!   dependent pointer chases (the paper's related work [23][24]),
+//!   dependent pointer chases (the paper's related work \[23\]\[24\]),
 //!   doubling as a simulator self-check.
 
 pub mod dist;

@@ -1,6 +1,6 @@
 //! X-ray-style automatic measurement of memory-hierarchy parameters.
 //!
-//! The paper's related work (§V, refs [23][24]: Yotov et al., "X-Ray")
+//! The paper's related work (§V, refs \[23\]\[24\]: Yotov et al., "X-Ray")
 //! determines cache sizes and latencies with micro-benchmarks. This module
 //! brings the same instrument to any [`MachineConfig`]: a dependent
 //! pointer chase (one load in flight, each address computed from the

@@ -8,12 +8,12 @@
 //! its Eq. 1 measures. Nothing else in the simulator throttles bandwidth,
 //! so measured GB/s emerges purely from this serialization.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::telemetry::CycleHistogram;
 
 /// Per-channel transfer statistics (the "uncore counters").
-#[derive(Debug, Default, Clone, Copy, Serialize)]
+#[derive(Debug, Default, Clone, Copy, Serialize, Deserialize)]
 pub struct DramStats {
     /// Demand lines read from DRAM (L3 misses).
     pub demand_lines: u64,

@@ -1,7 +1,7 @@
 //! Event-based energy accounting.
 //!
 //! The paper's opening motivation is *power*: flat power budgets are why
-//! memory per core is shrinking (§I, the Exascale study [13]). This
+//! memory per core is shrinking (§I, the Exascale study \[13\]). This
 //! module closes that loop: a per-event energy model over the simulator's
 //! counters shows what interference does to the energy bill — slowdowns
 //! are also joules, because static power integrates over the longer

@@ -85,7 +85,10 @@ impl Job {
 }
 
 /// Run controls.
-#[derive(Debug, Clone)]
+///
+/// `Serialize` participates in the executor's content-addressed cache
+/// key: any change to the run controls changes the measurement identity.
+#[derive(Debug, Clone, Serialize)]
 pub struct RunLimit {
     /// Hard stop: cores reaching this cycle count are halted.
     pub max_cycles: Option<u64>,
@@ -148,7 +151,7 @@ impl RunLimit {
 }
 
 /// Outcome for one job.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct JobReport {
     pub label: String,
     pub core: CoreId,
@@ -172,10 +175,10 @@ impl JobReport {
     }
 }
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Outcome for one socket.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SocketReport {
     pub dram: DramStats,
     /// Final L3 occupancy in lines.
@@ -185,7 +188,7 @@ pub struct SocketReport {
 }
 
 /// Outcome of a run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
     /// Cycle at which the last primary finished (or the stop limit).
     pub wall_cycles: u64,

@@ -1,0 +1,93 @@
+//! Stable content fingerprints for configuration values.
+//!
+//! The measurement cache in `amem-core` is *content-addressed*: two runs
+//! are the same measurement if and only if their full configuration —
+//! machine, workload, interference mix, run controls — is the same. This
+//! module provides the identity function: a value's canonical form is its
+//! compact JSON encoding (object fields in declaration order, floats in
+//! shortest round-trip notation), and its fingerprint is the 64-bit
+//! FNV-1a hash of that string.
+//!
+//! FNV-1a is not cryptographic; the cache therefore never trusts the hash
+//! alone — it stores the canonical string alongside each entry and
+//! compares it on every lookup, so a collision degrades to a miss, never
+//! to a wrong measurement.
+
+use serde::Serialize;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over raw bytes.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The canonical (compact JSON) encoding of a serializable value.
+pub fn canonical_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("configuration values are serializable")
+}
+
+/// Stable 64-bit fingerprint of a serializable value.
+pub fn fingerprint<T: Serialize>(value: &T) -> u64 {
+    fnv1a(canonical_json(value).as_bytes())
+}
+
+/// [`fingerprint`] rendered as a fixed-width hex string (filename-safe).
+pub fn fingerprint_hex<T: Serialize>(value: &T) -> String {
+    format!("{:016x}", fingerprint(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Reference values for the 64-bit FNV-1a parameters.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn equal_configs_share_a_fingerprint() {
+        let a = MachineConfig::xeon20mb().scaled(0.125);
+        let b = MachineConfig::xeon20mb().scaled(0.125);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert_eq!(canonical_json(&a), canonical_json(&b));
+    }
+
+    #[test]
+    fn different_configs_differ() {
+        let a = MachineConfig::xeon20mb().scaled(0.125);
+        let b = MachineConfig::xeon20mb().scaled(0.25);
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        let c = MachineConfig::xeon45mb().scaled(0.125);
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn floats_round_trip_through_canonical_form() {
+        // The canonical encoding must preserve f64s bit-for-bit, or two
+        // serializations of the same config could disagree. Perturb 2.6
+        // by one ULP so the value has no short decimal form.
+        let x = f64::from_bits(2.6f64.to_bits() + 1);
+        let json = canonical_json(&x);
+        let back: f64 = serde_json::from_str(&json).unwrap();
+        assert_eq!(x.to_bits(), back.to_bits());
+    }
+
+    #[test]
+    fn hex_form_is_sixteen_chars() {
+        let h = fingerprint_hex(&MachineConfig::xeon20mb());
+        assert_eq!(h.len(), 16);
+        assert!(h.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

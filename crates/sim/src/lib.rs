@@ -60,6 +60,7 @@ pub mod counters;
 pub mod dram;
 pub mod energy;
 pub mod engine;
+pub mod fingerprint;
 pub mod machine;
 pub mod prefetch;
 pub mod rng;
@@ -82,6 +83,7 @@ pub mod prelude {
 pub use config::{CacheConfig, CoreId, MachineConfig};
 pub use counters::CoreCounters;
 pub use engine::{Job, JobReport, RunLimit, RunReport, SocketReport};
+pub use fingerprint::{canonical_json, fingerprint, fingerprint_hex};
 pub use machine::Machine;
 pub use stream::{AccessStream, Op, OpQueue};
 pub use telemetry::{CycleHistogram, Sample, SpanEvent, Telemetry};

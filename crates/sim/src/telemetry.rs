@@ -19,7 +19,7 @@
 
 use std::collections::VecDeque;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use serde_json::Value;
 
 use crate::counters::CoreCounters;
@@ -30,9 +30,9 @@ use crate::counters::CoreCounters;
 /// 65 buckets cover the full `u64` range. Recording is O(1) and the
 /// histogram keeps enough moments (`sum`, `max`) for a mean and an
 /// upper-bound percentile without storing samples.
-#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CycleHistogram {
-    /// counts[0] = zeros; counts[i] = values in [2^(i-1), 2^i).
+    /// `counts[0]` = zeros; `counts[i]` = values in `[2^(i-1), 2^i)`.
     pub counts: Vec<u64>,
     pub total: u64,
     pub sum: u64,
@@ -107,7 +107,7 @@ impl CycleHistogram {
 /// snapshot at `start_cycle` and the one at `end_cycle`, so summing any
 /// field across a core's samples reproduces that core's end-of-run counter
 /// exactly (asserted in the integration tests).
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct Sample {
     /// Flat core index.
     pub core: u32,
@@ -191,7 +191,7 @@ impl Sampler {
 
 /// A traced span (or instant, when `start_cycle == end_cycle`) on a core's
 /// timeline: BSP compute phases, barrier waits, user `Op::Mark`s.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SpanEvent {
     pub name: String,
     /// Flat core index.
@@ -266,7 +266,7 @@ impl EventRing {
 }
 
 /// Everything the engine observed during one run with telemetry enabled.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Telemetry {
     /// Sampling interval in cycles (0 when sampling was disabled).
     pub sample_interval: u64,

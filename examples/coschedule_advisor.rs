@@ -13,7 +13,7 @@ use active_mem::core::estimate::{
 };
 use active_mem::core::platform::{LuleshWorkload, McbWorkload, SimPlatform, Workload};
 use active_mem::core::sweep::run_sweep;
-use active_mem::core::{BandwidthMap, CapacityMap};
+use active_mem::core::{BandwidthMap, CapacityMap, Executor};
 use active_mem::interfere::InterferenceKind;
 use active_mem::miniapps::{LuleshCfg, McbCfg};
 use active_mem::sim::MachineConfig;
@@ -25,14 +25,14 @@ struct Profile {
 }
 
 fn profile(
-    platform: &SimPlatform,
+    executor: &Executor,
     w: &dyn Workload,
     cmap: &CapacityMap,
     bmap: &BandwidthMap,
 ) -> Profile {
     let per = 2;
-    let s = run_sweep(platform, w, per, InterferenceKind::Storage, 6);
-    let b = run_sweep(platform, w, per, InterferenceKind::Bandwidth, 2);
+    let s = run_sweep(executor, w, per, InterferenceKind::Storage, 6).expect("storage sweep");
+    let b = run_sweep(executor, w, per, InterferenceKind::Bandwidth, 2).expect("bandwidth sweep");
     Profile {
         name: w.name(),
         storage: storage_use_per_process(&s, cmap, per, 3.0),
@@ -42,20 +42,22 @@ fn profile(
 
 fn main() {
     let machine = MachineConfig::xeon20mb().scaled(0.125);
-    let platform = SimPlatform::new(machine.clone());
+    // One executor for both profiles: each app's storage and bandwidth
+    // sweeps share a cached baseline.
+    let executor = Executor::memory_only(SimPlatform::new(machine.clone()));
     let cmap = CapacityMap::paper_xeon20mb(&machine);
     let bmap = BandwidthMap::calibrate(&machine);
 
     println!("profiling candidate applications (this runs the sweeps)...\n");
     let apps = [
         profile(
-            &platform,
+            &executor,
             &McbWorkload(McbCfg::new(&machine, 20_000)),
             &cmap,
             &bmap,
         ),
         profile(
-            &platform,
+            &executor,
             &LuleshWorkload(LuleshCfg::new(LuleshCfg::scaled_edge(&machine, 26))),
             &cmap,
             &bmap,

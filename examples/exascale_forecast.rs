@@ -10,26 +10,28 @@
 use active_mem::core::platform::{LuleshWorkload, SimPlatform};
 use active_mem::core::predict::{predict_combined, DegradationModel, HypotheticalMachine};
 use active_mem::core::sweep::run_sweep;
-use active_mem::core::{BandwidthMap, CapacityMap};
+use active_mem::core::{BandwidthMap, CapacityMap, Executor};
 use active_mem::interfere::InterferenceKind;
 use active_mem::miniapps::LuleshCfg;
 use active_mem::sim::MachineConfig;
 
 fn main() {
     let machine = MachineConfig::xeon20mb().scaled(0.125);
-    let platform = SimPlatform::new(machine.clone());
+    let executor = Executor::memory_only(SimPlatform::new(machine.clone()));
     let edge = LuleshCfg::scaled_edge(&machine, 28);
     let workload = LuleshWorkload(LuleshCfg::new(edge));
 
     println!("measuring Lulesh 28^3-equivalent under interference sweeps...");
-    let storage = run_sweep(&platform, &workload, 2, InterferenceKind::Storage, 6);
-    let bandwidth = run_sweep(&platform, &workload, 2, InterferenceKind::Bandwidth, 2);
+    let storage =
+        run_sweep(&executor, &workload, 2, InterferenceKind::Storage, 6).expect("storage sweep");
+    let bandwidth = run_sweep(&executor, &workload, 2, InterferenceKind::Bandwidth, 2)
+        .expect("bandwidth sweep");
 
     let cmap = CapacityMap::paper_xeon20mb(&machine);
     let bmap = BandwidthMap::calibrate(&machine);
     let smodel = DegradationModel::from_storage_sweep(&storage, &cmap);
     let bmodel = DegradationModel::from_bandwidth_sweep(&bandwidth, &bmap);
-    let baseline = storage.baseline_seconds();
+    let baseline = storage.baseline_seconds().expect("sweep has a baseline");
     println!("baseline: {:.3} ms\n", baseline * 1e3);
 
     println!(

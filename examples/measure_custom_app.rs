@@ -12,7 +12,7 @@
 use active_mem::core::estimate::storage_use_per_process;
 use active_mem::core::platform::{SimPlatform, Workload};
 use active_mem::core::sweep::run_sweep;
-use active_mem::core::CapacityMap;
+use active_mem::core::{CapacityMap, Executor};
 use active_mem::interfere::InterferenceKind;
 use active_mem::sim::cluster::RankMap;
 use active_mem::sim::machine::Machine;
@@ -119,7 +119,9 @@ impl Workload for KvWorkload {
 fn main() {
     let machine = MachineConfig::xeon20mb().scaled(0.125);
     let l3 = machine.l3.size_bytes;
-    let platform = SimPlatform::new(machine.clone());
+    // No `cache_key` on KvWorkload, so the executor simulates every
+    // point fresh — custom workloads opt in to caching by returning one.
+    let executor = Executor::memory_only(SimPlatform::new(machine.clone()));
 
     // Working set: index = 30% of L3 (hot), table = 4x L3 (streams).
     let w = KvWorkload {
@@ -129,7 +131,7 @@ fn main() {
     };
 
     println!("sweeping CSThr interference against the kv-scan...");
-    let sweep = run_sweep(&platform, &w, 1, InterferenceKind::Storage, 5);
+    let sweep = run_sweep(&executor, &w, 1, InterferenceKind::Storage, 5).expect("sweep");
     for p in &sweep.points {
         println!(
             "  {} CSThr: {:.3} ms (+{:.1}%), L3 miss rate {:.3}",

@@ -13,7 +13,7 @@ use active_mem::core::mrc::MissRatioCurve;
 use active_mem::core::platform::{ProbeWorkload, SimPlatform};
 use active_mem::core::report::sparkline;
 use active_mem::core::sweep::run_sweep;
-use active_mem::core::CapacityMap;
+use active_mem::core::{CapacityMap, Executor};
 use active_mem::interfere::InterferenceKind;
 use active_mem::probes::dist::AccessDist;
 use active_mem::probes::probe::{ProbeCfg, ProbeStream};
@@ -55,9 +55,9 @@ fn main() {
 
     // --- online: interference sweep + Eq. 4 inversion -------------------
     println!("running the active-measurement sweep (0-5 CSThrs)...");
-    let plat = SimPlatform::new(cfg.clone());
+    let exec = Executor::memory_only(SimPlatform::new(cfg.clone()));
     let w = ProbeWorkload(pcfg);
-    let sweep = run_sweep(&plat, &w, 1, InterferenceKind::Storage, 5);
+    let sweep = run_sweep(&exec, &w, 1, InterferenceKind::Storage, 5).expect("sweep");
     let cmap = CapacityMap::paper_xeon20mb(&cfg);
     let online = MissRatioCurve::from_sweep(&sweep, &cmap);
 

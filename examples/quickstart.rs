@@ -8,7 +8,7 @@
 use active_mem::core::estimate::{bandwidth_use_per_process, storage_use_per_process};
 use active_mem::core::platform::{McbWorkload, SimPlatform};
 use active_mem::core::sweep::run_sweep;
-use active_mem::core::{BandwidthMap, CapacityMap};
+use active_mem::core::{BandwidthMap, CapacityMap, Executor};
 use active_mem::interfere::InterferenceKind;
 use active_mem::miniapps::McbCfg;
 use active_mem::sim::MachineConfig;
@@ -20,27 +20,31 @@ fn main() {
     let l3_mb = machine.l3.size_bytes as f64 / (1 << 20) as f64;
     println!("machine: {} (L3 {l3_mb:.2} MB/socket)", machine.name);
 
-    let platform = SimPlatform::new(machine.clone());
+    // The executor caches measurements: both sweeps share one baseline
+    // simulation, and re-running the example hits the in-memory cache.
+    let executor = Executor::memory_only(SimPlatform::new(machine.clone()));
     let workload = McbWorkload(McbCfg::new(&machine, 20_000));
     let ranks_per_socket = 2;
 
     // 1. Sweep interference levels: k CSThrs / k BWThrs on the free cores.
     println!("sweeping storage interference (CSThr)...");
     let storage = run_sweep(
-        &platform,
+        &executor,
         &workload,
         ranks_per_socket,
         InterferenceKind::Storage,
         6,
-    );
+    )
+    .expect("storage sweep");
     println!("sweeping bandwidth interference (BWThr)...");
     let bandwidth = run_sweep(
-        &platform,
+        &executor,
         &workload,
         ranks_per_socket,
         InterferenceKind::Bandwidth,
         2,
-    );
+    )
+    .expect("bandwidth sweep");
     for p in &storage.points {
         println!(
             "  {} CSThr: {:.3} ms  (+{:.1}%)",

@@ -1,0 +1,163 @@
+//! Integration tests for the measurement executor: on-disk cache
+//! round-trips, invalidation, and in-flight deduplication.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use active_mem::core::platform::{McbWorkload, SimPlatform};
+use active_mem::core::sweep::run_sweep;
+use active_mem::core::Executor;
+use active_mem::interfere::{InterferenceKind, InterferenceMix};
+use active_mem::miniapps::McbCfg;
+use active_mem::sim::MachineConfig;
+
+fn machine() -> MachineConfig {
+    MachineConfig::xeon20mb().scaled(0.0625)
+}
+
+fn workload(m: &MachineConfig) -> McbWorkload {
+    McbWorkload(McbCfg {
+        ranks: 4,
+        steps: 2,
+        ..McbCfg::new(m, 4000)
+    })
+}
+
+fn temp_cache(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("amem_executor_test_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn entry_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.flatten()
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "json"))
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    files
+}
+
+#[test]
+fn disk_cache_hit_is_byte_identical_to_the_fresh_run() {
+    let dir = temp_cache("roundtrip");
+    let m = machine();
+    let w = workload(&m);
+
+    let fresh = {
+        let exec = Executor::with_cache_dir(SimPlatform::new(m.clone()), dir.clone());
+        let meas = exec.run(&w, 2, InterferenceMix::storage(2)).unwrap();
+        assert_eq!(exec.stats().sim_runs, 1);
+        assert_eq!(exec.stats().stores, 1);
+        meas
+    };
+
+    // A brand-new executor (fresh process, in effect) over the same disk
+    // cache must serve the identical measurement without simulating.
+    let exec = Executor::with_cache_dir(SimPlatform::new(m.clone()), dir.clone());
+    let hit = exec.run(&w, 2, InterferenceMix::storage(2)).unwrap();
+    let s = exec.stats();
+    assert_eq!(s.sim_runs, 0, "{s:?}");
+    assert_eq!(s.disk_hits, 1, "{s:?}");
+    assert_eq!(
+        serde_json::to_string(&*fresh).unwrap(),
+        serde_json::to_string(&*hit).unwrap(),
+        "cache hit must be byte-identical to the run it replaced"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_entries_force_a_resimulation() {
+    let dir = temp_cache("corrupt");
+    let m = machine();
+    let w = workload(&m);
+
+    let exec = Executor::with_cache_dir(SimPlatform::new(m.clone()), dir.clone());
+    let fresh = exec.run(&w, 2, InterferenceMix::none()).unwrap();
+    let files = entry_files(&dir);
+    assert_eq!(files.len(), 1, "one run, one entry");
+    std::fs::write(&files[0], "{ not json").unwrap();
+
+    let exec = Executor::with_cache_dir(SimPlatform::new(m.clone()), dir.clone());
+    let again = exec.run(&w, 2, InterferenceMix::none()).unwrap();
+    let s = exec.stats();
+    assert_eq!(s.sim_runs, 1, "corrupt entry reads as a miss: {s:?}");
+    assert_eq!(s.disk_hits, 0);
+    assert_eq!(
+        again.seconds, fresh.seconds,
+        "re-simulation is deterministic"
+    );
+    // The corrupt entry was overwritten with a good one.
+    let json = std::fs::read_to_string(&files[0]).unwrap();
+    assert!(json.contains("schema_version"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn version_bumped_entries_force_a_resimulation() {
+    let dir = temp_cache("version");
+    let m = machine();
+    let w = workload(&m);
+
+    let exec = Executor::with_cache_dir(SimPlatform::new(m.clone()), dir.clone());
+    exec.run(&w, 2, InterferenceMix::none()).unwrap();
+    let files = entry_files(&dir);
+    assert_eq!(files.len(), 1);
+    // Pretend the entry was written by a different (newer) schema.
+    let json = std::fs::read_to_string(&files[0]).unwrap();
+    let cur = format!(
+        "\"schema_version\":{}",
+        active_mem::core::CACHE_SCHEMA_VERSION
+    );
+    let bumped = format!(
+        "\"schema_version\":{}",
+        active_mem::core::CACHE_SCHEMA_VERSION + 1
+    );
+    assert!(json.contains(&cur), "{json}");
+    std::fs::write(&files[0], json.replace(&cur, &bumped)).unwrap();
+
+    let exec = Executor::with_cache_dir(SimPlatform::new(m.clone()), dir.clone());
+    exec.run(&w, 2, InterferenceMix::none()).unwrap();
+    let s = exec.stats();
+    assert_eq!(s.sim_runs, 1, "version mismatch reads as a miss: {s:?}");
+    assert_eq!(s.disk_hits, 0);
+    // And the entry is rewritten at the current version.
+    let json = std::fs::read_to_string(&files[0]).unwrap();
+    assert!(json.contains(&cur), "{json}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_sweeps_share_one_baseline_simulation() {
+    // Two threads sweep different resources against the same workload and
+    // mapping. Their k=0 baselines are the same content-addressed
+    // measurement, so one thread simulates it and the other joins the
+    // in-flight run (or hits the cache, if timing staggers them).
+    let m = machine();
+    let w = workload(&m);
+    let exec = Arc::new(Executor::memory_only(SimPlatform::new(m.clone())));
+
+    let (storage, bandwidth) = std::thread::scope(|s| {
+        let cs = s.spawn(|| run_sweep(&exec, &w, 2, InterferenceKind::Storage, 3).unwrap());
+        let bw = s.spawn(|| run_sweep(&exec, &w, 2, InterferenceKind::Bandwidth, 2).unwrap());
+        (cs.join().unwrap(), bw.join().unwrap())
+    });
+    assert_eq!(storage.points.len(), 4);
+    assert_eq!(bandwidth.points.len(), 3);
+    assert_eq!(
+        storage.points[0].seconds, bandwidth.points[0].seconds,
+        "both sweeps start from the same baseline"
+    );
+
+    let s = exec.stats();
+    // 7 points requested, 6 distinct measurements: the shared baseline
+    // simulates exactly once.
+    assert_eq!(s.lookups(), 7, "{s:?}");
+    assert_eq!(s.sim_runs, 6, "the baseline must be simulated once: {s:?}");
+    assert_eq!(s.hits(), 1, "{s:?}");
+}

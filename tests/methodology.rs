@@ -6,6 +6,7 @@ use active_mem::core::knee::find_knee;
 use active_mem::core::platform::{LuleshWorkload, McbWorkload, SimPlatform};
 use active_mem::core::predict::DegradationModel;
 use active_mem::core::sweep::run_sweep;
+use active_mem::core::Executor;
 use active_mem::core::{BandwidthMap, CapacityMap};
 use active_mem::interfere::InterferenceKind;
 use active_mem::miniapps::{LuleshCfg, McbCfg};
@@ -18,10 +19,10 @@ fn machine() -> MachineConfig {
 #[test]
 fn mcb_pipeline_brackets_the_mesh_footprint() {
     let m = machine();
-    let plat = SimPlatform::new(m.clone());
+    let exec = Executor::memory_only(SimPlatform::new(m.clone()));
     let cfg = McbCfg::new(&m, 20_000);
     let w = McbWorkload(cfg);
-    let sweep = run_sweep(&plat, &w, 2, InterferenceKind::Storage, 6);
+    let sweep = run_sweep(&exec, &w, 2, InterferenceKind::Storage, 6).expect("sweep");
     assert_eq!(sweep.points[0].degradation_pct, 0.0);
 
     let cmap = CapacityMap::paper_xeon20mb(&m);
@@ -45,12 +46,12 @@ fn mcb_bandwidth_use_rises_as_processes_spread_out() {
     // The paper's Fig. 10 trend: fewer ranks per processor => more
     // bandwidth consumed per process (communication through the bus).
     let m = machine();
-    let plat = SimPlatform::new(m.clone());
+    let exec = Executor::memory_only(SimPlatform::new(m.clone()));
     let bmap = BandwidthMap::calibrate(&m);
     let mut mids = Vec::new();
     for p in [1usize, 4] {
         let w = McbWorkload(McbCfg::new(&m, 20_000));
-        let sweep = run_sweep(&plat, &w, p, InterferenceKind::Bandwidth, 2);
+        let sweep = run_sweep(&exec, &w, p, InterferenceKind::Bandwidth, 2).expect("sweep");
         let iv = bandwidth_use_per_process(&sweep, &bmap, p, 3.0);
         mids.push(iv.midpoint());
     }
@@ -67,12 +68,12 @@ fn lulesh_overflow_scales_with_domain_size() {
     // Small cubes resist storage interference; big cubes overflow at low
     // interference — the knee must move left as the domain grows.
     let m = machine();
-    let plat = SimPlatform::new(m.clone());
+    let exec = Executor::memory_only(SimPlatform::new(m.clone()));
     let mut knees = Vec::new();
     for full_edge in [22u32, 36] {
         let edge = LuleshCfg::scaled_edge(&m, full_edge);
         let w = LuleshWorkload(LuleshCfg::new(edge));
-        let sweep = run_sweep(&plat, &w, 1, InterferenceKind::Storage, 6);
+        let sweep = run_sweep(&exec, &w, 1, InterferenceKind::Storage, 6).expect("sweep");
         let knee = find_knee(&sweep, 3.0);
         knees.push(knee.first_degraded.unwrap_or(usize::MAX));
     }
@@ -85,9 +86,9 @@ fn lulesh_overflow_scales_with_domain_size() {
 #[test]
 fn degradation_models_interpolate_and_clamp() {
     let m = machine();
-    let plat = SimPlatform::new(m.clone());
+    let exec = Executor::memory_only(SimPlatform::new(m.clone()));
     let w = McbWorkload(McbCfg::new(&m, 20_000));
-    let sweep = run_sweep(&plat, &w, 2, InterferenceKind::Storage, 5);
+    let sweep = run_sweep(&exec, &w, 2, InterferenceKind::Storage, 5).expect("sweep");
     let cmap = CapacityMap::paper_xeon20mb(&m);
     let model = DegradationModel::from_storage_sweep(&sweep, &cmap);
     // More cache can never predict worse performance than less cache at
@@ -102,11 +103,14 @@ fn degradation_models_interpolate_and_clamp() {
 
 #[test]
 fn measurements_are_reproducible_end_to_end() {
+    // Two *independent* executors, so the second sweep re-simulates
+    // rather than hitting the first one's cache.
     let m = machine();
-    let plat = SimPlatform::new(m.clone());
+    let exec_a = Executor::memory_only(SimPlatform::new(m.clone()));
+    let exec_b = Executor::memory_only(SimPlatform::new(m.clone()));
     let w = McbWorkload(McbCfg::new(&m, 10_000));
-    let a = run_sweep(&plat, &w, 2, InterferenceKind::Storage, 3);
-    let b = run_sweep(&plat, &w, 2, InterferenceKind::Storage, 3);
+    let a = run_sweep(&exec_a, &w, 2, InterferenceKind::Storage, 3).expect("sweep");
+    let b = run_sweep(&exec_b, &w, 2, InterferenceKind::Storage, 3).expect("sweep");
     for (x, y) in a.points.iter().zip(&b.points) {
         assert_eq!(x.seconds, y.seconds);
         assert_eq!(x.l3_miss_rate, y.l3_miss_rate);

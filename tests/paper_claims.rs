@@ -1,7 +1,8 @@
 //! The paper's headline numeric claims, asserted against the simulator at
 //! reduced scale (all quantities are capacity-relative, so they transfer).
 
-use active_mem::core::CapacityMap;
+use active_mem::core::platform::SimPlatform;
+use active_mem::core::{CapacityMap, Executor};
 use active_mem::interfere::calibrate::{bw_threads_gbs, cs_residency};
 use active_mem::probes::stream::measure_stream;
 use active_mem::sim::MachineConfig;
@@ -54,7 +55,8 @@ fn capacity_ladder_matches_the_papers_fractions() {
     // ±12 percentage points of the paper at k = 1..3 (where the paper's
     // own dispersion is low).
     let m = machine();
-    let cmap = CapacityMap::calibrate(&m, &Default::default());
+    let exec = Executor::memory_only(SimPlatform::new(m.clone()));
+    let cmap = CapacityMap::calibrate(&exec, &Default::default()).expect("calibrate");
     let l3 = m.l3.size_bytes as f64;
     let frac = |k: usize| cmap.available_bytes(k) / l3;
     let paper = [1.0, 0.75, 0.60, 0.35, 0.25, 0.125];

@@ -157,6 +157,19 @@ pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
     }
 }
 
+/// Extract an `Option`-typed object field, treating a *missing* key the
+/// same as an explicit `null` (derive-macro helper). This is what makes
+/// additive schema evolution work: data written before a field existed
+/// still deserializes, with the new field as `None`.
+pub fn optional_field<T: Deserialize>(v: &Value, name: &str) -> Result<Option<T>, Error> {
+    match v.get(name) {
+        Some(inner) => {
+            Deserialize::from_value(inner).map_err(|e| Error(format!("field `{name}`: {e}")))
+        }
+        None => Ok(None),
+    }
+}
+
 /// Type-mismatch error (derive-macro helper).
 pub fn unexpected(expected: &str, got: &Value) -> Error {
     Error(format!("expected {expected}, got {}", got.kind()))

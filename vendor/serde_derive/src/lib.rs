@@ -18,10 +18,19 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug)]
 enum Shape {
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     UnitStruct,
     Enum(Vec<Variant>),
+}
+
+/// A named field and whether its declared type is `Option<...>`.
+/// Option-typed fields deserialize missing keys as `None` (additive
+/// schema evolution), everything else requires the key to be present.
+#[derive(Debug)]
+struct Field {
+    name: String,
+    optional: bool,
 }
 
 #[derive(Debug)]
@@ -34,7 +43,7 @@ struct Variant {
 enum VariantShape {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 struct Item {
@@ -97,8 +106,8 @@ fn skip_to_comma(tokens: &[TokenTree], mut i: usize) -> usize {
     i
 }
 
-fn parse_named_fields(group: &[TokenTree]) -> Vec<String> {
-    let mut fields = Vec::new();
+fn parse_named_fields(group: &[TokenTree]) -> Vec<Field> {
+    let mut fields: Vec<Field> = Vec::new();
     let mut i = 0;
     while i < group.len() {
         i = skip_attrs(group, i);
@@ -106,16 +115,19 @@ fn parse_named_fields(group: &[TokenTree]) -> Vec<String> {
         if i >= group.len() {
             break;
         }
-        match &group[i] {
-            TokenTree::Ident(id) => fields.push(id.to_string()),
+        let name = match &group[i] {
+            TokenTree::Ident(id) => id.to_string(),
             other => panic!("serde stub derive: expected field name, got {other}"),
-        }
+        };
         i += 1;
         assert!(
             i < group.len() && is_punct(&group[i], ':'),
-            "serde stub derive: expected `:` after field `{}`",
-            fields.last().unwrap()
+            "serde stub derive: expected `:` after field `{name}`"
         );
+        // Peek at the first type token: a bare `Option<...>` marks the
+        // field as tolerating a missing key on deserialization.
+        let optional = group.get(i + 1).is_some_and(|t| is_ident(t, "Option"));
+        fields.push(Field { name, optional });
         i = skip_to_comma(group, i + 1);
     }
     fields
@@ -234,6 +246,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let pushes: String = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "fields.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));"
                     )
@@ -279,10 +292,15 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                             )
                         }
                         VariantShape::Named(fields) => {
-                            let binds = fields.join(", ");
+                            let binds = fields
+                                .iter()
+                                .map(|f| f.name.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ");
                             let pushes: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
                                 })
                                 .collect();
@@ -307,16 +325,23 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("serde stub derive: generated Serialize impl must parse")
 }
 
+/// Initializer expression for one named field of a deserialized value.
+fn field_init(f: &Field, source: &str) -> String {
+    let name = &f.name;
+    if f.optional {
+        format!("{name}: ::serde::optional_field({source}, {name:?})?")
+    } else {
+        format!("{name}: ::serde::field({source}, {name:?})?")
+    }
+}
+
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let name = &item.name;
     let body = match &item.shape {
         Shape::NamedStruct(fields) => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| format!("{f}: ::serde::field(v, {f:?})?"))
-                .collect();
+            let inits: Vec<String> = fields.iter().map(|f| field_init(f, "v")).collect();
             format!(
                 "if v.as_object().is_none() {{ return Err(::serde::unexpected(\"object\", v)); }}\n\
                  Ok({name} {{ {} }})",
@@ -369,10 +394,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                             ))
                         }
                         VariantShape::Named(fields) => {
-                            let inits: Vec<String> = fields
-                                .iter()
-                                .map(|f| format!("{f}: ::serde::field(inner, {f:?})?"))
-                                .collect();
+                            let inits: Vec<String> =
+                                fields.iter().map(|f| field_init(f, "inner")).collect();
                             Some(format!(
                                 "{vn:?} => Ok({name}::{vn} {{ {} }}),",
                                 inits.join(", ")
