@@ -102,11 +102,12 @@ fn main() {
         h.emit(&format!("fig9_bottom_{tag}"), &t);
     }
 
-    // ---- Telemetry capture (--sample / --trace) -----------------------
+    // ---- Telemetry capture (--sample / --trace / --profile) -----------
     // One representative point of the sweep, instrumented: per-core
-    // time-series JSONL plus a Perfetto-loadable Chrome trace, and the
-    // manifest's headline counters.
-    if h.telemetry_enabled() {
+    // time-series JSONL plus a Perfetto-loadable Chrome trace, the
+    // manifest's headline counters and (with --profile) the cycle
+    // breakdown.
+    if h.telemetry_enabled() || h.args().profile {
         let meas = exec
             .run(&w20k, 1, InterferenceMix::storage(3))
             .expect("fig9 telemetry run");

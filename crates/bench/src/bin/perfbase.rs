@@ -1,0 +1,276 @@
+//! Tracked performance baseline for the simulator itself.
+//!
+//! Times the same kernels the Criterion bench (`sim_throughput`) measures
+//! — plain `Instant` best-of-N, so it runs in seconds and needs no
+//! statistics harness — plus the cold wall-clock of two end-to-end figure
+//! reproductions, and writes the results as JSON:
+//!
+//! ```text
+//! cargo run --release -p amem-bench --bin perfbase              # record
+//! cargo run --release -p amem-bench --bin perfbase -- \
+//!     --check BENCH_sim.json                                    # gate
+//! ```
+//!
+//! `--check <file>` compares the fresh numbers against a committed
+//! baseline and exits non-zero if any kernel's accesses/sec regressed by
+//! more than 30% (tunable via `$AMEM_PERF_TOLERANCE`, a fraction). The
+//! wide margin absorbs host-to-host variance; the committed file is a
+//! ratchet against order-of-magnitude regressions, not a microbenchmark.
+//!
+//! Flags: `--out <file>` (default `BENCH_sim.json`), `--check <file>`,
+//! `--skip-cold` (kernels only — the cold figure runs dominate runtime).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use amem_sim::engine::RunLimit;
+use amem_sim::prelude::*;
+use amem_sim::stream::ScriptStream;
+use serde::{Deserialize, Serialize};
+
+/// Ops per kernel invocation.
+const N: u64 = 100_000;
+/// Timed repetitions per kernel; the minimum is reported.
+const REPS: usize = 5;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct KernelResult {
+    name: String,
+    ns_per_op: f64,
+    mops_per_sec: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ColdResult {
+    name: String,
+    seconds: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Baseline {
+    schema: u32,
+    /// What the numbers mean, for humans reading the committed file.
+    note: String,
+    ops_per_kernel: u64,
+    reps: usize,
+    kernels: Vec<KernelResult>,
+    cold: Vec<ColdResult>,
+}
+
+fn tiny() -> MachineConfig {
+    MachineConfig::xeon20mb().scaled(0.03125)
+}
+
+fn sequential_ops(n: u64) -> Vec<Op> {
+    (0..n)
+        .map(|i| Op::Load(0x1000_0000 + (i % (1 << 14)) * 64))
+        .collect()
+}
+
+fn random_ops(n: u64) -> Vec<Op> {
+    let mut rng = Xoshiro256::seed_from_u64(7);
+    (0..n)
+        .map(|_| Op::Load(0x1000_0000 + rng.below(1 << 16) * 64))
+        .collect()
+}
+
+/// Best-of-REPS wall time of running `jobs()` on a fresh machine.
+fn time_engine(make_jobs: impl Fn() -> Vec<Job>) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..REPS {
+        let jobs = make_jobs();
+        let mut m = Machine::new(tiny());
+        let t0 = Instant::now();
+        let r = m.run(jobs, RunLimit::default());
+        best = best.min(t0.elapsed().as_secs_f64());
+        std::hint::black_box(r);
+    }
+    best
+}
+
+fn kernel(name: &str, secs: f64, n: u64) -> KernelResult {
+    let k = KernelResult {
+        name: name.to_string(),
+        ns_per_op: secs * 1e9 / n as f64,
+        mops_per_sec: n as f64 / secs / 1e6,
+    };
+    println!(
+        "{:<24} {:8.1} ns/op  {:8.3} Mops/s",
+        k.name, k.ns_per_op, k.mops_per_sec
+    );
+    k
+}
+
+fn run_kernels() -> Vec<KernelResult> {
+    let mut out = Vec::new();
+
+    let secs = time_engine(|| {
+        vec![Job::primary(
+            Box::new(ScriptStream::new(sequential_ops(N)).with_mlp(4)),
+            CoreId::new(0, 0),
+        )]
+    });
+    out.push(kernel("sequential_loads", secs, N));
+
+    let secs = time_engine(|| {
+        vec![Job::primary(
+            Box::new(ScriptStream::new(random_ops(N)).with_mlp(4)),
+            CoreId::new(0, 0),
+        )]
+    });
+    out.push(kernel("random_loads", secs, N));
+
+    let secs = time_engine(|| {
+        (0..8u32)
+            .map(|core| {
+                let mut rng = Xoshiro256::seed_from_u64(core as u64);
+                let ops: Vec<Op> = (0..N / 8)
+                    .map(|_| {
+                        Op::Load(0x1000_0000 + core as u64 * (1 << 26) + rng.below(1 << 15) * 64)
+                    })
+                    .collect();
+                Job::primary(
+                    Box::new(ScriptStream::new(ops).with_mlp(4)),
+                    CoreId::new(0, core),
+                )
+            })
+            .collect()
+    });
+    out.push(kernel("eight_core_contention", secs, N));
+
+    // Cache-substrate kernel: raw lookup/fill mix, no engine around it.
+    let cfg = tiny();
+    let mut best = f64::MAX;
+    for _ in 0..REPS {
+        let mut cache = amem_sim::cache::Cache::new(&cfg.l3);
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let t0 = Instant::now();
+        let mut hits = 0u64;
+        for _ in 0..N {
+            let line = rng.below(1 << 17);
+            if cache.lookup(line, false) {
+                hits += 1;
+            } else {
+                cache.fill(line, false);
+            }
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+        std::hint::black_box(hits);
+    }
+    out.push(kernel("l3_lookup_fill_mix", best, N));
+    out
+}
+
+/// Cold end-to-end wall-clock of sibling figure binaries (no measurement
+/// cache, small scale): the number a user actually waits on.
+fn run_cold() -> Vec<ColdResult> {
+    let exe_dir = std::env::current_exe()
+        .expect("current_exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let out_dir = std::env::temp_dir().join("amem_perfbase_out");
+    let _ = std::fs::remove_dir_all(&out_dir);
+    let mut out = Vec::new();
+    for bin in ["fig1", "fig6"] {
+        let t0 = Instant::now();
+        let status = std::process::Command::new(exe_dir.join(bin))
+            .args(["--scale", "0.0625", "--no-cache", "--out"])
+            .arg(&out_dir)
+            .env("AMEM_PROGRESS", "0")
+            .stdout(std::process::Stdio::null())
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+        assert!(status.success(), "{bin} failed with {status}");
+        let secs = t0.elapsed().as_secs_f64();
+        println!("cold {bin:<19} {secs:8.2} s");
+        out.push(ColdResult {
+            name: format!("cold_{bin}"),
+            seconds: secs,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&out_dir);
+    out
+}
+
+/// Gate fresh kernel numbers against a committed baseline. Returns the
+/// failure messages (empty = pass).
+fn check(fresh: &Baseline, committed: &Baseline, tolerance: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for old in &committed.kernels {
+        let Some(new) = fresh.kernels.iter().find(|k| k.name == old.name) else {
+            failures.push(format!("kernel {} missing from fresh run", old.name));
+            continue;
+        };
+        let floor = old.mops_per_sec * (1.0 - tolerance);
+        if new.mops_per_sec < floor {
+            failures.push(format!(
+                "{}: {:.3} Mops/s < {:.3} (committed {:.3} - {:.0}%)",
+                old.name,
+                new.mops_per_sec,
+                floor,
+                old.mops_per_sec,
+                tolerance * 100.0
+            ));
+        }
+    }
+    failures
+}
+
+fn main() {
+    let mut out_path = PathBuf::from("BENCH_sim.json");
+    let mut check_path: Option<PathBuf> = None;
+    let mut skip_cold = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_path = PathBuf::from(it.next().expect("--out needs a file")),
+            "--check" => {
+                check_path = Some(PathBuf::from(it.next().expect("--check needs a file")));
+            }
+            "--skip-cold" => skip_cold = true,
+            other => panic!("unknown argument: {other} (expected --out/--check/--skip-cold)"),
+        }
+    }
+
+    let kernels = run_kernels();
+    let cold = if skip_cold { Vec::new() } else { run_cold() };
+    let fresh = Baseline {
+        schema: 1,
+        note: "best-of-N wall times; compare runs on the same host only — \
+               the --check gate uses a wide tolerance for that reason"
+            .to_string(),
+        ops_per_kernel: N,
+        reps: REPS,
+        kernels,
+        cold,
+    };
+
+    let json = serde_json::to_string_pretty(&fresh).expect("serialize baseline");
+    std::fs::write(&out_path, json + "\n").expect("write baseline");
+    println!("[perfbase] wrote {}", out_path.display());
+
+    if let Some(path) = check_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let committed: Baseline =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("bad baseline file: {e}"));
+        let tolerance = std::env::var("AMEM_PERF_TOLERANCE")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(0.30);
+        let failures = check(&fresh, &committed, tolerance);
+        if failures.is_empty() {
+            println!(
+                "[perfbase] OK: no kernel regressed >{:.0}% vs {}",
+                tolerance * 100.0,
+                path.display()
+            );
+        } else {
+            for f in &failures {
+                eprintln!("[perfbase] REGRESSION {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -6,8 +6,9 @@
 //! files) land in `target/repro/`. Sweep progress logging is enabled for
 //! the children (set `AMEM_PROGRESS=0` to silence it).
 //!
-//! Children run `--jobs <n>` at a time (default: half the cores, capped
-//! at 4 — each child saturates its own rayon pool) and share one on-disk
+//! Children run `--jobs <n>` at a time (or `$AMEM_JOBS`; default: half
+//! the cores, capped at 4 — each child saturates its own rayon pool,
+//! and the value is always clamped to the available cores) and share one on-disk
 //! measurement cache, so the many points the figures have in common —
 //! baselines above all — are simulated once across the whole suite. A
 //! second back-to-back invocation is served almost entirely from cache.
@@ -21,17 +22,13 @@ use std::sync::{Condvar, Mutex};
 use amem_core::manifest::{self, RunManifest};
 use amem_core::CacheStats;
 
-fn default_jobs() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| (n.get() / 2).clamp(1, 4))
-        .unwrap_or(1)
-}
-
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // `--jobs` is consumed here: it bounds the child-process pool, while
-    // each child parallelises its own sweep points internally.
-    let jobs = match args.iter().position(|a| a == "--jobs") {
+    // each child parallelises its own sweep points internally. The value
+    // resolves through CLI > $AMEM_JOBS > default, clamped to the cores
+    // actually available (see `amem_bench::resolve_jobs`).
+    let cli_jobs = match args.iter().position(|a| a == "--jobs") {
         Some(i) => {
             let v = args
                 .get(i + 1)
@@ -40,10 +37,11 @@ fn main() {
             args.drain(i..=i + 1);
             let n: usize = v.parse().expect("--jobs must be an integer");
             assert!(n > 0, "--jobs must be positive");
-            n
+            Some(n)
         }
-        None => default_jobs(),
+        None => None,
     };
+    let jobs = amem_bench::resolve_jobs(cli_jobs);
     let out: PathBuf = args
         .iter()
         .position(|a| a == "--out")

@@ -74,6 +74,9 @@ pub struct Args {
     pub cache_dir: Option<PathBuf>,
     /// Concurrent child experiments for `repro_all` (`--jobs`).
     pub jobs: Option<usize>,
+    /// Print a per-component cycle/time breakdown for every recorded
+    /// measurement (`--profile`).
+    pub profile: bool,
 }
 
 impl Default for Args {
@@ -87,14 +90,15 @@ impl Default for Args {
             no_cache: false,
             cache_dir: None,
             jobs: None,
+            profile: false,
         }
     }
 }
 
 impl Args {
     /// Parse `--scale <f>`, `--full`, `--out <dir>`, `--sample <cycles>`,
-    /// `--trace <events>`, `--no-cache`, `--cache-dir <dir>` and
-    /// `--jobs <n>` from the process args.
+    /// `--trace <events>`, `--no-cache`, `--cache-dir <dir>`,
+    /// `--jobs <n>` and `--profile` from the process args.
     pub fn parse() -> Self {
         let mut out = Self::default();
         let mut it = std::env::args().skip(1);
@@ -132,9 +136,10 @@ impl Args {
                     assert!(n > 0, "--jobs must be positive");
                     out.jobs = Some(n);
                 }
+                "--profile" => out.profile = true,
                 other => panic!(
                     "unknown argument: {other} (expected --scale/--full/--out/--sample/--trace/\
-                     --no-cache/--cache-dir/--jobs)"
+                     --no-cache/--cache-dir/--jobs/--profile)"
                 ),
             }
         }
@@ -187,6 +192,29 @@ impl Args {
             Executor::new(plat)
         })
     }
+}
+
+/// Resolve the child-process parallelism for `repro_all`-style fan-out.
+///
+/// Priority: an explicit `--jobs` value, then the `AMEM_JOBS` environment
+/// variable, then the default of half the available cores capped at 4
+/// (each child saturates its own rayon pool, so more children than that
+/// oversubscribe the machine). Whatever the source, the result is clamped
+/// to `1..=available_parallelism` — asking for 64 jobs on a 4-core box
+/// gets 4, and malformed or zero values fall back to the default.
+pub fn resolve_jobs(cli: Option<usize>) -> usize {
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let requested = cli
+        .or_else(|| {
+            std::env::var("AMEM_JOBS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+        })
+        .unwrap_or_else(|| (avail / 2).clamp(1, 4));
+    requested.clamp(1, avail)
 }
 
 /// The shared experiment harness: wraps [`Args`], times the run, records
@@ -265,12 +293,16 @@ impl Harness {
     }
 
     /// Record a headline measurement: simulated seconds plus the merged
-    /// end-of-run counters of its primary ranks.
+    /// end-of-run counters of its primary ranks. With `--profile`, also
+    /// print a per-component cycle/time breakdown of the measurement.
     pub fn record_measurement(&mut self, m: &Measurement) {
         self.manifest.sim_seconds = Some(m.seconds);
         let mut agg = CoreCounters::default();
         for j in m.report.jobs.iter().filter(|j| j.primary) {
             agg.merge(&j.counters);
+        }
+        if self.args.profile {
+            print_profile(&self.args.machine(), &agg);
         }
         self.manifest.final_counters = Some(agg);
         self.manifest.interference = Some(m.mix.describe());
@@ -347,6 +379,65 @@ impl Harness {
     }
 }
 
+/// Print where a measurement's cycles went (the `--profile` view): the
+/// core-time split the counters record directly, then the memory-level
+/// service attribution estimated from hit counts × configured latencies.
+fn print_profile(cfg: &MachineConfig, c: &CoreCounters) {
+    let hz = cfg.freq_ghz * 1e9;
+    let secs = |cyc: u64| cyc as f64 / hz;
+    // Components are summed across the primary ranks (while the merged
+    // `cycles` is the max clock), so percentages are of the summed
+    // attributed time — what fraction of all core-time went where.
+    let known = c.compute_cycles + c.stall_cycles + c.net_cycles + c.barrier_cycles;
+    let pct = |cyc: u64| 100.0 * cyc as f64 / known.max(1) as f64;
+    println!(
+        "[profile] wall clock {} cycles ({:.6}s); attributed core time summed over ranks:",
+        c.cycles,
+        secs(c.cycles)
+    );
+    for (name, cyc) in [
+        ("compute", c.compute_cycles),
+        ("memory stall", c.stall_cycles),
+        ("network", c.net_cycles),
+        ("barrier", c.barrier_cycles),
+    ] {
+        println!(
+            "[profile]   {name:<13} {cyc:>14} cyc  {:>6.2}%  {:.6}s",
+            pct(cyc),
+            secs(cyc)
+        );
+    }
+    // Service-time attribution: hits at each level × that level's latency.
+    // An estimate (overlap under MLP is not deducted), but it shows which
+    // level dominates the stall time above.
+    let l1 = c.l1_hits * cfg.l1.latency as u64;
+    let l2 = c.l2_hits * cfg.l2.latency as u64;
+    let l3 = c.l3_hits * cfg.l3.latency as u64;
+    let dram = c.l3_misses * (cfg.l3.latency + cfg.dram_latency) as u64;
+    println!("[profile] memory service estimate (hits x latency, overlap not deducted):");
+    for (name, hits, cyc) in [
+        ("L1", c.l1_hits, l1),
+        ("L2", c.l2_hits, l2),
+        ("L3", c.l3_hits, l3),
+        ("DRAM", c.l3_misses, dram),
+    ] {
+        println!(
+            "[profile]   {name:<5} {hits:>12} hits {cyc:>14} cyc  {:.6}s",
+            secs(cyc)
+        );
+    }
+    if c.tlb_hits + c.tlb_misses > 0 {
+        println!(
+            "[profile]   TLB   {:>12} hits {:>14} misses",
+            c.tlb_hits, c.tlb_misses
+        );
+    }
+    println!(
+        "[profile] dram lines: {} demand, {} prefetch ({} prefetches dropped)",
+        c.dram_demand_lines, c.dram_prefetch_lines, c.prefetches_dropped
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -403,6 +494,31 @@ mod tests {
         assert!(m.wall_seconds >= 0.0);
         assert!(m.cache.is_some(), "manifests record cache counters");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// One test fn (not several) because it mutates `AMEM_JOBS`: splitting
+    /// it would race within this test binary.
+    #[test]
+    fn resolve_jobs_priority_and_clamping() {
+        let avail = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let default = (avail / 2).clamp(1, 4).min(avail);
+        // An explicit CLI value wins over the environment...
+        std::env::set_var("AMEM_JOBS", "3");
+        assert_eq!(resolve_jobs(Some(2)), 2.min(avail));
+        // ...but is still clamped to the machine.
+        assert_eq!(resolve_jobs(Some(1000)), avail);
+        // No CLI value: AMEM_JOBS applies (clamped).
+        assert_eq!(resolve_jobs(None), 3.min(avail));
+        assert_eq!(resolve_jobs(Some(1)), 1);
+        // Malformed or zero AMEM_JOBS falls back to the default.
+        std::env::set_var("AMEM_JOBS", "not-a-number");
+        assert_eq!(resolve_jobs(None), default);
+        std::env::set_var("AMEM_JOBS", "0");
+        assert_eq!(resolve_jobs(None), default);
+        std::env::remove_var("AMEM_JOBS");
+        assert_eq!(resolve_jobs(None), default);
     }
 
     #[test]

@@ -309,6 +309,20 @@ impl Executor {
         result
     }
 
+    /// The canonical cache key `run` would use for this request, or
+    /// `None` when the request is uncacheable. Public so tests can assert
+    /// that key construction ignores execution-only knobs (lane-thread
+    /// count above all): two configurations that must share cache entries
+    /// must produce equal strings here.
+    pub fn request_key(
+        &self,
+        workload: &dyn Workload,
+        per_processor: usize,
+        mix: InterferenceMix,
+    ) -> Option<String> {
+        self.cache_key(workload, per_processor, mix)
+    }
+
     /// The canonical key string for one request, or `None` when the
     /// request must not be cached.
     fn cache_key(

@@ -149,6 +149,23 @@ impl BwThread {
     fn addr(&self) -> u64 {
         self.bases[self.buf] + self.offset * 64
     }
+
+    /// Advance to the next buffer; after the last, bump `i` (one full
+    /// round-robin pass = one paper-loop iteration).
+    #[inline]
+    fn advance(&mut self) {
+        self.buf += 1;
+        if self.buf == self.bases.len() {
+            self.buf = 0;
+            self.offset += self.stride;
+            if self.offset >= self.lines {
+                self.offset -= self.lines;
+            }
+            if let Some(left) = &mut self.iterations_left {
+                *left -= 1;
+            }
+        }
+    }
 }
 
 impl AccessStream for BwThread {
@@ -157,22 +174,7 @@ impl AccessStream for BwThread {
             // Second half of `buf[idx]++`.
             self.store_pending = false;
             let a = self.addr();
-            // Advance to the next buffer; after the last, bump `i`.
-            self.buf += 1;
-            if self.buf == self.bases.len() {
-                self.buf = 0;
-                self.offset += self.stride;
-                if self.offset >= self.lines {
-                    self.offset -= self.lines;
-                }
-                if let Some(left) = &mut self.iterations_left {
-                    *left -= 1;
-                    if *left == 0 {
-                        // Emit the final store, then Done on the next call.
-                        self.iterations_left = Some(0);
-                    }
-                }
-            }
+            self.advance();
             return Op::Store(a);
         }
         if self.iterations_left == Some(0) {
@@ -180,6 +182,36 @@ impl AccessStream for BwThread {
         }
         self.store_pending = true;
         Op::Load(self.addr())
+    }
+
+    /// Batch generation emitting whole `++` (load/store) pairs per loop
+    /// turn; sequence-identical to repeated [`Self::next_op`].
+    fn next_batch(&mut self, out: &mut Vec<Op>, max: usize) {
+        let mut n = 0;
+        while n < max {
+            if self.store_pending {
+                self.store_pending = false;
+                let a = self.addr();
+                self.advance();
+                out.push(Op::Store(a));
+                n += 1;
+                continue;
+            }
+            if self.iterations_left == Some(0) {
+                out.push(Op::Done);
+                return;
+            }
+            let a = self.addr();
+            out.push(Op::Load(a));
+            n += 1;
+            if n < max {
+                self.advance();
+                out.push(Op::Store(a));
+                n += 1;
+            } else {
+                self.store_pending = true;
+            }
+        }
     }
 
     fn mlp(&self) -> u8 {
@@ -228,6 +260,35 @@ mod tests {
             assert_eq!(a2 - a0, stride * 64);
         } else {
             panic!("unexpected ops {l0:?} {l1:?}");
+        }
+    }
+
+    #[test]
+    fn next_batch_matches_next_op() {
+        let cfg = BwThreadCfg {
+            n_buffers: 3,
+            buffer_bytes: 4096,
+            mlp: 4,
+            iterations: Some(5),
+        };
+        let mut serial_src = BwThread::new(&mut machine(), &cfg);
+        let mut serial = Vec::new();
+        loop {
+            let op = serial_src.next_op();
+            serial.push(op);
+            if op == Op::Done {
+                break;
+            }
+        }
+        for batch_size in [1, 3, 7, 256] {
+            let mut t = BwThread::new(&mut machine(), &cfg);
+            let mut ops = Vec::new();
+            while ops.last() != Some(&Op::Done) {
+                let before = ops.len();
+                t.next_batch(&mut ops, batch_size);
+                assert!(ops.len() - before <= batch_size);
+            }
+            assert_eq!(ops, serial, "batch_size={batch_size}");
         }
     }
 

@@ -128,6 +128,42 @@ impl AccessStream for CsThread {
         Op::Load(a)
     }
 
+    /// Batch generation emitting whole `++` (load/store) rounds per loop
+    /// turn; sequence-identical to repeated [`Self::next_op`].
+    fn next_batch(&mut self, out: &mut Vec<Op>, max: usize) {
+        let mut n = 0;
+        while n < max {
+            if self.has_pending {
+                self.has_pending = false;
+                if let Some(left) = &mut self.rounds_left {
+                    *left -= 1;
+                }
+                out.push(Op::Store(self.store_pending));
+                n += 1;
+                continue;
+            }
+            if self.rounds_left == Some(0) {
+                out.push(Op::Done);
+                return;
+            }
+            let line = self.rng.below(self.lines);
+            let word = self.rng.below(16);
+            let a = self.base + line * 64 + word * 4;
+            out.push(Op::Load(a));
+            n += 1;
+            if n < max {
+                if let Some(left) = &mut self.rounds_left {
+                    *left -= 1;
+                }
+                out.push(Op::Store(a));
+                n += 1;
+            } else {
+                self.store_pending = a;
+                self.has_pending = true;
+            }
+        }
+    }
+
     fn mlp(&self) -> u8 {
         self.mlp
     }
@@ -166,6 +202,34 @@ mod tests {
             }
         }
         assert_eq!(t.next_op(), Op::Done);
+    }
+
+    #[test]
+    fn next_batch_matches_next_op() {
+        let cfg = CsThreadCfg {
+            buffer_bytes: 1 << 16,
+            rounds: Some(9),
+            ..CsThreadCfg::default()
+        };
+        let mut serial_src = CsThread::new(&mut machine(), &cfg);
+        let mut serial = Vec::new();
+        loop {
+            let op = serial_src.next_op();
+            serial.push(op);
+            if op == Op::Done {
+                break;
+            }
+        }
+        for batch_size in [1, 3, 7, 256] {
+            let mut t = CsThread::new(&mut machine(), &cfg);
+            let mut ops = Vec::new();
+            while ops.last() != Some(&Op::Done) {
+                let before = ops.len();
+                t.next_batch(&mut ops, batch_size);
+                assert!(ops.len() - before <= batch_size);
+            }
+            assert_eq!(ops, serial, "batch_size={batch_size}");
+        }
     }
 
     #[test]

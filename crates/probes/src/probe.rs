@@ -106,6 +106,12 @@ impl ProbeStream {
             mlp: cfg.mlp,
         }
     }
+
+    #[inline]
+    fn sample_load(&mut self) -> Op {
+        let idx = self.dist.sample_index(&mut self.rng, self.elems);
+        Op::Load(self.base + idx * 4)
+    }
 }
 
 impl AccessStream for ProbeStream {
@@ -124,9 +130,56 @@ impl AccessStream for ProbeStream {
         } else {
             return Op::Done;
         }
-        let idx = self.dist.sample_index(&mut self.rng, self.elems);
         self.pending_compute = true;
-        Op::Load(self.base + idx * 4)
+        self.sample_load()
+    }
+
+    /// Batch generation emitting load/compute pairs in tight per-phase
+    /// loops; the op sequence is identical to repeated [`Self::next_op`]
+    /// (guarded by `next_batch_matches_next_op`).
+    fn next_batch(&mut self, out: &mut Vec<Op>, max: usize) {
+        let mut n = 0;
+        while n < max {
+            if self.pending_compute {
+                self.pending_compute = false;
+                out.push(Op::Compute(self.compute));
+                n += 1;
+                continue;
+            }
+            let phase = if self.remaining_warm > 0 {
+                &mut self.remaining_warm
+            } else if !self.marked {
+                self.marked = true;
+                out.push(Op::Mark);
+                n += 1;
+                continue;
+            } else if self.remaining_measure > 0 {
+                &mut self.remaining_measure
+            } else {
+                out.push(Op::Done);
+                return;
+            };
+            let pairs = ((max - n) / 2).min(*phase as usize);
+            *phase -= pairs as u64;
+            let odd_load = n + 2 * pairs < max && *phase > 0;
+            if odd_load {
+                *phase -= 1;
+            }
+            for _ in 0..pairs {
+                let load = self.sample_load();
+                out.push(load);
+                out.push(Op::Compute(self.compute));
+            }
+            n += 2 * pairs;
+            if odd_load {
+                // The pair straddles the batch boundary: emit the load now,
+                // owe the compute to the next batch.
+                let load = self.sample_load();
+                out.push(load);
+                self.pending_compute = true;
+                n += 1;
+            }
+        }
     }
 
     fn mlp(&self) -> u8 {
@@ -215,6 +268,40 @@ mod tests {
         // Mark comes after the warm loads and their computes.
         let mark_pos = ops.iter().position(|o| matches!(o, Op::Mark)).unwrap();
         assert_eq!(mark_pos, 4);
+    }
+
+    #[test]
+    fn next_batch_matches_next_op() {
+        let p = ProbeCfg {
+            dist: AccessDist::Exponential { rate: 4.0 },
+            buffer_bytes: 8192,
+            adds_per_load: 10,
+            warm_accesses: 11,
+            measure_accesses: 7,
+            mlp: 2,
+            seed: 42,
+        };
+        let mut serial_src = ProbeStream::new(&mut Machine::new(cfg()), &p);
+        let mut serial = Vec::new();
+        loop {
+            let op = serial_src.next_op();
+            serial.push(op);
+            if op == Op::Done {
+                break;
+            }
+        }
+        // Odd batch sizes force the load/compute pair to straddle batch
+        // boundaries; 1 degenerates to one op per call.
+        for batch_size in [1, 3, 7, 256] {
+            let mut s = ProbeStream::new(&mut Machine::new(cfg()), &p);
+            let mut ops = Vec::new();
+            while ops.last() != Some(&Op::Done) {
+                let before = ops.len();
+                s.next_batch(&mut ops, batch_size);
+                assert!(ops.len() - before <= batch_size);
+            }
+            assert_eq!(ops, serial, "batch_size={batch_size}");
+        }
     }
 
     #[test]

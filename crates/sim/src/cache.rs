@@ -22,7 +22,27 @@
 //! alternative LLC policies exercised by the insertion ablation bench.
 //!
 //! Fills can additionally be restricted to a subset of ways
-//! ([`Cache::fill_masked`]) — Intel CAT-style partitioning.
+//! ([`Cache::fill_masked`]) — Intel CAT-style way partitioning.
+//!
+//! ## Hot-path layout
+//!
+//! This structure is the simulator's innermost data structure: every
+//! simulated access scans one set in up to three cache instances. All
+//! metadata lives in parallel structure-of-arrays slices (`tags`,
+//! `stamp`, `dirty`, `sharers`, `present`) indexed by
+//! `set * ways + way`, so a set scan walks one contiguous `ways`-wide
+//! window per array. The probation flag lives in the stamp's high bit
+//! ([`PROB_BIT`]): probation lines sort below promoted ones under
+//! `stamp ^ PROB_BIT`, so LRU victim selection is a single min-scan of
+//! the stamp window with no second flag array. The power-of-two/modulo
+//! choice for set indexing is made once at construction (all shipped
+//! configs are powers of two and take the mask path); a per-set valid
+//! count lets probe-style calls (`contains`, `invalidate`, `mark_dirty`)
+//! skip empty sets; a one-entry index memo short-circuits the repeated
+//! lookup→fill→sharer sequences the engine performs on the same line;
+//! and a miss memo carries the set scan a missing `lookup` already did
+//! into the `fill` that follows it, so the engine's
+//! lookup-miss-then-fill sequence scans each set once.
 
 use serde::{Deserialize, Serialize};
 
@@ -65,9 +85,22 @@ pub struct Eviction {
     pub line: u64,
     /// Whether the evicted copy was dirty at this level.
     pub dirty: bool,
+    /// Engine-maintained presence mask of the evicted entry (see
+    /// [`Cache::note_present`]): a superset of the cores whose private
+    /// caches may still hold the line. Always 0 for private caches.
+    pub present: u32,
 }
 
 const EMPTY: u64 = u64::MAX;
+
+/// Probation flag, folded into the stamp's high bit. Real recency stamps
+/// stay below this (the tick renormalizes at 31 bits), and
+/// `stamp ^ PROB_BIT` yields a victim-selection key where every probation
+/// line sorts below every promoted line, oldest first within each group.
+const PROB_BIT: u32 = 1 << 31;
+
+/// "No free way" sentinel for the miss memo.
+const NO_WAY: u32 = u32::MAX;
 
 /// 1/ε of BIP: one in this many probation fills is promoted to a regular
 /// (MRU) insertion.
@@ -79,22 +112,111 @@ pub struct Cache {
     sets: u32,
     ways: u32,
     hash_sets: bool,
+    /// Checked once at construction: shipped configs always have
+    /// power-of-two set counts, so `set_of` takes the mask path instead
+    /// of re-testing `is_power_of_two` on every access.
+    pow2_sets: bool,
+    set_mask: u64,
     replacement: Replacement,
     insert: InsertPolicy,
     /// `sets * ways` tag entries; `EMPTY` marks an invalid way.
     tags: Box<[u64]>,
-    /// LRU stamps (for `Lru`) or MRU bits (0/1, for `BitPlru`).
+    /// LRU stamps (for `Lru`) or MRU bits (0/1, for `BitPlru`), with the
+    /// probation flag in [`PROB_BIT`].
     stamp: Box<[u32]>,
-    /// Probation marks for `InsertPolicy::Lru` fills (victim-first).
-    probation: Box<[bool]>,
     dirty: Box<[bool]>,
     /// Per-entry sharer bitmask (bit = core index within the socket).
     /// Maintained by the engine for the inclusive shared L3 to drive
     /// MESI-style invalidations; unused for private caches.
-    sharers: Box<[u16]>,
+    sharers: Box<[u32]>,
+    /// Per-entry presence bitmask, maintained by the engine via
+    /// [`Cache::note_present`]: which cores filled this line into their
+    /// private hierarchy while this entry was live. Unlike `sharers`
+    /// (which coherence updates precisely), this is a monotone superset —
+    /// bits are only cleared when the entry is replaced — which is
+    /// exactly what back-invalidation needs to skip cores that never saw
+    /// the line.
+    present: Box<[u32]>,
+    /// Whether `sharers`/`present` are maintained (empty slices when
+    /// not). Private caches never receive ownership updates, so their
+    /// fill/invalidate paths skip those arrays entirely.
+    track_ownership: bool,
+    /// Valid-way count per set: probe calls early-exit on empty sets.
+    valid: Box<[u16]>,
+    /// Index memo: last entry installed or matched. The engine touches
+    /// the same line several times in a row (lookup → fill → sharer
+    /// update); the memo turns the repeats into one tag compare.
+    last: usize,
+    /// Miss memo: the line a missing `lookup` scanned for (`EMPTY` when
+    /// stale), its set base, and the first free way it saw (`NO_WAY` if
+    /// the set was full). The following `fill` of the same line reuses
+    /// the scan. Invalidated by any content mutation.
+    miss_line: u64,
+    miss_base: u32,
+    miss_free: u32,
     tick: u32,
     rng: SplitMix64,
     filled: u64,
+}
+
+/// Hint the CPU to pull the cache line holding `p` toward L1. A no-op on
+/// non-x86 targets; purely a latency hint everywhere (no semantic effect).
+#[inline(always)]
+fn prefetch_read<T>(p: &T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_prefetch` is a hint; it cannot fault and never
+    // reads or writes the referenced memory architecturally.
+    unsafe {
+        std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(
+            p as *const T as *const i8,
+        );
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+/// Scan one set's tag slice for `line`, also noting the first empty way.
+/// Returns `(hit_way or usize::MAX, first_free_way or NO_WAY)`.
+///
+/// For set widths up to 64 the per-way compares accumulate into bitmasks
+/// (the movemask idiom — branchless, and SIMD-friendly on wide targets)
+/// and `trailing_zeros` recovers the first match; wider sets (huge
+/// fully-associative validation caches) fall back to an early-exit scan.
+#[inline(always)]
+fn scan_tags(tags: &[u64], line: u64) -> (usize, u32) {
+    if tags.len() <= 64 {
+        let mut eq = 0u64;
+        let mut emp = 0u64;
+        for (w, &t) in tags.iter().enumerate() {
+            eq |= u64::from(t == line) << w;
+            emp |= u64::from(t == EMPTY) << w;
+        }
+        (
+            if eq == 0 {
+                usize::MAX
+            } else {
+                eq.trailing_zeros() as usize
+            },
+            if emp == 0 {
+                NO_WAY
+            } else {
+                emp.trailing_zeros()
+            },
+        )
+    } else {
+        let mut hit = usize::MAX;
+        let mut free = NO_WAY;
+        for (w, &t) in tags.iter().enumerate() {
+            if t == line {
+                hit = w;
+                break;
+            }
+            if t == EMPTY && free == NO_WAY {
+                free = w as u32;
+            }
+        }
+        (hit, free)
+    }
 }
 
 impl Cache {
@@ -104,24 +226,43 @@ impl Cache {
         assert!(sets > 0, "cache must have at least one set");
         assert!(cfg.ways > 0, "cache must have at least one way");
         let n = (sets as usize) * (cfg.ways as usize);
+        let pow2_sets = sets.is_power_of_two();
         Self {
             sets,
             ways: cfg.ways,
             hash_sets: cfg.hash_sets,
+            pow2_sets,
+            set_mask: if pow2_sets { sets as u64 - 1 } else { 0 },
             replacement: cfg.replacement,
             insert: cfg.insert,
             tags: vec![EMPTY; n].into_boxed_slice(),
             stamp: vec![0; n].into_boxed_slice(),
-            probation: vec![false; n].into_boxed_slice(),
             dirty: vec![false; n].into_boxed_slice(),
             sharers: vec![0; n].into_boxed_slice(),
+            present: vec![0; n].into_boxed_slice(),
+            track_ownership: true,
+            valid: vec![0; sets as usize].into_boxed_slice(),
+            last: usize::MAX,
+            miss_line: EMPTY,
+            miss_base: 0,
+            miss_free: NO_WAY,
             tick: 1,
             rng: SplitMix64::new(0x5EED_CAFE),
             filled: 0,
         }
     }
 
-    #[inline]
+    /// Drop sharer/presence tracking (for private caches, which the
+    /// engine never queries for ownership): their fill and invalidate
+    /// paths stop touching two metadata arrays per access.
+    pub fn without_ownership(mut self) -> Self {
+        self.track_ownership = false;
+        self.sharers = Box::new([]);
+        self.present = Box::new([]);
+        self
+    }
+
+    #[inline(always)]
     fn set_of(&self, line: u64) -> usize {
         // Complex addressing: fold high address bits into the index so
         // page-aligned buffers spread over all sets (as on real LLCs).
@@ -130,28 +271,30 @@ impl Cache {
         } else {
             line
         };
-        // Sets are powers of two for all shipped configs, but stay correct
-        // for any count.
-        if self.sets.is_power_of_two() {
-            (line & (self.sets as u64 - 1)) as usize
+        // The power-of-two test happened once, in `new`; shipped configs
+        // all take the mask path. The modulo fallback keeps odd set
+        // counts (e.g. a 45 MB, 20-way L3) correct.
+        if self.pow2_sets {
+            (line & self.set_mask) as usize
         } else {
             (line % self.sets as u64) as usize
         }
     }
 
-    #[inline]
+    #[inline(always)]
     fn base(&self, set: usize) -> usize {
         set * self.ways as usize
     }
 
     #[inline]
     fn bump_tick(&mut self) -> u32 {
-        // Wrapping stamps would corrupt LRU order; renormalize rarely.
-        if self.tick == u32::MAX {
+        // Wrapping into PROB_BIT would corrupt both LRU order and the
+        // probation flags; renormalize rarely, preserving the flag bits.
+        if self.tick == PROB_BIT - 1 {
             for s in self.stamp.iter_mut() {
-                *s /= 2;
+                *s = (*s & PROB_BIT) | ((*s & !PROB_BIT) / 2);
             }
-            self.tick = u32::MAX / 2;
+            self.tick = (PROB_BIT - 1) / 2;
         }
         self.tick += 1;
         self.tick
@@ -163,24 +306,40 @@ impl Cache {
     pub fn lookup(&mut self, line: u64, store: bool) -> bool {
         let set = self.set_of(line);
         let base = self.base(set);
-        let ways = self.ways as usize;
-        for w in 0..ways {
-            if self.tags[base + w] == line {
-                self.touch_entry(base, w);
-                if store {
-                    self.dirty[base + w] = true;
-                }
-                return true;
-            }
+        if self.valid[set] == 0 {
+            // Whole set free: remember way 0 for the fill that follows.
+            self.miss_line = line;
+            self.miss_base = base as u32;
+            self.miss_free = 0;
+            return false;
         }
-        false
+        let ways = self.ways as usize;
+        // Pull the set's stamp window in while the tag scan runs: both a
+        // hit (recency touch) and a miss (the fill's victim scan) read it
+        // next, and on large caches it is as cold as the tags themselves.
+        prefetch_read(&self.stamp[base]);
+        // One bounds check for the whole set scan; find both the line and
+        // the first free way so a following fill need not rescan.
+        let tags = &self.tags[base..base + ways];
+        let (hit, free) = scan_tags(tags, line);
+        if hit == usize::MAX {
+            self.miss_line = line;
+            self.miss_base = base as u32;
+            self.miss_free = free;
+            return false;
+        }
+        self.last = base + hit;
+        self.touch_entry(base, hit);
+        if store {
+            self.dirty[base + hit] = true;
+        }
+        true
     }
 
-    /// Recency update for a hit way.
+    /// Recency update for a hit way. A re-reference ends probation (the
+    /// line has proven reuse): every arm clears [`PROB_BIT`].
     #[inline]
     fn touch_entry(&mut self, base: usize, w: usize) {
-        // A re-reference ends probation: the line has proven reuse.
-        self.probation[base + w] = false;
         match self.replacement {
             Replacement::Lru => {
                 let t = self.bump_tick();
@@ -189,14 +348,19 @@ impl Cache {
             Replacement::BitPlru => {
                 self.stamp[base + w] = 1;
                 let ways = self.ways as usize;
-                if (0..ways).all(|i| self.stamp[base + i] == 1) {
-                    for i in 0..ways {
-                        self.stamp[base + i] = 0;
+                let bits = &mut self.stamp[base..base + ways];
+                if bits.iter().all(|&b| b & !PROB_BIT == 1) {
+                    // Reset round: clear every MRU bit but keep the
+                    // other lines' probation flags.
+                    for b in bits.iter_mut() {
+                        *b &= PROB_BIT;
                     }
-                    self.stamp[base + w] = 1;
+                    bits[w] = 1;
                 }
             }
-            Replacement::Random => {}
+            Replacement::Random => {
+                self.stamp[base + w] &= !PROB_BIT;
+            }
         }
     }
 
@@ -204,6 +368,7 @@ impl Cache {
     ///
     /// Filling a line that is already present is a logic error upstream but
     /// is tolerated: it degenerates to a recency touch.
+    #[inline]
     pub fn fill(&mut self, line: u64, dirty: bool) -> Option<Eviction> {
         self.fill_with(line, dirty, None)
     }
@@ -212,6 +377,7 @@ impl Cache {
     /// one fill. Models per-request insertion hints: real LLCs (DIP/RRIP)
     /// insert detected-streaming lines near LRU so they flow through
     /// without displacing reused data.
+    #[inline]
     pub fn fill_with(
         &mut self,
         line: u64,
@@ -232,44 +398,94 @@ impl Cache {
         insert_override: Option<InsertPolicy>,
         way_mask: u32,
     ) -> Option<Eviction> {
-        let set = self.set_of(line);
-        let base = self.base(set);
         let ways = self.ways as usize;
-        let allowed = |w: usize| way_mask & (1u32 << (w as u32 & 31)) != 0;
-        debug_assert!((0..ways).any(allowed), "way mask allows no way");
-        // Already present? Touch and merge dirtiness.
-        for w in 0..ways {
-            if self.tags[base + w] == line {
-                self.touch_entry(base, w);
-                self.dirty[base + w] |= dirty;
-                return None;
+        debug_assert!(
+            (0..ways).any(|w| way_mask & (1u32 << (w as u32 & 31)) != 0),
+            "way mask allows no way"
+        );
+        let mut hit = usize::MAX;
+        let mut free = usize::MAX;
+        let base;
+        if line == self.miss_line && way_mask == u32::MAX {
+            // The miss memo already scanned this set: the line is absent
+            // and the first free way is known. (Only trusted for an
+            // unmasked fill — the memo's free way ignores CAT masks.)
+            base = self.miss_base as usize;
+            if self.miss_free != NO_WAY {
+                free = self.miss_free as usize;
             }
-        }
-        // Free allowed way?
-        let mut victim = None;
-        for w in 0..ways {
-            if allowed(w) && self.tags[base + w] == EMPTY {
-                victim = Some(w);
-                break;
-            }
-        }
-        let (w, evicted) = match victim {
-            Some(w) => (w, None),
-            None => {
-                let w = self.pick_victim_masked(base, way_mask);
-                let ev = Eviction {
-                    line: self.tags[base + w],
-                    dirty: self.dirty[base + w],
+        } else {
+            let set = self.set_of(line);
+            base = self.base(set);
+            // One movemask pass finds both a present copy and the first
+            // free allowed way (the present check wins: a hit degenerates
+            // to a touch).
+            let tags = &self.tags[base..base + ways];
+            if ways <= 64 {
+                let mut eqm = 0u64;
+                let mut empm = 0u64;
+                for (w, &t) in tags.iter().enumerate() {
+                    eqm |= u64::from(t == line) << w;
+                    empm |= u64::from(t == EMPTY) << w;
+                }
+                empm &= if way_mask == u32::MAX {
+                    u64::MAX
+                } else {
+                    u64::from(way_mask)
                 };
-                (w, Some(ev))
+                if eqm != 0 {
+                    hit = eqm.trailing_zeros() as usize;
+                }
+                if empm != 0 {
+                    free = empm.trailing_zeros() as usize;
+                }
+            } else {
+                for (w, &t) in tags.iter().enumerate() {
+                    if t == line {
+                        hit = w;
+                        break;
+                    }
+                    if t == EMPTY && free == usize::MAX && way_mask & (1u32 << (w as u32 & 31)) != 0
+                    {
+                        free = w;
+                    }
+                }
             }
+        }
+        if hit != usize::MAX {
+            self.last = base + hit;
+            self.touch_entry(base, hit);
+            self.dirty[base + hit] |= dirty;
+            return None;
+        }
+        // The set's contents are about to change; any miss memo is stale.
+        self.miss_line = EMPTY;
+        let (w, evicted) = if free != usize::MAX {
+            (free, None)
+        } else {
+            let w = self.pick_victim_masked(base, way_mask);
+            let ev = Eviction {
+                line: self.tags[base + w],
+                dirty: self.dirty[base + w],
+                present: if self.track_ownership {
+                    self.present[base + w]
+                } else {
+                    0
+                },
+            };
+            (w, Some(ev))
         };
         if evicted.is_none() {
             self.filled += 1;
+            self.valid[base / ways] += 1;
         }
         self.tags[base + w] = line;
         self.dirty[base + w] = dirty;
-        self.sharers[base + w] = 0;
+        if self.track_ownership {
+            self.sharers[base + w] = 0;
+            self.present[base + w] = 0;
+        }
+        self.last = base + w;
         let mut policy = insert_override.unwrap_or(self.insert);
         // BIP's epsilon: a streaming (probation) fill is occasionally
         // inserted as regular data. This is why heavy streaming pressure
@@ -279,8 +495,11 @@ impl Cache {
         if policy == InsertPolicy::Lru && self.rng.below(BIP_EPSILON_INV) == 0 {
             policy = InsertPolicy::Mru;
         }
-        self.probation[base + w] = policy == InsertPolicy::Lru;
-        self.stamp[base + w] = self.insert_stamp(base, w, policy);
+        let mut st = self.insert_stamp(base, w, policy);
+        if policy == InsertPolicy::Lru {
+            st |= PROB_BIT;
+        }
+        self.stamp[base + w] = st;
         evicted
     }
 
@@ -302,7 +521,7 @@ impl Cache {
                         let mut oldest = t;
                         for i in 0..ways {
                             if i != w && self.tags[base + i] != EMPTY {
-                                oldest = oldest.min(self.stamp[base + i]);
+                                oldest = oldest.min(self.stamp[base + i] & !PROB_BIT);
                             }
                         }
                         oldest / 2 + t / 2
@@ -317,7 +536,6 @@ impl Cache {
         }
     }
 
-    /// Choose a victim way in a full set.
     /// Choose a victim among the ways allowed by `way_mask` in a full set.
     fn pick_victim_masked(&mut self, base: usize, way_mask: u32) -> usize {
         let ways = self.ways as usize;
@@ -325,29 +543,39 @@ impl Cache {
         match self.replacement {
             Replacement::Lru => {
                 // Oldest probation line first (streaming data churns in
-                // the leftover ways); otherwise plain LRU.
-                let mut best_prob: Option<(usize, u32)> = None;
-                let mut best: Option<(usize, u32)> = None;
-                for w in 0..ways {
+                // the leftover ways); otherwise plain LRU. Flipping the
+                // probation bit ([`PROB_BIT`]) sorts every probation line
+                // below every promoted one and oldest-first within each
+                // group, so one strict-`<` min scan (first minimum wins,
+                // like the old two-candidate pass) picks the victim.
+                let stamps = &self.stamp[base..base + ways];
+                if way_mask == u32::MAX {
+                    let mut w = 0;
+                    let mut best = stamps[0] ^ PROB_BIT;
+                    for (i, &st) in stamps.iter().enumerate().skip(1) {
+                        let key = st ^ PROB_BIT;
+                        if key < best {
+                            best = key;
+                            w = i;
+                        }
+                    }
+                    return w;
+                }
+                let mut pick = None;
+                for (w, &st) in stamps.iter().enumerate() {
                     if !allowed(w) {
                         continue;
                     }
-                    let st = self.stamp[base + w];
-                    if self.probation[base + w] && best_prob.is_none_or(|(_, bs)| st < bs) {
-                        best_prob = Some((w, st));
-                    }
-                    if best.is_none_or(|(_, bs)| st < bs) {
-                        best = Some((w, st));
+                    let key = st ^ PROB_BIT;
+                    if pick.is_none_or(|(_, bk)| key < bk) {
+                        pick = Some((w, key));
                     }
                 }
-                if let Some((w, _)) = best_prob {
-                    return w;
-                }
-                best.expect("mask allows at least one way").0
+                pick.expect("mask allows at least one way").0
             }
             Replacement::BitPlru => {
                 for w in 0..ways {
-                    if allowed(w) && self.stamp[base + w] == 0 {
+                    if allowed(w) && self.stamp[base + w] & !PROB_BIT == 0 {
                         return w;
                     }
                 }
@@ -362,72 +590,105 @@ impl Cache {
         }
     }
 
+    /// Entry index of a present line, checking the memo first.
     #[inline]
     fn find(&self, line: u64) -> Option<usize> {
+        // Tags are full line numbers, so a memo tag match IS the line —
+        // no set recomputation needed.
+        if self.last < self.tags.len() && self.tags[self.last] == line {
+            return Some(self.last);
+        }
         let set = self.set_of(line);
+        if self.valid[set] == 0 {
+            return None;
+        }
         let base = self.base(set);
-        (0..self.ways as usize)
-            .map(|w| base + w)
-            .find(|&i| self.tags[i] == line)
+        let ways = self.ways as usize;
+        let tags = &self.tags[base..base + ways];
+        if ways <= 64 {
+            let mut eq = 0u64;
+            for (w, &t) in tags.iter().enumerate() {
+                eq |= u64::from(t == line) << w;
+            }
+            (eq != 0).then(|| base + eq.trailing_zeros() as usize)
+        } else {
+            tags.iter().position(|&t| t == line).map(|w| base + w)
+        }
     }
 
     /// Record `core` as a sharer of a present line (no-op when absent).
-    pub fn add_sharer(&mut self, line: u64, core: u8) {
+    #[inline]
+    pub fn add_sharer(&mut self, line: u64, core: u32) {
         if let Some(i) = self.find(line) {
             self.sharers[i] |= 1 << core;
+            self.last = i;
         }
     }
 
     /// Current sharer mask of a line (0 when absent or untracked).
-    pub fn sharers(&self, line: u64) -> u16 {
+    #[inline]
+    pub fn sharers(&self, line: u64) -> u32 {
         self.find(line).map(|i| self.sharers[i]).unwrap_or(0)
     }
 
     /// Replace the sharer set of a present line with just `core` (the
     /// exclusive owner after a write).
-    pub fn set_exclusive(&mut self, line: u64, core: u8) {
+    #[inline]
+    pub fn set_exclusive(&mut self, line: u64, core: u32) {
         if let Some(i) = self.find(line) {
             self.sharers[i] = 1 << core;
+            self.last = i;
+        }
+    }
+
+    /// Record that `core` pulled a present line into its private
+    /// hierarchy. The engine calls this on every private-cache fill from
+    /// an inclusive L3; the accumulated mask rides along in
+    /// [`Eviction::present`] so back-invalidation only probes cores that
+    /// ever held the line.
+    #[inline]
+    pub fn note_present(&mut self, line: u64, core: u32) {
+        if let Some(i) = self.find(line) {
+            self.present[i] |= 1 << core;
+            self.last = i;
         }
     }
 
     /// Remove a line if present; returns `Some(dirty)` when it was there.
+    #[inline]
     pub fn invalidate(&mut self, line: u64) -> Option<bool> {
-        let set = self.set_of(line);
-        let base = self.base(set);
-        for w in 0..self.ways as usize {
-            if self.tags[base + w] == line {
-                self.tags[base + w] = EMPTY;
-                let d = self.dirty[base + w];
-                self.dirty[base + w] = false;
-                self.probation[base + w] = false;
-                self.sharers[base + w] = 0;
-                self.stamp[base + w] = 0;
-                self.filled -= 1;
-                return Some(d);
-            }
+        let i = self.find(line)?;
+        self.tags[i] = EMPTY;
+        let d = self.dirty[i];
+        self.dirty[i] = false;
+        if self.track_ownership {
+            self.sharers[i] = 0;
+            self.present[i] = 0;
         }
-        None
+        self.stamp[i] = 0;
+        self.filled -= 1;
+        self.valid[i / self.ways as usize] -= 1;
+        // A freed way invalidates any recorded first-free-way memo.
+        self.miss_line = EMPTY;
+        Some(d)
     }
 
     /// Mark a present line dirty; returns whether the line was found.
+    #[inline]
     pub fn mark_dirty(&mut self, line: u64) -> bool {
-        let set = self.set_of(line);
-        let base = self.base(set);
-        for w in 0..self.ways as usize {
-            if self.tags[base + w] == line {
-                self.dirty[base + w] = true;
-                return true;
+        match self.find(line) {
+            Some(i) => {
+                self.dirty[i] = true;
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// Read-only presence check (no recency update).
+    #[inline]
     pub fn contains(&self, line: u64) -> bool {
-        let set = self.set_of(line);
-        let base = self.base(set);
-        (0..self.ways as usize).any(|w| self.tags[base + w] == line)
+        self.find(line).is_some()
     }
 
     /// Number of valid lines currently resident.
@@ -706,6 +967,77 @@ mod tests {
         // 17th line conflicts with line 1 (16 sets, direct mapped).
         let ev = c.fill(17, false).unwrap();
         assert_eq!(ev.line, 1);
+    }
+
+    #[test]
+    fn non_power_of_two_sets_stay_correct() {
+        // 3 sets of 2 ways: the modulo fallback path. Lines l and l+3
+        // conflict; l and l+1 never do.
+        let mut c = tiny(2, 6, Replacement::Lru, InsertPolicy::Mru);
+        for l in 0..6u64 {
+            assert!(c.fill(l, false).is_none());
+        }
+        assert_eq!(c.occupancy(), 6);
+        for l in 0..6u64 {
+            assert!(c.contains(l));
+        }
+        // Set 0 holds {0, 3}; filling 6 evicts the older of them.
+        let ev = c.fill(6, false).unwrap();
+        assert_eq!(ev.line, 0);
+        assert!(c.contains(3));
+    }
+
+    #[test]
+    fn present_mask_accumulates_and_rides_eviction() {
+        let mut c = tiny(2, 2, Replacement::Lru, InsertPolicy::Mru);
+        c.fill(10, false);
+        c.note_present(10, 1);
+        c.note_present(10, 3);
+        c.note_present(99, 5); // absent line: no-op
+        c.fill(11, false);
+        // Evict line 10 (LRU) and observe its accumulated mask.
+        c.lookup(11, false);
+        let ev = c.fill(12, false).unwrap();
+        assert_eq!(ev.line, 10);
+        assert_eq!(ev.present, (1 << 1) | (1 << 3));
+        // The slot was recycled: the new entry starts with a clean mask.
+        let ev2 = c.fill(13, false).unwrap();
+        assert_eq!(ev2.line, 11);
+        assert_eq!(ev2.present, 0);
+    }
+
+    #[test]
+    fn present_mask_cleared_by_invalidate() {
+        let mut c = tiny(2, 2, Replacement::Lru, InsertPolicy::Mru);
+        c.fill(10, false);
+        c.note_present(10, 2);
+        c.invalidate(10);
+        c.fill(10, false);
+        c.fill(11, false);
+        c.lookup(11, false);
+        let ev = c.fill(12, false).unwrap();
+        assert_eq!(ev.line, 10);
+        assert_eq!(ev.present, 0, "refilled entry must not inherit the mask");
+    }
+
+    #[test]
+    fn valid_counts_track_fills_and_invalidates() {
+        let mut c = tiny(4, 16, Replacement::Lru, InsertPolicy::Mru);
+        // Probes of untouched sets take the early exit and stay correct.
+        assert!(!c.contains(12));
+        assert!(!c.mark_dirty(12));
+        assert_eq!(c.invalidate(12), None);
+        for l in 0..8u64 {
+            c.fill(l, false);
+        }
+        assert_eq!(c.occupancy(), 8);
+        for l in 0..8u64 {
+            c.invalidate(l);
+        }
+        assert_eq!(c.occupancy(), 0);
+        for l in 0..8u64 {
+            assert!(!c.contains(l));
+        }
     }
 }
 

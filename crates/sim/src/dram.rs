@@ -129,6 +129,7 @@ impl DramChannel {
     }
 
     /// Cycles to transfer a single line on an idle channel.
+    #[inline]
     pub fn service_per_line(&self) -> f64 {
         self.service_per_line
     }
@@ -137,6 +138,7 @@ impl DramChannel {
         self.stats
     }
 
+    #[inline]
     pub fn line_bytes(&self) -> u32 {
         self.line_bytes
     }

@@ -33,15 +33,54 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::mpsc;
 
 use crate::cache::Cache;
 use crate::config::{CoreId, MachineConfig};
 use crate::counters::CoreCounters;
 use crate::dram::{DramChannel, DramStats};
 use crate::prefetch::Prefetcher;
-use crate::stream::{AccessStream, Op};
+use crate::stream::{AccessStream, Op, OP_BATCH};
 use crate::telemetry::{CycleHistogram, EventRing, Sampler, SpanEvent, Telemetry};
 use crate::tlb::Tlb;
+
+/// Batches a lane's producer may have in flight ahead of the engine.
+/// Small: the lookahead is pure op generation (streams never observe
+/// engine state), so depth only trades memory for producer idle time.
+const PIPE_DEPTH: usize = 4;
+
+/// Number of generator lanes allowed to run on their own threads.
+///
+/// `AMEM_LANES` (or, failing that, `RAYON_NUM_THREADS`) caps it; `1`
+/// disables lane threads entirely. The default is the machine's
+/// parallelism. This is intentionally *not* part of [`RunLimit`]: it can
+/// never change simulated results (op sequences are generated identically
+/// either way), so it must not enter the executor's cache key.
+fn lane_threads() -> usize {
+    for key in ["AMEM_LANES", "RAYON_NUM_THREADS"] {
+        if let Ok(v) = std::env::var(key) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// One core's buffered window of upcoming ops.
+struct OpBuf {
+    ops: Vec<Op>,
+    pos: usize,
+}
+
+/// Where a core's op batches come from: generated inline on the engine
+/// thread, or received from a per-lane producer thread.
+enum LaneFeed {
+    Local,
+    Piped(mpsc::Receiver<Vec<Op>>),
+}
 
 /// A stream placed on a core.
 pub struct Job {
@@ -298,6 +337,11 @@ struct CoreState {
     time: u64,
     out: Outstanding,
     mlp: usize,
+    /// Hoisted `cfg.socket_of(core)` — the access path would otherwise
+    /// divide by `cores_per_socket` several times per op.
+    sock: usize,
+    /// This core's index within its socket (its sharer/presence bit).
+    me: u32,
     job: Option<usize>,
     primary: bool,
     done: bool,
@@ -328,6 +372,11 @@ pub struct Engine<'a> {
     cores: Vec<CoreState>,
     sockets: Vec<SocketState>,
     streams: Vec<Option<Box<dyn AccessStream>>>,
+    bufs: Vec<OpBuf>,
+    feeds: Vec<LaneFeed>,
+    /// Hoisted `cfg.tlb.is_enabled()`: skips the per-access translation
+    /// call entirely on the (default) disabled configuration.
+    tlb_on: bool,
 
     labels: Vec<String>,
     job_meta: Vec<(CoreId, bool)>,
@@ -342,11 +391,17 @@ pub struct Engine<'a> {
 impl<'a> Engine<'a> {
     pub fn new(cfg: &'a MachineConfig, jobs: Vec<Job>) -> Self {
         let n = cfg.total_cores();
+        assert!(
+            cfg.cores_per_socket <= 32,
+            "sharer/presence masks hold at most 32 cores per socket"
+        );
         let mut cores: Vec<CoreState> = (0..n)
-            .map(|_| CoreState {
+            .map(|i| CoreState {
                 time: 0,
                 out: Outstanding::new(),
                 mlp: 1,
+                sock: cfg.socket_of(i),
+                me: (i % cfg.cores_per_socket as usize) as u32,
                 job: None,
                 primary: false,
                 done: true, // idle cores are "done"
@@ -359,8 +414,8 @@ impl<'a> Engine<'a> {
                 llc_hint: None,
                 l3_way_mask: u32::MAX,
                 tlb: Tlb::new(cfg.tlb),
-                l1: Cache::new(&cfg.l1),
-                l2: Cache::new(&cfg.l2),
+                l1: Cache::new(&cfg.l1).without_ownership(),
+                l2: Cache::new(&cfg.l2).without_ownership(),
                 pf: Prefetcher::new(cfg.prefetch, cfg.prefetch_degree),
             })
             .collect();
@@ -396,6 +451,14 @@ impl<'a> Engine<'a> {
             cores,
             sockets,
             streams,
+            bufs: (0..n)
+                .map(|_| OpBuf {
+                    ops: Vec::new(),
+                    pos: 0,
+                })
+                .collect(),
+            feeds: (0..n).map(|_| LaneFeed::Local).collect(),
+            tlb_on: cfg.tlb.is_enabled(),
 
             labels,
             job_meta,
@@ -406,8 +469,79 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Pull the next op from the core's buffered lane, refilling (from
+    /// the local generator or the lane's producer thread) as needed.
+    #[inline]
+    fn next_lane_op(&mut self, ci: usize) -> Op {
+        loop {
+            let buf = &mut self.bufs[ci];
+            if let Some(&op) = buf.ops.get(buf.pos) {
+                buf.pos += 1;
+                return op;
+            }
+            buf.pos = 0;
+            buf.ops.clear();
+            match &mut self.feeds[ci] {
+                LaneFeed::Local => {
+                    let stream = self.streams[ci]
+                        .as_mut()
+                        .expect("active core must have a stream");
+                    stream.next_batch(&mut buf.ops, OP_BATCH);
+                }
+                // A closed channel means the producer already delivered
+                // its final (`Done`-terminated) batch.
+                LaneFeed::Piped(rx) => match rx.recv() {
+                    Ok(batch) => buf.ops = batch,
+                    Err(_) => return Op::Done,
+                },
+            }
+            if self.bufs[ci].ops.is_empty() {
+                return Op::Done;
+            }
+        }
+    }
+
     /// Execute until every primary stream is done (or limits trip).
+    ///
+    /// When more than one generator lane is active and [`lane_threads`]
+    /// allows it, each lane's op generation moves to its own producer
+    /// thread feeding the engine batches over a bounded channel. Streams
+    /// never observe engine state, so the op sequences — and therefore
+    /// every simulated result — are identical with and without piping.
     pub fn run(mut self, limit: &RunLimit) -> RunReport {
+        let active: Vec<usize> = (0..self.cores.len())
+            .filter(|&i| !self.cores[i].done && self.streams[i].is_some())
+            .collect();
+        if lane_threads() <= 1 || active.len() <= 1 {
+            return self.run_inner(limit);
+        }
+        let mut producers = Vec::with_capacity(active.len());
+        for &ci in &active {
+            let (tx, rx) = mpsc::sync_channel::<Vec<Op>>(PIPE_DEPTH);
+            let stream = self.streams[ci].take().expect("active stream");
+            self.feeds[ci] = LaneFeed::Piped(rx);
+            producers.push((stream, tx));
+        }
+        std::thread::scope(|scope| {
+            for (mut stream, tx) in producers {
+                scope.spawn(move || loop {
+                    let mut batch = Vec::with_capacity(OP_BATCH);
+                    stream.next_batch(&mut batch, OP_BATCH);
+                    let finished = batch.last() == Some(&Op::Done) || batch.is_empty();
+                    // A send error means the engine finished (receiver
+                    // dropped) and no longer wants ops.
+                    if tx.send(batch).is_err() || finished {
+                        break;
+                    }
+                });
+            }
+            // Runs on this thread; dropping `self` inside unblocks any
+            // producer still waiting on a full channel.
+            self.run_inner(limit)
+        })
+    }
+
+    fn run_inner(mut self, limit: &RunLimit) -> RunReport {
         if let Some(iv) = limit.sample_interval {
             self.sampler = Some(Sampler::new(
                 iv,
@@ -550,10 +684,7 @@ impl<'a> Engine<'a> {
 
     /// Execute one op on core `ci`.
     fn step(&mut self, ci: usize, limit: &RunLimit) -> StepOutcome {
-        let op = self.streams[ci]
-            .as_mut()
-            .expect("active core must have a stream")
-            .next_op();
+        let op = self.next_lane_op(ci);
         match op {
             Op::Load(addr) => {
                 let line = addr >> 6;
@@ -566,7 +697,11 @@ impl<'a> Engine<'a> {
                     }
                 }
                 let now = self.cores[ci].time;
-                let walk = self.tlb_access(ci, addr);
+                let walk = if self.tlb_on {
+                    self.tlb_access(ci, addr)
+                } else {
+                    0
+                };
                 let (lat, _lvl) = self.mem_access(ci, line, false, now);
                 let c = &mut self.cores[ci];
                 c.out.push(now + walk as u64 + lat as u64);
@@ -577,7 +712,9 @@ impl<'a> Engine<'a> {
             Op::Store(addr) => {
                 let line = addr >> 6;
                 let now = self.cores[ci].time;
-                self.tlb_access(ci, addr);
+                if self.tlb_on {
+                    self.tlb_access(ci, addr);
+                }
                 self.mem_access(ci, line, true, now);
                 let c = &mut self.cores[ci];
                 c.time += 1;
@@ -594,7 +731,7 @@ impl<'a> Engine<'a> {
             Op::RemoteXfer(bytes) => {
                 self.drain(ci);
                 let now = self.cores[ci].time;
-                let s = self.cfg.socket_of(ci);
+                let s = self.cores[ci].sock;
                 // NIC DMA occupies the local memory channel.
                 let dma = self.sockets[s].dram.dma(now, bytes as u64);
                 let wire = (bytes as f64 / self.cfg.net.bytes_per_cycle) as u64;
@@ -680,9 +817,9 @@ impl<'a> Engine<'a> {
     /// inclusive L3's sharer mask makes this a single lookup instead of a
     /// broadcast snoop. Returns extra latency (ownership upgrade).
     fn coherence_store(&mut self, ci: usize, s: usize, line: u64) -> u32 {
-        let me = (ci - s * self.cfg.cores_per_socket as usize) as u8;
+        let me = self.cores[ci].me;
         let mask = self.sockets[s].l3.sharers(line);
-        let others = mask & !(1u16 << me);
+        let others = mask & !(1u32 << me);
         if others == 0 {
             self.sockets[s].l3.set_exclusive(line, me);
             return 0;
@@ -718,12 +855,13 @@ impl<'a> Engine<'a> {
             self.cores[ci].counters.l1_hits += 1;
             let mut lat = self.cfg.l1.latency;
             if store {
-                let s = self.cfg.socket_of(ci);
+                let s = self.cores[ci].sock;
                 lat += self.coherence_store(ci, s, line);
             }
             return (lat, HitLevel::L1);
         }
         self.cores[ci].counters.l1_misses += 1;
+        let s = self.cores[ci].sock;
         // L2
         if self.cores[ci].l2.lookup(line, false) {
             self.cores[ci].counters.l2_hits += 1;
@@ -733,13 +871,12 @@ impl<'a> Engine<'a> {
         self.cores[ci].counters.l2_misses += 1;
         // Train the prefetcher on demand L2 misses.
         let reqs = self.cores[ci].pf.observe(line);
-        let s = self.cfg.socket_of(ci);
         // L3
         let result = if self.sockets[s].l3.lookup(line, false) {
             self.cores[ci].counters.l3_hits += 1;
             self.fill_l2(ci, s, line, now);
             self.fill_l1(ci, line, store, now);
-            let me = (ci - s * self.cfg.cores_per_socket as usize) as u8;
+            let me = self.cores[ci].me;
             let mut lat = self.cfg.l3.latency;
             if store {
                 lat += self.coherence_store(ci, s, line);
@@ -758,7 +895,7 @@ impl<'a> Engine<'a> {
             self.fill_l3(s, line, now, hint, mask);
             self.fill_l2(ci, s, line, now);
             self.fill_l1(ci, line, store, now);
-            let me = (ci - s * self.cfg.cores_per_socket as usize) as u8;
+            let me = self.cores[ci].me;
             if store {
                 self.sockets[s].l3.set_exclusive(line, me);
             } else {
@@ -783,7 +920,7 @@ impl<'a> Engine<'a> {
     fn fill_l1(&mut self, ci: usize, line: u64, store: bool, now: u64) {
         if let Some(ev) = self.cores[ci].l1.fill(line, store) {
             if ev.dirty && !self.cores[ci].l2.mark_dirty(ev.line) {
-                let s = self.cfg.socket_of(ci);
+                let s = self.cores[ci].sock;
                 if !self.sockets[s].l3.mark_dirty(ev.line) {
                     self.sockets[s].dram.writeback(now);
                 }
@@ -792,6 +929,12 @@ impl<'a> Engine<'a> {
     }
 
     fn fill_l2(&mut self, ci: usize, s: usize, line: u64, now: u64) {
+        // Record which core pulled the line into its private hierarchy so
+        // inclusive back-invalidation can probe only cores that ever held
+        // it. Must cover every private fill, including prefetch fills that
+        // bypass `add_sharer`.
+        let me = self.cores[ci].me;
+        self.sockets[s].l3.note_present(line, me);
         if let Some(ev) = self.cores[ci].l2.fill(line, false) {
             // Maintain L1 ⊆ L2.
             let d1 = self.cores[ci].l1.invalidate(ev.line);
@@ -813,9 +956,18 @@ impl<'a> Engine<'a> {
         if let Some(ev) = self.sockets[s].l3.fill_masked(line, false, hint, way_mask) {
             let mut dirty = ev.dirty;
             if self.cfg.inclusive_l3 {
+                // Probe only cores whose presence bit is set: the mask is a
+                // superset of current private holders (bits are only cleared
+                // when the L3 slot turns over, and under inclusion the
+                // private copies are removed right here when that happens),
+                // so skipped cores provably hold nothing. Ascending core
+                // order keeps counter/dirty updates byte-identical to the
+                // old full-socket scan.
                 let lo = (s as u32 * self.cfg.cores_per_socket) as usize;
-                let hi = lo + self.cfg.cores_per_socket as usize;
-                for c2 in lo..hi {
+                let mut m = ev.present;
+                while m != 0 {
+                    let c2 = lo + m.trailing_zeros() as usize;
+                    m &= m - 1;
                     if let Some(d) = self.cores[c2].l2.invalidate(ev.line) {
                         dirty |= d;
                         self.cores[c2].counters.back_invalidations += 1;
@@ -836,8 +988,10 @@ impl<'a> Engine<'a> {
         if self.cores[ci].l2.contains(line) {
             return;
         }
-        if self.sockets[s].l3.contains(line) {
-            self.sockets[s].l3.lookup(line, false);
+        // A hit both answers the presence question and performs the
+        // recency touch; a miss leaves only the (non-observable) miss
+        // memo behind, which the `fill_l3` below consumes.
+        if self.sockets[s].l3.lookup(line, false) {
             self.fill_l2(ci, s, line, now);
             return;
         }

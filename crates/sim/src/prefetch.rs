@@ -20,16 +20,8 @@
 /// Lines per 4 KiB page with 64-byte lines.
 const LINES_PER_PAGE_SHIFT: u32 = 6; // 4096 / 64 = 64 lines
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Entry {
-    /// Page number (line >> 6). 0 is a valid page in theory but the
-    /// allocator never hands out page 0, so 0 doubles as "empty".
-    page: u64,
-    last_line: u64,
-    stride: i64,
-    confidence: u8,
-    lru: u32,
-}
+/// Table entries (fully associative, hardware-typical size).
+const TABLE: usize = 16;
 
 /// Prefetch requests produced by one observation.
 #[derive(Debug, Default)]
@@ -40,9 +32,21 @@ pub struct PrefetchRequests {
 }
 
 /// A small fully-associative table of stride detectors.
+///
+/// Stored as parallel arrays rather than an array of structs: the tag
+/// match (and the LRU victim scan on allocation) walks only the 128-byte
+/// `pages` array, which the compiler turns into a handful of vector
+/// compares; the per-entry training state is touched for at most one
+/// index per observation.
 #[derive(Debug, Clone)]
 pub struct Prefetcher {
-    entries: Vec<Entry>,
+    /// Page number per entry (line >> 6). 0 is a valid page in theory but
+    /// the allocator never hands out page 0, so 0 doubles as "empty".
+    pages: [u64; TABLE],
+    last_line: [u64; TABLE],
+    stride: [i64; TABLE],
+    confidence: [u8; TABLE],
+    lru: [u32; TABLE],
     tick: u32,
     degree: u32,
     enabled: bool,
@@ -53,7 +57,11 @@ impl Prefetcher {
     pub fn new(enabled: bool, degree: u32) -> Self {
         assert!(degree <= 4, "PrefetchRequests holds at most 4");
         Self {
-            entries: vec![Entry::default(); 16],
+            pages: [0; TABLE],
+            last_line: [0; TABLE],
+            stride: [0; TABLE],
+            confidence: [0; TABLE],
+            lru: [0; TABLE],
             tick: 0,
             degree,
             enabled,
@@ -68,33 +76,46 @@ impl Prefetcher {
         }
         self.tick = self.tick.wrapping_add(1);
         let page = line >> LINES_PER_PAGE_SHIFT;
-        // Find the entry tracking this page.
-        let mut idx = None;
-        for (i, e) in self.entries.iter().enumerate() {
-            if e.page == page {
-                idx = Some(i);
+        // One pass finds the tracking entry and, failing that, the
+        // allocation victim (first empty slot, else first lowest tick —
+        // the partial scans are discarded on a hit, so fusing them is
+        // free for trained streams and halves the work for random ones).
+        let mut found = usize::MAX;
+        let mut empty = usize::MAX;
+        let mut victim = 0;
+        let mut oldest = u32::MAX;
+        for i in 0..TABLE {
+            let p = self.pages[i];
+            if p == page {
+                found = i;
                 break;
             }
+            if p == 0 {
+                if empty == usize::MAX {
+                    empty = i;
+                }
+            } else if self.lru[i] < oldest {
+                oldest = self.lru[i];
+                victim = i;
+            }
         }
-        match idx {
+        match (found != usize::MAX).then_some(found) {
             Some(i) => {
-                let e = &mut self.entries[i];
-                e.lru = self.tick;
-                let stride = line as i64 - e.last_line as i64;
+                self.lru[i] = self.tick;
+                let stride = line as i64 - self.last_line[i] as i64;
                 if stride == 0 {
                     return out;
                 }
-                if stride == e.stride {
-                    e.confidence = e.confidence.saturating_add(1);
+                if stride == self.stride[i] {
+                    self.confidence[i] = self.confidence[i].saturating_add(1);
                 } else {
-                    e.stride = stride;
-                    e.confidence = 0;
+                    self.stride[i] = stride;
+                    self.confidence[i] = 0;
                 }
-                e.last_line = line;
-                if e.confidence >= 1 {
+                self.last_line[i] = line;
+                if self.confidence[i] >= 1 {
                     // Trained: prefetch `degree` lines ahead, staying within
                     // the page (hardware prefetchers do not cross pages).
-                    let stride = e.stride;
                     for k in 1..=self.degree as i64 {
                         let target = line as i64 + stride * k;
                         if target < 0 {
@@ -110,26 +131,13 @@ impl Prefetcher {
                 }
             }
             None => {
-                // Allocate the LRU entry for this page.
-                let mut victim = 0;
-                let mut oldest = u32::MAX;
-                for (i, e) in self.entries.iter().enumerate() {
-                    if e.page == 0 {
-                        victim = i;
-                        break;
-                    }
-                    if e.lru < oldest {
-                        oldest = e.lru;
-                        victim = i;
-                    }
-                }
-                self.entries[victim] = Entry {
-                    page,
-                    last_line: line,
-                    stride: 0,
-                    confidence: 0,
-                    lru: self.tick,
-                };
+                // Allocate: first empty slot, else the LRU entry.
+                let victim = if empty != usize::MAX { empty } else { victim };
+                self.pages[victim] = page;
+                self.last_line[victim] = line;
+                self.stride[victim] = 0;
+                self.confidence[victim] = 0;
+                self.lru[victim] = self.tick;
             }
         }
         out

@@ -8,6 +8,11 @@
 
 use std::collections::VecDeque;
 
+/// Batch size used by the engine's per-lane op buffers: large enough to
+/// amortize the per-batch virtual dispatch and channel hop, small enough
+/// that the buffered lookahead stays cache-resident.
+pub const OP_BATCH: usize = 256;
+
 /// One operation of a simulated instruction stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
@@ -43,6 +48,25 @@ pub trait AccessStream: Send {
     /// Produce the next operation.
     fn next_op(&mut self) -> Op;
 
+    /// Append up to `max` operations to `out`, stopping early after a
+    /// [`Op::Done`]. This is the engine's hot-path entry point: one
+    /// (possibly virtual) call per batch instead of per op, with the
+    /// generator's state machine running in a tight monomorphized loop.
+    ///
+    /// The default implementation delegates to [`AccessStream::next_op`]
+    /// and MUST produce the identical op sequence to repeated `next_op`
+    /// calls — overrides must preserve that equivalence, since measurement
+    /// identity (executor cache keys, figure CSVs) depends on it.
+    fn next_batch(&mut self, out: &mut Vec<Op>, max: usize) {
+        for _ in 0..max {
+            let op = self.next_op();
+            out.push(op);
+            if matches!(op, Op::Done) {
+                break;
+            }
+        }
+    }
+
     /// Memory-level parallelism: how many loads this stream may have in
     /// flight at once. Models the out-of-order window / the multi-buffer
     /// trick BWThr uses (Fig. 2 issues accesses to 44 buffers so the
@@ -70,6 +94,9 @@ pub trait AccessStream: Send {
 impl AccessStream for Box<dyn AccessStream> {
     fn next_op(&mut self) -> Op {
         (**self).next_op()
+    }
+    fn next_batch(&mut self, out: &mut Vec<Op>, max: usize) {
+        (**self).next_batch(out, max)
     }
     fn mlp(&self) -> u8 {
         (**self).mlp()
@@ -175,6 +202,15 @@ impl AccessStream for ScriptStream {
     fn next_op(&mut self) -> Op {
         self.ops.next().unwrap_or(Op::Done)
     }
+    fn next_batch(&mut self, out: &mut Vec<Op>, max: usize) {
+        for _ in 0..max {
+            let op = self.ops.next().unwrap_or(Op::Done);
+            out.push(op);
+            if matches!(op, Op::Done) {
+                break;
+            }
+        }
+    }
     fn mlp(&self) -> u8 {
         self.mlp
     }
@@ -214,6 +250,40 @@ mod tests {
         assert_eq!(q.pop(), Some(Op::Store(1000)));
         assert_eq!(q.pop(), Some(Op::Load(2064)));
         assert_eq!(q.pop(), Some(Op::Store(1064)));
+    }
+
+    #[test]
+    fn next_batch_matches_next_op_sequence() {
+        let ops = vec![
+            Op::Load(0),
+            Op::Compute(2),
+            Op::Store(64),
+            Op::Mark,
+            Op::Load(128),
+        ];
+        let mut a = ScriptStream::new(ops.clone());
+        let mut b = ScriptStream::new(ops);
+        let mut batched = Vec::new();
+        while batched.last() != Some(&Op::Done) {
+            b.next_batch(&mut batched, 2);
+        }
+        let mut serial = Vec::new();
+        loop {
+            let op = a.next_op();
+            serial.push(op);
+            if op == Op::Done {
+                break;
+            }
+        }
+        assert_eq!(batched, serial);
+    }
+
+    #[test]
+    fn next_batch_stops_at_done() {
+        let mut s = ScriptStream::new(vec![Op::Load(0)]);
+        let mut out = Vec::new();
+        s.next_batch(&mut out, 100);
+        assert_eq!(out, vec![Op::Load(0), Op::Done]);
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! Lane-parallelism determinism: the engine may generate op batches on
+//! producer threads (one per lane, capped by `AMEM_LANES` /
+//! `RAYON_NUM_THREADS`), but threading is a pure execution detail — the
+//! simulated result must be byte-identical at any lane count, and the
+//! executor's content-addressed cache key must not encode it (otherwise
+//! runs at different thread counts would stop sharing cache entries).
+
+use active_mem::core::platform::{McbWorkload, Platform, SimPlatform};
+use active_mem::core::Executor;
+use active_mem::interfere::InterferenceMix;
+use active_mem::miniapps::McbCfg;
+use active_mem::sim::MachineConfig;
+
+fn machine() -> MachineConfig {
+    MachineConfig::xeon20mb().scaled(0.0625)
+}
+
+/// A multi-rank workload plus interference threads, so several cores (and
+/// therefore several generator lanes) are active at once.
+fn workload(m: &MachineConfig) -> McbWorkload {
+    McbWorkload(McbCfg {
+        ranks: 4,
+        steps: 2,
+        ..McbCfg::new(m, 4000)
+    })
+}
+
+/// One test fn (not several) because it mutates process-wide environment
+/// variables; parallel test fns in this binary would race on them.
+#[test]
+fn measurements_and_cache_keys_are_lane_count_invariant() {
+    let m = machine();
+    let w = workload(&m);
+    let mix = InterferenceMix::storage(2);
+    std::env::remove_var("AMEM_LANES");
+
+    let mut blobs: Vec<String> = Vec::new();
+    let mut keys: Vec<String> = Vec::new();
+    for lanes in ["1", "4"] {
+        std::env::set_var("RAYON_NUM_THREADS", lanes);
+        // Fresh platform run (no cache involved): the full Measurement —
+        // counters, timings, every job report — serialized to bytes.
+        let plat = SimPlatform::new(m.clone());
+        let meas = plat.run(&w, 2, mix).expect("run succeeds");
+        blobs.push(serde_json::to_string(&meas).expect("serializable"));
+        // The cache key the executor would file this request under.
+        let dir = std::env::temp_dir().join(format!("amem_determinism_{lanes}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let exec = Executor::with_cache_dir(SimPlatform::new(m.clone()), dir.clone());
+        keys.push(exec.request_key(&w, 2, mix).expect("request is cacheable"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    assert_eq!(
+        blobs[0], blobs[1],
+        "Measurement bytes must be identical at 1 and 4 lane threads"
+    );
+    assert_eq!(
+        keys[0], keys[1],
+        "executor cache keys must not depend on the lane-thread count"
+    );
+}
