@@ -66,8 +66,10 @@ fn main() {
     for (i, &p) in ps.iter().enumerate() {
         let cs = &sweeps[2 * i];
         let bw = &sweeps[2 * i + 1];
-        let s_iv = storage_use_per_process(cs, &cmap, p, TOL_PCT);
-        let b_iv = bandwidth_use_per_process(bw, &bmap, p, TOL_PCT);
+        let s_iv = storage_use_per_process(cs, &cmap, p, TOL_PCT)
+            .expect("fig10 storage sweep has too few usable points");
+        let b_iv = bandwidth_use_per_process(bw, &bmap, p, TOL_PCT)
+            .expect("fig10 bandwidth sweep has too few usable points");
         t.row(vec![
             p.to_string(),
             fmt_mb(s_iv.lo),

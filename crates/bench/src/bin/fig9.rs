@@ -11,7 +11,7 @@
 
 use amem_bench::Harness;
 use amem_core::platform::McbWorkload;
-use amem_core::report::Table;
+use amem_core::report::{trial_cells, Table};
 use amem_core::sweep::run_sweeps;
 use amem_core::SweepRequest;
 use amem_interfere::{InterferenceKind, InterferenceMix};
@@ -28,14 +28,18 @@ fn main() {
         (InterferenceKind::Storage, 7usize, "storage"),
         (InterferenceKind::Bandwidth, 2usize, "bandwidth"),
     ] {
+        let mut headers = vec![
+            "Ranks/processor",
+            "Interference",
+            "Time (ms)",
+            "Degradation (%)",
+        ];
+        if h.ci {
+            headers.extend(["Trials", "CI95 (%)"]);
+        }
         let mut t = Table::new(
             format!("Fig. 9 (top, {tag}) — MCB 24 ranks, 20k particles, mapping sweep"),
-            &[
-                "Ranks/processor",
-                "Interference",
-                "Time (ms)",
-                "Degradation (%)",
-            ],
+            &headers,
         );
         let ps = [1usize, 2, 3, 4, 6];
         let requests: Vec<SweepRequest> = ps
@@ -50,12 +54,16 @@ fn main() {
         let sweeps = run_sweeps(&exec, &requests).expect("fig9 top sweeps");
         for (&p, sweep) in ps.iter().zip(&sweeps) {
             for pt in &sweep.points {
-                t.row(vec![
+                let mut row = vec![
                     p.to_string(),
                     pt.count.to_string(),
                     format!("{:.3}", pt.seconds * 1e3),
                     format!("{:.1}", pt.degradation_pct),
-                ]);
+                ];
+                if h.ci {
+                    row.extend(trial_cells(pt.quality.as_ref()));
+                }
+                t.row(row);
             }
         }
         h.emit(&format!("fig9_top_{tag}"), &t);
@@ -71,9 +79,13 @@ fn main() {
         (InterferenceKind::Storage, 5usize, "storage"),
         (InterferenceKind::Bandwidth, 2usize, "bandwidth"),
     ] {
+        let mut headers = vec!["Particles", "Interference", "Time (ms)", "Degradation (%)"];
+        if h.ci {
+            headers.extend(["Trials", "CI95 (%)"]);
+        }
         let mut t = Table::new(
             format!("Fig. 9 (bottom, {tag}) — MCB 24 ranks, 1 rank/processor, particle sweep"),
-            &["Particles", "Interference", "Time (ms)", "Degradation (%)"],
+            &headers,
         );
         let workloads: Vec<McbWorkload> = particles
             .iter()
@@ -91,12 +103,16 @@ fn main() {
         let sweeps = run_sweeps(&exec, &requests).expect("fig9 bottom sweeps");
         for (&n, sweep) in particles.iter().zip(&sweeps) {
             for pt in &sweep.points {
-                t.row(vec![
+                let mut row = vec![
                     n.to_string(),
                     pt.count.to_string(),
                     format!("{:.3}", pt.seconds * 1e3),
                     format!("{:.1}", pt.degradation_pct),
-                ]);
+                ];
+                if h.ci {
+                    row.extend(trial_cells(pt.quality.as_ref()));
+                }
+                t.row(row);
             }
         }
         h.emit(&format!("fig9_bottom_{tag}"), &t);

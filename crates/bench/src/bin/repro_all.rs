@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
 use amem_core::manifest::{self, RunManifest};
-use amem_core::CacheStats;
+use amem_core::{CacheStats, QualityStats};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -186,6 +186,26 @@ fn main() {
             agg.hits(),
             agg.lookups(),
             agg.hit_rate() * 100.0
+        );
+    }
+    let quality = manifests.iter().filter_map(|m| m.quality.as_ref()).fold(
+        QualityStats::default(),
+        |mut a, q| {
+            a.merge(q);
+            a
+        },
+    );
+    if !quality.is_empty() {
+        println!(
+            "[quality] suite total: {} trials, {} retries, {} timeouts, {} faults, \
+             {} non-finite, {} outliers rejected, {} degraded points",
+            quality.trials,
+            quality.retries,
+            quality.timeouts,
+            quality.faults,
+            quality.non_finite,
+            quality.outliers_rejected,
+            quality.degraded_points
         );
     }
     let total_wall: f64 = manifests.iter().map(|m: &RunManifest| m.wall_seconds).sum();

@@ -42,14 +42,24 @@
 //! `$AMEM_CACHE_DIR`) relocates the on-disk cache, `--no-cache` disables
 //! reuse entirely, and every manifest records the run's hit/miss
 //! counters.
+//!
+//! Robustness knobs (all off by default, leaving output byte-identical
+//! to a plain run): `--trials <n>` repeats every measurement n times and
+//! reports the MAD-screened representative, `--retries <n>` retransmits
+//! transient failures, `--timeout <secs>` bounds each platform run,
+//! `--ci` appends per-point trial/CI columns to figure tables, and
+//! `--fault <spec>` (or `$AMEM_FAULT_INJECT`) wraps the platform in a
+//! deterministic fault injector for robustness drills. Runs that used
+//! any of this print a `[quality]` summary line and record the counters
+//! in the manifest.
 
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
 use amem_core::manifest::RunManifest;
-use amem_core::platform::{Measurement, SimPlatform};
-use amem_core::Executor;
+use amem_core::platform::{Measurement, Platform, SimPlatform};
+use amem_core::{Executor, FaultSpec, FaultyPlatform, TrialPolicy};
 use amem_sim::config::MachineConfig;
 use amem_sim::engine::RunReport;
 use amem_sim::CoreCounters;
@@ -77,6 +87,17 @@ pub struct Args {
     /// Print a per-component cycle/time breakdown for every recorded
     /// measurement (`--profile`).
     pub profile: bool,
+    /// Repeated trials per measurement point (`--trials`, default 1).
+    pub trials: usize,
+    /// Transient-failure retries per trial (`--retries`, default 0).
+    pub retries: usize,
+    /// Wall-clock budget per platform run in seconds (`--timeout`).
+    pub timeout_secs: Option<f64>,
+    /// Append per-point trial-count/CI columns to figure tables (`--ci`).
+    pub ci: bool,
+    /// Fault-injection spec (`--fault <spec>`; falls back to
+    /// `$AMEM_FAULT_INJECT`). See [`amem_core::FaultSpec::parse`].
+    pub fault: Option<String>,
 }
 
 impl Default for Args {
@@ -91,6 +112,11 @@ impl Default for Args {
             cache_dir: None,
             jobs: None,
             profile: false,
+            trials: 1,
+            retries: 0,
+            timeout_secs: None,
+            ci: false,
+            fault: None,
         }
     }
 }
@@ -98,7 +124,9 @@ impl Default for Args {
 impl Args {
     /// Parse `--scale <f>`, `--full`, `--out <dir>`, `--sample <cycles>`,
     /// `--trace <events>`, `--no-cache`, `--cache-dir <dir>`,
-    /// `--jobs <n>` and `--profile` from the process args.
+    /// `--jobs <n>`, `--profile`, `--trials <n>`, `--retries <n>`,
+    /// `--timeout <secs>`, `--ci` and `--fault <spec>` from the process
+    /// args.
     pub fn parse() -> Self {
         let mut out = Self::default();
         let mut it = std::env::args().skip(1);
@@ -137,9 +165,33 @@ impl Args {
                     out.jobs = Some(n);
                 }
                 "--profile" => out.profile = true,
+                "--trials" => {
+                    let v = it.next().expect("--trials needs a count");
+                    let n: usize = v.parse().expect("--trials must be an integer");
+                    assert!(n > 0, "--trials must be positive");
+                    out.trials = n;
+                }
+                "--retries" => {
+                    let v = it.next().expect("--retries needs a count");
+                    out.retries = v.parse().expect("--retries must be an integer");
+                }
+                "--timeout" => {
+                    let v = it.next().expect("--timeout needs seconds");
+                    let s: f64 = v.parse().expect("--timeout must be a float");
+                    assert!(s > 0.0 && s.is_finite(), "--timeout must be positive");
+                    out.timeout_secs = Some(s);
+                }
+                "--ci" => out.ci = true,
+                "--fault" => {
+                    let v = it.next().expect("--fault needs a spec");
+                    // Validate now so a typo fails before any simulation.
+                    FaultSpec::parse(&v).expect("invalid --fault spec");
+                    out.fault = Some(v);
+                }
                 other => panic!(
                     "unknown argument: {other} (expected --scale/--full/--out/--sample/--trace/\
-                     --no-cache/--cache-dir/--jobs/--profile)"
+                     --no-cache/--cache-dir/--jobs/--profile/--trials/--retries/--timeout/--ci/\
+                     --fault)"
                 ),
             }
         }
@@ -179,18 +231,58 @@ impl Args {
         p
     }
 
+    /// The trial/retry/timeout policy this invocation asked for. The
+    /// default flags give the pass-through policy (one trial, no retry,
+    /// no timeout) whose output is byte-identical to the pre-robustness
+    /// run path.
+    pub fn trial_policy(&self) -> TrialPolicy {
+        let mut p = TrialPolicy::fixed(self.trials);
+        if self.retries > 0 {
+            p = p.with_retries(self.retries);
+        }
+        if let Some(secs) = self.timeout_secs {
+            p = p.with_timeout_ms((secs * 1e3).ceil() as u64);
+        }
+        p
+    }
+
+    /// The fault-injection spec in force: `--fault` wins, otherwise the
+    /// `$AMEM_FAULT_INJECT` environment variable (so CI can inject faults
+    /// into unmodified invocations). `None` when neither is set.
+    pub fn fault_spec(&self) -> Option<FaultSpec> {
+        let raw = self.fault.clone().or_else(|| {
+            std::env::var("AMEM_FAULT_INJECT")
+                .ok()
+                .filter(|s| !s.is_empty())
+        })?;
+        Some(FaultSpec::parse(&raw).expect("invalid fault-injection spec"))
+    }
+
     /// An executor over [`Args::platform`] honouring `--no-cache` and
     /// `--cache-dir` (falling back to `$AMEM_CACHE_DIR`, then
-    /// `target/amem-cache`).
+    /// `target/amem-cache`), running under [`Args::trial_policy`]. With a
+    /// fault spec in force the platform is wrapped in a deterministic
+    /// [`FaultyPlatform`] — which reports itself nondeterministic, so
+    /// injected results never reach the cache.
     pub fn executor(&self) -> Arc<Executor> {
-        let plat = self.platform();
-        Arc::new(if self.no_cache {
+        let exec = match self.fault_spec() {
+            Some(spec) => {
+                eprintln!("[fault] injecting: {spec:?}");
+                self.build_executor(FaultyPlatform::new(self.platform(), spec))
+            }
+            None => self.build_executor(self.platform()),
+        };
+        Arc::new(exec.with_policy(self.trial_policy()))
+    }
+
+    fn build_executor(&self, plat: impl Platform + 'static) -> Executor {
+        if self.no_cache {
             Executor::uncached(plat)
         } else if let Some(dir) = &self.cache_dir {
             Executor::with_cache_dir(plat, dir.clone())
         } else {
             Executor::new(plat)
-        })
+        }
     }
 }
 
@@ -367,6 +459,21 @@ impl Harness {
             );
         }
         self.manifest.cache = Some(stats);
+        let rs = self.exec.robust_stats();
+        if !rs.is_empty() {
+            println!(
+                "[quality] {} trials, {} retries, {} timeouts, {} faults, {} non-finite, \
+                 {} outliers rejected, {} degraded points",
+                rs.trials,
+                rs.retries,
+                rs.timeouts,
+                rs.faults,
+                rs.non_finite,
+                rs.outliers_rejected,
+                rs.degraded_points
+            );
+            self.manifest.quality = Some(rs);
+        }
         let path = self
             .args
             .out
@@ -519,6 +626,41 @@ mod tests {
         assert_eq!(resolve_jobs(None), default);
         std::env::remove_var("AMEM_JOBS");
         assert_eq!(resolve_jobs(None), default);
+    }
+
+    #[test]
+    fn trial_policy_maps_the_flags() {
+        let a = Args::default();
+        assert!(a.trial_policy().is_passthrough(), "defaults change nothing");
+        let a = Args {
+            trials: 5,
+            retries: 2,
+            timeout_secs: Some(1.5),
+            ..Default::default()
+        };
+        let p = a.trial_policy();
+        assert_eq!(p.min_trials, 5);
+        assert_eq!(p.max_trials, 5);
+        assert_eq!(p.max_retries, 2);
+        assert_eq!(p.timeout_ms, Some(1500));
+        assert!(!p.is_passthrough());
+    }
+
+    /// One test fn because it mutates `AMEM_FAULT_INJECT` (see
+    /// `resolve_jobs_priority_and_clamping` for the same pattern).
+    #[test]
+    fn fault_spec_prefers_flag_over_env() {
+        let a = Args::default();
+        assert!(a.fault_spec().is_none(), "no flag, no env, no injection");
+        std::env::set_var("AMEM_FAULT_INJECT", "seed=7,noise=0.01");
+        assert_eq!(a.fault_spec().unwrap().seed, 7);
+        let flagged = Args {
+            fault: Some("seed=9,error=0.5".into()),
+            ..Default::default()
+        };
+        assert_eq!(flagged.fault_spec().unwrap().seed, 9);
+        std::env::remove_var("AMEM_FAULT_INJECT");
+        assert!(a.fault_spec().is_none());
     }
 
     #[test]

@@ -55,10 +55,23 @@ pub fn profile(
         ],
     )?;
     let [s, b]: [_; 2] = sweeps.try_into().expect("two requests, two sweeps");
+    let storage = storage_use_per_process(&s, cmap, per_processor, tol_pct).ok_or_else(|| {
+        AmemError::DegenerateSweep {
+            workload: workload.name(),
+            points: s.points.len(),
+        }
+    })?;
+    let bandwidth =
+        bandwidth_use_per_process(&b, bmap, per_processor, tol_pct).ok_or_else(|| {
+            AmemError::DegenerateSweep {
+                workload: workload.name(),
+                points: b.points.len(),
+            }
+        })?;
     Ok(AppProfile {
         name: workload.name(),
-        storage: storage_use_per_process(&s, cmap, per_processor, tol_pct),
-        bandwidth: bandwidth_use_per_process(&b, bmap, per_processor, tol_pct),
+        storage,
+        bandwidth,
     })
 }
 

@@ -34,6 +34,43 @@ pub enum AmemError {
     /// The platform cannot run this workload (e.g. a sim-only workload
     /// handed to the native platform).
     Unsupported(String),
+    /// A single platform run exceeded its wall-clock budget.
+    Timeout { limit_ms: u64 },
+    /// A measurement kept failing after every allowed retry. `last` is
+    /// the display form of the final underlying error (panics included:
+    /// the executor converts a panicking platform into this variant so
+    /// deduplicated waiters see a value, not a wedged condvar).
+    Flaky { attempts: usize, last: String },
+    /// A deliberately injected fault (see `FaultyPlatform`) — transient
+    /// by construction, so the retry layer treats it like real flakiness.
+    Injected(String),
+    /// The platform returned a NaN/infinite headline statistic; the
+    /// sample was discarded instead of poisoning downstream aggregation.
+    NonFinite { what: String },
+    /// A sweep is too degenerate for knee detection (fewer than three
+    /// usable points), so no resource bracket can be derived from it.
+    DegenerateSweep { workload: String, points: usize },
+}
+
+impl AmemError {
+    /// Whether retrying the same request can plausibly succeed. Mapping
+    /// and workload-shape errors are deterministic and never retried;
+    /// timeouts, injected faults, non-finite samples, and cache I/O
+    /// problems are worth another attempt.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            Self::Timeout { .. } | Self::Injected(_) | Self::NonFinite { .. } | Self::Cache(_)
+        )
+    }
+
+    /// Whether a sweep should record this failure as a *degraded point*
+    /// and carry on, rather than aborting the whole figure. Transient
+    /// failures and exhausted retries degrade; structural errors (an
+    /// impossible mapping was asked for) still abort.
+    pub fn is_degradable(&self) -> bool {
+        self.is_transient() || matches!(self, Self::Flaky { .. })
+    }
 }
 
 impl fmt::Display for AmemError {
@@ -64,6 +101,20 @@ impl fmt::Display for AmemError {
             }
             Self::Cache(msg) => write!(f, "measurement cache: {msg}"),
             Self::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            Self::Timeout { limit_ms } => {
+                write!(f, "run exceeded its {limit_ms} ms wall-clock budget")
+            }
+            Self::Flaky { attempts, last } => {
+                write!(f, "still failing after {attempts} attempts: {last}")
+            }
+            Self::Injected(msg) => write!(f, "injected fault: {msg}"),
+            Self::NonFinite { what } => {
+                write!(f, "measurement produced a non-finite {what}")
+            }
+            Self::DegenerateSweep { workload, points } => write!(
+                f,
+                "sweep of '{workload}' has only {points} usable points — too few to bracket"
+            ),
         }
     }
 }
@@ -98,5 +149,48 @@ mod tests {
         let e = AmemError::Cache("corrupt entry".into());
         assert_eq!(e.clone(), e);
         let _: &dyn std::error::Error = &e;
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(AmemError::Timeout { limit_ms: 500 }.is_transient());
+        assert!(AmemError::Injected("boom".into()).is_transient());
+        assert!(AmemError::NonFinite {
+            what: "seconds".into()
+        }
+        .is_transient());
+        // Exhausted retries are terminal for the retry layer...
+        let flaky = AmemError::Flaky {
+            attempts: 3,
+            last: "injected fault: boom".into(),
+        };
+        assert!(!flaky.is_transient());
+        // ...but still degrade a sweep point instead of aborting it.
+        assert!(flaky.is_degradable());
+        // Structural errors do neither.
+        let structural = AmemError::InvalidMapping {
+            per_processor: 99,
+            cores_per_socket: 8,
+        };
+        assert!(!structural.is_transient());
+        assert!(!structural.is_degradable());
+    }
+
+    #[test]
+    fn robustness_errors_display_their_numbers() {
+        let s = AmemError::Timeout { limit_ms: 250 }.to_string();
+        assert!(s.contains("250 ms"), "{s}");
+        let s = AmemError::Flaky {
+            attempts: 4,
+            last: "injected".into(),
+        }
+        .to_string();
+        assert!(s.contains('4') && s.contains("injected"), "{s}");
+        let s = AmemError::DegenerateSweep {
+            workload: "mcb".into(),
+            points: 2,
+        }
+        .to_string();
+        assert!(s.contains("mcb") && s.contains('2'), "{s}");
     }
 }

@@ -42,36 +42,39 @@ impl ResourceInterval {
     }
 }
 
-/// Per-process storage use from a storage sweep (bytes).
+/// Per-process storage use from a storage sweep (bytes). `None` when the
+/// sweep is too degenerate for knee detection (fewer than three usable
+/// points — see [`find_knee`]).
 pub fn storage_use_per_process(
     sweep: &Sweep,
     cmap: &CapacityMap,
     ranks_per_socket: usize,
     tol_pct: f64,
-) -> ResourceInterval {
-    let knee = find_knee(sweep, tol_pct);
-    interval_from_knee(
+) -> Option<ResourceInterval> {
+    let knee = find_knee(sweep, tol_pct)?;
+    Some(interval_from_knee(
         &knee,
         ranks_per_socket,
         |k| cmap.available_bytes(k),
         sweep.max_count(),
-    )
+    ))
 }
 
-/// Per-process bandwidth use from a bandwidth sweep (GB/s).
+/// Per-process bandwidth use from a bandwidth sweep (GB/s). `None` when
+/// the sweep is too degenerate for knee detection.
 pub fn bandwidth_use_per_process(
     sweep: &Sweep,
     bmap: &BandwidthMap,
     ranks_per_socket: usize,
     tol_pct: f64,
-) -> ResourceInterval {
-    let knee = find_knee(sweep, tol_pct);
-    interval_from_knee(
+) -> Option<ResourceInterval> {
+    let knee = find_knee(sweep, tol_pct)?;
+    Some(interval_from_knee(
         &knee,
         ranks_per_socket,
         |k| bmap.available_gbs(k),
         sweep.max_count(),
-    )
+    ))
 }
 
 fn interval_from_knee(
@@ -116,8 +119,10 @@ mod tests {
                     degradation_pct: d,
                     l3_miss_rate: 0.0,
                     app_bandwidth_gbs: 0.0,
+                    quality: None,
                 })
                 .collect(),
+            degraded: Vec::new(),
         }
     }
 
@@ -127,7 +132,7 @@ mod tests {
         // process uses between 12/4 = 3 and 15/4 = 3.75 MB.
         let cmap = CapacityMap::paper_xeon20mb(&MachineConfig::xeon20mb());
         let s = sweep_from(&[(0, 0.0), (1, 1.0), (2, 9.0), (3, 22.0), (4, 30.0)], 4);
-        let iv = storage_use_per_process(&s, &cmap, 4, 3.0);
+        let iv = storage_use_per_process(&s, &cmap, 4, 3.0).unwrap();
         let mb = 1.0 / (1 << 20) as f64;
         assert!(iv.bracketed);
         assert!((iv.lo * mb - 3.0).abs() < 1e-9, "lo = {}", iv.lo * mb);
@@ -141,7 +146,7 @@ mod tests {
         // process per processor" shape (they saw the knee at 2).
         let bmap = BandwidthMap::paper_xeon20mb();
         let s = sweep_from(&[(0, 0.0), (1, 2.0), (2, 12.0)], 1);
-        let iv = bandwidth_use_per_process(&s, &bmap, 1, 3.0);
+        let iv = bandwidth_use_per_process(&s, &bmap, 1, 3.0).unwrap();
         assert!(iv.bracketed);
         assert!((iv.lo - 11.4).abs() < 1e-9);
         assert!((iv.hi - 14.2).abs() < 1e-9);
@@ -151,9 +156,21 @@ mod tests {
     fn unbracketed_when_never_degrading() {
         let cmap = CapacityMap::paper_xeon20mb(&MachineConfig::xeon20mb());
         let s = sweep_from(&[(0, 0.0), (1, 0.5), (2, 1.0)], 2);
-        let iv = storage_use_per_process(&s, &cmap, 2, 3.0);
+        let iv = storage_use_per_process(&s, &cmap, 2, 3.0).unwrap();
         assert!(!iv.bracketed);
         assert!(iv.lo <= iv.hi);
+    }
+
+    #[test]
+    fn degenerate_sweep_estimates_nothing() {
+        let cmap = CapacityMap::paper_xeon20mb(&MachineConfig::xeon20mb());
+        let s = sweep_from(&[(0, 0.0), (1, 9.0)], 2);
+        assert!(
+            storage_use_per_process(&s, &cmap, 2, 3.0).is_none(),
+            "two points must not produce a resource bracket"
+        );
+        let bmap = BandwidthMap::paper_xeon20mb();
+        assert!(bandwidth_use_per_process(&s, &bmap, 2, 3.0).is_none());
     }
 
     #[test]

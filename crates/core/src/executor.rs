@@ -1,5 +1,6 @@
 //! The measurement executor: content-addressed caching, in-flight
-//! deduplication and batch scheduling on top of any [`Platform`].
+//! deduplication, retry/trial robustness, and batch scheduling on top of
+//! any [`Platform`].
 //!
 //! Every figure of the paper re-measures points other figures already
 //! ran — most obviously the zero-interference baselines. The executor
@@ -21,17 +22,33 @@
 //! 3. **In-flight deduplication** — when two threads (e.g. a storage
 //!    sweep and a bandwidth sweep sharing a baseline) ask for the same
 //!    key concurrently, one simulates and the rest block on a condvar for
-//!    the same result.
+//!    the same result. The owning runner can *never* leave its waiters
+//!    wedged: the platform call is wrapped in `catch_unwind` (a panic
+//!    becomes [`AmemError::Flaky`]) and a drop guard resolves the shared
+//!    cell even if the runner unwinds past the normal resolution path.
 //!
 //! Caching is *gated on determinism*: a workload without a
 //! [`Workload::cache_key`] or a platform whose
-//! [`Platform::deterministic`] is `false` (the native, wall-clock one)
-//! always simulates fresh.
+//! [`Platform::deterministic`] is `false` (the native wall-clock one, or
+//! a [`crate::fault::FaultyPlatform`]) always simulates fresh.
+//!
+//! Every fresh measurement runs under the executor's
+//! [`TrialPolicy`]. The default policy is a pass-through — one trial,
+//! no retries, no timeout — whose outputs are byte-identical to a plain
+//! `platform.run` (apart from screening NaN headline statistics into
+//! typed [`AmemError::NonFinite`] errors, which healthy platforms never
+//! produce). Non-default policies repeat each measurement, reject MAD
+//! outliers, retry transient failures with exponential backoff, enforce
+//! a wall-clock budget, and attach a [`TrialQuality`] record to the
+//! returned measurement. The policy is deliberately *not* part of the
+//! cache key: only deterministic platforms are cached, repeated trials
+//! there are bit-identical, so entries measured under any policy are
+//! quality-equivalent (see DESIGN.md §10).
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use amem_interfere::InterferenceMix;
 use amem_sim::config::MachineConfig;
@@ -41,11 +58,14 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::AmemError;
 use crate::platform::{Measurement, Platform, Workload};
+use crate::trial::{robust_summary, QualityStats, TrialPolicy, TrialQuality};
 
 /// Version of the cache entry format *and* of the measurement semantics.
 /// Bump whenever the simulator, the aggregation in `Platform::run`, or
 /// the entry layout changes meaning: every existing entry then reads as
-/// a miss and is re-simulated.
+/// a miss and is re-simulated. (Additive, `Option`-typed fields like
+/// `Measurement::quality` do *not* need a bump — old entries simply
+/// deserialize them as `None`.)
 pub const CACHE_SCHEMA_VERSION: u32 = 1;
 
 /// The full content-addressed identity of one measurement.
@@ -73,7 +93,8 @@ struct DiskEntry {
 /// reproduction documents how much of it was served from cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
-    /// Fresh platform runs (simulations) actually executed.
+    /// Fresh measurements actually executed (one per request, however
+    /// many trials the [`TrialPolicy`] spent on it).
     pub sim_runs: u64,
     /// Requests served from the in-memory cache.
     pub mem_hits: u64,
@@ -117,7 +138,9 @@ enum CacheMode {
     Off,
 }
 
-/// A result slot one thread fills and any number of waiters read.
+/// A result slot one thread fills and any number of waiters read. All
+/// locking is poison-tolerant: a panicking runner must never convert
+/// into a `PoisonError` panic in an innocent waiter.
 struct Inflight {
     done: Mutex<Option<Result<Arc<Measurement>, AmemError>>>,
     cv: Condvar,
@@ -131,17 +154,60 @@ impl Inflight {
         }
     }
 
+    fn lock_done(&self) -> MutexGuard<'_, Option<Result<Arc<Measurement>, AmemError>>> {
+        self.done.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Fill the slot. First writer wins — a late guard-driven resolution
+    /// never overwrites a real result.
     fn resolve(&self, result: Result<Arc<Measurement>, AmemError>) {
-        *self.done.lock().unwrap() = Some(result);
+        let mut done = self.lock_done();
+        if done.is_none() {
+            *done = Some(result);
+        }
+        drop(done);
         self.cv.notify_all();
     }
 
     fn wait(&self) -> Result<Arc<Measurement>, AmemError> {
-        let mut done = self.done.lock().unwrap();
+        let mut done = self.lock_done();
         while done.is_none() {
-            done = self.cv.wait(done).unwrap();
+            done = self.cv.wait(done).unwrap_or_else(|p| p.into_inner());
         }
         done.as_ref().unwrap().clone()
+    }
+}
+
+/// Drop guard held by the runner that owns an in-flight key. If the
+/// runner unwinds before the normal resolution path (any panic between
+/// claiming the key and resolving the cell), the guard removes the key
+/// and hands every waiter a typed [`AmemError::Flaky`] — the dedup queue
+/// can never wedge.
+struct InflightGuard<'a> {
+    exec: &'a Executor,
+    key: &'a str,
+    cell: &'a Arc<Inflight>,
+    armed: bool,
+}
+
+impl InflightGuard<'_> {
+    fn defuse(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut state = self.exec.lock_state();
+        state.inflight.remove(self.key);
+        drop(state);
+        self.cell.resolve(Err(AmemError::Flaky {
+            attempts: 1,
+            last: "measurement runner unwound before resolving".into(),
+        }));
     }
 }
 
@@ -157,12 +223,21 @@ struct ExecState {
 pub struct Executor {
     platform: Box<dyn Platform>,
     mode: CacheMode,
+    policy: TrialPolicy,
     state: Mutex<ExecState>,
     sim_runs: AtomicU64,
     mem_hits: AtomicU64,
     disk_hits: AtomicU64,
     dedup_hits: AtomicU64,
     stores: AtomicU64,
+    // Robustness counters (the `[quality]` line and manifest).
+    trials: AtomicU64,
+    retries: AtomicU64,
+    timeouts: AtomicU64,
+    faults: AtomicU64,
+    non_finite: AtomicU64,
+    outliers_rejected: AtomicU64,
+    degraded_points: AtomicU64,
 }
 
 impl Executor {
@@ -196,13 +271,34 @@ impl Executor {
         Self {
             platform: Box::new(platform),
             mode,
+            policy: TrialPolicy::default(),
             state: Mutex::new(ExecState::default()),
             sim_runs: AtomicU64::new(0),
             mem_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             dedup_hits: AtomicU64::new(0),
             stores: AtomicU64::new(0),
+            trials: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
+            non_finite: AtomicU64::new(0),
+            outliers_rejected: AtomicU64::new(0),
+            degraded_points: AtomicU64::new(0),
         }
+    }
+
+    /// Set the trial/retry/timeout policy every fresh measurement runs
+    /// under. The default is a pass-through (1 trial, no retries, no
+    /// timeout) whose output is byte-identical to a plain platform run.
+    pub fn with_policy(mut self, policy: TrialPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The trial policy in force.
+    pub fn policy(&self) -> &TrialPolicy {
+        &self.policy
     }
 
     /// The platform measurements execute on.
@@ -218,6 +314,10 @@ impl Executor {
         }
     }
 
+    fn lock_state(&self) -> MutexGuard<'_, ExecState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// Snapshot of the hit/miss counters so far.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -227,6 +327,29 @@ impl Executor {
             dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
             stores: self.stores.load(Ordering::Relaxed),
         }
+    }
+
+    /// Snapshot of the robustness counters: trials run, retries spent,
+    /// timeouts/faults observed, outliers rejected, sweep points
+    /// degraded. All-zero (`is_empty`) under the default pass-through
+    /// policy on healthy platforms.
+    pub fn robust_stats(&self) -> QualityStats {
+        QualityStats {
+            trials: self.trials.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            faults: self.faults.load(Ordering::Relaxed),
+            non_finite: self.non_finite.load(Ordering::Relaxed),
+            outliers_rejected: self.outliers_rejected.load(Ordering::Relaxed),
+            degraded_points: self.degraded_points.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Record sweep points abandoned after exhausting their retries
+    /// (called by `sweep::run_sweeps` when it degrades instead of
+    /// aborting).
+    pub(crate) fn count_degraded(&self, n: u64) {
+        self.degraded_points.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Whether an interference level is placeable (delegates to the
@@ -255,16 +378,13 @@ impl Executor {
                 // Uncacheable: no key, a nondeterministic platform, or
                 // caching switched off.
                 self.sim_runs.fetch_add(1, Ordering::Relaxed);
-                return self
-                    .platform
-                    .run(workload, per_processor, mix)
-                    .map(Arc::new);
+                return self.measure(workload, per_processor, mix).map(Arc::new);
             }
         };
 
         // Fast path + in-flight claim under one lock.
         let cell = {
-            let mut state = self.state.lock().unwrap();
+            let mut state = self.lock_state();
             if let Some(m) = state.mem.get(&key) {
                 self.mem_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(Arc::clone(m));
@@ -279,6 +399,12 @@ impl Executor {
             state.inflight.insert(key.clone(), Arc::clone(&cell));
             cell
         };
+        let mut guard = InflightGuard {
+            exec: self,
+            key: &key,
+            cell: &cell,
+            armed: true,
+        };
 
         // We own this key: disk lookup, then a fresh simulation.
         let result = match self.load_disk(&key) {
@@ -288,10 +414,7 @@ impl Executor {
             }
             None => {
                 self.sim_runs.fetch_add(1, Ordering::Relaxed);
-                let res = self
-                    .platform
-                    .run(workload, per_processor, mix)
-                    .map(Arc::new);
+                let res = self.measure(workload, per_processor, mix).map(Arc::new);
                 if let Ok(m) = &res {
                     self.store_disk(&key, m);
                 }
@@ -299,21 +422,226 @@ impl Executor {
             }
         };
 
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.lock_state();
         if let Ok(m) = &result {
             state.mem.insert(key.clone(), Arc::clone(m));
         }
         state.inflight.remove(&key);
         drop(state);
         cell.resolve(result.clone());
+        guard.defuse();
         result
+    }
+
+    /// One fresh measurement under the executor's [`TrialPolicy`]:
+    /// pass-through policies call the platform once (screening NaN
+    /// headline stats into typed errors); everything else runs the trial
+    /// loop with retries, timeout classification, MAD outlier rejection
+    /// and adaptive stopping.
+    fn measure(
+        &self,
+        workload: &dyn Workload,
+        per_processor: usize,
+        mix: InterferenceMix,
+    ) -> Result<Measurement, AmemError> {
+        if self.policy.is_passthrough() {
+            let m = self.run_platform_caught(workload, per_processor, mix)?;
+            return screen_finite(m).inspect_err(|_| {
+                self.non_finite.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+
+        let p = &self.policy;
+        let mut samples: Vec<Measurement> = Vec::new();
+        let mut retries = 0usize;
+        let mut timeouts = 0usize;
+        let mut non_finite = 0usize;
+        let mut attempts_total = 0usize;
+        let mut lost_trials = 0usize;
+        let mut last_typed: Option<AmemError> = None;
+
+        for _trial in 0..p.max_trials {
+            match self.one_trial(
+                workload,
+                per_processor,
+                mix,
+                &mut retries,
+                &mut timeouts,
+                &mut non_finite,
+                &mut attempts_total,
+            ) {
+                Ok(m) => samples.push(m),
+                Err(e) => {
+                    if !e.is_degradable() {
+                        // Structural (impossible mapping etc.): no number
+                        // of repetitions will change the answer.
+                        return Err(e);
+                    }
+                    lost_trials += 1;
+                    last_typed = Some(e);
+                }
+            }
+            if samples.len() >= p.min_trials {
+                if let Some(target) = p.rel_ci_target {
+                    let times: Vec<f64> = samples.iter().map(|m| m.seconds).collect();
+                    if let Some(s) = robust_summary(&times, p.mad_k) {
+                        if s.rel_ci() <= target {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        self.retries.fetch_add(retries as u64, Ordering::Relaxed);
+        self.timeouts.fetch_add(timeouts as u64, Ordering::Relaxed);
+        self.non_finite
+            .fetch_add(non_finite as u64, Ordering::Relaxed);
+
+        if samples.is_empty() {
+            let last = last_typed.expect("max_trials >= 1, so at least one trial ran");
+            // A single failed attempt keeps its precise type (Timeout,
+            // Injected, ...); only genuinely repeated failure is Flaky.
+            if attempts_total <= 1 {
+                return Err(last);
+            }
+            let cause = match last {
+                // one_trial already wrapped its own retries — keep the
+                // underlying cause, count attempts across all trials.
+                AmemError::Flaky { last, .. } => last,
+                other => other.to_string(),
+            };
+            return Err(AmemError::Flaky {
+                attempts: attempts_total,
+                last: cause,
+            });
+        }
+        self.trials
+            .fetch_add(samples.len() as u64, Ordering::Relaxed);
+
+        let times: Vec<f64> = samples.iter().map(|m| m.seconds).collect();
+        let summary = robust_summary(&times, p.mad_k).expect("trial samples are screened finite");
+        self.outliers_rejected
+            .fetch_add(summary.rejected as u64, Ordering::Relaxed);
+
+        // The returned measurement is the *inlier trial nearest the
+        // robust median* — an actually-observed run, so its counters,
+        // report and timing stay mutually coherent. The robust mean/std
+        // ride along in `quality`.
+        let rep_idx = times
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                (*a - summary.median)
+                    .abs()
+                    .total_cmp(&(*b - summary.median).abs())
+            })
+            .map(|(i, _)| i)
+            .expect("samples is non-empty");
+        let mut rep = samples.swap_remove(rep_idx);
+        rep.quality = Some(TrialQuality {
+            trials: summary.n,
+            rejected_outliers: summary.rejected,
+            retries,
+            timeouts,
+            non_finite,
+            mean_seconds: summary.mean,
+            std_seconds: summary.std,
+            ci95_rel: summary.rel_ci(),
+            degraded: lost_trials > 0,
+        });
+        Ok(rep)
+    }
+
+    /// One trial: run the platform, classify over-budget completions as
+    /// [`AmemError::Timeout`] and NaN results as
+    /// [`AmemError::NonFinite`], and retry transient failures up to the
+    /// policy's budget with exponential backoff.
+    #[allow(clippy::too_many_arguments)]
+    fn one_trial(
+        &self,
+        workload: &dyn Workload,
+        per_processor: usize,
+        mix: InterferenceMix,
+        retries: &mut usize,
+        timeouts: &mut usize,
+        non_finite: &mut usize,
+        attempts_total: &mut usize,
+    ) -> Result<Measurement, AmemError> {
+        let p = &self.policy;
+        let mut attempt = 0usize;
+        loop {
+            attempt += 1;
+            *attempts_total += 1;
+            let started = std::time::Instant::now();
+            let res = self
+                .run_platform_caught(workload, per_processor, mix)
+                .and_then(|m| {
+                    if let Some(budget) = p.timeout_ms {
+                        // Post-hoc budget: platforms are synchronous, so a
+                        // stalled run is detected (and its sample dropped)
+                        // when it finally comes back.
+                        if started.elapsed().as_millis() as u64 > budget {
+                            return Err(AmemError::Timeout { limit_ms: budget });
+                        }
+                    }
+                    screen_finite(m)
+                });
+            let e = match res {
+                Ok(m) => return Ok(m),
+                Err(e) => e,
+            };
+            match &e {
+                AmemError::Timeout { .. } => *timeouts += 1,
+                AmemError::NonFinite { .. } => *non_finite += 1,
+                _ => {
+                    self.faults.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if e.is_transient() && attempt <= p.max_retries {
+                *retries += 1;
+                let backoff = p.backoff_before(attempt);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+                continue;
+            }
+            return Err(if attempt > 1 {
+                AmemError::Flaky {
+                    attempts: attempt,
+                    last: e.to_string(),
+                }
+            } else {
+                e
+            });
+        }
+    }
+
+    /// Run the platform with panics converted into typed
+    /// [`AmemError::Flaky`] errors, so a panicking platform can neither
+    /// tear down a sweep's rayon pool nor wedge deduplicated waiters.
+    fn run_platform_caught(
+        &self,
+        workload: &dyn Workload,
+        per_processor: usize,
+        mix: InterferenceMix,
+    ) -> Result<Measurement, AmemError> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.platform.run(workload, per_processor, mix)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(AmemError::Flaky {
+                attempts: 1,
+                last: format!("platform panicked: {}", panic_message(&payload)),
+            })
+        })
     }
 
     /// The canonical cache key `run` would use for this request, or
     /// `None` when the request is uncacheable. Public so tests can assert
     /// that key construction ignores execution-only knobs (lane-thread
-    /// count above all): two configurations that must share cache entries
-    /// must produce equal strings here.
+    /// count and [`TrialPolicy`] above all): two configurations that must
+    /// share cache entries must produce equal strings here.
     pub fn request_key(
         &self,
         workload: &dyn Workload,
@@ -393,11 +721,35 @@ impl Executor {
     }
 }
 
+/// Reject a measurement whose headline statistic (execution time, the
+/// input to every knee/inversion downstream) is NaN or infinite.
+fn screen_finite(m: Measurement) -> Result<Measurement, AmemError> {
+    if !m.seconds.is_finite() {
+        return Err(AmemError::NonFinite {
+            what: "execution time".into(),
+        });
+    }
+    Ok(m)
+}
+
+/// Best-effort human form of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultSpec, FaultyPlatform};
     use crate::platform::{McbWorkload, SimPlatform};
     use amem_miniapps::McbCfg;
+    use std::sync::atomic::AtomicBool;
 
     fn plat() -> SimPlatform {
         SimPlatform::new(MachineConfig::xeon20mb().scaled(0.0625))
@@ -459,8 +811,8 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, AmemError::InfeasibleMapping { .. }), "{err}");
         // Errors are not cached as measurements.
-        assert!(exec.state.lock().unwrap().mem.is_empty());
-        assert!(exec.state.lock().unwrap().inflight.is_empty());
+        assert!(exec.lock_state().mem.is_empty());
+        assert!(exec.lock_state().inflight.is_empty());
     }
 
     #[test]
@@ -476,5 +828,211 @@ mod tests {
         assert_eq!(s.lookups(), 11);
         let back: CacheStats = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn default_policy_runs_exactly_one_trial_with_no_quality() {
+        let exec = Executor::memory_only(plat());
+        let m = exec.run(&tiny_mcb(), 2, InterferenceMix::none()).unwrap();
+        assert!(m.quality.is_none(), "pass-through attaches no quality");
+        assert!(exec.robust_stats().is_empty());
+    }
+
+    #[test]
+    fn fixed_trials_attach_quality_and_count() {
+        let exec = Executor::uncached(plat()).with_policy(TrialPolicy::fixed(3));
+        let m = exec.run(&tiny_mcb(), 2, InterferenceMix::none()).unwrap();
+        let q = m.quality.as_ref().expect("trial run records quality");
+        assert_eq!(q.trials, 3);
+        assert_eq!(q.rejected_outliers, 0, "deterministic trials agree");
+        assert_eq!(q.ci95_rel, 0.0, "identical samples have zero spread");
+        assert!(!q.degraded);
+        assert!(m.seconds.is_finite());
+        let rs = exec.robust_stats();
+        assert_eq!(rs.trials, 3);
+        assert_eq!(rs.retries, 0);
+        assert_eq!(exec.stats().sim_runs, 1, "one measurement, three trials");
+    }
+
+    #[test]
+    fn adaptive_policy_stops_early_on_tight_ci() {
+        // Deterministic platform: after min_trials=2 identical samples the
+        // CI is exactly 0, so the loop must stop well short of max_trials.
+        let exec = Executor::uncached(plat()).with_policy(TrialPolicy::adaptive(2, 50, 0.05));
+        let m = exec.run(&tiny_mcb(), 2, InterferenceMix::none()).unwrap();
+        assert_eq!(m.quality.clone().unwrap().trials, 2);
+        assert_eq!(exec.robust_stats().trials, 2);
+    }
+
+    #[test]
+    fn retries_recover_transient_faults() {
+        let faulty = FaultyPlatform::new(plat(), FaultSpec::parse("seed=1,timeout=0.5").unwrap());
+        let exec = Executor::uncached(faulty).with_policy(TrialPolicy::fixed(4).with_retries(20));
+        let m = exec.run(&tiny_mcb(), 2, InterferenceMix::none()).unwrap();
+        let q = m.quality.clone().unwrap();
+        assert_eq!(q.trials, 4, "all trials eventually land");
+        assert!(q.retries > 0, "p=0.5 timeouts must force retries: {q:?}");
+        assert_eq!(q.retries, q.timeouts, "every timeout here was retried");
+        let rs = exec.robust_stats();
+        assert!(rs.timeouts > 0);
+        assert!(!rs.is_empty());
+    }
+
+    #[test]
+    fn exhausted_retries_become_flaky() {
+        // sticky => the same request fails identically on every attempt.
+        let faulty =
+            FaultyPlatform::new(plat(), FaultSpec::parse("seed=1,error=1.0,sticky").unwrap());
+        let exec = Executor::uncached(faulty).with_policy(TrialPolicy::fixed(2).with_retries(2));
+        let err = exec
+            .run(&tiny_mcb(), 2, InterferenceMix::none())
+            .unwrap_err();
+        match &err {
+            AmemError::Flaky { attempts, last } => {
+                // 2 trials x (1 try + 2 retries) = 6 attempts, none landed.
+                assert_eq!(*attempts, 6, "{err}");
+                assert!(last.contains("injected"), "{err}");
+            }
+            other => panic!("want Flaky, got {other}"),
+        }
+        assert!(err.is_degradable(), "sweeps degrade this point, not abort");
+        assert_eq!(exec.robust_stats().faults, 6);
+    }
+
+    #[test]
+    fn nan_results_are_screened_even_in_passthrough() {
+        let faulty = FaultyPlatform::new(plat(), FaultSpec::parse("seed=3,nan=1.0").unwrap());
+        let exec = Executor::uncached(faulty);
+        let err = exec
+            .run(&tiny_mcb(), 2, InterferenceMix::none())
+            .unwrap_err();
+        assert!(matches!(err, AmemError::NonFinite { .. }), "{err}");
+        assert_eq!(exec.robust_stats().non_finite, 1);
+    }
+
+    #[test]
+    fn noise_is_suppressed_by_trial_aggregation() {
+        let clean = plat()
+            .run(&tiny_mcb(), 2, InterferenceMix::none())
+            .unwrap()
+            .seconds;
+        let faulty = FaultyPlatform::new(plat(), FaultSpec::parse("seed=9,noise=0.04").unwrap());
+        let exec = Executor::uncached(faulty).with_policy(TrialPolicy::fixed(9));
+        let m = exec.run(&tiny_mcb(), 2, InterferenceMix::none()).unwrap();
+        // The representative (nearest-median) trial of 9 noisy samples
+        // sits closer to the truth than the worst-case single draw.
+        assert!(
+            (m.seconds / clean - 1.0).abs() < 0.04,
+            "median-of-9 beats the noise bound: {} vs {clean}",
+            m.seconds
+        );
+        let q = m.quality.clone().unwrap();
+        assert!(q.std_seconds > 0.0, "noise is visible in the spread");
+        assert!(q.ci95_rel > 0.0);
+    }
+
+    #[test]
+    fn policy_does_not_change_cache_keys() {
+        let a = Executor::memory_only(plat());
+        let b = Executor::memory_only(plat()).with_policy(TrialPolicy::fixed(5).with_retries(3));
+        let w = tiny_mcb();
+        assert_eq!(
+            a.request_key(&w, 2, InterferenceMix::none()),
+            b.request_key(&w, 2, InterferenceMix::none()),
+            "TrialPolicy is execution-only: cached entries are shared"
+        );
+    }
+
+    #[test]
+    fn faulty_platform_is_never_cached() {
+        let faulty = FaultyPlatform::new(plat(), FaultSpec::parse("seed=2,noise=0.01").unwrap());
+        let exec = Executor::memory_only(faulty);
+        assert!(exec
+            .request_key(&tiny_mcb(), 2, InterferenceMix::none())
+            .is_none());
+        exec.run(&tiny_mcb(), 2, InterferenceMix::none()).unwrap();
+        exec.run(&tiny_mcb(), 2, InterferenceMix::none()).unwrap();
+        assert_eq!(exec.stats().sim_runs, 2, "no reuse of injected results");
+        assert_eq!(exec.stats().hits(), 0);
+    }
+
+    /// A platform that signals when a run starts, blocks until released,
+    /// then panics — the worst-case runner for deduplicated waiters.
+    struct WedgePlatform {
+        cfg: MachineConfig,
+        limit: RunLimit,
+        entered: Arc<AtomicBool>,
+        release: Arc<AtomicBool>,
+    }
+
+    impl Platform for WedgePlatform {
+        fn cfg(&self) -> &MachineConfig {
+            &self.cfg
+        }
+        fn limit(&self) -> &RunLimit {
+            &self.limit
+        }
+        fn run(
+            &self,
+            _workload: &dyn Workload,
+            _per_processor: usize,
+            _mix: InterferenceMix,
+        ) -> Result<Measurement, AmemError> {
+            self.entered.store(true, Ordering::SeqCst);
+            while !self.release.load(Ordering::SeqCst) {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            panic!("wedge platform always panics");
+        }
+    }
+
+    #[test]
+    fn panicking_runner_releases_deduped_waiters_with_typed_errors() {
+        let entered = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        let exec = Arc::new(Executor::memory_only(WedgePlatform {
+            cfg: MachineConfig::xeon20mb().scaled(0.0625),
+            limit: RunLimit::default(),
+            entered: Arc::clone(&entered),
+            release: Arc::clone(&release),
+        }));
+
+        let spawn_run = |exec: Arc<Executor>| {
+            std::thread::spawn(move || exec.run(&tiny_mcb(), 2, InterferenceMix::none()))
+        };
+        let runner = spawn_run(Arc::clone(&exec));
+        // Wait until the runner owns the in-flight key and is inside the
+        // platform, so the second request is guaranteed to dedup onto it.
+        while !entered.load(Ordering::SeqCst) {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let waiter = spawn_run(Arc::clone(&exec));
+        while exec.stats().dedup_hits < 1 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        release.store(true, Ordering::SeqCst);
+
+        for handle in [runner, waiter] {
+            let res = handle.join().expect("threads terminate, never wedge");
+            let err = res.expect_err("the platform panicked");
+            match err {
+                AmemError::Flaky { last, .. } => {
+                    assert!(last.contains("panic"), "{last}")
+                }
+                other => panic!("want Flaky, got {other}"),
+            }
+        }
+        assert!(
+            exec.lock_state().inflight.is_empty(),
+            "no wedged in-flight cells remain"
+        );
+        // A later identical request does not hang on stale state either
+        // (it fails again, because the platform still panics — but it
+        // *returns*).
+        release.store(true, Ordering::SeqCst);
+        let err = exec
+            .run(&tiny_mcb(), 2, InterferenceMix::none())
+            .unwrap_err();
+        assert!(matches!(err, AmemError::Flaky { .. }), "{err}");
     }
 }

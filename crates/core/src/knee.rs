@@ -5,6 +5,13 @@
 //! the most CSThrs. We then consider the experiments with performance
 //! degradation and pick the one with the fewest CSThrs."* Those two
 //! levels bracket the application's resource use.
+//!
+//! Robustness guards (this layer sits downstream of possibly-degraded
+//! sweeps): non-finite degradation values are skipped, a sweep with
+//! fewer than three usable points yields no knee at all (two points
+//! cannot distinguish a knee from noise), and an *isolated* over-
+//! tolerance spike — one point above tolerance with every later point
+//! back below it — is treated as noise rather than the knee.
 
 use serde::Serialize;
 
@@ -23,24 +30,48 @@ pub struct Knee {
 
 /// Find the knee at a degradation tolerance in percent (the paper treats
 /// a few percent as noise; 3% is a reasonable default).
-pub fn find_knee(sweep: &Sweep, tol_pct: f64) -> Knee {
+///
+/// Returns `None` for degenerate sweeps — fewer than three points with
+/// finite degradation values — where any "knee" would be an artifact.
+/// A sweep that never crosses the tolerance still returns
+/// `Some(Knee { first_degraded: None, .. })`: that is a meaningful
+/// unbracketed result (the workload doesn't use the resource at the
+/// tested levels), not a detection failure.
+pub fn find_knee(sweep: &Sweep, tol_pct: f64) -> Option<Knee> {
+    let usable: Vec<(usize, f64)> = sweep
+        .points
+        .iter()
+        .filter(|p| p.degradation_pct.is_finite())
+        .map(|p| (p.count, p.degradation_pct))
+        .collect();
+    if usable.len() < 3 {
+        return None;
+    }
     let mut last_ok = 0;
     let mut first_degraded = None;
-    for p in &sweep.points {
-        if p.degradation_pct < tol_pct {
+    for (i, &(count, d)) in usable.iter().enumerate() {
+        if d < tol_pct {
             // Only advance last_ok while we haven't degraded yet; a noisy
             // dip back under tolerance after the knee doesn't reset it.
             if first_degraded.is_none() {
-                last_ok = p.count;
+                last_ok = count;
             }
         } else if first_degraded.is_none() {
-            first_degraded = Some(p.count);
+            // A candidate knee must be *confirmed*: either it is the last
+            // usable point, or some later point is also over tolerance.
+            // An isolated mid-sweep spike is noise — skipped entirely, so
+            // later clean points keep advancing last_ok.
+            let confirmed =
+                i + 1 == usable.len() || usable[i + 1..].iter().any(|&(_, d2)| d2 >= tol_pct);
+            if confirmed {
+                first_degraded = Some(count);
+            }
         }
     }
-    Knee {
+    Some(Knee {
         last_ok,
         first_degraded,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -62,15 +93,17 @@ mod tests {
                     degradation_pct: d,
                     l3_miss_rate: 0.0,
                     app_bandwidth_gbs: 0.0,
+                    quality: None,
                 })
                 .collect(),
+            degraded: Vec::new(),
         }
     }
 
     #[test]
     fn clean_knee() {
         let s = sweep_from(&[(0, 0.0), (1, 0.5), (2, 1.0), (3, 8.0), (4, 20.0)]);
-        let k = find_knee(&s, 3.0);
+        let k = find_knee(&s, 3.0).unwrap();
         assert_eq!(
             k,
             Knee {
@@ -83,7 +116,7 @@ mod tests {
     #[test]
     fn never_degrades() {
         let s = sweep_from(&[(0, 0.0), (1, 0.2), (2, 1.1)]);
-        let k = find_knee(&s, 3.0);
+        let k = find_knee(&s, 3.0).unwrap();
         assert_eq!(k.last_ok, 2);
         assert_eq!(k.first_degraded, None);
     }
@@ -91,7 +124,7 @@ mod tests {
     #[test]
     fn degrades_immediately() {
         let s = sweep_from(&[(0, 0.0), (1, 12.0), (2, 30.0)]);
-        let k = find_knee(&s, 3.0);
+        let k = find_knee(&s, 3.0).unwrap();
         assert_eq!(
             k,
             Knee {
@@ -104,7 +137,7 @@ mod tests {
     #[test]
     fn noisy_dip_after_knee_does_not_reset() {
         let s = sweep_from(&[(0, 0.0), (1, 6.0), (2, 2.0), (3, 15.0)]);
-        let k = find_knee(&s, 3.0);
+        let k = find_knee(&s, 3.0).unwrap();
         assert_eq!(
             k,
             Knee {
@@ -118,7 +151,7 @@ mod tests {
     fn skipped_counts_are_respected() {
         // Sweep that could only run counts 0, 2, 4.
         let s = sweep_from(&[(0, 0.0), (2, 1.0), (4, 9.0)]);
-        let k = find_knee(&s, 3.0);
+        let k = find_knee(&s, 3.0).unwrap();
         assert_eq!(
             k,
             Knee {
@@ -126,5 +159,60 @@ mod tests {
                 first_degraded: Some(4)
             }
         );
+    }
+
+    #[test]
+    fn degenerate_sweeps_have_no_knee() {
+        assert_eq!(find_knee(&sweep_from(&[]), 3.0), None, "empty");
+        assert_eq!(find_knee(&sweep_from(&[(0, 0.0)]), 3.0), None, "single");
+        assert_eq!(
+            find_knee(&sweep_from(&[(0, 0.0), (1, 9.0)]), 3.0),
+            None,
+            "two points cannot distinguish a knee from noise"
+        );
+    }
+
+    #[test]
+    fn non_finite_points_are_skipped_not_compared() {
+        // A degraded-sweep artifact (NaN baseline ratio) must neither
+        // panic nor count toward the three-point minimum.
+        let s = sweep_from(&[(0, 0.0), (1, f64::NAN), (2, 1.0)]);
+        assert_eq!(find_knee(&s, 3.0), None, "only two usable points");
+        let s = sweep_from(&[(0, 0.0), (1, f64::NAN), (2, 1.0), (3, 8.0), (4, 20.0)]);
+        let k = find_knee(&s, 3.0).unwrap();
+        assert_eq!(
+            k,
+            Knee {
+                last_ok: 2,
+                first_degraded: Some(3)
+            }
+        );
+    }
+
+    #[test]
+    fn flat_sweep_yields_unbracketed_not_spurious() {
+        let s = sweep_from(&[(0, 0.0), (1, 0.1), (2, 0.0), (3, 0.2), (4, 0.1)]);
+        let k = find_knee(&s, 3.0).unwrap();
+        assert_eq!(k.first_degraded, None, "flat noise is not a knee");
+        assert_eq!(k.last_ok, 4);
+    }
+
+    #[test]
+    fn isolated_spike_is_noise_not_a_knee() {
+        // One over-tolerance blip at k=1, everything after is clean: the
+        // spike is skipped and last_ok advances past it.
+        let s = sweep_from(&[(0, 0.0), (1, 6.0), (2, 1.0), (3, 0.5), (4, 1.2)]);
+        let k = find_knee(&s, 3.0).unwrap();
+        assert_eq!(
+            k,
+            Knee {
+                last_ok: 4,
+                first_degraded: None
+            }
+        );
+        // ...but a spike at the *end* of the sweep cannot be ruled noise.
+        let s = sweep_from(&[(0, 0.0), (1, 1.0), (2, 6.0)]);
+        let k = find_knee(&s, 3.0).unwrap();
+        assert_eq!(k.first_degraded, Some(2));
     }
 }

@@ -26,7 +26,12 @@
 //! in-flight deduplication, sitting on top of the [`platform::Platform`]
 //! trait ([`platform::SimPlatform`] for the simulator,
 //! [`native_platform::NativePlatform`] for real hardware). Failures come
-//! back as typed [`error::AmemError`]s.
+//! back as typed [`error::AmemError`]s. A robustness layer wraps every
+//! run: [`trial::TrialPolicy`] governs repeated trials (MAD outlier
+//! rejection, CI-driven adaptive stopping), retries with backoff, and
+//! wall-clock budgets; [`fault::FaultyPlatform`] deterministically
+//! injects timeouts/NaNs/noise/errors to prove the pipeline degrades
+//! gracefully instead of panicking.
 //!
 //! Extensions beyond the paper: [`mrc`] measures full miss-ratio curves
 //! (and tests Hartstein's √2 rule, the paper's ref \[9\]) and [`noise`]
@@ -39,6 +44,7 @@ pub mod capacity;
 pub mod error;
 pub mod estimate;
 pub mod executor;
+pub mod fault;
 pub mod knee;
 pub mod manifest;
 pub mod mrc;
@@ -49,12 +55,14 @@ pub mod platform;
 pub mod predict;
 pub mod report;
 pub mod sweep;
+pub mod trial;
 
 pub use bandwidth::BandwidthMap;
 pub use capacity::CapacityMap;
 pub use error::AmemError;
 pub use estimate::ResourceInterval;
 pub use executor::{CacheStats, Executor, CACHE_SCHEMA_VERSION};
+pub use fault::{FaultSpec, FaultyPlatform};
 pub use knee::Knee;
 pub use manifest::{RunManifest, SCHEMA_VERSION};
 pub use mrc::MissRatioCurve;
@@ -62,3 +70,4 @@ pub use native_platform::NativePlatform;
 pub use platform::{Measurement, Platform, SimPlatform, Workload};
 pub use predict::DegradationModel;
 pub use sweep::{Sweep, SweepPoint, SweepRequest};
+pub use trial::{QualityStats, TrialPolicy, TrialQuality};

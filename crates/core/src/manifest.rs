@@ -52,6 +52,10 @@ pub struct RunManifest {
     /// Measurement-cache counters of the run's executor, when it had one
     /// (additive in schema v1: absent in older manifests).
     pub cache: Option<crate::executor::CacheStats>,
+    /// Robustness counters — trials, retries, timeouts, injected faults,
+    /// rejected outliers, degraded sweep points — when the run used the
+    /// trial/retry machinery (additive in schema v1; absent before).
+    pub quality: Option<crate::trial::QualityStats>,
 }
 
 impl RunManifest {
@@ -70,6 +74,7 @@ impl RunManifest {
             tables: Vec::new(),
             notes: Vec::new(),
             cache: None,
+            quality: None,
         }
     }
 
@@ -240,6 +245,26 @@ mod tests {
         let back = RunManifest::from_json(&m.to_json()).unwrap();
         assert_eq!(back.cache, m.cache);
         assert_eq!(back.cache.unwrap().hits(), 10);
+    }
+
+    #[test]
+    fn quality_stats_round_trip() {
+        let mut m = sample();
+        m.quality = Some(crate::trial::QualityStats {
+            trials: 30,
+            retries: 4,
+            timeouts: 1,
+            faults: 2,
+            non_finite: 1,
+            outliers_rejected: 3,
+            degraded_points: 1,
+        });
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back.quality, m.quality);
+        // And a pre-robustness manifest without the key still loads.
+        let json = sample().to_json().replace(",\n  \"quality\": null", "");
+        assert!(!json.contains("\"quality\""));
+        assert!(RunManifest::from_json(&json).unwrap().quality.is_none());
     }
 
     #[test]

@@ -48,12 +48,15 @@ impl MissRatioCurve {
         let mut points: Vec<MrcPoint> = sweep
             .points
             .iter()
+            .filter(|p| p.l3_miss_rate.is_finite())
             .map(|p| MrcPoint {
                 capacity_bytes: cmap.available_bytes(p.count),
                 miss_rate: p.l3_miss_rate,
             })
             .collect();
-        points.sort_by(|a, b| a.capacity_bytes.partial_cmp(&b.capacity_bytes).unwrap());
+        // Total order: a NaN capacity from a corrupted calibration map
+        // must not panic curve construction.
+        points.sort_by(|a, b| a.capacity_bytes.total_cmp(&b.capacity_bytes));
         Self { points }
     }
 
@@ -144,8 +147,10 @@ mod tests {
                     degradation_pct: 0.0,
                     l3_miss_rate: mr,
                     app_bandwidth_gbs: 0.0,
+                    quality: None,
                 })
                 .collect(),
+            degraded: Vec::new(),
         }
     }
 

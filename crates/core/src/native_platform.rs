@@ -54,19 +54,25 @@ impl Default for NativeSweepCfg {
 }
 
 /// Time one closure invocation set and return the median seconds.
+///
+/// Non-finite samples (a clock anomaly, an injected fault downstream of
+/// a wrapper) are screened out rather than fed to the sort — the old
+/// `partial_cmp(..).unwrap()` comparison panicked the whole run on a
+/// single NaN timing. If *no* sample is finite the function returns NaN
+/// and the executor's finite-screen converts it into a typed
+/// [`AmemError::NonFinite`].
 fn time_reps<F: FnMut()>(work: &mut F, warmup: usize, reps: usize) -> f64 {
     for _ in 0..warmup {
         work();
     }
-    let mut times: Vec<f64> = (0..reps.max(1))
+    let times: Vec<f64> = (0..reps.max(1))
         .map(|_| {
             let t0 = Instant::now();
             work();
             t0.elapsed().as_secs_f64()
         })
         .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    times[times.len() / 2]
+    crate::trial::finite_median(&times).unwrap_or(f64::NAN)
 }
 
 fn spawn(kind: InterferenceKind, count: usize, cfg: &NativeSweepCfg) -> Option<NativeHandle> {
@@ -195,6 +201,7 @@ impl Platform for NativePlatform {
                 sockets: Vec::new(),
                 telemetry: None,
             },
+            quality: None,
         })
     }
 }
@@ -219,6 +226,7 @@ pub fn native_sweep<F: FnMut()>(
         degradation_pct: 0.0,
         l3_miss_rate: 0.0,
         app_bandwidth_gbs: 0.0,
+        quality: None,
     });
     for k in 1..=cfg.max_count {
         let handle = spawn(kind, k, cfg);
@@ -232,6 +240,7 @@ pub fn native_sweep<F: FnMut()>(
             degradation_pct: (secs / baseline - 1.0) * 100.0,
             l3_miss_rate: 0.0,
             app_bandwidth_gbs: 0.0,
+            quality: None,
         });
     }
     Sweep {
@@ -239,6 +248,7 @@ pub fn native_sweep<F: FnMut()>(
         kind,
         per_processor: 1,
         points,
+        degraded: Vec::new(),
     }
 }
 
@@ -336,6 +346,19 @@ mod tests {
         );
         assert!(t >= 0.0001, "median {t}");
         assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn nan_timings_no_longer_panic_the_median() {
+        // Regression for the `partial_cmp(..).unwrap()` sort: screening
+        // happens in `finite_median`, which `time_reps` now delegates to.
+        use crate::trial::finite_median;
+        assert_eq!(finite_median(&[0.3, f64::NAN, 0.1, 0.2]), Some(0.2));
+        assert_eq!(finite_median(&[f64::NAN, f64::NAN]), None);
+        // And a platform whose every sample is poisoned surfaces as a
+        // typed error from the executor, not a panic (the full wiring is
+        // exercised with `FaultyPlatform` in executor tests and
+        // tests/robustness.rs).
     }
 
     /// Real measurement on the host: a memory-hungry workload should slow

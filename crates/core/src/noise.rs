@@ -128,8 +128,13 @@ pub struct NoiseAmplification {
 }
 
 impl NoiseAmplification {
-    /// Excess slowdown attributable to barrier amplification.
+    /// Excess slowdown attributable to barrier amplification. Non-finite
+    /// measurements (a zero-length or diverged quiet run) report NaN
+    /// rather than ±inf, so downstream finite-screens catch them.
     pub fn amplification(&self) -> f64 {
+        if !self.measured_slowdown.is_finite() {
+            return f64::NAN;
+        }
         self.measured_slowdown / self.serial_slowdown.max(1.0)
     }
 }
@@ -167,9 +172,16 @@ pub fn measure_amplification(
     };
     let quiet = run(false);
     let noisy = run(true);
+    // A quiet run of zero (or non-finite) seconds would make the ratio
+    // ±inf/NaN; report NaN explicitly so callers' finite-screens see it.
+    let measured_slowdown = if quiet > 0.0 && quiet.is_finite() && noisy.is_finite() {
+        noisy / quiet
+    } else {
+        f64::NAN
+    };
     NoiseAmplification {
         ranks,
-        measured_slowdown: noisy / quiet,
+        measured_slowdown,
         serial_slowdown: 1.0 + noise.expected_serial_overhead(20.0),
     }
 }
@@ -255,6 +267,22 @@ mod tests {
             "amplification {:.2}",
             many.amplification()
         );
+    }
+
+    #[test]
+    fn degenerate_quiet_runs_report_nan_not_inf() {
+        let a = NoiseAmplification {
+            ranks: 2,
+            measured_slowdown: f64::INFINITY,
+            serial_slowdown: 1.0,
+        };
+        assert!(a.amplification().is_nan(), "inf must not leak through");
+        let b = NoiseAmplification {
+            ranks: 2,
+            measured_slowdown: f64::NAN,
+            serial_slowdown: 1.0,
+        };
+        assert!(b.amplification().is_nan());
     }
 
     #[test]

@@ -20,6 +20,7 @@ use amem_sim::machine::Machine;
 use serde::{Deserialize, Serialize};
 
 use crate::error::AmemError;
+use crate::trial::TrialQuality;
 
 /// A measurable application.
 pub trait Workload: Sync {
@@ -127,6 +128,11 @@ pub struct Measurement {
     pub app_bandwidth_gbs: f64,
     /// Full run report (counters for every job).
     pub report: RunReport,
+    /// Trial statistics when this measurement was aggregated from
+    /// repeated trials under a non-default [`crate::TrialPolicy`].
+    /// `None` for plain single-trial runs — and for cache entries
+    /// written before this field existed, which still deserialize.
+    pub quality: Option<TrialQuality>,
 }
 
 /// Somewhere a measurement can execute.
@@ -308,6 +314,7 @@ impl Platform for SimPlatform {
             l3_miss_rate: agg.l3_miss_rate(),
             app_bandwidth_gbs: bw,
             report,
+            quality: None,
         })
     }
 }

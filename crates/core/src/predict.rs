@@ -23,28 +23,34 @@ pub struct DegradationModel {
 }
 
 impl DegradationModel {
-    /// Build from a storage sweep and a capacity calibration.
+    /// Build from a storage sweep and a capacity calibration. Points with
+    /// non-finite degradation (degraded-sweep artifacts) are dropped, and
+    /// the sort is total — a NaN sample can no longer panic model
+    /// construction.
     pub fn from_storage_sweep(sweep: &Sweep, cmap: &CapacityMap) -> Self {
         let mut samples: Vec<(f64, f64)> = sweep
             .points
             .iter()
+            .filter(|p| p.degradation_pct.is_finite())
             .map(|p| (cmap.available_bytes(p.count), p.degradation_pct))
             .collect();
-        samples.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        samples.sort_by(|a, b| a.0.total_cmp(&b.0));
         Self {
             samples,
             unit: "bytes of shared cache".to_string(),
         }
     }
 
-    /// Build from a bandwidth sweep and a bandwidth calibration.
+    /// Build from a bandwidth sweep and a bandwidth calibration. Same
+    /// non-finite screening as [`Self::from_storage_sweep`].
     pub fn from_bandwidth_sweep(sweep: &Sweep, bmap: &BandwidthMap) -> Self {
         let mut samples: Vec<(f64, f64)> = sweep
             .points
             .iter()
+            .filter(|p| p.degradation_pct.is_finite())
             .map(|p| (bmap.available_gbs(p.count), p.degradation_pct))
             .collect();
-        samples.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        samples.sort_by(|a, b| a.0.total_cmp(&b.0));
         Self {
             samples,
             unit: "GB/s of memory bandwidth".to_string(),
@@ -134,8 +140,10 @@ mod tests {
                 degradation_pct: d,
                 l3_miss_rate: 0.0,
                 app_bandwidth_gbs: 0.0,
+                quality: None,
             })
             .collect(),
+            degraded: Vec::new(),
         };
         DegradationModel::from_storage_sweep(&sweep, &cmap)
     }
@@ -182,8 +190,10 @@ mod tests {
                     degradation_pct: d,
                     l3_miss_rate: 0.0,
                     app_bandwidth_gbs: 0.0,
+                    quality: None,
                 })
                 .collect(),
+            degraded: Vec::new(),
         };
         let b = DegradationModel::from_bandwidth_sweep(&bsweep, &bmap);
         let hyp = HypotheticalMachine {

@@ -205,19 +205,45 @@ pub fn sparkline(values: &[f64]) -> String {
         .collect()
 }
 
-/// Render a sweep's degradation curve as `label [spark] 0..max%`.
+/// Render a sweep's degradation curve as `label [spark] 0..max%`, with a
+/// trailing `(+N degraded)` marker when levels were dropped after
+/// exhausting their retries. Healthy sweeps render exactly as before.
 pub fn sweep_sparkline(sweep: &crate::sweep::Sweep) -> String {
     let d: Vec<f64> = sweep.points.iter().map(|p| p.degradation_pct).collect();
     // Fold from 0.0, not f64::MIN: an empty (or all-negative) sweep must
     // render `0..0%`, not `0..-inf%`.
     let hi = d.iter().cloned().fold(0.0f64, f64::max);
+    let degraded = if sweep.degraded.is_empty() {
+        String::new()
+    } else {
+        format!(" (+{} degraded)", sweep.degraded.len())
+    };
     format!(
-        "{} [{}] 0..{:.0}% over {} levels",
+        "{} [{}] 0..{:.0}% over {} levels{}",
         sweep.workload,
         sparkline(&d),
         hi,
-        d.len()
+        d.len(),
+        degraded
     )
+}
+
+/// The two extra cells (`Trials`, `CI95 (%)`) a figure table appends per
+/// point when run with `--ci`: trial count with the rejected-outlier
+/// count in parentheses, and the relative 95% CI half-width in percent.
+/// Single-trial points render as `1` / `-`.
+pub fn trial_cells(quality: Option<&crate::trial::TrialQuality>) -> [String; 2] {
+    match quality {
+        Some(q) => {
+            let trials = if q.rejected_outliers > 0 {
+                format!("{} (-{})", q.trials, q.rejected_outliers)
+            } else {
+                q.trials.to_string()
+            };
+            [trials, format!("{:.2}", q.ci95_rel * 100.0)]
+        }
+        None => ["1".to_string(), "-".to_string()],
+    }
 }
 
 #[cfg(test)]
@@ -250,12 +276,62 @@ mod sparkline_tests {
                     degradation_pct: i as f64 * 10.0,
                     l3_miss_rate: 0.0,
                     app_bandwidth_gbs: 0.0,
+                    quality: None,
                 })
                 .collect(),
+            degraded: Vec::new(),
         };
         let line = sweep_sparkline(&s);
         assert!(line.starts_with("demo ["));
         assert!(line.contains("0..30%"));
+        assert!(!line.contains("degraded"), "healthy sweeps are unmarked");
+    }
+
+    #[test]
+    fn degraded_sweeps_are_flagged_in_the_sparkline() {
+        use crate::sweep::{DegradedPoint, Sweep, SweepPoint};
+        use amem_interfere::InterferenceKind;
+        let s = Sweep {
+            workload: "shaky".into(),
+            kind: InterferenceKind::Storage,
+            per_processor: 1,
+            points: (0..3)
+                .map(|i| SweepPoint {
+                    count: i,
+                    seconds: 1.0,
+                    degradation_pct: 0.0,
+                    l3_miss_rate: 0.0,
+                    app_bandwidth_gbs: 0.0,
+                    quality: None,
+                })
+                .collect(),
+            degraded: vec![DegradedPoint {
+                count: 3,
+                error: "still failing after 4 attempts: injected".into(),
+            }],
+        };
+        let line = sweep_sparkline(&s);
+        assert!(line.contains("(+1 degraded)"), "{line}");
+    }
+
+    #[test]
+    fn trial_cells_render_quality_or_placeholders() {
+        use crate::trial::TrialQuality;
+        assert_eq!(trial_cells(None), ["1".to_string(), "-".to_string()]);
+        let q = TrialQuality {
+            trials: 5,
+            rejected_outliers: 1,
+            retries: 2,
+            timeouts: 1,
+            non_finite: 0,
+            mean_seconds: 1.0,
+            std_seconds: 0.01,
+            ci95_rel: 0.0123,
+            degraded: false,
+        };
+        let [t, ci] = trial_cells(Some(&q));
+        assert_eq!(t, "5 (-1)");
+        assert_eq!(ci, "1.23");
     }
 
     #[test]
@@ -267,6 +343,7 @@ mod sparkline_tests {
             kind: InterferenceKind::Storage,
             per_processor: 1,
             points: Vec::new(),
+            degraded: Vec::new(),
         };
         let line = sweep_sparkline(&s);
         assert_eq!(line, "empty [] 0..0% over 0 levels");

@@ -9,6 +9,7 @@
 //! and served from cache everywhere else.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use amem_interfere::{InterferenceKind, InterferenceMix};
 use rayon::prelude::*;
@@ -17,6 +18,7 @@ use serde::Serialize;
 use crate::error::AmemError;
 use crate::executor::Executor;
 use crate::platform::Workload;
+use crate::trial::TrialQuality;
 
 /// Whether sweep progress lines should be printed to stderr. Off by
 /// default so test output stays clean; set `AMEM_PROGRESS=1` to watch
@@ -37,6 +39,20 @@ pub struct SweepPoint {
     pub degradation_pct: f64,
     pub l3_miss_rate: f64,
     pub app_bandwidth_gbs: f64,
+    /// Trial statistics when this point ran under a non-default
+    /// [`crate::TrialPolicy`] (`None` for plain single-trial points).
+    pub quality: Option<TrialQuality>,
+}
+
+/// A level that could not be measured: it kept failing transiently until
+/// its retries ran out. Recorded instead of aborting the whole sweep —
+/// "graceful degradation" in the run manifest's sense.
+#[derive(Debug, Clone, Serialize)]
+pub struct DegradedPoint {
+    /// Interference threads per socket at the failed level.
+    pub count: usize,
+    /// Display form of the final error.
+    pub error: String,
 }
 
 /// A full sweep.
@@ -46,6 +62,10 @@ pub struct Sweep {
     pub kind: InterferenceKind,
     pub per_processor: usize,
     pub points: Vec<SweepPoint>,
+    /// Levels that exhausted their retries and were dropped. Empty on a
+    /// healthy run; a non-empty list marks the sweep *degraded* — usable,
+    /// but standing on fewer points than requested.
+    pub degraded: Vec<DegradedPoint>,
 }
 
 impl Sweep {
@@ -70,6 +90,11 @@ impl Sweep {
     /// Highest interference level that was physically placeable.
     pub fn max_count(&self) -> usize {
         self.points.last().map(|p| p.count).unwrap_or(0)
+    }
+
+    /// Whether any requested level was dropped after exhausting retries.
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded.is_empty()
     }
 }
 
@@ -161,21 +186,31 @@ pub fn run_sweeps(exec: &Executor, requests: &[SweepRequest]) -> Result<Vec<Swee
         .collect();
 
     // Regroup per request and turn measurements into degradation points.
+    // A level whose error is *degradable* (transient, or flaky past its
+    // retry budget) is recorded as a degraded point and the sweep carries
+    // on; structural errors still abort the batch.
     let mut sweeps = Vec::with_capacity(requests.len());
     for (ri, req) in requests.iter().enumerate() {
         let mut measured: Vec<(usize, _)> = Vec::new();
+        let mut degraded: Vec<DegradedPoint> = Vec::new();
         for (i, k, res) in results.iter().filter(|(i, _, _)| *i == ri) {
             debug_assert_eq!(*i, ri);
-            measured.push((*k, res.clone()?));
+            match res {
+                Ok(m) => measured.push((*k, Arc::clone(m))),
+                Err(e) if e.is_degradable() => degraded.push(DegradedPoint {
+                    count: *k,
+                    error: e.to_string(),
+                }),
+                Err(e) => return Err(e.clone()),
+            }
         }
+        exec.count_degraded(degraded.len() as u64);
         measured.sort_by_key(|(k, _)| *k);
-        let baseline =
-            measured
-                .first()
-                .map(|(_, m)| m.seconds)
-                .ok_or_else(|| AmemError::EmptySweep {
-                    workload: req.workload.name(),
-                })?;
+        degraded.sort_by_key(|d| d.count);
+        // Baseline = the smallest *measured* level. When every level was
+        // lost the sweep comes back complete-but-empty: callers decide
+        // whether an empty degraded sweep is fatal for their figure.
+        let baseline = measured.first().map(|(_, m)| m.seconds).unwrap_or(f64::NAN);
         let points = measured
             .into_iter()
             .map(|(k, m)| SweepPoint {
@@ -184,6 +219,7 @@ pub fn run_sweeps(exec: &Executor, requests: &[SweepRequest]) -> Result<Vec<Swee
                 degradation_pct: (m.seconds / baseline - 1.0) * 100.0,
                 l3_miss_rate: m.l3_miss_rate,
                 app_bandwidth_gbs: m.app_bandwidth_gbs,
+                quality: m.quality.clone(),
             })
             .collect();
         sweeps.push(Sweep {
@@ -191,6 +227,7 @@ pub fn run_sweeps(exec: &Executor, requests: &[SweepRequest]) -> Result<Vec<Swee
             kind: req.kind,
             per_processor: req.per_processor,
             points,
+            degraded,
         });
     }
     Ok(sweeps)
@@ -259,9 +296,36 @@ mod tests {
             kind: InterferenceKind::Storage,
             per_processor: 1,
             points: Vec::new(),
+            degraded: Vec::new(),
         };
         let err = s.baseline_seconds().unwrap_err();
         assert!(matches!(err, AmemError::EmptySweep { .. }), "{err}");
+        assert!(!s.is_degraded());
+    }
+
+    #[test]
+    fn flaky_levels_degrade_instead_of_aborting() {
+        use crate::fault::{FaultSpec, FaultyPlatform};
+        // Sticky faults at p=0.35: some levels always fail, the rest
+        // always pass — deterministic per request signature.
+        let platform = FaultyPlatform::new(
+            SimPlatform::new(MachineConfig::xeon20mb().scaled(0.0625)),
+            FaultSpec::parse("seed=11,error=0.35,sticky").unwrap(),
+        );
+        let exec = Executor::uncached(platform);
+        let s = run_sweep(&exec, &w(), 2, InterferenceKind::Storage, 6).unwrap();
+        assert!(s.is_degraded(), "p=0.35 over 7 levels must lose some");
+        assert!(!s.points.is_empty(), "and keep the rest");
+        assert_eq!(s.points.len() + s.degraded.len(), 7);
+        for d in &s.degraded {
+            assert!(d.error.contains("injected"), "{}", d.error);
+        }
+        assert_eq!(exec.robust_stats().degraded_points, s.degraded.len() as u64);
+        // Surviving points are internally consistent.
+        for pt in &s.points {
+            assert!(pt.seconds.is_finite());
+            assert!(pt.degradation_pct.is_finite());
+        }
     }
 
     #[test]

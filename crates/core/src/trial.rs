@@ -1,0 +1,395 @@
+//! Noise-aware trial statistics and retry policy for the run path.
+//!
+//! Active Measurement infers resource consumption from *small*
+//! performance deltas (a few percent of degradation separates "fits in
+//! cache" from "doesn't"), so a single noisy, stalled, or NaN-poisoned
+//! run corrupts the knee detection and the Eq. 4 inversion. This module
+//! supplies the screening layer the executor wraps around every platform
+//! run:
+//!
+//! * [`TrialPolicy`] — how many repeated trials to run per measurement,
+//!   when to stop early (confidence-interval-driven adaptive stopping),
+//!   how aggressively to reject outliers (MAD-based), how many times to
+//!   retry a transiently failing run, and the per-run wall-clock budget.
+//! * [`robust_summary`] — the aggregation itself: sort (total order, NaN
+//!   screened), median, MAD outlier rejection, mean/std/CI of the
+//!   surviving samples. Deterministic and permutation-invariant — the
+//!   property tests shuffle inputs and demand bit-identical summaries.
+//! * [`TrialQuality`] — the per-measurement quality record (trial count,
+//!   CI width, rejected outliers, retries) carried on
+//!   [`crate::platform::Measurement`] and surfaced in sweep CSVs
+//!   (`--ci`) and run manifests.
+//! * [`QualityStats`] — executor-wide counters for the `[quality]`
+//!   summary line and the manifest.
+//!
+//! The default policy is a strict pass-through (one trial, no retries,
+//! no timeout): the run path, its outputs, and the cache keys are
+//! byte-identical to a build without this module.
+
+use serde::{Deserialize, Serialize};
+
+/// How a measurement's trials, retries, and timeouts are governed.
+///
+/// `Default` is pass-through: 1 trial, 0 retries, no timeout — the
+/// executor then calls the platform exactly once and attaches no quality
+/// record, so default outputs are byte-identical to pre-robustness
+/// builds. The policy deliberately never enters the measurement cache
+/// key: on a deterministic platform repeated trials are bit-identical,
+/// so entries recorded under any policy are quality-equivalent, and
+/// nondeterministic platforms are never cached at all.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TrialPolicy {
+    /// Trials to run before adaptive stopping may end the measurement.
+    pub min_trials: usize,
+    /// Hard upper bound on trials per measurement.
+    pub max_trials: usize,
+    /// Adaptive stop: once `min_trials` samples exist, stop as soon as
+    /// the 95% CI half-width divided by the mean drops to this target.
+    /// `None` always runs `max_trials`.
+    pub rel_ci_target: Option<f64>,
+    /// MAD outlier rejection: a sample is rejected when
+    /// `|x - median| > mad_k * MAD`. The paper-adjacent default of 3.5
+    /// only rejects grossly implausible samples.
+    pub mad_k: f64,
+    /// Retries per trial on a *transient* error
+    /// ([`crate::AmemError::is_transient`]); structural errors are never
+    /// retried.
+    pub max_retries: usize,
+    /// Base backoff between retries, doubling per attempt. 0 never
+    /// sleeps (the right setting for simulated platforms and tests).
+    pub backoff_ms: u64,
+    /// Post-hoc wall-clock budget per platform run, in milliseconds. A
+    /// run that comes back after the budget is classified
+    /// [`crate::AmemError::Timeout`] and its sample discarded. (The run
+    /// is not preempted — platforms are synchronous — so this screens
+    /// stalled samples rather than bounding total wall time.)
+    pub timeout_ms: Option<u64>,
+}
+
+impl Default for TrialPolicy {
+    fn default() -> Self {
+        Self {
+            min_trials: 1,
+            max_trials: 1,
+            rel_ci_target: None,
+            mad_k: 3.5,
+            max_retries: 0,
+            backoff_ms: 0,
+            timeout_ms: None,
+        }
+    }
+}
+
+impl TrialPolicy {
+    /// A fixed-count policy: exactly `n` trials, defaults otherwise.
+    pub fn fixed(n: usize) -> Self {
+        let n = n.max(1);
+        Self {
+            min_trials: n,
+            max_trials: n,
+            ..Self::default()
+        }
+    }
+
+    /// An adaptive policy: between `min` and `max` trials, stopping once
+    /// the relative 95% CI half-width reaches `rel_ci`.
+    pub fn adaptive(min: usize, max: usize, rel_ci: f64) -> Self {
+        let min = min.max(1);
+        Self {
+            min_trials: min,
+            max_trials: max.max(min),
+            rel_ci_target: Some(rel_ci),
+            ..Self::default()
+        }
+    }
+
+    /// Set the per-trial transient-error retry budget.
+    pub fn with_retries(mut self, retries: usize) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Set the per-run wall-clock budget.
+    pub fn with_timeout_ms(mut self, ms: u64) -> Self {
+        self.timeout_ms = Some(ms);
+        self
+    }
+
+    /// Whether this policy is the do-nothing default: one trial, no
+    /// retries, no timeout. The executor takes the exact pre-robustness
+    /// code path in that case (still screening NaN results, which never
+    /// occur on healthy platforms).
+    pub fn is_passthrough(&self) -> bool {
+        self.max_trials <= 1 && self.max_retries == 0 && self.timeout_ms.is_none()
+    }
+
+    /// Backoff before retry number `attempt` (1-based), doubling per
+    /// attempt and capped at 64x the base.
+    pub fn backoff_before(&self, attempt: usize) -> std::time::Duration {
+        let factor = 1u64 << attempt.saturating_sub(1).min(6);
+        std::time::Duration::from_millis(self.backoff_ms.saturating_mul(factor))
+    }
+}
+
+/// Robust aggregate of one measurement's trial samples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TrialSummary {
+    /// Finite samples supplied.
+    pub n: usize,
+    /// Samples surviving MAD rejection (always ≥ 1).
+    pub used: usize,
+    /// Samples rejected as outliers.
+    pub rejected: usize,
+    /// Median of the finite samples (lower-of-two for even counts, so
+    /// the median is always an actually-observed sample).
+    pub median: f64,
+    /// Mean of the surviving samples.
+    pub mean: f64,
+    /// Sample standard deviation of the surviving samples (0 for 1).
+    pub std: f64,
+    /// 95% confidence half-width of the mean (normal approximation).
+    pub ci95_half: f64,
+}
+
+impl TrialSummary {
+    /// CI half-width relative to the mean (0 when the mean is 0).
+    pub fn rel_ci(&self) -> f64 {
+        if self.mean.abs() <= f64::MIN_POSITIVE {
+            0.0
+        } else {
+            self.ci95_half / self.mean.abs()
+        }
+    }
+}
+
+/// Median of the finite entries of `xs`, or `None` when no entry is
+/// finite. NaN and ±inf are screened, never compared — this is the
+/// total-order replacement for the `partial_cmp(..).unwrap()` sort that
+/// used to panic the native platform on a single NaN timing.
+pub fn finite_median(xs: &[f64]) -> Option<f64> {
+    let mut finite: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+    if finite.is_empty() {
+        return None;
+    }
+    finite.sort_unstable_by(f64::total_cmp);
+    Some(finite[(finite.len() - 1) / 2])
+}
+
+/// Aggregate trial samples: screen non-finite values, reject MAD
+/// outliers, and summarize the survivors. Returns `None` when no sample
+/// is finite. For any finite input set every summary statistic is
+/// finite, and the result is invariant under permutation of `xs` (the
+/// samples are sorted with a total order before any arithmetic).
+pub fn robust_summary(xs: &[f64], mad_k: f64) -> Option<TrialSummary> {
+    let mut finite: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+    if finite.is_empty() {
+        return None;
+    }
+    finite.sort_unstable_by(f64::total_cmp);
+    let n = finite.len();
+    let median = finite[(n - 1) / 2];
+
+    // MAD with a relative floor: a degenerate spread (every sample
+    // identical, as on a deterministic simulator) must not reject
+    // samples that differ from the median only by rounding.
+    let mut dev: Vec<f64> = finite.iter().map(|x| (x - median).abs()).collect();
+    dev.sort_unstable_by(f64::total_cmp);
+    let mad = dev[(n - 1) / 2];
+    let floor = median.abs() * 1e-9;
+    let threshold = mad_k.max(1.0) * mad.max(floor) + floor;
+
+    let inliers: Vec<f64> = finite
+        .iter()
+        .copied()
+        .filter(|x| (x - median).abs() <= threshold)
+        .collect();
+    // The median always survives its own threshold, so `used >= 1`.
+    let used = inliers.len();
+    let mean = inliers.iter().sum::<f64>() / used as f64;
+    let std = if used > 1 {
+        let var = inliers.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (used - 1) as f64;
+        var.sqrt()
+    } else {
+        0.0
+    };
+    let ci95_half = if used > 1 {
+        1.96 * std / (used as f64).sqrt()
+    } else {
+        0.0
+    };
+    Some(TrialSummary {
+        n,
+        used,
+        rejected: n - used,
+        median,
+        mean,
+        std,
+        ci95_half,
+    })
+}
+
+/// The quality record one measurement carries when it ran under a
+/// non-pass-through policy: how many trials it took, what was rejected,
+/// and how tight the result is. Absent (`None` on
+/// [`crate::platform::Measurement`]) for default single-trial runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialQuality {
+    /// Valid (finite, in-budget) trial samples collected.
+    pub trials: usize,
+    /// Samples rejected by MAD screening.
+    pub rejected_outliers: usize,
+    /// Attempts repeated after a transient failure.
+    pub retries: usize,
+    /// Attempts that exceeded the wall-clock budget.
+    pub timeouts: usize,
+    /// Samples discarded for NaN/inf headline statistics.
+    pub non_finite: usize,
+    /// Mean seconds over the surviving samples.
+    pub mean_seconds: f64,
+    /// Sample standard deviation of the surviving samples.
+    pub std_seconds: f64,
+    /// 95% CI half-width relative to the mean (0 for a single trial).
+    pub ci95_rel: f64,
+    /// True when at least one whole trial was lost after exhausting its
+    /// retries — the measurement stands on fewer samples than asked.
+    pub degraded: bool,
+}
+
+/// Executor-wide robustness counters: everything the retry/trial layer
+/// did across a run, for the `[quality]` harness line and the manifest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QualityStats {
+    /// Platform runs executed as repeated trials (0 under pass-through).
+    pub trials: u64,
+    /// Attempts repeated after a transient failure.
+    pub retries: u64,
+    /// Attempts that exceeded the wall-clock budget.
+    pub timeouts: u64,
+    /// Transient typed errors observed (injected faults, cache I/O).
+    pub faults: u64,
+    /// Samples discarded for non-finite headline statistics.
+    pub non_finite: u64,
+    /// Samples rejected by MAD outlier screening.
+    pub outliers_rejected: u64,
+    /// Sweep points abandoned after exhausting retries (degraded, not
+    /// aborted).
+    pub degraded_points: u64,
+}
+
+impl QualityStats {
+    /// Whether anything at all happened (nothing to report otherwise).
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Accumulate another run's counters (manifest aggregation).
+    pub fn merge(&mut self, o: &QualityStats) {
+        self.trials += o.trials;
+        self.retries += o.retries;
+        self.timeouts += o.timeouts;
+        self.faults += o.faults;
+        self.non_finite += o.non_finite;
+        self.outliers_rejected += o.outliers_rejected;
+        self.degraded_points += o.degraded_points;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_passthrough() {
+        let p = TrialPolicy::default();
+        assert!(p.is_passthrough());
+        assert!(!TrialPolicy::fixed(3).is_passthrough());
+        assert!(!TrialPolicy::default().with_retries(2).is_passthrough());
+        assert!(!TrialPolicy::default().with_timeout_ms(100).is_passthrough());
+        assert!(TrialPolicy::fixed(0).is_passthrough(), "clamped to 1");
+    }
+
+    #[test]
+    fn adaptive_policy_orders_bounds() {
+        let p = TrialPolicy::adaptive(5, 2, 0.05);
+        assert_eq!(p.min_trials, 5);
+        assert_eq!(p.max_trials, 5, "max is raised to min");
+        assert_eq!(p.rel_ci_target, Some(0.05));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = TrialPolicy::default().with_retries(3);
+        assert_eq!(p.backoff_before(1).as_millis(), 0, "base 0 never sleeps");
+        let p = TrialPolicy {
+            backoff_ms: 10,
+            ..p
+        };
+        assert_eq!(p.backoff_before(1).as_millis(), 10);
+        assert_eq!(p.backoff_before(2).as_millis(), 20);
+        assert_eq!(p.backoff_before(3).as_millis(), 40);
+        assert_eq!(p.backoff_before(100).as_millis(), 640, "capped at 64x");
+    }
+
+    #[test]
+    fn finite_median_screens_nan() {
+        assert_eq!(finite_median(&[3.0, f64::NAN, 1.0, 2.0]), Some(2.0));
+        assert_eq!(finite_median(&[f64::NAN, f64::INFINITY]), None);
+        assert_eq!(finite_median(&[]), None);
+        assert_eq!(finite_median(&[5.0]), Some(5.0));
+    }
+
+    #[test]
+    fn summary_of_identical_samples_rejects_nothing() {
+        let s = robust_summary(&[2.0, 2.0, 2.0, 2.0], 3.5).unwrap();
+        assert_eq!(s.used, 4);
+        assert_eq!(s.rejected, 0);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.rel_ci(), 0.0);
+    }
+
+    #[test]
+    fn summary_rejects_gross_outliers() {
+        // Nine tight samples and one stall: the stall must be rejected.
+        let mut xs = vec![1.0, 1.01, 0.99, 1.02, 0.98, 1.0, 1.01, 0.99, 1.0];
+        xs.push(50.0);
+        let s = robust_summary(&xs, 3.5).unwrap();
+        assert_eq!(s.rejected, 1, "{s:?}");
+        assert!(s.mean < 1.05, "{s:?}");
+        assert!((s.median - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn summary_screens_non_finite() {
+        let s = robust_summary(&[1.0, f64::NAN, 1.0, f64::INFINITY], 3.5).unwrap();
+        assert_eq!(s.n, 2, "only the finite samples count");
+        assert_eq!(s.mean, 1.0);
+        assert!(robust_summary(&[f64::NAN], 3.5).is_none());
+    }
+
+    #[test]
+    fn summary_is_permutation_invariant() {
+        let a = robust_summary(&[3.0, 1.0, 2.0, 9.0, 2.5], 3.5).unwrap();
+        let b = robust_summary(&[9.0, 2.5, 1.0, 3.0, 2.0], 3.5).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quality_stats_merge_and_emptiness() {
+        let mut a = QualityStats::default();
+        assert!(a.is_empty());
+        let b = QualityStats {
+            trials: 3,
+            retries: 1,
+            degraded_points: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.trials, 6);
+        assert_eq!(a.degraded_points, 4);
+        assert!(!a.is_empty());
+        let back: QualityStats = serde_json::from_str(&serde_json::to_string(&a).unwrap()).unwrap();
+        assert_eq!(back, a);
+    }
+}

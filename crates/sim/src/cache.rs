@@ -32,7 +32,7 @@
 //! `stamp`, `dirty`, `sharers`, `present`) indexed by
 //! `set * ways + way`, so a set scan walks one contiguous `ways`-wide
 //! window per array. The probation flag lives in the stamp's high bit
-//! ([`PROB_BIT`]): probation lines sort below promoted ones under
+//! (`PROB_BIT`): probation lines sort below promoted ones under
 //! `stamp ^ PROB_BIT`, so LRU victim selection is a single min-scan of
 //! the stamp window with no second flag array. The power-of-two/modulo
 //! choice for set indexing is made once at construction (all shipped

@@ -503,7 +503,7 @@ impl<'a> Engine<'a> {
 
     /// Execute until every primary stream is done (or limits trip).
     ///
-    /// When more than one generator lane is active and [`lane_threads`]
+    /// When more than one generator lane is active and `lane_threads`
     /// allows it, each lane's op generation moves to its own producer
     /// thread feeding the engine batches over a bounded channel. Streams
     /// never observe engine state, so the op sequences — and therefore

@@ -58,7 +58,9 @@ impl CycleHistogram {
         };
         self.counts[b] += 1;
         self.total += 1;
-        self.sum += v;
+        // Saturate: a multi-billion-cycle run recording u64-scale latencies
+        // must degrade the mean, not overflow-panic in debug builds.
+        self.sum = self.sum.saturating_add(v);
         self.max = self.max.max(v);
     }
 
@@ -70,7 +72,7 @@ impl CycleHistogram {
             *a += b;
         }
         self.total += o.total;
-        self.sum += o.sum;
+        self.sum = self.sum.saturating_add(o.sum);
         self.max = self.max.max(o.max);
     }
 
@@ -386,6 +388,20 @@ mod tests {
         assert_eq!(a.total, 3);
         assert_eq!(a.sum, 112);
         assert_eq!(a.max, 100);
+    }
+
+    #[test]
+    fn histogram_sum_saturates_instead_of_overflowing() {
+        let mut a = CycleHistogram::new();
+        a.record(u64::MAX);
+        a.record(u64::MAX); // would overflow-panic with plain +=
+        assert_eq!(a.sum, u64::MAX);
+        let mut b = CycleHistogram::new();
+        b.record(u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.sum, u64::MAX);
+        assert_eq!(a.total, 3);
+        assert!(a.mean().is_finite());
     }
 
     #[test]

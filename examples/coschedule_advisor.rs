@@ -35,8 +35,8 @@ fn profile(
     let b = run_sweep(executor, w, per, InterferenceKind::Bandwidth, 2).expect("bandwidth sweep");
     Profile {
         name: w.name(),
-        storage: storage_use_per_process(&s, cmap, per, 3.0),
-        bandwidth: bandwidth_use_per_process(&b, bmap, per, 3.0),
+        storage: storage_use_per_process(&s, cmap, per, 3.0).expect("storage estimate"),
+        bandwidth: bandwidth_use_per_process(&b, bmap, per, 3.0).expect("bandwidth estimate"),
     }
 }
 

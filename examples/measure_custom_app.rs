@@ -146,7 +146,8 @@ fn main() {
     // A streaming-heavy app is mildly slowed by *any* interference (its
     // misses queue behind the intruder), so use a wider noise tolerance
     // to find the capacity knee proper.
-    let iv = storage_use_per_process(&sweep, &cmap, 1, 5.0);
+    let iv = storage_use_per_process(&sweep, &cmap, 1, 5.0)
+        .expect("sweep has enough points to estimate");
     println!(
         "\nkv-scan actively uses {:.2}-{:.2} MB of the {:.2} MB L3",
         iv.lo / (1 << 20) as f64,

@@ -69,8 +69,10 @@ fn main() {
     let bmap = BandwidthMap::calibrate(&machine);
 
     // 3. Turn the degradation knees into per-process resource use.
-    let s = storage_use_per_process(&storage, &cmap, ranks_per_socket, 3.0);
-    let b = bandwidth_use_per_process(&bandwidth, &bmap, ranks_per_socket, 3.0);
+    let s =
+        storage_use_per_process(&storage, &cmap, ranks_per_socket, 3.0).expect("storage estimate");
+    let b = bandwidth_use_per_process(&bandwidth, &bmap, ranks_per_socket, 3.0)
+        .expect("bandwidth estimate");
     println!(
         "\neach MCB process actively uses {:.2}-{:.2} MB of shared cache{}",
         s.lo / (1 << 20) as f64,

@@ -26,7 +26,7 @@ fn mcb_pipeline_brackets_the_mesh_footprint() {
     assert_eq!(sweep.points[0].degradation_pct, 0.0);
 
     let cmap = CapacityMap::paper_xeon20mb(&m);
-    let iv = storage_use_per_process(&sweep, &cmap, 2, 3.0);
+    let iv = storage_use_per_process(&sweep, &cmap, 2, 3.0).expect("estimate");
     assert!(iv.lo <= iv.hi);
     // The known ground truth: each rank's resident set is its mesh
     // (27% of L3) plus small particle/comm arrays. The measured interval
@@ -52,7 +52,7 @@ fn mcb_bandwidth_use_rises_as_processes_spread_out() {
     for p in [1usize, 4] {
         let w = McbWorkload(McbCfg::new(&m, 20_000));
         let sweep = run_sweep(&exec, &w, p, InterferenceKind::Bandwidth, 2).expect("sweep");
-        let iv = bandwidth_use_per_process(&sweep, &bmap, p, 3.0);
+        let iv = bandwidth_use_per_process(&sweep, &bmap, p, 3.0).expect("estimate");
         mids.push(iv.midpoint());
     }
     assert!(
@@ -74,7 +74,7 @@ fn lulesh_overflow_scales_with_domain_size() {
         let edge = LuleshCfg::scaled_edge(&m, full_edge);
         let w = LuleshWorkload(LuleshCfg::new(edge));
         let sweep = run_sweep(&exec, &w, 1, InterferenceKind::Storage, 6).expect("sweep");
-        let knee = find_knee(&sweep, 3.0);
+        let knee = find_knee(&sweep, 3.0).expect("7-point sweep is not degenerate");
         knees.push(knee.first_degraded.unwrap_or(usize::MAX));
     }
     assert!(

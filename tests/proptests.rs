@@ -245,6 +245,94 @@ fn scaled_machines_keep_valid_geometry() {
     }
 }
 
+/// Trial-statistics invariants: robust aggregation must not depend on
+/// sample order and must stay finite for any finite input set.
+mod trial_statistics {
+    use active_mem::core::trial::{finite_median, robust_summary};
+    use active_mem::sim::rng::Xoshiro256;
+
+    const CASES: u64 = 64;
+
+    fn shuffle(rng: &mut Xoshiro256, xs: &mut [f64]) {
+        for i in (1..xs.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    #[test]
+    fn robust_summary_is_permutation_invariant() {
+        let mut rng = Xoshiro256::seed_from_u64(0x7121A1);
+        for case in 0..CASES {
+            let n = 1 + rng.below(20) as usize;
+            let xs: Vec<f64> = (0..n).map(|_| 1e-3 + rng.next_f64() * 10.0).collect();
+            let mad_k = 1.0 + rng.next_f64() * 5.0;
+            let base = robust_summary(&xs, mad_k).expect("finite samples summarize");
+            for round in 0..4 {
+                let mut p = xs.clone();
+                shuffle(&mut rng, &mut p);
+                let s = robust_summary(&p, mad_k).expect("finite samples summarize");
+                assert_eq!(s, base, "case {case}.{round}: order changed the summary");
+                assert_eq!(
+                    finite_median(&p),
+                    finite_median(&xs),
+                    "case {case}.{round}: median moved"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn robust_summary_of_finite_inputs_is_finite() {
+        let mut rng = Xoshiro256::seed_from_u64(0xF1417E);
+        for case in 0..CASES {
+            let n = 1 + rng.below(20) as usize;
+            // Adversarial magnitudes: zeros, denormal-scale, huge, ties.
+            let xs: Vec<f64> = (0..n)
+                .map(|_| match rng.below(4) {
+                    0 => 0.0,
+                    1 => rng.next_f64() * 1e-12,
+                    2 => rng.next_f64() * 1e12,
+                    _ => 1.0,
+                })
+                .collect();
+            let s = robust_summary(&xs, 3.5).expect("finite input summarizes");
+            for (name, v) in [
+                ("median", s.median),
+                ("mean", s.mean),
+                ("std", s.std),
+                ("ci95_half", s.ci95_half),
+                ("rel_ci", s.rel_ci()),
+            ] {
+                assert!(v.is_finite(), "case {case}: {name} = {v} not finite");
+            }
+            assert!(s.used >= 1, "case {case}: the median always survives");
+            assert_eq!(s.used + s.rejected, s.n, "case {case}");
+            assert!(
+                xs.contains(&s.median),
+                "case {case}: median must be an observed sample"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_samples_are_screened_not_propagated() {
+        let mut rng = Xoshiro256::seed_from_u64(0x5C12EE);
+        for case in 0..CASES {
+            let n = 1 + rng.below(10) as usize;
+            let mut xs: Vec<f64> = (0..n).map(|_| 1.0 + rng.next_f64()).collect();
+            let clean = robust_summary(&xs, 3.5).expect("summary");
+            for poison in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+                xs.push(poison);
+            }
+            shuffle(&mut rng, &mut xs);
+            let s = robust_summary(&xs, 3.5).expect("summary");
+            assert_eq!(s, clean, "case {case}: poison changed the summary");
+            assert!(robust_summary(&[f64::NAN; 3], 3.5).is_none(), "case {case}");
+        }
+    }
+}
+
 /// Engine-level invariants over random instruction scripts.
 mod engine_invariants {
     use active_mem::sim::engine::RunLimit;
