@@ -1,0 +1,159 @@
+//! Conformance driver: differential fuzzing + analytic oracles from the
+//! command line.
+//!
+//! ```text
+//! cargo run --release -p amem-bench --bin conformance                 # 200 seeds/config
+//! cargo run --release -p amem-bench --bin conformance -- --seeds 1000
+//! cargo run --release -p amem-bench --bin conformance -- --config nonpow2-bip
+//! cargo run --release -p amem-bench --bin conformance -- --sabotage --minimize
+//! cargo run --release -p amem-bench --bin conformance -- --replay target/conformance/x.json
+//! ```
+//!
+//! Default run: fuzz every geometry in [`amem_conformance::configs`] for
+//! `--seeds` seeds each (parallel over seeds), then evaluate the Eq. 4
+//! oracle pack. Any divergence is written (optionally `--minimize`d
+//! first) to `target/conformance/` and the process exits non-zero.
+//!
+//! `--sabotage` swaps in the deliberately broken off-by-one reference —
+//! a self-test that the harness detects and shrinks real defects; in
+//! that mode divergences are *expected* and the exit code inverts.
+
+use std::process::ExitCode;
+
+use amem_conformance::fuzz::{
+    check_case, gen_case, minimize, reproducer_dir, sabotage, write_reproducer, Divergence,
+};
+use amem_conformance::{configs, ehr_oracle_pack, replay_file};
+use rayon::prelude::*;
+
+struct Args {
+    seeds: u64,
+    ops: usize,
+    config: Option<String>,
+    minimize: bool,
+    sabotage: bool,
+    replay: Option<String>,
+    oracles: bool,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        seeds: 200,
+        ops: 1500,
+        config: None,
+        minimize: false,
+        sabotage: false,
+        replay: None,
+        oracles: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seeds" => a.seeds = it.next().expect("--seeds N").parse().expect("seed count"),
+            "--ops" => a.ops = it.next().expect("--ops N").parse().expect("ops per lane"),
+            "--config" => a.config = Some(it.next().expect("--config NAME")),
+            "--minimize" => a.minimize = true,
+            "--sabotage" => a.sabotage = true,
+            "--replay" => a.replay = Some(it.next().expect("--replay FILE")),
+            "--no-oracles" => a.oracles = false,
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    a
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    if let Some(path) = &args.replay {
+        return match replay_file(path) {
+            Ok(Ok(())) => {
+                println!("replay {path}: substrates agree");
+                ExitCode::SUCCESS
+            }
+            Ok(Err(d)) => {
+                println!("replay {path}: DIVERGED — {}", d.describe());
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("replay {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let check: fn(&amem_conformance::fuzz::TraceCase) -> Result<(), Divergence> = if args.sabotage {
+        sabotage::check_case_sabotaged
+    } else {
+        check_case
+    };
+
+    let mut total_div = 0usize;
+    for cfg in configs() {
+        if let Some(only) = &args.config {
+            if cfg.name != only {
+                continue;
+            }
+        }
+        let divergences: Vec<Divergence> = (0..args.seeds)
+            .into_par_iter()
+            .map(|seed| check(&gen_case(&cfg, seed, args.ops)).err())
+            .collect::<Vec<Option<Divergence>>, _>()
+            .into_iter()
+            .flatten()
+            .collect();
+        println!(
+            "{:<20} {} seeds, {} divergence(s)",
+            cfg.name,
+            args.seeds,
+            divergences.len()
+        );
+        // One witness per config is plenty; minimizing hundreds is noise.
+        if let Some(d) = divergences.into_iter().next() {
+            total_div += 1;
+            let case = if args.minimize {
+                let m = minimize(&d.case, |c| check(c).is_err());
+                println!(
+                    "  minimized seed {} to {} accesses",
+                    d.case.seed,
+                    m.total_accesses()
+                );
+                m
+            } else {
+                d.case
+            };
+            match write_reproducer(&case, reproducer_dir()) {
+                Ok(p) => println!("  reproducer: {}", p.display()),
+                Err(e) => eprintln!("  failed to write reproducer: {e}"),
+            }
+        }
+    }
+
+    let mut oracle_fail = false;
+    if args.oracles && !args.sabotage {
+        println!("\nEq. 4 oracles (fully-associative, Table II families):");
+        for o in ehr_oracle_pack() {
+            println!("  {}", o.describe());
+            oracle_fail |= !o.holds();
+        }
+    }
+
+    if args.sabotage {
+        // Self-test mode: the harness must have caught the planted bug.
+        if total_div > 0 {
+            println!("\nsabotage detected as expected");
+            ExitCode::SUCCESS
+        } else {
+            println!("\nsabotage NOT detected — harness is blind");
+            ExitCode::FAILURE
+        }
+    } else if total_div > 0 || oracle_fail {
+        ExitCode::FAILURE
+    } else {
+        println!("\nall substrates agree; oracles hold");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,635 @@
+//! Differential trace fuzzing: production substrate vs reference, event
+//! for event.
+//!
+//! Each fuzz case is a seeded, fully deterministic bundle of per-core op
+//! lists (a [`TraceCase`]) generated to be adversarial for cache
+//! metadata: same-set conflict storms deeper than the associativity,
+//! streaming runs that train the prefetcher, dirty-store storms that
+//! force writebacks, random churn over a shared region larger than the
+//! L3 (cross-core sharing and back-invalidation), CAT way-masked lanes,
+//! and BIP-probation lanes (`llc_insert_hint`). The case is executed
+//! twice through the *same* engine — once per substrate — and the two
+//! [`EventSignature`]s must be equal: every counter of every job, every
+//! mark snapshot, every socket's demand/prefetch/writeback/DMA traffic,
+//! and the wall-cycle count.
+//!
+//! A failing case can be [`minimize`]d (greedy lane- then chunk-removal,
+//! ddmin style) and written to `target/conformance/` as a JSON
+//! reproducer that [`replay_file`] re-executes verbatim.
+//!
+//! The [`sabotage`] module wires a deliberate off-by-one into the
+//! reference way scan; the test suite uses it to prove the harness
+//! *fails when it should* and that minimization shrinks the witness to a
+//! handful of accesses.
+
+// A `Divergence` deliberately carries the whole failing case plus both
+// event signatures: it *is* the reproducer payload, and the Err path is
+// the exceptional one by construction.
+#![allow(clippy::result_large_err)]
+
+use std::path::{Path, PathBuf};
+
+use amem_sim::cache::InsertPolicy;
+use amem_sim::config::{CacheConfig, CoreId, MachineConfig};
+use amem_sim::engine::{EventSignature, Job, RunLimit};
+use amem_sim::machine::Machine;
+use amem_sim::model::{SoaSubstrate, Substrate};
+use amem_sim::rng::Xoshiro256;
+use amem_sim::stream::{AccessStream, Op};
+use amem_sim::tlb::TlbConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::reference::RefSubstrate;
+
+/// One named cache geometry the fuzzer sweeps.
+#[derive(Debug, Clone)]
+pub struct FuzzCfg {
+    pub name: &'static str,
+    pub machine: MachineConfig,
+}
+
+/// One core's slice of a fuzz case.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Lane {
+    pub socket: u32,
+    pub core: u32,
+    /// Memory-level parallelism of this lane's stream.
+    pub mlp: u8,
+    /// Whether the lane fills the LLC with a BIP-probation hint
+    /// (`llc_insert_hint() == Some(InsertPolicy::Lru)`), exercising the
+    /// per-fill insertion override.
+    pub probation_hint: bool,
+    /// CAT allocation mask for this lane's L3 fills.
+    pub l3_way_mask: u32,
+    pub ops: Vec<Op>,
+}
+
+/// A self-contained, replayable fuzz case: machine geometry plus one op
+/// list per core. Serialized verbatim as the reproducer format.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceCase {
+    pub config: String,
+    pub seed: u64,
+    pub machine: MachineConfig,
+    pub lanes: Vec<Lane>,
+}
+
+impl TraceCase {
+    /// Total memory accesses (loads + stores) across all lanes — the
+    /// size metric minimization drives down.
+    pub fn total_accesses(&self) -> usize {
+        self.lanes
+            .iter()
+            .flat_map(|l| l.ops.iter())
+            .filter(|o| matches!(o, Op::Load(_) | Op::Store(_)))
+            .count()
+    }
+}
+
+/// A detected behavioural divergence between the two substrates.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    pub case: TraceCase,
+    /// Signature from the production (SoA) substrate.
+    pub production: EventSignature,
+    /// Signature from the substrate under test (normally the reference).
+    pub reference: EventSignature,
+}
+
+impl Divergence {
+    /// One-line description of the first differing field, for reports.
+    pub fn describe(&self) -> String {
+        let (p, r) = (&self.production, &self.reference);
+        if p.wall_cycles != r.wall_cycles {
+            return format!(
+                "{}: wall_cycles {} vs {}",
+                self.case.config, p.wall_cycles, r.wall_cycles
+            );
+        }
+        for (i, (pj, rj)) in p.jobs.iter().zip(&r.jobs).enumerate() {
+            if pj != rj {
+                return format!(
+                    "{}: job {i} ({}) counters differ",
+                    self.case.config, pj.label
+                );
+            }
+        }
+        for (i, (ps, rs)) in p.sockets.iter().zip(&r.sockets).enumerate() {
+            if ps != rs {
+                return format!("{}: socket {i} traffic differs", self.case.config);
+            }
+        }
+        format!("{}: signatures differ", self.case.config)
+    }
+}
+
+/// Replay stream for one lane.
+struct LaneStream {
+    ops: std::vec::IntoIter<Op>,
+    mlp: u8,
+    hint: bool,
+    label: String,
+}
+
+impl LaneStream {
+    fn new(lane: &Lane) -> Self {
+        Self {
+            ops: lane.ops.clone().into_iter(),
+            mlp: lane.mlp,
+            hint: lane.probation_hint,
+            label: format!("lane-s{}c{}", lane.socket, lane.core),
+        }
+    }
+}
+
+impl AccessStream for LaneStream {
+    fn next_op(&mut self) -> Op {
+        self.ops.next().unwrap_or(Op::Done)
+    }
+    fn mlp(&self) -> u8 {
+        self.mlp
+    }
+    fn label(&self) -> &str {
+        &self.label
+    }
+    fn llc_insert_hint(&self) -> Option<InsertPolicy> {
+        self.hint.then_some(InsertPolicy::Lru)
+    }
+}
+
+fn l3(
+    sets: u64,
+    ways: u32,
+    repl: amem_sim::cache::Replacement,
+    ins: InsertPolicy,
+    hash: bool,
+) -> CacheConfig {
+    CacheConfig {
+        size_bytes: sets * ways as u64 * 64,
+        line_bytes: 64,
+        ways,
+        latency: 38,
+        replacement: repl,
+        insert: ins,
+        hash_sets: hash,
+    }
+}
+
+fn tiny_machine(name: &str, l3: CacheConfig) -> MachineConfig {
+    // 1/64-scale private caches keep eviction pressure high everywhere.
+    let mut m = MachineConfig::xeon20mb().scaled(1.0 / 64.0);
+    m.name = name.to_string();
+    m.sockets = 1;
+    m.cores_per_socket = 2;
+    m.l3 = l3;
+    m
+}
+
+/// The geometry panel the fuzzer sweeps: power-of-two and non-power-of-
+/// two set counts, direct-mapped through >64-way fully-associative, all
+/// three replacement policies, both insertion extremes, hashed and plain
+/// indexing, TLB on and off, one and two sockets.
+pub fn configs() -> Vec<FuzzCfg> {
+    use amem_sim::cache::Replacement::{BitPlru, Lru, Random};
+    let mut v = vec![
+        FuzzCfg {
+            name: "pow2-mru",
+            machine: tiny_machine("pow2-mru", l3(64, 8, Lru, InsertPolicy::Mru, true)),
+        },
+        FuzzCfg {
+            name: "nonpow2-bip",
+            machine: tiny_machine("nonpow2-bip", l3(48, 8, Lru, InsertPolicy::Lru, false)),
+        },
+        FuzzCfg {
+            name: "fullassoc-128way",
+            machine: tiny_machine(
+                "fullassoc-128way",
+                l3(1, 128, Lru, InsertPolicy::Mru, false),
+            ),
+        },
+        FuzzCfg {
+            name: "bitplru-mid",
+            machine: tiny_machine("bitplru-mid", l3(32, 16, BitPlru, InsertPolicy::Mid, true)),
+        },
+        FuzzCfg {
+            name: "random-repl",
+            machine: tiny_machine("random-repl", l3(32, 8, Random, InsertPolicy::Mru, false)),
+        },
+        FuzzCfg {
+            name: "directmap-tlb",
+            machine: {
+                let mut m =
+                    tiny_machine("directmap-tlb", l3(128, 1, Lru, InsertPolicy::Mru, false));
+                m.tlb = TlbConfig::xeon_dtlb();
+                m
+            },
+        },
+        FuzzCfg {
+            name: "two-socket",
+            machine: {
+                let mut m = tiny_machine("two-socket", l3(64, 8, Lru, InsertPolicy::Mru, true));
+                m.sockets = 2;
+                m
+            },
+        },
+    ];
+    // Names double as reproducer file stems; keep them unique.
+    v.dedup_by(|a, b| a.name == b.name);
+    v
+}
+
+/// Generate one lane's adversarial op list.
+fn gen_lane(rng: &mut Xoshiro256, m: &MachineConfig, flat: usize, len: usize) -> Vec<Op> {
+    let l3cfg = &m.l3;
+    let set_stride = l3cfg.sets() as u64 * l3cfg.line_bytes as u64;
+    let shared = 1u64 << 22;
+    let shared_bytes = (l3cfg.size_bytes * 3).max(16 << 10);
+    let private = (1u64 << 24) + (flat as u64) * (1u64 << 22);
+    let mut ops = Vec::with_capacity(len + 64);
+    let mark_at = len * 2 / 5;
+    let mut marked = false;
+    let mut cursor = private;
+    while ops.len() < len {
+        if !marked && ops.len() >= mark_at {
+            ops.push(Op::Mark);
+            marked = true;
+        }
+        match rng.below(12) {
+            // Same-set conflict storm: ~3× associativity distinct lines
+            // hammering one set (probation churn, victim-scan stress).
+            0 | 1 => {
+                let span = (l3cfg.ways as u64) * 3;
+                for _ in 0..8 + rng.below(24) {
+                    let addr = shared + rng.below(span) * set_stride;
+                    if rng.below(4) == 0 {
+                        ops.push(Op::Store(addr));
+                    } else {
+                        ops.push(Op::Load(addr));
+                    }
+                }
+            }
+            // Sequential read run: trains the stride prefetcher.
+            2 | 3 => {
+                for _ in 0..16 + rng.below(96) {
+                    ops.push(Op::Load(cursor));
+                    cursor += 64;
+                }
+            }
+            // Streaming stores: dirty lines everywhere, writeback storms
+            // on eviction.
+            4 => {
+                for _ in 0..16 + rng.below(64) {
+                    ops.push(Op::Store(cursor));
+                    cursor += 64;
+                }
+            }
+            // Strided run (3 lines): prefetcher stride retraining and
+            // page-boundary clipping.
+            5 => {
+                for _ in 0..8 + rng.below(40) {
+                    ops.push(Op::Load(cursor));
+                    cursor += 192;
+                }
+            }
+            // Random churn over a shared region ~3× the L3: capacity
+            // evictions, cross-core sharing, coherence invalidations.
+            6..=8 => {
+                for _ in 0..8 + rng.below(32) {
+                    let addr = shared + rng.below(shared_bytes / 8) * 8;
+                    if rng.below(3) == 0 {
+                        ops.push(Op::Store(addr));
+                    } else {
+                        ops.push(Op::Load(addr));
+                    }
+                }
+            }
+            9 => ops.push(Op::Compute(1 + rng.below(40) as u32)),
+            10 => ops.push(Op::RemoteXfer(64 + rng.below(2048) as u32)),
+            // Dependent single loads at word granularity.
+            _ => {
+                let addr = private + (rng.below(1 << 13) * 8);
+                ops.push(Op::Load(addr));
+            }
+        }
+    }
+    if !marked {
+        ops.push(Op::Mark);
+    }
+    ops
+}
+
+/// Generate the full deterministic fuzz case for (config, seed).
+pub fn gen_case(cfg: &FuzzCfg, seed: u64, ops_per_lane: usize) -> TraceCase {
+    let m = &cfg.machine;
+    let mut lanes = Vec::new();
+    for s in 0..m.sockets {
+        for c in 0..m.cores_per_socket {
+            let flat = (s * m.cores_per_socket + c) as usize;
+            let mut rng = Xoshiro256::seed_from_u64(seed ^ ((flat as u64 + 1) << 48) ^ 0xC0F0_0000);
+            let mask = if rng.below(4) == 0 { 0x0F } else { u32::MAX };
+            lanes.push(Lane {
+                socket: s,
+                core: c,
+                mlp: 1 + rng.below(3) as u8,
+                probation_hint: flat % 2 == 1,
+                l3_way_mask: mask,
+                ops: gen_lane(&mut rng, m, flat, ops_per_lane),
+            });
+        }
+    }
+    TraceCase {
+        config: cfg.name.to_string(),
+        seed,
+        machine: m.clone(),
+        lanes,
+    }
+}
+
+/// Execute a case through one substrate and flatten it to its signature.
+pub fn run_case<S: Substrate>(case: &TraceCase) -> EventSignature {
+    let mut m = Machine::new(case.machine.clone());
+    let jobs = case
+        .lanes
+        .iter()
+        .map(|l| {
+            Job::primary(Box::new(LaneStream::new(l)), CoreId::new(l.socket, l.core))
+                .with_l3_ways(l.l3_way_mask)
+        })
+        .collect();
+    m.run_with::<S>(jobs, RunLimit::default()).event_signature()
+}
+
+/// Run a case through the production substrate and through `S`,
+/// demanding event-for-event equality.
+pub fn check_case_against<S: Substrate>(case: &TraceCase) -> Result<(), Divergence> {
+    let production = run_case::<SoaSubstrate>(case);
+    let reference = run_case::<S>(case);
+    if production == reference {
+        Ok(())
+    } else {
+        Err(Divergence {
+            case: case.clone(),
+            production,
+            reference,
+        })
+    }
+}
+
+/// Production vs the honest reference.
+pub fn check_case(case: &TraceCase) -> Result<(), Divergence> {
+    check_case_against::<RefSubstrate>(case)
+}
+
+/// Outcome of a seed sweep on one config.
+#[derive(Debug)]
+pub struct FuzzOutcome {
+    pub config: String,
+    pub seeds_run: u64,
+    pub divergences: Vec<Divergence>,
+}
+
+/// Fuzz one config across a seed range. Deterministic: the same range
+/// always replays the same cases.
+pub fn fuzz_config(cfg: &FuzzCfg, seeds: std::ops::Range<u64>, ops_per_lane: usize) -> FuzzOutcome {
+    let mut divergences = Vec::new();
+    let n = seeds.end - seeds.start;
+    for seed in seeds {
+        let case = gen_case(cfg, seed, ops_per_lane);
+        if let Err(d) = check_case(&case) {
+            divergences.push(d);
+        }
+    }
+    FuzzOutcome {
+        config: cfg.name.to_string(),
+        seeds_run: n,
+        divergences,
+    }
+}
+
+/// Shrink a failing case while `still_fails` holds: drop whole lanes,
+/// then remove op chunks per lane at halving granularity (ddmin-style),
+/// iterating to a fixpoint. Deterministic given a deterministic checker.
+pub fn minimize(case: &TraceCase, still_fails: impl Fn(&TraceCase) -> bool) -> TraceCase {
+    assert!(still_fails(case), "minimize requires a failing case");
+    let mut cur = case.clone();
+    loop {
+        let mut progress = false;
+        // Whole lanes first: the cheapest big win.
+        let mut i = 0;
+        while cur.lanes.len() > 1 && i < cur.lanes.len() {
+            let mut t = cur.clone();
+            t.lanes.remove(i);
+            if still_fails(&t) {
+                cur = t;
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+        // Chunk removal inside each lane.
+        for li in 0..cur.lanes.len() {
+            let mut chunk = (cur.lanes[li].ops.len() / 2).max(1);
+            loop {
+                let mut start = 0;
+                while start < cur.lanes[li].ops.len() {
+                    let end = (start + chunk).min(cur.lanes[li].ops.len());
+                    let mut t = cur.clone();
+                    t.lanes[li].ops.drain(start..end);
+                    if still_fails(&t) {
+                        cur = t;
+                        progress = true;
+                    } else {
+                        start += chunk;
+                    }
+                }
+                if chunk == 1 {
+                    break;
+                }
+                chunk /= 2;
+            }
+        }
+        if !progress {
+            return cur;
+        }
+    }
+}
+
+/// Default reproducer directory.
+pub fn reproducer_dir() -> PathBuf {
+    PathBuf::from("target/conformance")
+}
+
+/// Serialize a (usually minimized) case for later replay. Returns the
+/// file path.
+pub fn write_reproducer(case: &TraceCase, dir: impl AsRef<Path>) -> std::io::Result<PathBuf> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}-seed{}.json", case.config, case.seed));
+    let json = serde_json::to_string(case)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Load a reproducer file and re-check it against the honest reference.
+pub fn replay_file(path: impl AsRef<Path>) -> std::io::Result<Result<(), Divergence>> {
+    let json = std::fs::read_to_string(path)?;
+    let case: TraceCase = serde_json::from_str(&json)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok(check_case(&case))
+}
+
+/// A reference substrate with a deliberately broken cache, used to prove
+/// the harness detects and minimizes real defects. Not part of the
+/// conformance claim itself.
+#[doc(hidden)]
+pub mod sabotage {
+    use amem_sim::cache::{Eviction, InsertPolicy};
+    use amem_sim::config::CacheConfig;
+    use amem_sim::model::{CacheModel, Substrate};
+
+    use crate::reference::{RefCache, RefPrefetcher, RefTlb};
+
+    /// [`RefCache`] with the classic way-scan off-by-one: lookups scan
+    /// only `ways - 1` ways, so a line resident in the last way is
+    /// reported as a miss (and its recency is never touched).
+    pub struct OffByOneCache {
+        inner: RefCache,
+        scan_ways: usize,
+    }
+
+    impl CacheModel for OffByOneCache {
+        fn build(cfg: &CacheConfig) -> Self {
+            Self {
+                inner: RefCache::new(cfg),
+                scan_ways: cfg.ways.saturating_sub(1) as usize,
+            }
+        }
+        fn without_ownership(self) -> Self {
+            Self {
+                inner: self.inner.without_ownership(),
+                scan_ways: self.scan_ways,
+            }
+        }
+        fn lookup(&mut self, line: u64, store: bool) -> bool {
+            self.inner.lookup_scanning(line, store, self.scan_ways)
+        }
+        fn fill(&mut self, line: u64, dirty: bool) -> Option<Eviction> {
+            self.inner.fill(line, dirty)
+        }
+        fn fill_masked(
+            &mut self,
+            line: u64,
+            dirty: bool,
+            insert_override: Option<InsertPolicy>,
+            way_mask: u32,
+        ) -> Option<Eviction> {
+            self.inner
+                .fill_masked(line, dirty, insert_override, way_mask)
+        }
+        fn invalidate(&mut self, line: u64) -> Option<bool> {
+            self.inner.invalidate(line)
+        }
+        fn mark_dirty(&mut self, line: u64) -> bool {
+            self.inner.mark_dirty(line)
+        }
+        fn contains(&self, line: u64) -> bool {
+            self.inner.contains(line)
+        }
+        fn add_sharer(&mut self, line: u64, core: u32) {
+            self.inner.add_sharer(line, core)
+        }
+        fn sharers(&self, line: u64) -> u32 {
+            self.inner.sharers(line)
+        }
+        fn set_exclusive(&mut self, line: u64, core: u32) {
+            self.inner.set_exclusive(line, core)
+        }
+        fn note_present(&mut self, line: u64, core: u32) {
+            self.inner.note_present(line, core)
+        }
+        fn occupancy(&self) -> u64 {
+            self.inner.occupancy()
+        }
+        fn occupancy_in(&self, lo: u64, hi: u64) -> u64 {
+            self.inner.occupancy_in(lo, hi)
+        }
+    }
+
+    /// The sabotaged substrate: broken cache, honest TLB and prefetcher.
+    pub struct OffByOneSubstrate;
+
+    impl Substrate for OffByOneSubstrate {
+        type Cache = OffByOneCache;
+        type Tlb = RefTlb;
+        type Pf = RefPrefetcher;
+    }
+
+    /// Check a case against the sabotaged substrate (expected to fail
+    /// for any trace that ever hits a last way).
+    pub fn check_case_sabotaged(case: &super::TraceCase) -> Result<(), super::Divergence> {
+        super::check_case_against::<OffByOneSubstrate>(case)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_config_agrees_on_a_seed_sweep() {
+        for cfg in configs() {
+            let out = fuzz_config(&cfg, 0..3, 1500);
+            assert!(
+                out.divergences.is_empty(),
+                "{}: {}",
+                cfg.name,
+                out.divergences[0].describe()
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = &configs()[0];
+        let a = gen_case(cfg, 7, 800);
+        let b = gen_case(cfg, 7, 800);
+        assert_eq!(a.lanes.len(), b.lanes.len());
+        for (la, lb) in a.lanes.iter().zip(&b.lanes) {
+            assert_eq!(la.ops, lb.ops);
+            assert_eq!(la.mlp, lb.mlp);
+        }
+        // And a different seed produces different work.
+        let c = gen_case(cfg, 8, 800);
+        assert!(a.lanes.iter().zip(&c.lanes).any(|(x, y)| x.ops != y.ops));
+    }
+
+    #[test]
+    fn sabotage_is_caught_and_minimizes_small() {
+        // The injected off-by-one must be detected on the very first
+        // seed and shrink to a tiny witness.
+        let cfg = &configs()[0];
+        let case = gen_case(cfg, 0, 1500);
+        let d = sabotage::check_case_sabotaged(&case).expect_err("off-by-one must diverge");
+        assert_eq!(d.case.config, "pow2-mru");
+        let min = minimize(&case, |c| sabotage::check_case_sabotaged(c).is_err());
+        assert!(
+            min.total_accesses() <= 50,
+            "minimized witness too large: {} accesses",
+            min.total_accesses()
+        );
+        // The minimized case still reproduces.
+        assert!(sabotage::check_case_sabotaged(&min).is_err());
+    }
+
+    #[test]
+    fn reproducers_round_trip() {
+        let cfg = &configs()[1];
+        let case = gen_case(cfg, 3, 400);
+        let dir = std::env::temp_dir().join("amem-conformance-test");
+        let path = write_reproducer(&case, &dir).unwrap();
+        let replay = replay_file(&path).unwrap();
+        assert!(replay.is_ok(), "honest replay must pass");
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,46 @@
+//! # amem-conformance — does the fast simulator still implement the model?
+//!
+//! The simulator's hot structures ([`amem_sim::cache::Cache`] and friends)
+//! have accumulated layers of performance machinery: structure-of-arrays
+//! layouts, movemask set scans, lookup→fill miss memos, probation flags
+//! folded into recency stamps. Each was justified by an unchanged figure
+//! CSV at the time — but CSVs rot, and behavioural equivalence deserves a
+//! *living* proof. This crate supplies one, in three parts:
+//!
+//! 1. **A reference interpreter** ([`mod@reference`]): array-of-structs,
+//!    scalar, memo-free re-implementations of the cache, TLB and stride
+//!    prefetcher, written for obviousness rather than speed, and plugged
+//!    into the production engine through [`amem_sim::model::Substrate`].
+//!    Timing, scheduling, DRAM and coherence are shared engine code, so
+//!    the two substrates must agree **event for event** — counters,
+//!    writebacks, invalidations, even wall cycles.
+//! 2. **A differential trace fuzzer** ([`fuzz`]): seeded, deterministic
+//!    generation of adversarial access streams (set-conflict churn,
+//!    probation storms, dirty writeback pressure, cross-core sharing)
+//!    replayed through both substrates over a panel of cache geometries
+//!    (power-of-two and not, up to >64-way fully-associative). Any
+//!    divergence is shrunk to a minimal reproducer and written to
+//!    `target/conformance/` for replay.
+//! 3. **Analytic oracles** ([`oracle`]): the paper's Eq. 4
+//!    (`EHR = C · Σᵢ f(i)²`) evaluated in closed form for the Table II
+//!    distribution families and compared against the simulated hit rate
+//!    with a CI95-derived tolerance, plus the orthogonality cross-checks
+//!    (CSThr must not move measured bandwidth; BWThr must not move
+//!    measured storage).
+//!
+//! [`platform::ReferencePlatform`] packages the reference substrate
+//! behind the ordinary [`amem_core::platform::Platform`] trait so whole
+//! measurements (workload + interference mix + aggregation) can be
+//! cross-checked; its [`cache_salt`](amem_core::platform::Platform::cache_salt)
+//! keeps its results from ever colliding with the production measurement
+//! cache.
+
+pub mod fuzz;
+pub mod oracle;
+pub mod platform;
+pub mod reference;
+
+pub use fuzz::{configs, fuzz_config, minimize, replay_file, write_reproducer, Divergence};
+pub use oracle::{ehr_oracle, ehr_oracle_pack, orthogonality_pack, EhrOracle, OrthoCheck};
+pub use platform::ReferencePlatform;
+pub use reference::{RefCache, RefPrefetcher, RefSubstrate, RefTlb};

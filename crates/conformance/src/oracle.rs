@@ -1,0 +1,313 @@
+//! Analytic cross-checks: the simulator against closed-form math.
+//!
+//! The differential fuzzer (see [`crate::fuzz`]) proves two
+//! *implementations* agree; it cannot notice both being wrong in the
+//! same way. This module anchors the simulator to something external:
+//!
+//! * **Eq. 4 oracles** — for an i.i.d. access stream drawn from a Table
+//!   II distribution, the paper's model predicts the steady-state hit
+//!   rate of a fully-associative cache as `EHR = C · Σ g(ℓ)²`, computed
+//!   exactly from CDF differences (no simulation). We drive the
+//!   *production* `Cache` with sampled accesses and demand the measured
+//!   rate land within `model_bias + 4·CI95` of the closed form, where
+//!   CI95 comes from [`robust_summary`] over independent seeded trials
+//!   and `model_bias` is the documented gap between Eq. 4's
+//!   independence approximation and a true-LRU cache: the unclamped
+//!   per-line presence probability `C·g(ℓ)` over-counts hot lines, so
+//!   Eq. 4 slightly over-predicts for concentrated distributions (see
+//!   `amem_probes::ehr::expected_hit_rate_clamped` for the corrected
+//!   extension; the paper keeps the simple form).
+//! * **Orthogonality oracles** — the paper's §III-D basis-vector
+//!   property: CSThr pressure must not move a bandwidth measurement,
+//!   and moderate BWThr pressure must not move a storage measurement.
+//!   Evaluated on full engine runs, so they hold (or fail) for the
+//!   whole pipeline, not just the cache model.
+
+use amem_core::trial::robust_summary;
+use amem_interfere::{BwThread, BwThreadCfg, CsThread, CsThreadCfg, InterferenceSpec};
+use amem_probes::dist::{table2, NamedDist};
+use amem_probes::ehr::{expected_hit_rate, sum_sq_line_mass};
+use amem_sim::cache::{Cache, InsertPolicy, Replacement};
+use amem_sim::config::{CacheConfig, CoreId, MachineConfig};
+use amem_sim::engine::{Job, RunLimit};
+use amem_sim::machine::Machine;
+use amem_sim::rng::Xoshiro256;
+
+/// One Eq. 4 cross-check: closed form vs simulated, with the evidence
+/// needed to judge (and report) the comparison.
+#[derive(Debug, Clone)]
+pub struct EhrOracle {
+    pub name: String,
+    /// Eq. 4: `C · Σ g(ℓ)²`.
+    pub analytic: f64,
+    /// Robust mean of the per-trial simulated hit rates.
+    pub measured: f64,
+    /// CI95 half-width over trials.
+    pub ci95_half: f64,
+    /// Documented model bias (LRU vs the independence approximation).
+    pub model_bias: f64,
+    /// `model_bias + 4 · ci95_half`.
+    pub tolerance: f64,
+    pub trials: usize,
+}
+
+impl EhrOracle {
+    /// |measured − analytic| within tolerance?
+    pub fn holds(&self) -> bool {
+        (self.measured - self.analytic).abs() <= self.tolerance
+    }
+
+    pub fn describe(&self) -> String {
+        format!(
+            "{}: analytic {:.4} measured {:.4} (±{:.4} CI95, tol {:.4}) -> {}",
+            self.name,
+            self.analytic,
+            self.measured,
+            self.ci95_half,
+            self.tolerance,
+            if self.holds() { "ok" } else { "VIOLATED" }
+        )
+    }
+}
+
+const LINE_BYTES: u64 = 64;
+const ELEM_BYTES: u64 = 8;
+
+/// Simulate one trial: steady-state hit rate of a fully-associative
+/// production cache under i.i.d. sampling from `dist`.
+fn simulate_hit_rate(
+    nd: &NamedDist,
+    cache_lines: u64,
+    buffer_lines: u64,
+    accesses: u64,
+    seed: u64,
+) -> f64 {
+    let cfg = CacheConfig {
+        size_bytes: cache_lines * LINE_BYTES,
+        line_bytes: LINE_BYTES as u32,
+        ways: cache_lines as u32,
+        latency: 1,
+        replacement: Replacement::Lru,
+        insert: InsertPolicy::Mru,
+        hash_sets: false,
+    };
+    let mut cache = Cache::new(&cfg);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let elems = buffer_lines * LINE_BYTES / ELEM_BYTES;
+    let warm = cache_lines * 8;
+    let mut hits = 0u64;
+    for i in 0..warm + accesses {
+        let idx = nd.dist.sample_index(&mut rng, elems);
+        let line = idx * ELEM_BYTES / LINE_BYTES;
+        let hit = cache.lookup(line, false);
+        if !hit {
+            cache.fill(line, false);
+        }
+        if i >= warm && hit {
+            hits += 1;
+        }
+    }
+    hits as f64 / accesses as f64
+}
+
+/// Build one Eq. 4 oracle for a named distribution.
+///
+/// Geometry: a 512-line fully-associative cache over a 6× larger buffer
+/// keeps every Table II family's analytic EHR comfortably inside (0, 1),
+/// where Eq. 4's assumptions are honest.
+pub fn ehr_oracle(nd: &NamedDist, model_bias: f64) -> EhrOracle {
+    let cache_lines = 512u64;
+    let buffer_lines = cache_lines * 6;
+    let buffer_bytes = buffer_lines * LINE_BYTES;
+    let ssq = sum_sq_line_mass(&nd.dist, buffer_bytes, ELEM_BYTES, LINE_BYTES);
+    let analytic = expected_hit_rate(cache_lines, ssq);
+    let trials = 6usize;
+    let rates: Vec<f64> = (0..trials as u64)
+        .map(|t| {
+            simulate_hit_rate(
+                nd,
+                cache_lines,
+                buffer_lines,
+                16_384,
+                0x000E_11A0 ^ (t.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            )
+        })
+        .collect();
+    let s = robust_summary(&rates, 3.5).expect("finite hit rates");
+    EhrOracle {
+        name: nd.name.to_string(),
+        analytic,
+        measured: s.mean,
+        ci95_half: s.ci95_half,
+        model_bias,
+        tolerance: model_bias + 4.0 * s.ci95_half,
+        trials,
+    }
+}
+
+fn named(name: &str) -> NamedDist {
+    table2()
+        .into_iter()
+        .find(|d| d.name == name)
+        .unwrap_or_else(|| panic!("unknown Table II row {name}"))
+}
+
+/// The four-family oracle pack the conformance suite asserts: one
+/// representative per Table II distribution family, each with its
+/// calibrated LRU-vs-Eq.4 bias allowance.
+pub fn ehr_oracle_pack() -> Vec<EhrOracle> {
+    vec![
+        // Concentrated families lean harder on the unclamped presence
+        // probability, so they get the widest bias allowance.
+        ehr_oracle(&named("Norm_6"), 0.08),
+        ehr_oracle(&named("Exp_6"), 0.08),
+        ehr_oracle(&named("Tri_2"), 0.06),
+        // Uniform satisfies the independence assumption almost exactly.
+        ehr_oracle(&named("Uni"), 0.03),
+    ]
+}
+
+/// One §III-D orthogonality check: a metric sampled across interference
+/// levels, with the largest relative departure from its baseline.
+#[derive(Debug, Clone)]
+pub struct OrthoCheck {
+    pub name: String,
+    /// Metric at interference level 0.
+    pub baseline: f64,
+    /// (level, metric) for each tested level.
+    pub levels: Vec<(usize, f64)>,
+    /// max |metric/baseline − 1| over the levels.
+    pub max_rel_shift: f64,
+    pub tolerance: f64,
+}
+
+impl OrthoCheck {
+    pub fn holds(&self) -> bool {
+        self.max_rel_shift <= self.tolerance
+    }
+
+    pub fn describe(&self) -> String {
+        format!(
+            "{}: baseline {:.4}, max shift {:.1}% (tol {:.0}%) -> {}",
+            self.name,
+            self.baseline,
+            self.max_rel_shift * 100.0,
+            self.tolerance * 100.0,
+            if self.holds() { "ok" } else { "VIOLATED" }
+        )
+    }
+}
+
+fn ortho_machine() -> MachineConfig {
+    MachineConfig::xeon20mb().scaled(0.0625)
+}
+
+/// Measured bandwidth (GB/s) of a finite BWThr run against `k` CSThrs.
+fn bw_metric(k: usize) -> f64 {
+    let cfg = ortho_machine();
+    let mut m = Machine::new(cfg.clone());
+    let t = BwThread::new(
+        &mut m,
+        &BwThreadCfg {
+            iterations: Some(3_000),
+            ..BwThreadCfg::for_machine(&cfg)
+        },
+    );
+    let mut jobs = vec![Job::primary(Box::new(t), CoreId::new(0, 0))];
+    if k > 0 {
+        let free: Vec<CoreId> = (1..=k as u32).map(|c| CoreId::new(0, c)).collect();
+        jobs.extend(InterferenceSpec::storage(k).build_jobs(&mut m, &free));
+    }
+    let r = m.run(jobs, RunLimit::default());
+    r.jobs[0]
+        .counters
+        .bandwidth_gbs(cfg.l3.line_bytes, cfg.freq_ghz)
+}
+
+/// Measured storage cost (ns/round) of a finite CSThr run against `k`
+/// BWThrs.
+fn cs_metric(k: usize) -> f64 {
+    let cfg = ortho_machine();
+    let rounds = 200_000u64;
+    let mut m = Machine::new(cfg.clone());
+    let t = CsThread::new(
+        &mut m,
+        &CsThreadCfg {
+            rounds: Some(rounds),
+            ..CsThreadCfg::for_machine(&cfg)
+        },
+    );
+    let mut jobs = vec![Job::primary(Box::new(t), CoreId::new(0, 0))];
+    if k > 0 {
+        let free: Vec<CoreId> = (1..=k as u32).map(|c| CoreId::new(0, c)).collect();
+        jobs.extend(InterferenceSpec::bandwidth(k).build_jobs(&mut m, &free));
+    }
+    let r = m.run(jobs, RunLimit::default());
+    cfg.seconds(r.jobs[0].counters.cycles) * 1e9 / rounds as f64
+}
+
+fn ortho_check(
+    name: &str,
+    metric: impl Fn(usize) -> f64,
+    levels: &[usize],
+    tolerance: f64,
+) -> OrthoCheck {
+    let baseline = metric(0);
+    let levels: Vec<(usize, f64)> = levels.iter().map(|&k| (k, metric(k))).collect();
+    let max_rel_shift = levels
+        .iter()
+        .map(|&(_, v)| (v / baseline - 1.0).abs())
+        .fold(0.0, f64::max);
+    OrthoCheck {
+        name: name.to_string(),
+        baseline,
+        levels,
+        max_rel_shift,
+        tolerance,
+    }
+}
+
+/// Both directions of the §III-D orthogonality claim.
+///
+/// BWThr-vs-CSThr is asserted up to 5 thrashers (the paper's Fig. 7 is
+/// flat across its whole range). CSThr-vs-BWThr is only asserted up to 2
+/// (Fig. 8 shows 3+ BWThrs saturating the memory bus *does* slow CSThr;
+/// that regime is covered by `tests/orthogonality.rs`, not claimed here).
+pub fn orthogonality_pack() -> Vec<OrthoCheck> {
+    vec![
+        ortho_check("bandwidth-invariant-to-CSThr", bw_metric, &[2, 5], 0.10),
+        ortho_check("storage-invariant-to-few-BWThr", cs_metric, &[1, 2], 0.15),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_oracle_is_tight() {
+        let o = ehr_oracle(&named("Uni"), 0.03);
+        // Uniform: analytic EHR is exactly C / buffer_lines.
+        assert!((o.analytic - 512.0 / 3072.0).abs() < 1e-3, "{}", o.analytic);
+        assert!(o.holds(), "{}", o.describe());
+    }
+
+    #[test]
+    fn oracle_pack_holds() {
+        for o in ehr_oracle_pack() {
+            assert!(o.holds(), "{}", o.describe());
+            assert!(
+                o.analytic > 0.05 && o.analytic < 0.95,
+                "{}: analytic EHR must sit inside (0,1) for the check to mean anything",
+                o.name
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_is_deterministic() {
+        let a = ehr_oracle(&named("Exp_6"), 0.08);
+        let b = ehr_oracle(&named("Exp_6"), 0.08);
+        assert_eq!(a.measured.to_bits(), b.measured.to_bits());
+    }
+}

@@ -1,0 +1,109 @@
+//! The reference hierarchy behind the ordinary [`Platform`] trait.
+//!
+//! Wrapping [`SimPlatform`] rather than reimplementing it means the whole
+//! measurement pipeline — rank mapping, feasibility checks, interference
+//! placement, post-`Mark` aggregation — is shared code; only the
+//! substrate differs. A conformance cross-check of a full measurement is
+//! then one platform swap away for any experiment driver.
+
+use amem_core::error::AmemError;
+use amem_core::platform::{Measurement, Platform, SimPlatform, Workload};
+use amem_interfere::InterferenceMix;
+use amem_sim::config::MachineConfig;
+use amem_sim::engine::RunLimit;
+
+use crate::reference::RefSubstrate;
+
+/// Cache-key salt for reference measurements. Bump when the reference
+/// models change behaviour (they should only when the production contract
+/// does).
+const REFERENCE_SALT: &str = "reference-v1";
+
+/// A [`SimPlatform`] that executes every measurement through the
+/// reference (AoS, scalar) hierarchy models instead of the SoA ones.
+#[derive(Debug, Clone)]
+pub struct ReferencePlatform {
+    inner: SimPlatform,
+}
+
+impl ReferencePlatform {
+    pub fn new(cfg: MachineConfig) -> Self {
+        Self {
+            inner: SimPlatform::new(cfg),
+        }
+    }
+
+    /// Wrap an already-configured simulator platform (run limits,
+    /// sampling and tracing settings carry over).
+    pub fn from_sim(inner: SimPlatform) -> Self {
+        Self { inner }
+    }
+
+    pub fn with_limit(mut self, limit: RunLimit) -> Self {
+        self.inner = self.inner.with_limit(limit);
+        self
+    }
+}
+
+impl Platform for ReferencePlatform {
+    fn cfg(&self) -> &MachineConfig {
+        self.inner.cfg()
+    }
+
+    fn limit(&self) -> &RunLimit {
+        self.inner.limit()
+    }
+
+    fn run(
+        &self,
+        workload: &dyn Workload,
+        per_processor: usize,
+        mix: InterferenceMix,
+    ) -> Result<Measurement, AmemError> {
+        self.inner
+            .run_with_substrate::<RefSubstrate>(workload, per_processor, mix)
+    }
+
+    /// Reference measurements are deterministic (cacheable), but must
+    /// never be served from — or written into — the production cache
+    /// namespace: same request, different model.
+    fn cache_salt(&self) -> Option<String> {
+        Some(REFERENCE_SALT.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amem_core::platform::ProbeWorkload;
+    use amem_probes::dist::AccessDist;
+    use amem_probes::probe::ProbeCfg;
+
+    #[test]
+    fn reference_platform_measures_like_production() {
+        // A small probe must produce the *identical* measurement through
+        // both platforms — the platform-level statement of conformance.
+        let cfg = MachineConfig::xeon20mb().scaled(0.03125);
+        let probe = ProbeWorkload(ProbeCfg::for_machine(
+            &cfg,
+            AccessDist::Exponential { rate: 6.0 },
+            2.0,
+            1,
+        ));
+        let prod = SimPlatform::new(cfg.clone());
+        let refp = ReferencePlatform::new(cfg);
+        let a = prod.run(&probe, 1, InterferenceMix::storage(1)).unwrap();
+        let b = refp.run(&probe, 1, InterferenceMix::storage(1)).unwrap();
+        assert_eq!(a.report.wall_cycles, b.report.wall_cycles);
+        assert_eq!(a.report.event_signature(), b.report.event_signature());
+        assert_eq!(a.l3_miss_rate.to_bits(), b.l3_miss_rate.to_bits());
+        assert_eq!(a.app_bandwidth_gbs.to_bits(), b.app_bandwidth_gbs.to_bits());
+    }
+
+    #[test]
+    fn reference_platform_is_salted_and_deterministic() {
+        let p = ReferencePlatform::new(MachineConfig::xeon20mb().scaled(0.0625));
+        assert!(p.deterministic());
+        assert_eq!(p.cache_salt().as_deref(), Some("reference-v1"));
+    }
+}

@@ -580,8 +580,13 @@ impl Executor {
                     if let Some(budget) = p.timeout_ms {
                         // Post-hoc budget: platforms are synchronous, so a
                         // stalled run is detected (and its sample dropped)
-                        // when it finally comes back.
-                        if started.elapsed().as_millis() as u64 > budget {
+                        // when it finally comes back. A zero budget means
+                        // "no wall time allowed" and always trips — the
+                        // deterministic hook the test suite uses to drive
+                        // this path without racing the clock (a fast run
+                        // can measure 0 elapsed ms, so `elapsed > 0` was
+                        // a flake).
+                        if budget == 0 || started.elapsed().as_millis() as u64 > budget {
                             return Err(AmemError::Timeout { limit_ms: budget });
                         }
                     }
@@ -663,14 +668,22 @@ impl Executor {
             return None;
         }
         let workload_key = workload.cache_key()?;
-        Some(amem_sim::canonical_json(&CacheKey {
+        let mut key = amem_sim::canonical_json(&CacheKey {
             schema: CACHE_SCHEMA_VERSION,
             machine: self.platform.cfg().clone(),
             limit: self.platform.limit().clone(),
             workload: workload_key,
             per_processor,
             mix,
-        }))
+        });
+        // Appended as a suffix, not a `CacheKey` field, so every key from
+        // an unsalted (production) platform stays byte-identical to what
+        // it was before salts existed — old disk caches remain valid.
+        if let Some(salt) = self.platform.cache_salt() {
+            key.push_str("#salt=");
+            key.push_str(&salt);
+        }
+        Some(key)
     }
 
     /// On-disk path of a key: the FNV-1a fingerprint names the file.
@@ -941,6 +954,43 @@ mod tests {
             b.request_key(&w, 2, InterferenceMix::none()),
             "TrialPolicy is execution-only: cached entries are shared"
         );
+    }
+
+    /// Wraps a platform to claim a different model identity via
+    /// [`Platform::cache_salt`].
+    struct SaltedPlatform(SimPlatform);
+
+    impl Platform for SaltedPlatform {
+        fn cfg(&self) -> &MachineConfig {
+            self.0.cfg()
+        }
+        fn limit(&self) -> &RunLimit {
+            self.0.limit()
+        }
+        fn run(
+            &self,
+            workload: &dyn Workload,
+            per_processor: usize,
+            mix: InterferenceMix,
+        ) -> Result<Measurement, AmemError> {
+            self.0.run(workload, per_processor, mix)
+        }
+        fn cache_salt(&self) -> Option<String> {
+            Some("test-model-v1".into())
+        }
+    }
+
+    #[test]
+    fn cache_salt_partitions_the_key_space() {
+        let plain = Executor::memory_only(plat());
+        let salted = Executor::memory_only(SaltedPlatform(plat()));
+        let w = tiny_mcb();
+        let pk = plain.request_key(&w, 2, InterferenceMix::none()).unwrap();
+        let sk = salted.request_key(&w, 2, InterferenceMix::none()).unwrap();
+        // Unsalted keys are byte-identical to the pre-salt format, so
+        // existing disk caches stay valid; salted keys can never collide.
+        assert!(!pk.contains("#salt="), "production keys must be unchanged");
+        assert_eq!(sk, format!("{pk}#salt=test-model-v1"));
     }
 
     #[test]

@@ -221,6 +221,12 @@ impl<P: Platform> Platform for FaultyPlatform<P> {
     fn deterministic(&self) -> bool {
         self.deterministic
     }
+
+    fn cache_salt(&self) -> Option<String> {
+        // Forwarded so a salted inner platform (e.g. the conformance
+        // reference) keeps its distinct cache identity under injection.
+        self.inner.cache_salt()
+    }
 }
 
 #[cfg(test)]

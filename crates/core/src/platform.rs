@@ -17,6 +17,7 @@ use amem_sim::cluster::RankMap;
 use amem_sim::config::MachineConfig;
 use amem_sim::engine::{Job, RunLimit, RunReport};
 use amem_sim::machine::Machine;
+use amem_sim::model::{SoaSubstrate, Substrate};
 use serde::{Deserialize, Serialize};
 
 use crate::error::AmemError;
@@ -179,6 +180,16 @@ pub trait Platform: Send + Sync {
     fn deterministic(&self) -> bool {
         true
     }
+
+    /// Extra discriminator appended to the executor's cache key. `None`
+    /// (the default, and every production platform) leaves keys exactly
+    /// as they were; platforms that run the same configuration through a
+    /// *different model* — e.g. the conformance `ReferencePlatform` —
+    /// must return a stable salt so their measurements can never collide
+    /// with (or be served from) the production cache.
+    fn cache_salt(&self) -> Option<String> {
+        None
+    }
 }
 
 /// Build the rank mapping, reporting invalid geometry as an error instead
@@ -269,18 +280,13 @@ impl SimPlatform {
         self.limit = self.limit.clone().with_tracing(capacity);
         self
     }
-}
 
-impl Platform for SimPlatform {
-    fn cfg(&self) -> &MachineConfig {
-        &self.cfg
-    }
-
-    fn limit(&self) -> &RunLimit {
-        &self.limit
-    }
-
-    fn run(
+    /// Run a workload over an explicit hierarchy [`Substrate`]. This is
+    /// the whole body of [`Platform::run`], parameterised so the
+    /// conformance layer can execute identical measurements through the
+    /// reference models; production callers go through the trait method
+    /// (equivalent to `S = SoaSubstrate`).
+    pub fn run_with_substrate<S: Substrate>(
         &self,
         workload: &dyn Workload,
         per_processor: usize,
@@ -296,7 +302,7 @@ impl Platform for SimPlatform {
             });
         }
         jobs.extend(mix.build_jobs(&mut machine, &map.free_cores()));
-        let report = machine.run(jobs, self.limit.clone());
+        let report = machine.run_with::<S>(jobs, self.limit.clone());
         // Measure the steady-state (post-Mark) phase: warm-up transients
         // are excluded exactly as the paper's long runs amortize them.
         let mut agg = amem_sim::CoreCounters::default();
@@ -316,6 +322,25 @@ impl Platform for SimPlatform {
             report,
             quality: None,
         })
+    }
+}
+
+impl Platform for SimPlatform {
+    fn cfg(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    fn limit(&self) -> &RunLimit {
+        &self.limit
+    }
+
+    fn run(
+        &self,
+        workload: &dyn Workload,
+        per_processor: usize,
+        mix: InterferenceMix,
+    ) -> Result<Measurement, AmemError> {
+        self.run_with_substrate::<SoaSubstrate>(workload, per_processor, mix)
     }
 }
 

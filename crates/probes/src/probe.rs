@@ -73,6 +73,20 @@ impl ProbeCfg {
     pub fn compute_cycles(&self) -> u32 {
         (self.adds_per_load / ADDS_PER_CYCLE).max(1)
     }
+
+    /// `Σ g(ℓ)²` of this probe's distribution over its buffer at the
+    /// given line size (the distribution-dependent constant of Eq. 4).
+    pub fn sum_sq_line_mass(&self, line_bytes: u64) -> f64 {
+        crate::ehr::sum_sq_line_mass(&self.dist, self.buffer_bytes, 4, line_bytes)
+    }
+
+    /// Closed-form Eq. 4 expectation for this probe on a fully
+    /// associative cache of `cache_lines` lines — the analytic twin of
+    /// the measured post-`Mark` hit rate, evaluated with no simulation.
+    /// The conformance oracles assert the simulator converges to this.
+    pub fn expected_hit_rate(&self, cache_lines: u64, line_bytes: u64) -> f64 {
+        crate::ehr::expected_hit_rate(cache_lines, self.sum_sq_line_mass(line_bytes))
+    }
 }
 
 /// The probe as a simulator stream: warm-up → `Mark` → measure → `Done`.

@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Event counts for one core over one run.
-#[derive(Debug, Default, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CoreCounters {
     /// Retired load operations.
     pub loads: u64,

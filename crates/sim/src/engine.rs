@@ -35,14 +35,12 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::mpsc;
 
-use crate::cache::Cache;
 use crate::config::{CoreId, MachineConfig};
 use crate::counters::CoreCounters;
 use crate::dram::{DramChannel, DramStats};
-use crate::prefetch::Prefetcher;
+use crate::model::{CacheModel, PrefetchModel, SoaSubstrate, Substrate, TlbModel};
 use crate::stream::{AccessStream, Op, OP_BATCH};
 use crate::telemetry::{CycleHistogram, EventRing, Sampler, SpanEvent, Telemetry};
-use crate::tlb::Tlb;
 
 /// Batches a lane's producer may have in flight ahead of the engine.
 /// Small: the lookahead is pure op generation (streams never observe
@@ -270,6 +268,70 @@ impl RunReport {
         }
         agg
     }
+
+    /// Flatten this run into its comparable event identity. Two
+    /// substrates implementing the same replacement contract must
+    /// produce equal signatures for the same jobs — the property the
+    /// conformance differential fuzzer asserts.
+    pub fn event_signature(&self) -> EventSignature {
+        EventSignature {
+            wall_cycles: self.wall_cycles,
+            jobs: self
+                .jobs
+                .iter()
+                .map(|j| JobEvents {
+                    label: j.label.clone(),
+                    done: j.done,
+                    counters: j.counters,
+                    marks: j.marks.clone(),
+                })
+                .collect(),
+            sockets: self
+                .sockets
+                .iter()
+                .map(|s| SocketEvents {
+                    demand_lines: s.dram.demand_lines,
+                    prefetch_lines: s.dram.prefetch_lines,
+                    writeback_lines: s.dram.writeback_lines,
+                    dma_bytes: s.dram.dma_bytes,
+                    l3_occupancy: s.l3_occupancy,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Per-job slice of an [`EventSignature`]: every counter the engine
+/// maintains, including cycle counts (timing is a pure function of the
+/// hit/miss/eviction decisions, so it must match too).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobEvents {
+    pub label: String,
+    pub done: bool,
+    pub counters: CoreCounters,
+    pub marks: Vec<CoreCounters>,
+}
+
+/// Per-socket slice of an [`EventSignature`]: memory-channel traffic and
+/// final L3 occupancy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SocketEvents {
+    pub demand_lines: u64,
+    pub prefetch_lines: u64,
+    pub writeback_lines: u64,
+    pub dma_bytes: u64,
+    pub l3_occupancy: u64,
+}
+
+/// The event-for-event identity of a run: wall cycles, every job's
+/// counters and mark snapshots, and every socket's channel traffic.
+/// `PartialEq` + serde make it both the fuzzer's comparison object and
+/// the payload of golden-trace snapshot files.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventSignature {
+    pub wall_cycles: u64,
+    pub jobs: Vec<JobEvents>,
+    pub sockets: Vec<SocketEvents>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -333,7 +395,7 @@ impl Outstanding {
     }
 }
 
-struct CoreState {
+struct CoreState<S: Substrate> {
     time: u64,
     out: Outstanding,
     mlp: usize,
@@ -355,22 +417,26 @@ struct CoreState {
     marks: Vec<CoreCounters>,
     llc_hint: Option<crate::cache::InsertPolicy>,
     l3_way_mask: u32,
-    tlb: Tlb,
-    l1: Cache,
-    l2: Cache,
-    pf: Prefetcher,
+    tlb: S::Tlb,
+    l1: S::Cache,
+    l2: S::Cache,
+    pf: S::Pf,
 }
 
-struct SocketState {
-    l3: Cache,
+struct SocketState<S: Substrate> {
+    l3: S::Cache,
     dram: DramChannel,
 }
 
-/// One run of a set of jobs over a fresh (cold) memory hierarchy.
-pub struct Engine<'a> {
+/// One run of a set of jobs over a fresh (cold) memory hierarchy, with
+/// the hierarchy models supplied by a [`Substrate`]. Production code uses
+/// the [`Engine`] alias (the SoA substrate); the conformance layer
+/// instantiates the same engine over its reference substrate so both see
+/// bit-identical scheduling, timing and coherence logic.
+pub struct EngineWith<'a, S: Substrate = SoaSubstrate> {
     cfg: &'a MachineConfig,
-    cores: Vec<CoreState>,
-    sockets: Vec<SocketState>,
+    cores: Vec<CoreState<S>>,
+    sockets: Vec<SocketState<S>>,
     streams: Vec<Option<Box<dyn AccessStream>>>,
     bufs: Vec<OpBuf>,
     feeds: Vec<LaneFeed>,
@@ -388,14 +454,17 @@ pub struct Engine<'a> {
     demand_hist: Vec<CycleHistogram>,
 }
 
-impl<'a> Engine<'a> {
+/// The production engine: [`EngineWith`] over the SoA substrate.
+pub type Engine<'a> = EngineWith<'a, SoaSubstrate>;
+
+impl<'a, S: Substrate> EngineWith<'a, S> {
     pub fn new(cfg: &'a MachineConfig, jobs: Vec<Job>) -> Self {
         let n = cfg.total_cores();
         assert!(
             cfg.cores_per_socket <= 32,
             "sharer/presence masks hold at most 32 cores per socket"
         );
-        let mut cores: Vec<CoreState> = (0..n)
+        let mut cores: Vec<CoreState<S>> = (0..n)
             .map(|i| CoreState {
                 time: 0,
                 out: Outstanding::new(),
@@ -413,15 +482,15 @@ impl<'a> Engine<'a> {
                 marks: Vec::new(),
                 llc_hint: None,
                 l3_way_mask: u32::MAX,
-                tlb: Tlb::new(cfg.tlb),
-                l1: Cache::new(&cfg.l1).without_ownership(),
-                l2: Cache::new(&cfg.l2).without_ownership(),
-                pf: Prefetcher::new(cfg.prefetch, cfg.prefetch_degree),
+                tlb: S::Tlb::build(cfg.tlb),
+                l1: S::Cache::build(&cfg.l1).without_ownership(),
+                l2: S::Cache::build(&cfg.l2).without_ownership(),
+                pf: S::Pf::build(cfg.prefetch, cfg.prefetch_degree),
             })
             .collect();
-        let sockets = (0..cfg.sockets)
+        let sockets: Vec<SocketState<S>> = (0..cfg.sockets)
             .map(|_| SocketState {
-                l3: Cache::new(&cfg.l3),
+                l3: S::Cache::build(&cfg.l3),
                 dram: DramChannel::new(cfg.dram_bytes_per_cycle, cfg.l3.line_bytes),
             })
             .collect();

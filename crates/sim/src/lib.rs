@@ -62,6 +62,7 @@ pub mod energy;
 pub mod engine;
 pub mod fingerprint;
 pub mod machine;
+pub mod model;
 pub mod prefetch;
 pub mod rng;
 pub mod stream;
@@ -82,7 +83,7 @@ pub mod prelude {
 
 pub use config::{CacheConfig, CoreId, MachineConfig};
 pub use counters::CoreCounters;
-pub use engine::{Job, JobReport, RunLimit, RunReport, SocketReport};
+pub use engine::{EventSignature, Job, JobReport, RunLimit, RunReport, SocketReport};
 pub use fingerprint::{canonical_json, fingerprint, fingerprint_hex};
 pub use machine::Machine;
 pub use stream::{AccessStream, Op, OpQueue};

@@ -9,7 +9,8 @@
 
 use crate::alloc::AddrAlloc;
 use crate::config::MachineConfig;
-use crate::engine::{Engine, Job, RunLimit, RunReport};
+use crate::engine::{EngineWith, Job, RunLimit, RunReport};
+use crate::model::{SoaSubstrate, Substrate};
 
 /// A simulated node.
 #[derive(Debug, Clone)]
@@ -45,7 +46,14 @@ impl Machine {
 
     /// Run jobs to completion over a cold hierarchy.
     pub fn run(&mut self, jobs: Vec<Job>, limit: RunLimit) -> RunReport {
-        Engine::new(&self.cfg, jobs).run(&limit)
+        self.run_with::<SoaSubstrate>(jobs, limit)
+    }
+
+    /// Like [`Machine::run`], but over an explicit hierarchy [`Substrate`]
+    /// — the entry point the conformance layer uses to run the same jobs
+    /// through the production and reference models.
+    pub fn run_with<S: Substrate>(&mut self, jobs: Vec<Job>, limit: RunLimit) -> RunReport {
+        EngineWith::<S>::new(&self.cfg, jobs).run(&limit)
     }
 }
 

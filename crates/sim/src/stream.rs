@@ -8,13 +8,18 @@
 
 use std::collections::VecDeque;
 
+use serde::{Deserialize, Serialize};
+
 /// Batch size used by the engine's per-lane op buffers: large enough to
 /// amortize the per-batch virtual dispatch and channel hop, small enough
 /// that the buffered lookahead stays cache-resident.
 pub const OP_BATCH: usize = 256;
 
 /// One operation of a simulated instruction stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Serde participates in the conformance tooling: fuzzer reproducers and
+/// golden traces are JSON arrays of ops, replayable across sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Op {
     /// Load from a byte address. May overlap with other loads up to the
     /// stream's MLP budget.

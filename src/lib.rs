@@ -13,6 +13,7 @@
 //! directory; regenerate the paper's tables and figures with the binaries
 //! in `crates/bench`.
 
+pub use amem_conformance as conformance;
 pub use amem_core as core;
 pub use amem_interfere as interfere;
 pub use amem_miniapps as miniapps;

@@ -443,3 +443,100 @@ mod engine_invariants {
         }
     }
 }
+
+/// Properties of the conformance reference interpreter that hold by
+/// construction of an ideal cache, independent of the production
+/// implementation — so they check the *reference itself* is sane before
+/// it is trusted as a differential oracle.
+mod reference_cache {
+    use super::*;
+    use active_mem::conformance::RefCache;
+    use std::collections::VecDeque;
+
+    fn arb_lines(rng: &mut Xoshiro256, n: usize, span: u64) -> Vec<u64> {
+        (0..n).map(|_| rng.below(span)).collect()
+    }
+
+    fn count_hits(cache: &mut RefCache, trace: &[u64]) -> u64 {
+        let mut hits = 0;
+        for &line in trace {
+            if cache.lookup(line, false) {
+                hits += 1;
+            } else {
+                cache.fill(line, false);
+            }
+        }
+        hits
+    }
+
+    #[test]
+    fn shrinking_associativity_never_increases_hits() {
+        // The LRU inclusion (stack) property: with the same set mapping,
+        // a w-way LRU cache's contents are a superset of the (w-1)-way
+        // cache's at every step, so total hits are monotone in ways.
+        let mut rng = Xoshiro256::seed_from_u64(0x57AC);
+        for case in 0..CASES {
+            let sets = 1 + rng.below(7) as u32; // non-pow2 welcome
+            let span = (sets as u64) * 16;
+            let trace = arb_lines(&mut rng, 600, span);
+            let mut prev = None;
+            for ways in 1..=8u32 {
+                let mut c =
+                    RefCache::with_geometry(sets, ways, Replacement::Lru, InsertPolicy::Mru, false);
+                let hits = count_hits(&mut c, &trace);
+                if let Some(p) = prev {
+                    assert!(
+                        hits >= p,
+                        "case {case}: {ways} ways got {hits} hits, {} ways got {p}",
+                        ways - 1
+                    );
+                }
+                prev = Some(hits);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_capacity_means_all_misses() {
+        let mut rng = Xoshiro256::seed_from_u64(0x0CAB);
+        for case in 0..CASES {
+            let sets = 1 + rng.below(8) as u32;
+            let mut c =
+                RefCache::with_geometry(sets, 0, Replacement::Lru, InsertPolicy::Mru, false);
+            let trace = arb_lines(&mut rng, 200, 64);
+            assert_eq!(count_hits(&mut c, &trace), 0, "case {case}");
+            assert_eq!(c.occupancy(), 0, "case {case}");
+        }
+    }
+
+    #[test]
+    fn single_set_lru_matches_deque_oracle() {
+        // A fully-associative LRU/MRU-insert cache is exactly a
+        // recency-ordered list: hit iff present (move to front), miss
+        // inserts at front and evicts the back when full.
+        let mut rng = Xoshiro256::seed_from_u64(0xDE90);
+        for case in 0..CASES {
+            let ways = 1 + rng.below(24) as u32;
+            let mut c =
+                RefCache::with_geometry(1, ways, Replacement::Lru, InsertPolicy::Mru, false);
+            let mut oracle: VecDeque<u64> = VecDeque::new();
+            let trace = arb_lines(&mut rng, 500, ways as u64 * 3);
+            for (i, &line) in trace.iter().enumerate() {
+                let hit = c.lookup(line, false);
+                let oracle_hit = oracle.contains(&line);
+                assert_eq!(hit, oracle_hit, "case {case} access {i} line {line}");
+                if hit {
+                    let pos = oracle.iter().position(|&l| l == line).unwrap();
+                    oracle.remove(pos);
+                } else {
+                    c.fill(line, false);
+                    if oracle.len() == ways as usize {
+                        oracle.pop_back();
+                    }
+                }
+                oracle.push_front(line);
+                assert_eq!(c.occupancy(), oracle.len() as u64, "case {case} access {i}");
+            }
+        }
+    }
+}

@@ -125,6 +125,9 @@ fn multi_trial_on_a_deterministic_platform_changes_nothing_but_quality() {
 #[test]
 fn wall_clock_timeouts_are_typed_and_degradable() {
     let m = machine();
+    // A zero budget is the executor's deterministic always-timeout hook:
+    // it trips regardless of how fast the run completes, so this test
+    // never races the wall clock (flaky-hygiene audit, ISSUE 5).
     let exec = Executor::uncached(SimPlatform::new(m.clone()))
         .with_policy(TrialPolicy::fixed(1).with_timeout_ms(0));
     let err = exec
