@@ -1,0 +1,457 @@
+//! `amem-stats` — cost attribution and performance trajectory for the
+//! reproduction harness itself.
+//!
+//! Two reports:
+//!
+//! * `--attribution <fig1|fig6>` runs the named figure binary cold
+//!   (`--no-cache --metrics`, progress silenced, rayon pinned to one
+//!   worker so phase time sums to wall time), then renders where the wall
+//!   clock went: the leaf phases (op generation, cache lookup, simulation,
+//!   aggregation) that partition the run, and the `grid/...` phases that
+//!   split the same time by probe-grid level — the evidence for which
+//!   CSThr levels dominate the cold fig6 wall (ROADMAP item 1). Use
+//!   `--parallel` to keep the default rayon pool (phases then overlap and
+//!   leaf coverage is reported per worker-second).
+//! * `--trend` reads the appended `BENCH_history.jsonl` (see `perfbase`)
+//!   and renders each kernel's first→latest trajectory, plus the latest
+//!   entry's delta against the committed `BENCH_sim.json` ratchet.
+//!
+//! `--overhead <fig>` additionally times a figure with the metrics gate
+//! off and on (both cold) and prints the relative cost of instrumentation.
+//!
+//! Flags: `--scale <f>` (default 0.0625, matching `perfbase`'s cold runs),
+//! `--out <dir>` for the child's CSV/manifest output (default a temp dir),
+//! `--report <file>` to mirror the rendered report (CI uploads it as an
+//! artifact), `--history <file>`, `--baseline <file>`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use amem_core::manifest::RunManifest;
+use amem_core::report::Table;
+use amem_metrics::Snapshot;
+use serde::{Deserialize, Serialize};
+
+/// Leaf phases partition a run's wall time; everything else (the
+/// `grid/...` namespace) is an overlapping by-level view of the same time
+/// and must not be added to the leaf total.
+fn is_leaf(name: &str) -> bool {
+    !name.starts_with("grid/")
+}
+
+struct Cli {
+    attribution: Option<String>,
+    overhead: Option<String>,
+    trend: bool,
+    scale: f64,
+    parallel: bool,
+    out: Option<PathBuf>,
+    report: Option<PathBuf>,
+    history: PathBuf,
+    baseline: PathBuf,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        attribution: None,
+        overhead: None,
+        trend: false,
+        scale: 0.0625,
+        parallel: false,
+        out: None,
+        report: None,
+        history: PathBuf::from("BENCH_history.jsonl"),
+        baseline: PathBuf::from("BENCH_sim.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--attribution" => {
+                cli.attribution = Some(it.next().expect("--attribution needs a figure name"));
+            }
+            "--overhead" => {
+                cli.overhead = Some(it.next().expect("--overhead needs a figure name"));
+            }
+            "--trend" => cli.trend = true,
+            "--scale" => {
+                let v = it.next().expect("--scale needs a value");
+                cli.scale = v.parse().expect("--scale must be a float");
+                assert!(cli.scale > 0.0 && cli.scale <= 1.0, "scale in (0,1]");
+            }
+            "--parallel" => cli.parallel = true,
+            "--out" => cli.out = Some(PathBuf::from(it.next().expect("--out needs a dir"))),
+            "--report" => {
+                cli.report = Some(PathBuf::from(it.next().expect("--report needs a file")));
+            }
+            "--history" => {
+                cli.history = PathBuf::from(it.next().expect("--history needs a file"));
+            }
+            "--baseline" => {
+                cli.baseline = PathBuf::from(it.next().expect("--baseline needs a file"));
+            }
+            other => panic!(
+                "unknown argument: {other} (expected --attribution/--overhead/--trend/\
+                 --scale/--parallel/--out/--report/--history/--baseline)"
+            ),
+        }
+    }
+    if cli.attribution.is_none() && cli.overhead.is_none() && !cli.trend {
+        panic!("nothing to do: pass --attribution <fig>, --overhead <fig>, or --trend");
+    }
+    cli
+}
+
+/// Run a sibling figure binary cold and return (its manifest, the parent's
+/// wall time around the child). `metrics` turns the child's gate on.
+fn run_child(fig: &str, cli: &Cli, out_dir: &PathBuf, metrics: bool) -> (RunManifest, f64) {
+    let exe_dir = std::env::current_exe()
+        .expect("current_exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let _ = std::fs::create_dir_all(out_dir);
+    let mut cmd = std::process::Command::new(exe_dir.join(fig));
+    cmd.args(["--scale", &cli.scale.to_string(), "--no-cache", "--out"])
+        .arg(out_dir)
+        .env("AMEM_PROGRESS", "0")
+        .stdout(std::process::Stdio::null());
+    if metrics {
+        cmd.arg("--metrics");
+    }
+    if !cli.parallel {
+        // One rayon worker: leaf phase time then sums to wall time, so
+        // the coverage check below is meaningful.
+        cmd.env("RAYON_NUM_THREADS", "1");
+    }
+    let t0 = Instant::now();
+    let status = cmd
+        .status()
+        .unwrap_or_else(|e| panic!("failed to spawn {fig}: {e}"));
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(status.success(), "{fig} failed with {status}");
+    let manifest = RunManifest::load(out_dir.join(format!("{fig}.manifest.json")))
+        .unwrap_or_else(|e| panic!("cannot load {fig} manifest: {e}"));
+    (manifest, wall)
+}
+
+fn attribution_report(fig: &str, cli: &Cli, doc: &mut String) {
+    let out_dir = cli
+        .out
+        .clone()
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("amem_stats_{fig}")));
+    let (manifest, _) = run_child(fig, cli, &out_dir, true);
+    let snap = manifest
+        .metrics
+        .as_ref()
+        .expect("child ran with --metrics, manifest must carry a snapshot");
+    let wall = manifest.wall_seconds;
+    let phases = snap.phase_report();
+    let leaf_total: f64 = phases
+        .iter()
+        .filter(|p| is_leaf(&p.name))
+        .map(|p| p.seconds)
+        .sum();
+
+    let mut t = Table::new(
+        format!("amem-stats — {fig} leaf-phase cost (wall {wall:.2}s)"),
+        &["Phase", "Calls", "Seconds", "% of wall"],
+    );
+    for p in phases.iter().filter(|p| is_leaf(&p.name)) {
+        t.row(vec![
+            p.name.clone(),
+            p.calls.to_string(),
+            format!("{:.3}", p.seconds),
+            format!("{:.1}%", 100.0 * p.seconds / wall.max(1e-9)),
+        ]);
+    }
+    writeln!(doc, "{}", t.render()).unwrap();
+    let coverage = 100.0 * leaf_total / wall.max(1e-9);
+    writeln!(
+        doc,
+        "[attribution] leaf phases cover {coverage:.1}% of the {wall:.2}s wall{}",
+        if cli.parallel {
+            " (per worker-second: --parallel overlaps phases)"
+        } else {
+            " (target >= 95%)"
+        }
+    )
+    .unwrap();
+
+    let grid: Vec<_> = phases.iter().filter(|p| !is_leaf(&p.name)).collect();
+    if !grid.is_empty() {
+        let mut g = Table::new(
+            format!("amem-stats — {fig} probe-grid levels (overlapping view of the same wall)"),
+            &["Grid cell", "Points", "Seconds", "% of wall"],
+        );
+        for p in &grid {
+            g.row(vec![
+                p.name.clone(),
+                p.calls.to_string(),
+                format!("{:.3}", p.seconds),
+                format!("{:.1}%", 100.0 * p.seconds / wall.max(1e-9)),
+            ]);
+        }
+        writeln!(doc, "{}", g.render()).unwrap();
+        if let Some(top) = grid.first() {
+            writeln!(
+                doc,
+                "[attribution] dominant grid cell: {} ({:.3}s, {:.1}% of wall)",
+                top.name,
+                top.seconds,
+                100.0 * top.seconds / wall.max(1e-9)
+            )
+            .unwrap();
+        }
+    }
+    writeln!(
+        doc,
+        "[attribution] {} measurement requests, {} fresh simulations",
+        snap.counter_total("amem_executor_requests_total"),
+        requests_with(snap, "sim") + requests_with(snap, "uncached_sim"),
+    )
+    .unwrap();
+}
+
+fn requests_with(snap: &Snapshot, outcome: &str) -> u64 {
+    snap.counter("amem_executor_requests_total", &[("outcome", outcome)])
+        .unwrap_or(0)
+}
+
+fn overhead_report(fig: &str, cli: &Cli, doc: &mut String) {
+    // Best-of-N on each side (perfbase's idiom): a single cold run's
+    // wall clock is noisier than the effect being measured, while minima
+    // converge to the machine's actual best case. The children's own
+    // wall clocks (manifest-stamped) exclude process start-up, so the
+    // ratio isolates the instrumentation itself.
+    const REPS: usize = 3;
+    let base_dir = std::env::temp_dir().join(format!("amem_stats_{fig}_plain"));
+    let inst_dir = std::env::temp_dir().join(format!("amem_stats_{fig}_metrics"));
+    // Interleaved (off, on, off, on, ...) rather than batched, so slow
+    // host drift lands on both sides instead of masquerading as overhead.
+    let (mut off, mut on) = (f64::MAX, f64::MAX);
+    for _ in 0..REPS {
+        off = off.min(run_child(fig, cli, &base_dir, false).0.wall_seconds);
+        on = on.min(run_child(fig, cli, &inst_dir, true).0.wall_seconds);
+    }
+    let pct = 100.0 * (on - off) / off.max(1e-9);
+    writeln!(
+        doc,
+        "[overhead] {fig} cold: {off:.2}s plain, {on:.2}s with --metrics \
+         ({pct:+.1}%, best of {REPS}, budget <3%)"
+    )
+    .unwrap();
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let _ = std::fs::remove_dir_all(&inst_dir);
+}
+
+// Mirror of perfbase's serialized shapes (kept minimal: only the fields
+// the trend report reads).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct KernelResult {
+    name: String,
+    ns_per_op: f64,
+    mops_per_sec: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ColdResult {
+    name: String,
+    seconds: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct HistoryEntry {
+    schema: u32,
+    host: String,
+    git_sha: String,
+    recorded_unix: u64,
+    kernels: Vec<KernelResult>,
+    cold: Vec<ColdResult>,
+}
+
+fn short_sha(sha: &str) -> &str {
+    if sha.len() >= 8 {
+        &sha[..8]
+    } else {
+        sha
+    }
+}
+
+fn trend_report(cli: &Cli, doc: &mut String) {
+    let text = match std::fs::read_to_string(&cli.history) {
+        Ok(t) => t,
+        Err(e) => {
+            writeln!(
+                doc,
+                "[trend] no history at {} ({e}); run perfbase to record one",
+                cli.history.display()
+            )
+            .unwrap();
+            return;
+        }
+    };
+    let mut entries: Vec<HistoryEntry> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<HistoryEntry>(line) {
+            Ok(e) => entries.push(e),
+            Err(e) => eprintln!(
+                "warning: {} line {}: {e} (skipped)",
+                cli.history.display(),
+                i + 1
+            ),
+        }
+    }
+    if entries.is_empty() {
+        writeln!(doc, "[trend] history is empty").unwrap();
+        return;
+    }
+    entries.sort_by_key(|e| e.recorded_unix);
+    let first = &entries[0];
+    let last = &entries[entries.len() - 1];
+    writeln!(
+        doc,
+        "[trend] {} runs, {} -> {} (host {}, commit {})",
+        entries.len(),
+        first.recorded_unix,
+        last.recorded_unix,
+        last.host,
+        short_sha(&last.git_sha)
+    )
+    .unwrap();
+
+    let mut t = Table::new(
+        "amem-stats — kernel throughput trajectory (Mops/s)",
+        &["Kernel", "Runs", "First", "Latest", "Delta"],
+    );
+    let mut names: Vec<&str> = Vec::new();
+    for e in &entries {
+        for k in &e.kernels {
+            if !names.contains(&k.name.as_str()) {
+                names.push(&k.name);
+            }
+        }
+    }
+    for name in &names {
+        let series: Vec<f64> = entries
+            .iter()
+            .filter_map(|e| e.kernels.iter().find(|k| &k.name == name))
+            .map(|k| k.mops_per_sec)
+            .collect();
+        let (f, l) = (series[0], series[series.len() - 1]);
+        t.row(vec![
+            name.to_string(),
+            series.len().to_string(),
+            format!("{f:.3}"),
+            format!("{l:.3}"),
+            format!("{:+.1}%", 100.0 * (l - f) / f.max(1e-9)),
+        ]);
+    }
+    writeln!(doc, "{}", t.render()).unwrap();
+
+    let colds: Vec<&str> = {
+        let mut v: Vec<&str> = Vec::new();
+        for e in &entries {
+            for c in &e.cold {
+                if !v.contains(&c.name.as_str()) {
+                    v.push(&c.name);
+                }
+            }
+        }
+        v
+    };
+    if !colds.is_empty() {
+        let mut t = Table::new(
+            "amem-stats — cold figure wall-time trajectory (s)",
+            &["Run", "Samples", "First", "Latest", "Delta"],
+        );
+        for name in &colds {
+            let series: Vec<f64> = entries
+                .iter()
+                .filter_map(|e| e.cold.iter().find(|c| &c.name == name))
+                .map(|c| c.seconds)
+                .collect();
+            let (f, l) = (series[0], series[series.len() - 1]);
+            t.row(vec![
+                name.to_string(),
+                series.len().to_string(),
+                format!("{f:.2}"),
+                format!("{l:.2}"),
+                format!("{:+.1}%", 100.0 * (l - f) / f.max(1e-9)),
+            ]);
+        }
+        writeln!(doc, "{}", t.render()).unwrap();
+    }
+
+    // Delta of the latest run against the committed ratchet file, when
+    // present (it only carries kernels + cold, same shapes).
+    if let Ok(text) = std::fs::read_to_string(&cli.baseline) {
+        #[derive(Debug, Serialize, Deserialize)]
+        struct Baseline {
+            schema: u32,
+            note: String,
+            ops_per_kernel: u64,
+            reps: usize,
+            kernels: Vec<KernelResult>,
+            cold: Vec<ColdResult>,
+        }
+        match serde_json::from_str::<Baseline>(&text) {
+            Ok(base) => {
+                let mut t = Table::new(
+                    format!("amem-stats — latest run vs {}", cli.baseline.display()),
+                    &["Kernel", "Committed", "Latest", "Delta"],
+                );
+                for k in &base.kernels {
+                    let Some(cur) = last.kernels.iter().find(|c| c.name == k.name) else {
+                        continue;
+                    };
+                    t.row(vec![
+                        k.name.clone(),
+                        format!("{:.3}", k.mops_per_sec),
+                        format!("{:.3}", cur.mops_per_sec),
+                        format!(
+                            "{:+.1}%",
+                            100.0 * (cur.mops_per_sec - k.mops_per_sec) / k.mops_per_sec.max(1e-9)
+                        ),
+                    ]);
+                }
+                writeln!(doc, "{}", t.render()).unwrap();
+            }
+            Err(e) => eprintln!("warning: bad baseline {}: {e}", cli.baseline.display()),
+        }
+    } else {
+        writeln!(
+            doc,
+            "[trend] no committed baseline at {} to diff against",
+            cli.baseline.display()
+        )
+        .unwrap();
+    }
+}
+
+fn main() {
+    let cli = parse_cli();
+    let mut doc = String::new();
+    if let Some(fig) = &cli.attribution {
+        attribution_report(fig, &cli, &mut doc);
+    }
+    if let Some(fig) = &cli.overhead {
+        overhead_report(fig, &cli, &mut doc);
+    }
+    if cli.trend {
+        trend_report(&cli, &mut doc);
+    }
+    print!("{doc}");
+    if let Some(path) = &cli.report {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(path, &doc) {
+            Ok(()) => println!("[report] {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+}

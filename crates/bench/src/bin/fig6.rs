@@ -44,6 +44,9 @@ fn main() {
     let caps: Vec<((u32, usize, usize), f64)> = grid
         .par_iter()
         .map(|&(adds, k, ri, di)| {
+            // Grid-namespace phase: lets `amem-stats --attribution fig6`
+            // split the wall time by CSThr level (ROADMAP item 1).
+            let _cell = amem_metrics::phase(&format!("grid/fig6 cs={k}"));
             let p = ProbeCfg::for_machine(&m, dists[di].dist, ratios[ri], adds);
             let r = exec
                 .run(&ProbeWorkload(p), 1, InterferenceMix::storage(k))

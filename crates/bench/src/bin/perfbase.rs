@@ -18,7 +18,13 @@
 //! ratchet against order-of-magnitude regressions, not a microbenchmark.
 //!
 //! Flags: `--out <file>` (default `BENCH_sim.json`), `--check <file>`,
-//! `--skip-cold` (kernels only — the cold figure runs dominate runtime).
+//! `--skip-cold` (kernels only — the cold figure runs dominate runtime),
+//! `--history <file>` (default `BENCH_history.jsonl`) and `--no-history`.
+//!
+//! Every run additionally *appends* one host- and commit-tagged JSONL line
+//! to the history file, so a trajectory accumulates across sessions
+//! without ever rewriting the committed `BENCH_sim.json` ratchet;
+//! `amem-stats --trend` renders the accumulated trend.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -33,17 +39,29 @@ const N: u64 = 100_000;
 /// Timed repetitions per kernel; the minimum is reported.
 const REPS: usize = 5;
 
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct KernelResult {
     name: String,
     ns_per_op: f64,
     mops_per_sec: f64,
 }
 
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct ColdResult {
     name: String,
     seconds: f64,
+}
+
+/// One appended line of `BENCH_history.jsonl`: a baseline plus enough
+/// provenance (host, commit, wall-clock) to group and order runs later.
+#[derive(Debug, Serialize, Deserialize)]
+struct HistoryEntry {
+    schema: u32,
+    host: String,
+    git_sha: String,
+    recorded_unix: u64,
+    kernels: Vec<KernelResult>,
+    cold: Vec<ColdResult>,
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -193,6 +211,50 @@ fn run_cold() -> Vec<ColdResult> {
     out
 }
 
+/// Best-effort host name: `$HOSTNAME`, then the kernel's, then "unknown".
+fn host_name() -> String {
+    std::env::var("HOSTNAME")
+        .ok()
+        .filter(|h| !h.trim().is_empty())
+        .or_else(|| {
+            std::fs::read_to_string("/proc/sys/kernel/hostname")
+                .ok()
+                .map(|h| h.trim().to_string())
+                .filter(|h| !h.is_empty())
+        })
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Best-effort commit id of the working tree ("unknown" outside git).
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Append one provenance-tagged line to the history file (created if
+/// missing). Failures warn rather than abort: history is an amenity, the
+/// baseline file is the product.
+fn append_history(path: &PathBuf, entry: &HistoryEntry) {
+    use std::io::Write;
+    let line = serde_json::to_string(entry).expect("serialize history entry");
+    let res = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| writeln!(f, "{line}"));
+    match res {
+        Ok(()) => println!("[perfbase] appended to {}", path.display()),
+        Err(e) => eprintln!("warning: could not append {}: {e}", path.display()),
+    }
+}
+
 /// Gate fresh kernel numbers against a committed baseline. Returns the
 /// failure messages (empty = pass).
 fn check(fresh: &Baseline, committed: &Baseline, tolerance: f64) -> Vec<String> {
@@ -221,6 +283,8 @@ fn main() {
     let mut out_path = PathBuf::from("BENCH_sim.json");
     let mut check_path: Option<PathBuf> = None;
     let mut skip_cold = false;
+    let mut history_path = PathBuf::from("BENCH_history.jsonl");
+    let mut no_history = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -229,7 +293,14 @@ fn main() {
                 check_path = Some(PathBuf::from(it.next().expect("--check needs a file")));
             }
             "--skip-cold" => skip_cold = true,
-            other => panic!("unknown argument: {other} (expected --out/--check/--skip-cold)"),
+            "--history" => {
+                history_path = PathBuf::from(it.next().expect("--history needs a file"));
+            }
+            "--no-history" => no_history = true,
+            other => panic!(
+                "unknown argument: {other} \
+                 (expected --out/--check/--skip-cold/--history/--no-history)"
+            ),
         }
     }
 
@@ -249,6 +320,21 @@ fn main() {
     let json = serde_json::to_string_pretty(&fresh).expect("serialize baseline");
     std::fs::write(&out_path, json + "\n").expect("write baseline");
     println!("[perfbase] wrote {}", out_path.display());
+
+    if !no_history {
+        let entry = HistoryEntry {
+            schema: 1,
+            host: host_name(),
+            git_sha: git_sha(),
+            recorded_unix: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            kernels: fresh.kernels.clone(),
+            cold: fresh.cold.clone(),
+        };
+        append_history(&history_path, &entry);
+    }
 
     if let Some(path) = check_path {
         let text = std::fs::read_to_string(&path)

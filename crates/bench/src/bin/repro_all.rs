@@ -208,6 +208,30 @@ fn main() {
             quality.degraded_points
         );
     }
+    // Metrics snapshots (present when children ran with `--metrics` or
+    // `$AMEM_METRICS`) merge into one suite-wide view: counters and
+    // histograms add saturating, gauges keep their maximum.
+    let mut merged: Option<amem_metrics::Snapshot> = None;
+    for m in &manifests {
+        if let Some(s) = &m.metrics {
+            match &mut merged {
+                Some(acc) => acc.merge(s),
+                None => merged = Some(s.clone()),
+            }
+        }
+    }
+    if let Some(snap) = merged.filter(|s| !s.is_empty()) {
+        let prom = out.join("repro_all.metrics.prom");
+        match std::fs::write(&prom, amem_metrics::export::prometheus_text(&snap)) {
+            Ok(()) => println!(
+                "[metrics] suite total: {} series ({} measurement requests) -> {}",
+                snap.series.len(),
+                snap.counter_total("amem_executor_requests_total"),
+                prom.display()
+            ),
+            Err(e) => eprintln!("warning: could not write {}: {e}", prom.display()),
+        }
+    }
     let total_wall: f64 = manifests.iter().map(|m: &RunManifest| m.wall_seconds).sum();
     println!(
         "All {} reproduction binaries completed ({} manifests, {:.1}s total child wall time); \

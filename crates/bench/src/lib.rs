@@ -98,6 +98,12 @@ pub struct Args {
     /// Fault-injection spec (`--fault <spec>`; falls back to
     /// `$AMEM_FAULT_INJECT`). See [`amem_core::FaultSpec::parse`].
     pub fault: Option<String>,
+    /// Enable the metrics registry (`--metrics`; `$AMEM_METRICS` also
+    /// turns it on, so CI can instrument unmodified invocations).
+    pub metrics: bool,
+    /// Explicit path for the Prometheus export (`--metrics-out`);
+    /// defaults to `<out>/<name>.metrics.prom`.
+    pub metrics_out: Option<PathBuf>,
 }
 
 impl Default for Args {
@@ -117,6 +123,8 @@ impl Default for Args {
             timeout_secs: None,
             ci: false,
             fault: None,
+            metrics: false,
+            metrics_out: None,
         }
     }
 }
@@ -188,10 +196,16 @@ impl Args {
                     FaultSpec::parse(&v).expect("invalid --fault spec");
                     out.fault = Some(v);
                 }
+                "--metrics" => out.metrics = true,
+                "--metrics-out" => {
+                    out.metrics_out = Some(PathBuf::from(
+                        it.next().expect("--metrics-out needs a path"),
+                    ));
+                }
                 other => panic!(
                     "unknown argument: {other} (expected --scale/--full/--out/--sample/--trace/\
                      --no-cache/--cache-dir/--jobs/--profile/--trials/--retries/--timeout/--ci/\
-                     --fault)"
+                     --fault/--metrics/--metrics-out)"
                 ),
             }
         }
@@ -337,6 +351,14 @@ impl Harness {
 
     /// Like [`Harness::new`] with explicit arguments (for tests).
     pub fn with_args(name: &str, args: Args) -> Self {
+        if args.metrics {
+            amem_metrics::set_enabled(true);
+        } else {
+            // `$AMEM_METRICS` can still turn the gate on; with neither
+            // the flag nor the variable set this is a no-op and every
+            // instrumentation site stays a single relaxed load.
+            amem_metrics::init_from_env();
+        }
         let mut manifest = RunManifest::new(name, args.machine());
         manifest.scale = args.scale;
         let exec = args.executor();
@@ -474,6 +496,26 @@ impl Harness {
             );
             self.manifest.quality = Some(rs);
         }
+        if amem_metrics::enabled() {
+            let snap = amem_metrics::snapshot();
+            let prom = self.args.metrics_out.clone().unwrap_or_else(|| {
+                self.args
+                    .out
+                    .join(format!("{}.metrics.prom", self.manifest.name))
+            });
+            if let Some(dir) = prom.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            match std::fs::write(&prom, amem_metrics::export::prometheus_text(&snap)) {
+                Ok(()) => println!(
+                    "[metrics] {} ({} series)",
+                    prom.display(),
+                    snap.series.len()
+                ),
+                Err(e) => eprintln!("warning: could not write {}: {e}", prom.display()),
+            }
+            self.manifest.metrics = Some(snap);
+        }
         let path = self
             .args
             .out
@@ -600,6 +642,34 @@ mod tests {
         assert_eq!(m.tables.len(), 1);
         assert!(m.wall_seconds >= 0.0);
         assert!(m.cache.is_some(), "manifests record cache counters");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn harness_with_metrics_exports_prom_and_manifest_snapshot() {
+        let dir = std::env::temp_dir().join("amem_harness_metrics_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let args = Args {
+            out: dir.clone(),
+            metrics: true,
+            ..Default::default()
+        };
+        let h = Harness::with_args("unit_metrics", args);
+        assert!(amem_metrics::enabled(), "--metrics turns the gate on");
+        amem_metrics::global()
+            .counter("amem_bench_unit_total", &[])
+            .inc();
+        let path = h.finish();
+        let m = RunManifest::load(&path).unwrap();
+        let snap = m.metrics.expect("manifest carries the snapshot");
+        assert!(snap.counter_total("amem_bench_unit_total") >= 1);
+        let prom = dir.join("unit_metrics.metrics.prom");
+        let text = std::fs::read_to_string(&prom).unwrap();
+        let samples = amem_metrics::export::parse_prometheus_text(&text).unwrap();
+        assert!(
+            samples.iter().any(|s| s.name == "amem_bench_unit_total"),
+            "export round-trips through the bundled parser"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

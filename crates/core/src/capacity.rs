@@ -83,6 +83,9 @@ impl CapacityMap {
         let caps: Vec<(usize, Result<f64, AmemError>)> = grid
             .par_iter()
             .map(|&(k, di, ri)| {
+                // Grid-namespace phase: attributes calibration wall time to
+                // its CSThr level (overlaps the leaf phases inside the run).
+                let _cell = amem_metrics::phase(&format!("grid/calibrate cs={k}"));
                 let dist = dists[di].dist;
                 let p = ProbeCfg::for_machine(&cfg, dist, opts.ratios[ri], opts.adds_per_load);
                 let cap = exec

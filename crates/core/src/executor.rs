@@ -318,6 +318,37 @@ impl Executor {
         self.state.lock().unwrap_or_else(|p| p.into_inner())
     }
 
+    /// Mirror one request outcome into the global metrics registry.
+    /// No-op (one relaxed load) unless the metrics gate is on.
+    fn metric_request(&self, outcome: &'static str) {
+        if amem_metrics::enabled() {
+            amem_metrics::global()
+                .counter("amem_executor_requests_total", &[("outcome", outcome)])
+                .inc();
+        }
+    }
+
+    /// Mirror a robustness/cache counter delta into the metrics registry.
+    fn metric_add(&self, name: &'static str, v: u64) {
+        if v > 0 && amem_metrics::enabled() {
+            amem_metrics::global().counter(name, &[]).add(v);
+        }
+    }
+
+    /// Count one rejected disk entry, by reason (`parse` / `schema` /
+    /// `key`). These are the cache's verification failures: a missing
+    /// file is an ordinary miss and is *not* counted here.
+    fn metric_verify_failure(&self, reason: &'static str) {
+        if amem_metrics::enabled() {
+            amem_metrics::global()
+                .counter(
+                    "amem_executor_cache_verify_failures_total",
+                    &[("reason", reason)],
+                )
+                .inc();
+        }
+    }
+
     /// Snapshot of the hit/miss counters so far.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -350,6 +381,7 @@ impl Executor {
     /// aborting).
     pub(crate) fn count_degraded(&self, n: u64) {
         self.degraded_points.fetch_add(n, Ordering::Relaxed);
+        self.metric_add("amem_executor_degraded_points_total", n);
     }
 
     /// Whether an interference level is placeable (delegates to the
@@ -378,6 +410,7 @@ impl Executor {
                 // Uncacheable: no key, a nondeterministic platform, or
                 // caching switched off.
                 self.sim_runs.fetch_add(1, Ordering::Relaxed);
+                self.metric_request("uncached_sim");
                 return self.measure(workload, per_processor, mix).map(Arc::new);
             }
         };
@@ -387,12 +420,23 @@ impl Executor {
             let mut state = self.lock_state();
             if let Some(m) = state.mem.get(&key) {
                 self.mem_hits.fetch_add(1, Ordering::Relaxed);
+                self.metric_request("mem_hit");
                 return Ok(Arc::clone(m));
             }
             if let Some(cell) = state.inflight.get(&key) {
                 let cell = Arc::clone(cell);
                 drop(state);
                 self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                self.metric_request("dedup_join");
+                if amem_metrics::enabled() {
+                    // Time spent blocked on the owning runner.
+                    let waited = std::time::Instant::now();
+                    let res = cell.wait();
+                    amem_metrics::global()
+                        .histogram("amem_executor_dedup_wait_ns", &[])
+                        .record(u64::try_from(waited.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                    return res;
+                }
                 return cell.wait();
             }
             let cell = Arc::new(Inflight::new());
@@ -410,10 +454,12 @@ impl Executor {
         let result = match self.load_disk(&key) {
             Some(m) => {
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.metric_request("disk_hit");
                 Ok(Arc::new(m))
             }
             None => {
                 self.sim_runs.fetch_add(1, Ordering::Relaxed);
+                self.metric_request("sim");
                 let res = self.measure(workload, per_processor, mix).map(Arc::new);
                 if let Ok(m) = &res {
                     self.store_disk(&key, m);
@@ -448,6 +494,7 @@ impl Executor {
             let m = self.run_platform_caught(workload, per_processor, mix)?;
             return screen_finite(m).inspect_err(|_| {
                 self.non_finite.fetch_add(1, Ordering::Relaxed);
+                self.metric_add("amem_executor_non_finite_total", 1);
             });
         }
 
@@ -497,6 +544,9 @@ impl Executor {
         self.timeouts.fetch_add(timeouts as u64, Ordering::Relaxed);
         self.non_finite
             .fetch_add(non_finite as u64, Ordering::Relaxed);
+        self.metric_add("amem_executor_retries_total", retries as u64);
+        self.metric_add("amem_executor_timeouts_total", timeouts as u64);
+        self.metric_add("amem_executor_non_finite_total", non_finite as u64);
 
         if samples.is_empty() {
             let last = last_typed.expect("max_trials >= 1, so at least one trial ran");
@@ -518,11 +568,17 @@ impl Executor {
         }
         self.trials
             .fetch_add(samples.len() as u64, Ordering::Relaxed);
+        self.metric_add("amem_executor_trials_total", samples.len() as u64);
 
         let times: Vec<f64> = samples.iter().map(|m| m.seconds).collect();
+        let _p = amem_metrics::phase("aggregation");
         let summary = robust_summary(&times, p.mad_k).expect("trial samples are screened finite");
         self.outliers_rejected
             .fetch_add(summary.rejected as u64, Ordering::Relaxed);
+        self.metric_add(
+            "amem_executor_outliers_rejected_total",
+            summary.rejected as u64,
+        );
 
         // The returned measurement is the *inlier trial nearest the
         // robust median* — an actually-observed run, so its counters,
@@ -601,6 +657,7 @@ impl Executor {
                 AmemError::NonFinite { .. } => *non_finite += 1,
                 _ => {
                     self.faults.fetch_add(1, Ordering::Relaxed);
+                    self.metric_add("amem_executor_faults_total", 1);
                 }
             }
             if e.is_transient() && attempt <= p.max_retries {
@@ -696,9 +753,21 @@ impl Executor {
     /// error, schema mismatch, key mismatch — as a miss.
     fn load_disk(&self, key: &str) -> Option<Measurement> {
         let path = self.entry_path(key)?;
+        let _p = amem_metrics::phase("cache_lookup");
         let json = std::fs::read_to_string(path).ok()?;
-        let entry: DiskEntry = serde_json::from_str(&json).ok()?;
-        if entry.schema_version != CACHE_SCHEMA_VERSION || entry.key != key {
+        let entry: DiskEntry = match serde_json::from_str(&json) {
+            Ok(e) => e,
+            Err(_) => {
+                self.metric_verify_failure("parse");
+                return None;
+            }
+        };
+        if entry.schema_version != CACHE_SCHEMA_VERSION {
+            self.metric_verify_failure("schema");
+            return None;
+        }
+        if entry.key != key {
+            self.metric_verify_failure("key");
             return None;
         }
         Some(entry.measurement)
@@ -728,6 +797,7 @@ impl Executor {
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
         if std::fs::write(&tmp, json).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
             self.stores.fetch_add(1, Ordering::Relaxed);
+            self.metric_add("amem_executor_disk_stores_total", 1);
         } else {
             let _ = std::fs::remove_file(&tmp);
         }

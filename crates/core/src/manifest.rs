@@ -56,6 +56,10 @@ pub struct RunManifest {
     /// rejected outliers, degraded sweep points — when the run used the
     /// trial/retry machinery (additive in schema v1; absent before).
     pub quality: Option<crate::trial::QualityStats>,
+    /// Full metrics snapshot when the run collected metrics (`--metrics`
+    /// or `$AMEM_METRICS`). Additive in schema v1: absent both in older
+    /// manifests and in default runs with the gate off.
+    pub metrics: Option<amem_metrics::Snapshot>,
 }
 
 impl RunManifest {
@@ -75,6 +79,7 @@ impl RunManifest {
             notes: Vec::new(),
             cache: None,
             quality: None,
+            metrics: None,
         }
     }
 
@@ -265,6 +270,30 @@ mod tests {
         let json = sample().to_json().replace(",\n  \"quality\": null", "");
         assert!(!json.contains("\"quality\""));
         assert!(RunManifest::from_json(&json).unwrap().quality.is_none());
+    }
+
+    #[test]
+    fn metrics_snapshot_round_trip_and_absence() {
+        let mut m = sample();
+        let reg = amem_metrics::Registry::new();
+        reg.counter("amem_executor_requests_total", &[("outcome", "sim")])
+            .add(4);
+        reg.histogram("amem_executor_dedup_wait_ns", &[])
+            .record(512);
+        m.metrics = Some(reg.snapshot());
+        let back = RunManifest::from_json(&m.to_json()).unwrap();
+        assert_eq!(back.metrics, m.metrics);
+        assert_eq!(
+            back.metrics
+                .as_ref()
+                .unwrap()
+                .counter("amem_executor_requests_total", &[("outcome", "sim")]),
+            Some(4)
+        );
+        // A manifest written before the metrics field existed still loads.
+        let json = sample().to_json().replace(",\n  \"metrics\": null", "");
+        assert!(!json.contains("\"metrics\""));
+        assert!(RunManifest::from_json(&json).unwrap().metrics.is_none());
     }
 
     #[test]

@@ -295,14 +295,26 @@ impl SimPlatform {
         let map = validate_mapping(&self.cfg, workload, per_processor)?;
         check_feasible(&map, mix.threads())?;
         let mut machine = Machine::new(self.cfg.clone());
-        let mut jobs = workload.build(&mut machine, &map);
-        if jobs.is_empty() {
-            return Err(AmemError::EmptyWorkload {
-                workload: workload.name(),
-            });
-        }
-        jobs.extend(mix.build_jobs(&mut machine, &map.free_cores()));
-        let report = machine.run_with::<S>(jobs, self.limit.clone());
+        // Leaf attribution phases (DESIGN.md §12): op_generation covers
+        // instantiating the workload's rank streams and the interference
+        // threads; simulation is the engine itself; aggregation folds the
+        // report into the headline statistics.
+        let jobs = {
+            let _p = amem_metrics::phase("op_generation");
+            let mut jobs = workload.build(&mut machine, &map);
+            if jobs.is_empty() {
+                return Err(AmemError::EmptyWorkload {
+                    workload: workload.name(),
+                });
+            }
+            jobs.extend(mix.build_jobs(&mut machine, &map.free_cores()));
+            jobs
+        };
+        let report = {
+            let _p = amem_metrics::phase("simulation");
+            machine.run_with::<S>(jobs, self.limit.clone())
+        };
+        let _p = amem_metrics::phase("aggregation");
         // Measure the steady-state (post-Mark) phase: warm-up transients
         // are excluded exactly as the paper's long runs amortize them.
         let mut agg = amem_sim::CoreCounters::default();

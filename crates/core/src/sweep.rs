@@ -29,6 +29,17 @@ fn progress_enabled() -> bool {
         .unwrap_or(false)
 }
 
+/// Estimated seconds left after `done` of `done + remaining` points took
+/// `elapsed` seconds: the rolling mean per-point wall time times the
+/// remaining count. Throughput-based, so parallel execution is accounted
+/// for automatically (N workers finish points N times faster).
+fn eta_secs(elapsed: f64, done: usize, remaining: usize) -> f64 {
+    if done == 0 {
+        return f64::NAN;
+    }
+    elapsed / done as f64 * remaining as f64
+}
+
 /// One sweep point.
 #[derive(Debug, Clone, Serialize)]
 pub struct SweepPoint {
@@ -153,37 +164,84 @@ pub fn run_sweeps(exec: &Executor, requests: &[SweepRequest]) -> Result<Vec<Swee
     let total = tasks.len();
     let progress = progress_enabled();
     let done = AtomicUsize::new(0);
+    let metrics_on = amem_metrics::enabled();
+    if metrics_on {
+        let reg = amem_metrics::global();
+        reg.counter("amem_sweep_batches_total", &[]).inc();
+        reg.gauge("amem_sweep_queue_depth", &[]).set(total as i64);
+    }
+    let batch_started = std::time::Instant::now();
     let results: Vec<(usize, usize, Result<_, AmemError>)> = tasks
         .into_par_iter()
         .map(|(ri, k)| {
             let req = &requests[ri];
             let mix = InterferenceMix::of_kind(req.kind, k);
-            let res = exec.run(req.workload, req.per_processor, mix);
+            let point_started = std::time::Instant::now();
+            let res = {
+                // Grid-namespace phase: which sweep level this wall time
+                // belongs to (overlaps the leaf phases inside the run).
+                let _cell = amem_metrics::phase(&format!("grid/sweep/{:?} k={}", req.kind, k));
+                if metrics_on {
+                    amem_metrics::global()
+                        .gauge("amem_sweep_points_inflight", &[])
+                        .inc();
+                }
+                let res = exec.run(req.workload, req.per_processor, mix);
+                if metrics_on {
+                    amem_metrics::global()
+                        .gauge("amem_sweep_points_inflight", &[])
+                        .dec();
+                }
+                res
+            };
+            let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+            let remaining = total - n;
+            if metrics_on {
+                let reg = amem_metrics::global();
+                reg.gauge("amem_sweep_queue_depth", &[])
+                    .set(remaining as i64);
+                reg.histogram("amem_sweep_point_ns", &[])
+                    .record(u64::try_from(point_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                let outcome = if res.is_ok() { "ok" } else { "error" };
+                reg.counter("amem_sweep_points_total", &[("result", outcome)])
+                    .inc();
+            }
             if progress {
-                let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                // Points-remaining and a rolling-throughput ETA ride on
+                // every line, so a 120 s Fig. 6-style wait is legible.
+                let eta = eta_secs(batch_started.elapsed().as_secs_f64(), n, remaining);
                 match &res {
                     Ok(m) => eprintln!(
-                        "[sweep {}/{}] {} {:?} k={} -> {:.4}s",
+                        "[sweep {}/{}] {} {:?} k={} -> {:.4}s ({} left, ETA {:.1}s)",
                         n,
                         total,
                         req.workload.name(),
                         req.kind,
                         k,
-                        m.seconds
+                        m.seconds,
+                        remaining,
+                        eta
                     ),
                     Err(e) => eprintln!(
-                        "[sweep {}/{}] {} {:?} k={} -> error: {e}",
+                        "[sweep {}/{}] {} {:?} k={} -> error: {e} ({} left, ETA {:.1}s)",
                         n,
                         total,
                         req.workload.name(),
                         req.kind,
-                        k
+                        k,
+                        remaining,
+                        eta
                     ),
                 }
             }
             (ri, k, res)
         })
         .collect();
+    if metrics_on {
+        amem_metrics::global()
+            .counter("amem_sweep_batch_ns_total", &[])
+            .add(u64::try_from(batch_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
 
     // Regroup per request and turn measurements into degradation points.
     // A level whose error is *degradable* (transient, or flaky past its
@@ -250,6 +308,16 @@ mod tests {
             steps: 2,
             ..McbCfg::new(&MachineConfig::xeon20mb().scaled(0.0625), 6000)
         })
+    }
+
+    #[test]
+    fn eta_is_rolling_throughput_times_remaining() {
+        // 4 points in 10 s -> 2.5 s/point; 6 left -> 15 s.
+        assert!((eta_secs(10.0, 4, 6) - 15.0).abs() < 1e-12);
+        // Nothing left: ETA is zero regardless of history.
+        assert_eq!(eta_secs(42.0, 7, 0), 0.0);
+        // No completed points yet: no basis for an estimate.
+        assert!(eta_secs(1.0, 0, 5).is_nan());
     }
 
     #[test]

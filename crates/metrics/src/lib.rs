@@ -1,0 +1,110 @@
+//! # amem-metrics — gated, label-aware metrics for the active-mem workspace
+//!
+//! The measurement methodology (Casas & Bronevetsky, IPDPS 2014) is itself a
+//! measurement system, so its own cost structure must be observable: which
+//! cache layer served a point, how long a probe-grid cell took, how busy the
+//! simulated DRAM channel was. This crate is the substrate for that — a
+//! process-wide registry of [`Counter`]s, [`Gauge`]s and exponential-bucket
+//! [`Histogram`]s keyed by metric name plus sorted `(key, value)` labels,
+//! with a phase-attribution profiler ([`phase`]) layered on top.
+//!
+//! Three properties drive the design:
+//!
+//! * **Zero cost when disabled.** Every instrumentation site in the
+//!   workspace is guarded by [`enabled()`] — a single relaxed atomic load.
+//!   With the gate off (the default) no allocation, no lock, and no atomic
+//!   RMW happens, so figure CSVs and executor cache keys stay byte-identical
+//!   (asserted by the workspace's zero-perturbation test).
+//! * **Lock-free hot path.** Mutating a resolved series is plain atomics:
+//!   counters shard across cache-line-padded per-thread slots so concurrent
+//!   increments never bounce one line, and totals are still exact. Series
+//!   *resolution* takes a short `RwLock` (read-locked after first use);
+//!   hot loops should resolve once and reuse the `Arc` handle.
+//! * **Bounded cardinality.** Each metric name caps its label sets
+//!   (default [`DEFAULT_SERIES_CAP`]); past the cap, new label sets collapse
+//!   into a single `overflow="true"` series so totals remain correct while
+//!   memory stays bounded.
+//!
+//! Snapshots ([`snapshot`]) are plain serde values: they attach to run
+//! manifests as an additive schema field, merge across runs
+//! ([`Snapshot::merge`]), and export as Prometheus text
+//! ([`export::prometheus_text`]) or JSONL ([`export::to_jsonl`]). A tiny
+//! parser ([`export::parse_prometheus_text`]) lets CI assert the export is
+//! well-formed without any network or external scraper.
+//!
+//! ```
+//! use amem_metrics::registry::Registry;
+//!
+//! let r = Registry::new();
+//! r.counter("amem_requests_total", &[("outcome", "mem_hit")]).add(3);
+//! r.histogram("amem_wait_ns", &[]).record(1024);
+//! let snap = r.snapshot();
+//! assert_eq!(snap.counter("amem_requests_total", &[("outcome", "mem_hit")]), Some(3));
+//! let text = amem_metrics::export::prometheus_text(&snap);
+//! assert!(text.contains("amem_requests_total{outcome=\"mem_hit\"} 3"));
+//! ```
+
+pub mod export;
+pub mod phase;
+pub mod registry;
+
+pub use phase::{phase, PhaseCost, PhaseGuard, PHASE_CALLS, PHASE_NS};
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Registry, SeriesSnapshot, Snapshot,
+    DEFAULT_SERIES_CAP,
+};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// Process-wide gate. Off by default; every instrumentation site in the
+/// workspace checks this before touching the registry.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Is metrics collection enabled? A single relaxed load — cheap enough to
+/// leave on the hottest paths.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn collection on or off. Flipping the gate does not clear previously
+/// recorded series; use [`reset`] for that.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Enable collection if `$AMEM_METRICS` is set to anything other than
+/// empty/`0`/`false`/`off`. Returns the resulting gate state.
+pub fn init_from_env() -> bool {
+    if let Ok(v) = std::env::var("AMEM_METRICS") {
+        let v = v.trim();
+        let truthy = !(v.is_empty()
+            || v == "0"
+            || v.eq_ignore_ascii_case("false")
+            || v.eq_ignore_ascii_case("off"));
+        if truthy {
+            set_enabled(true);
+        }
+    }
+    enabled()
+}
+
+/// The process-wide registry all workspace instrumentation records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Snapshot the global registry (deterministically ordered by name, then
+/// labels).
+pub fn snapshot() -> Snapshot {
+    global().snapshot()
+}
+
+/// Drop every series in the global registry. Handles resolved before the
+/// reset keep working but stop being exported; workspace instrumentation
+/// re-resolves on each use, so this is safe between test runs.
+pub fn reset() {
+    global().reset();
+}

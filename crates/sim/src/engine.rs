@@ -1150,13 +1150,17 @@ impl<'a, S: Substrate> EngineWith<'a, S> {
                     .collect(),
             })
             .collect();
-        RunReport {
+        let report = RunReport {
             wall_cycles: wall,
             seconds: self.cfg.seconds(wall),
             jobs,
             sockets,
             telemetry,
-        }
+        };
+        // One flush per run, gated inside: the hot loop above carries no
+        // instrumentation and the report itself is unchanged either way.
+        crate::telemetry::publish_run_metrics(&report);
+        report
     }
 }
 

@@ -56,10 +56,11 @@ impl CycleHistogram {
         } else {
             (64 - v.leading_zeros()) as usize
         };
-        self.counts[b] += 1;
-        self.total += 1;
-        // Saturate: a multi-billion-cycle run recording u64-scale latencies
-        // must degrade the mean, not overflow-panic in debug builds.
+        // Saturate everywhere: a multi-billion-cycle run recording
+        // u64-scale latencies must degrade the stats, not overflow-panic
+        // in debug builds (or silently wrap in release).
+        self.counts[b] = self.counts[b].saturating_add(1);
+        self.total = self.total.saturating_add(1);
         self.sum = self.sum.saturating_add(v);
         self.max = self.max.max(v);
     }
@@ -68,10 +69,12 @@ impl CycleHistogram {
         if self.counts.is_empty() {
             *self = CycleHistogram::new();
         }
+        // Merging per-slice histograms accumulated over a long run must
+        // saturate, not wrap: totals near u64::MAX pin there.
         for (a, b) in self.counts.iter_mut().zip(o.counts.iter()) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.total += o.total;
+        self.total = self.total.saturating_add(o.total);
         self.sum = self.sum.saturating_add(o.sum);
         self.max = self.max.max(o.max);
     }
@@ -356,6 +359,95 @@ impl Telemetry {
     }
 }
 
+/// Flush one finished run's counters into the global `amem_metrics`
+/// registry. A no-op unless the metrics gate is on, and called exactly once
+/// per run (at report construction), so the engine's hot loop carries zero
+/// instrumentation cost either way.
+///
+/// Exported families (see DESIGN.md §12): per-level access/miss counters,
+/// eviction and prefetch outcomes, per-kind DRAM line traffic, DRAM
+/// busy-vs-wall cycles (their ratio is channel occupancy), and — when the
+/// run had telemetry enabled — the DRAM queue-delay and demand-latency
+/// histograms, folded bucket-for-bucket (the bucket laws are identical).
+pub fn publish_run_metrics(report: &crate::engine::RunReport) {
+    if !amem_metrics::enabled() {
+        return;
+    }
+    let reg = amem_metrics::global();
+    let mut agg = CoreCounters::default();
+    for j in &report.jobs {
+        agg.merge(&j.counters);
+    }
+    let levels: [(&str, u64, u64); 4] = [
+        (
+            "l1",
+            agg.l1_hits.saturating_add(agg.l1_misses),
+            agg.l1_misses,
+        ),
+        (
+            "l2",
+            agg.l2_hits.saturating_add(agg.l2_misses),
+            agg.l2_misses,
+        ),
+        (
+            "l3",
+            agg.l3_hits.saturating_add(agg.l3_misses),
+            agg.l3_misses,
+        ),
+        (
+            "tlb",
+            agg.tlb_hits.saturating_add(agg.tlb_misses),
+            agg.tlb_misses,
+        ),
+    ];
+    for (level, accesses, misses) in levels {
+        reg.counter("amem_sim_accesses_total", &[("level", level)])
+            .add(accesses);
+        reg.counter("amem_sim_misses_total", &[("level", level)])
+            .add(misses);
+    }
+    reg.counter("amem_sim_ops_total", &[("kind", "load")])
+        .add(agg.loads);
+    reg.counter("amem_sim_ops_total", &[("kind", "store")])
+        .add(agg.stores);
+    reg.counter("amem_sim_evictions_total", &[("kind", "back_invalidation")])
+        .add(agg.back_invalidations);
+    reg.counter(
+        "amem_sim_evictions_total",
+        &[("kind", "coherence_invalidation")],
+    )
+    .add(agg.coherence_invalidations);
+    reg.counter("amem_sim_prefetches_total", &[("outcome", "issued")])
+        .add(agg.prefetches_issued);
+    reg.counter("amem_sim_prefetches_total", &[("outcome", "dropped")])
+        .add(agg.prefetches_dropped);
+    for s in &report.sockets {
+        reg.counter("amem_sim_dram_lines_total", &[("kind", "demand")])
+            .add(s.dram.demand_lines);
+        reg.counter("amem_sim_dram_lines_total", &[("kind", "prefetch")])
+            .add(s.dram.prefetch_lines);
+        reg.counter("amem_sim_dram_lines_total", &[("kind", "writeback")])
+            .add(s.dram.writeback_lines);
+        reg.counter("amem_sim_dram_dma_bytes_total", &[])
+            .add(s.dram.dma_bytes);
+        reg.counter("amem_sim_dram_busy_cycles_total", &[])
+            .add(s.dram.busy_cycles);
+        reg.counter("amem_sim_wall_cycles_total", &[])
+            .add(report.wall_cycles);
+    }
+    reg.counter("amem_sim_runs_total", &[]).inc();
+    if let Some(t) = &report.telemetry {
+        let qh = reg.histogram("amem_sim_dram_queue_delay_cycles", &[]);
+        for h in &t.dram_queue_delay {
+            qh.merge_counts(&h.counts, h.sum, h.max);
+        }
+        let dh = reg.histogram("amem_sim_demand_latency_cycles", &[]);
+        for h in &t.demand_latency {
+            dh.merge_counts(&h.counts, h.sum, h.max);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -402,6 +494,38 @@ mod tests {
         assert_eq!(a.sum, u64::MAX);
         assert_eq!(a.total, 3);
         assert!(a.mean().is_finite());
+    }
+
+    #[test]
+    fn histogram_merge_saturates_at_u64_max_boundaries() {
+        // A histogram whose counts sit exactly at the u64::MAX boundary:
+        // merging more slices must pin at MAX, not wrap past it.
+        let mut a = CycleHistogram::new();
+        a.counts[3] = u64::MAX - 1;
+        a.total = u64::MAX - 1;
+        a.sum = u64::MAX - 1;
+        let mut b = CycleHistogram::new();
+        b.counts[3] = 2; // crosses the boundary: MAX-1 + 2 > MAX
+        b.total = 2;
+        b.sum = 2;
+        b.max = 9;
+        a.merge(&b);
+        assert_eq!(a.counts[3], u64::MAX);
+        assert_eq!(a.total, u64::MAX);
+        assert_eq!(a.sum, u64::MAX);
+        assert_eq!(a.max, 9);
+        // Already saturated + anything stays saturated.
+        a.merge(&b);
+        assert_eq!(a.counts[3], u64::MAX);
+        assert_eq!(a.total, u64::MAX);
+        // And record() at the boundary saturates count bookkeeping too.
+        let mut c = CycleHistogram::new();
+        c.counts[0] = u64::MAX;
+        c.total = u64::MAX;
+        c.record(0);
+        assert_eq!(c.counts[0], u64::MAX);
+        assert_eq!(c.total, u64::MAX);
+        assert!(c.mean().is_finite());
     }
 
     #[test]

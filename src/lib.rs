@@ -16,6 +16,7 @@
 pub use amem_conformance as conformance;
 pub use amem_core as core;
 pub use amem_interfere as interfere;
+pub use amem_metrics as metrics;
 pub use amem_miniapps as miniapps;
 pub use amem_probes as probes;
 pub use amem_sim as sim;
