@@ -10,9 +10,11 @@
 //! ```
 //!
 //! Default run: fuzz every geometry in [`amem_conformance::configs`] for
-//! `--seeds` seeds each (parallel over seeds), then evaluate the Eq. 4
-//! oracle pack. Any divergence is written (optionally `--minimize`d
-//! first) to `target/conformance/` and the process exits non-zero.
+//! `--seeds` seeds each (parallel over seeds), lockstep the single-pass
+//! curve engine against the per-point reference-cache sweep over the
+//! same seed budget, then evaluate the Eq. 4 oracle pack. Any divergence
+//! is written (optionally `--minimize`d first) to `target/conformance/`
+//! and the process exits non-zero.
 //!
 //! `--sabotage` swaps in the deliberately broken off-by-one reference —
 //! a self-test that the harness detects and shrinks real defects; in
@@ -20,6 +22,7 @@
 
 use std::process::ExitCode;
 
+use amem_conformance::curves::{check_curve_case, gen_curve_case, CurveDivergence};
 use amem_conformance::fuzz::{
     check_case, gen_case, minimize, reproducer_dir, sabotage, write_reproducer, Divergence,
 };
@@ -132,6 +135,31 @@ fn main() -> ExitCode {
         }
     }
 
+    // Curve lockstep: the single-pass stack-distance engine vs a naive
+    // per-point reference-cache sweep, over the same seed budget as the
+    // substrate fuzzing (skipped under --sabotage and --config, which
+    // scope the run to the substrate geometries).
+    let mut curve_div = 0usize;
+    if !args.sabotage && args.config.is_none() {
+        let divergences: Vec<CurveDivergence> = (0..args.seeds)
+            .into_par_iter()
+            .map(|seed| check_curve_case(seed, &gen_curve_case(seed, args.ops)).err())
+            .collect::<Vec<Option<CurveDivergence>>, _>()
+            .into_iter()
+            .flatten()
+            .collect();
+        println!(
+            "{:<20} {} seeds, {} divergence(s)",
+            "curve-lockstep",
+            args.seeds,
+            divergences.len()
+        );
+        curve_div = divergences.len();
+        if let Some(d) = divergences.first() {
+            println!("  first: {}", d.describe());
+        }
+    }
+
     let mut oracle_fail = false;
     if args.oracles && !args.sabotage {
         println!("\nEq. 4 oracles (fully-associative, Table II families):");
@@ -150,7 +178,7 @@ fn main() -> ExitCode {
             println!("\nsabotage NOT detected — harness is blind");
             ExitCode::FAILURE
         }
-    } else if total_div > 0 || oracle_fail {
+    } else if total_div > 0 || curve_div > 0 || oracle_fail {
         ExitCode::FAILURE
     } else {
         println!("\nall substrates agree; oracles hold");

@@ -255,6 +255,14 @@ fn append_history(path: &PathBuf, entry: &HistoryEntry) {
     }
 }
 
+/// The cold fig6 wall-clock budget (seconds) the curve engine commits
+/// to: one stack-distance pass per cell must keep the uncached figure
+/// under this on any reasonable host. Widened by the tolerance in
+/// [`check`]; a return to per-point grid re-simulation blows it by two
+/// orders of magnitude, which is exactly the regression it exists to
+/// catch.
+const COLD_FIG6_BUDGET_SECS: f64 = 15.0;
+
 /// Gate fresh kernel numbers against a committed baseline. Returns the
 /// failure messages (empty = pass).
 fn check(fresh: &Baseline, committed: &Baseline, tolerance: f64) -> Vec<String> {
@@ -274,6 +282,37 @@ fn check(fresh: &Baseline, committed: &Baseline, tolerance: f64) -> Vec<String> 
                 old.mops_per_sec,
                 tolerance * 100.0
             ));
+        }
+    }
+    // Cold end-to-end walls: noisier than kernels (process spawn, disk),
+    // so the relative gate is much wider — it catches algorithmic
+    // regressions (a figure falling back to grid re-simulation), not
+    // scheduling jitter. cold_fig6 additionally carries an absolute
+    // budget: the curve engine's headline guarantee.
+    for old in &committed.cold {
+        let Some(new) = fresh.cold.iter().find(|c| c.name == old.name) else {
+            // Fresh run may have used --skip-cold; nothing to gate.
+            continue;
+        };
+        let ceiling = old.seconds * (2.0 + 3.0 * tolerance);
+        if new.seconds > ceiling {
+            failures.push(format!(
+                "{}: {:.2} s > {:.2} (committed {:.2} s x {:.1})",
+                old.name,
+                new.seconds,
+                ceiling,
+                old.seconds,
+                2.0 + 3.0 * tolerance
+            ));
+        }
+        if old.name == "cold_fig6" {
+            let wall = COLD_FIG6_BUDGET_SECS * (1.0 + tolerance);
+            if new.seconds > wall {
+                failures.push(format!(
+                    "{}: {:.2} s blows the {wall:.2} s single-pass budget",
+                    old.name, new.seconds
+                ));
+            }
         }
     }
     failures

@@ -104,6 +104,11 @@ pub struct Args {
     /// Explicit path for the Prometheus export (`--metrics-out`);
     /// defaults to `<out>/<name>.metrics.prom`.
     pub metrics_out: Option<PathBuf>,
+    /// Miss-rate-curve mode (`--curve-mode exact|sampled[:rate]`).
+    pub curve_mode: amem_core::CurveMode,
+    /// Use the legacy per-point probe grid instead of the single-pass
+    /// curve engine where a binary supports both (`--probe-grid`).
+    pub probe_grid: bool,
 }
 
 impl Default for Args {
@@ -125,6 +130,8 @@ impl Default for Args {
             fault: None,
             metrics: false,
             metrics_out: None,
+            curve_mode: amem_core::CurveMode::Exact,
+            probe_grid: false,
         }
     }
 }
@@ -133,8 +140,8 @@ impl Args {
     /// Parse `--scale <f>`, `--full`, `--out <dir>`, `--sample <cycles>`,
     /// `--trace <events>`, `--no-cache`, `--cache-dir <dir>`,
     /// `--jobs <n>`, `--profile`, `--trials <n>`, `--retries <n>`,
-    /// `--timeout <secs>`, `--ci` and `--fault <spec>` from the process
-    /// args.
+    /// `--timeout <secs>`, `--ci`, `--fault <spec>`,
+    /// `--curve-mode <mode>` and `--probe-grid` from the process args.
     pub fn parse() -> Self {
         let mut out = Self::default();
         let mut it = std::env::args().skip(1);
@@ -202,10 +209,15 @@ impl Args {
                         it.next().expect("--metrics-out needs a path"),
                     ));
                 }
+                "--curve-mode" => {
+                    let v = it.next().expect("--curve-mode needs exact|sampled[:rate]");
+                    out.curve_mode = amem_core::CurveMode::parse(&v).expect("invalid --curve-mode");
+                }
+                "--probe-grid" => out.probe_grid = true,
                 other => panic!(
                     "unknown argument: {other} (expected --scale/--full/--out/--sample/--trace/\
                      --no-cache/--cache-dir/--jobs/--profile/--trials/--retries/--timeout/--ci/\
-                     --fault/--metrics/--metrics-out)"
+                     --fault/--metrics/--metrics-out/--curve-mode/--probe-grid)"
                 ),
             }
         }
@@ -480,6 +492,18 @@ impl Harness {
                 stats.dedup_hits
             );
         }
+        let cs = stats.curves();
+        if cs.lookups() > 0 {
+            println!(
+                "[curve] {}/{} from cache ({} passes, {} mem, {} disk, {} dedup)",
+                cs.hits(),
+                cs.lookups(),
+                cs.runs,
+                cs.mem_hits,
+                cs.disk_hits,
+                cs.dedup_hits
+            );
+        }
         self.manifest.cache = Some(stats);
         let rs = self.exec.robust_stats();
         if !rs.is_empty() {
@@ -696,6 +720,17 @@ mod tests {
         assert_eq!(resolve_jobs(None), default);
         std::env::remove_var("AMEM_JOBS");
         assert_eq!(resolve_jobs(None), default);
+    }
+
+    #[test]
+    fn curve_flags_default_to_exact_grid_off() {
+        let a = Args::default();
+        assert_eq!(a.curve_mode, amem_core::CurveMode::Exact);
+        assert!(!a.probe_grid);
+        assert_eq!(
+            amem_core::CurveMode::parse("sampled:0.02").unwrap().rate(),
+            0.02
+        );
     }
 
     #[test]

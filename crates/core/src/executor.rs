@@ -56,7 +56,9 @@ use amem_sim::engine::RunLimit;
 use amem_sim::fingerprint::fnv1a;
 use serde::{Deserialize, Serialize};
 
+use crate::curve::{CurveRequest, CURVE_SCHEMA_VERSION};
 use crate::error::AmemError;
+use crate::mrc::MissRatioCurve;
 use crate::platform::{Measurement, Platform, Workload};
 use crate::trial::{robust_summary, QualityStats, TrialPolicy, TrialQuality};
 
@@ -88,6 +90,17 @@ struct DiskEntry {
     measurement: Measurement,
 }
 
+/// One on-disk *curve* entry: a whole [`MissRatioCurve`] under one key.
+/// Versioned by [`CURVE_SCHEMA_VERSION`] independently of measurement
+/// entries, so curve-format changes never orphan per-point entries (or
+/// vice versa).
+#[derive(Serialize, Deserialize)]
+struct CurveDiskEntry {
+    schema_version: u32,
+    key: String,
+    curve: MissRatioCurve,
+}
+
 /// Counters describing how an executor satisfied its requests. Snapshot
 /// with [`Executor::stats`]; recorded into run manifests so a
 /// reproduction documents how much of it was served from cache.
@@ -104,17 +117,56 @@ pub struct CacheStats {
     pub dedup_hits: u64,
     /// Entries written to disk.
     pub stores: u64,
+    /// Curve-request counters (`Executor::run_curve`). `Option`-typed so
+    /// manifests from pre-curve builds still deserialize (as `None`).
+    pub curves: Option<CurveCacheStats>,
 }
 
-impl CacheStats {
-    /// Requests satisfied without a fresh simulation.
+/// Counters for whole-curve requests, kept separate from the per-point
+/// measurement counters so the `[cache]` line and its CI assertions keep
+/// their pre-curve meaning.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CurveCacheStats {
+    /// Fresh single-pass curve computations.
+    pub runs: u64,
+    /// Curve requests served from the in-memory cache.
+    pub mem_hits: u64,
+    /// Curve requests served from the on-disk cache.
+    pub disk_hits: u64,
+    /// Curve requests that joined an identical in-flight pass.
+    pub dedup_hits: u64,
+    /// Curve entries written to disk.
+    pub stores: u64,
+}
+
+impl CurveCacheStats {
+    /// Curve requests satisfied without a fresh pass.
     pub fn hits(&self) -> u64 {
         self.mem_hits + self.disk_hits + self.dedup_hits
     }
 
-    /// Total requests seen.
+    /// Total curve requests seen.
+    pub fn lookups(&self) -> u64 {
+        self.hits() + self.runs
+    }
+}
+
+impl CacheStats {
+    /// Measurement requests satisfied without a fresh simulation.
+    /// (Measurement-only on purpose: the `[cache]` line and its CI
+    /// assertions predate curves and must not change meaning.)
+    pub fn hits(&self) -> u64 {
+        self.mem_hits + self.disk_hits + self.dedup_hits
+    }
+
+    /// Total measurement requests seen.
     pub fn lookups(&self) -> u64 {
         self.hits() + self.sim_runs
+    }
+
+    /// Curve counters, zeros when absent.
+    pub fn curves(&self) -> CurveCacheStats {
+        self.curves.unwrap_or_default()
     }
 
     /// Fraction of requests served from cache (0 when idle).
@@ -140,13 +192,14 @@ enum CacheMode {
 
 /// A result slot one thread fills and any number of waiters read. All
 /// locking is poison-tolerant: a panicking runner must never convert
-/// into a `PoisonError` panic in an innocent waiter.
-struct Inflight {
-    done: Mutex<Option<Result<Arc<Measurement>, AmemError>>>,
+/// into a `PoisonError` panic in an innocent waiter. Generic over the
+/// result type so measurements and curves share the machinery.
+struct Inflight<T> {
+    done: Mutex<Option<Result<T, AmemError>>>,
     cv: Condvar,
 }
 
-impl Inflight {
+impl<T: Clone> Inflight<T> {
     fn new() -> Self {
         Self {
             done: Mutex::new(None),
@@ -154,13 +207,13 @@ impl Inflight {
         }
     }
 
-    fn lock_done(&self) -> MutexGuard<'_, Option<Result<Arc<Measurement>, AmemError>>> {
+    fn lock_done(&self) -> MutexGuard<'_, Option<Result<T, AmemError>>> {
         self.done.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     /// Fill the slot. First writer wins — a late guard-driven resolution
     /// never overwrites a real result.
-    fn resolve(&self, result: Result<Arc<Measurement>, AmemError>) {
+    fn resolve(&self, result: Result<T, AmemError>) {
         let mut done = self.lock_done();
         if done.is_none() {
             *done = Some(result);
@@ -169,7 +222,7 @@ impl Inflight {
         self.cv.notify_all();
     }
 
-    fn wait(&self) -> Result<Arc<Measurement>, AmemError> {
+    fn wait(&self) -> Result<T, AmemError> {
         let mut done = self.lock_done();
         while done.is_none() {
             done = self.cv.wait(done).unwrap_or_else(|p| p.into_inner());
@@ -186,7 +239,7 @@ impl Inflight {
 struct InflightGuard<'a> {
     exec: &'a Executor,
     key: &'a str,
-    cell: &'a Arc<Inflight>,
+    cell: &'a Arc<Inflight<Arc<Measurement>>>,
     armed: bool,
 }
 
@@ -211,10 +264,42 @@ impl Drop for InflightGuard<'_> {
     }
 }
 
+/// The curve twin of [`InflightGuard`]: releases `curve_inflight` waiters
+/// if the curve pass unwinds before resolving.
+struct CurveGuard<'a> {
+    exec: &'a Executor,
+    key: &'a str,
+    cell: &'a Arc<Inflight<Arc<MissRatioCurve>>>,
+    armed: bool,
+}
+
+impl CurveGuard<'_> {
+    fn defuse(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CurveGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut state = self.exec.lock_state();
+        state.curve_inflight.remove(self.key);
+        drop(state);
+        self.cell.resolve(Err(AmemError::Flaky {
+            attempts: 1,
+            last: "curve pass unwound before resolving".into(),
+        }));
+    }
+}
+
 #[derive(Default)]
 struct ExecState {
     mem: HashMap<String, Arc<Measurement>>,
-    inflight: HashMap<String, Arc<Inflight>>,
+    inflight: HashMap<String, Arc<Inflight<Arc<Measurement>>>>,
+    curve_mem: HashMap<String, Arc<MissRatioCurve>>,
+    curve_inflight: HashMap<String, Arc<Inflight<Arc<MissRatioCurve>>>>,
 }
 
 /// The measurement executor. Cheap to share (`Arc<Executor>`) and safe to
@@ -230,6 +315,11 @@ pub struct Executor {
     disk_hits: AtomicU64,
     dedup_hits: AtomicU64,
     stores: AtomicU64,
+    curve_runs: AtomicU64,
+    curve_mem_hits: AtomicU64,
+    curve_disk_hits: AtomicU64,
+    curve_dedup_hits: AtomicU64,
+    curve_stores: AtomicU64,
     // Robustness counters (the `[quality]` line and manifest).
     trials: AtomicU64,
     retries: AtomicU64,
@@ -278,6 +368,11 @@ impl Executor {
             disk_hits: AtomicU64::new(0),
             dedup_hits: AtomicU64::new(0),
             stores: AtomicU64::new(0),
+            curve_runs: AtomicU64::new(0),
+            curve_mem_hits: AtomicU64::new(0),
+            curve_disk_hits: AtomicU64::new(0),
+            curve_dedup_hits: AtomicU64::new(0),
+            curve_stores: AtomicU64::new(0),
             trials: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
@@ -357,6 +452,13 @@ impl Executor {
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
             dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
             stores: self.stores.load(Ordering::Relaxed),
+            curves: Some(CurveCacheStats {
+                runs: self.curve_runs.load(Ordering::Relaxed),
+                mem_hits: self.curve_mem_hits.load(Ordering::Relaxed),
+                disk_hits: self.curve_disk_hits.load(Ordering::Relaxed),
+                dedup_hits: self.curve_dedup_hits.load(Ordering::Relaxed),
+                stores: self.curve_stores.load(Ordering::Relaxed),
+            }),
         }
     }
 
@@ -477,6 +579,158 @@ impl Executor {
         cell.resolve(result.clone());
         guard.defuse();
         result
+    }
+
+    /// Compute (or fetch) a whole miss-ratio curve: the single-pass
+    /// stack-distance engine behind one cache entry *per curve* instead
+    /// of one per grid point.
+    ///
+    /// Mirrors [`Executor::run`]'s three layers — memory, disk, in-flight
+    /// dedup — but is *not* gated on [`Platform::deterministic`]: the
+    /// curve pass is a pure function of the request (no simulator machine
+    /// is built), so it is cacheable even on platforms whose timing
+    /// measurements are not. Only `--no-cache` disables reuse.
+    pub fn run_curve(&self, req: &CurveRequest) -> Result<Arc<MissRatioCurve>, AmemError> {
+        let key = match self.curve_request_key(req) {
+            Some(k) => k,
+            None => {
+                self.curve_runs.fetch_add(1, Ordering::Relaxed);
+                self.metric_request("curve_uncached");
+                return self.compute_curve_caught(req).map(Arc::new);
+            }
+        };
+
+        // Fast path + in-flight claim under one lock.
+        let cell = {
+            let mut state = self.lock_state();
+            if let Some(c) = state.curve_mem.get(&key) {
+                self.curve_mem_hits.fetch_add(1, Ordering::Relaxed);
+                self.metric_request("curve_mem_hit");
+                return Ok(Arc::clone(c));
+            }
+            if let Some(cell) = state.curve_inflight.get(&key) {
+                let cell = Arc::clone(cell);
+                drop(state);
+                self.curve_dedup_hits.fetch_add(1, Ordering::Relaxed);
+                self.metric_request("curve_dedup_join");
+                return cell.wait();
+            }
+            let cell = Arc::new(Inflight::new());
+            state.curve_inflight.insert(key.clone(), Arc::clone(&cell));
+            cell
+        };
+        let mut guard = CurveGuard {
+            exec: self,
+            key: &key,
+            cell: &cell,
+            armed: true,
+        };
+
+        let result = match self.load_curve_disk(&key) {
+            Some(c) => {
+                self.curve_disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.metric_request("curve_disk_hit");
+                Ok(Arc::new(c))
+            }
+            None => {
+                self.curve_runs.fetch_add(1, Ordering::Relaxed);
+                self.metric_request("curve_pass");
+                let res = self.compute_curve_caught(req).map(Arc::new);
+                if let Ok(c) = &res {
+                    self.store_curve_disk(&key, c);
+                }
+                res
+            }
+        };
+
+        let mut state = self.lock_state();
+        if let Ok(c) = &result {
+            state.curve_mem.insert(key.clone(), Arc::clone(c));
+        }
+        state.curve_inflight.remove(&key);
+        drop(state);
+        cell.resolve(result.clone());
+        guard.defuse();
+        result
+    }
+
+    /// Run the curve pass with panics converted into typed errors, so a
+    /// malformed request can never wedge deduplicated waiters.
+    fn compute_curve_caught(&self, req: &CurveRequest) -> Result<MissRatioCurve, AmemError> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| req.compute())).map_err(
+            |payload| AmemError::Flaky {
+                attempts: 1,
+                last: format!("curve pass panicked: {}", panic_message(&payload)),
+            },
+        )
+    }
+
+    /// The canonical cache key `run_curve` would use, or `None` when
+    /// caching is off. The `curve/v{N}/` prefix partitions curve entries
+    /// structurally from measurement keys (which are canonical-JSON
+    /// objects, i.e. start with `{`) — the two key spaces can never
+    /// collide, and old disk caches stay valid untouched. No platform
+    /// salt is appended: the pass never consults the platform, so every
+    /// model identity shares one curve entry.
+    pub fn curve_request_key(&self, req: &CurveRequest) -> Option<String> {
+        if self.mode == CacheMode::Off {
+            return None;
+        }
+        Some(format!(
+            "curve/v{CURVE_SCHEMA_VERSION}/{}",
+            amem_sim::canonical_json(req)
+        ))
+    }
+
+    /// Load a curve disk entry; any problem is a miss.
+    fn load_curve_disk(&self, key: &str) -> Option<MissRatioCurve> {
+        let path = self.entry_path(key)?;
+        let _p = amem_metrics::phase("cache_lookup");
+        let json = std::fs::read_to_string(path).ok()?;
+        let entry: CurveDiskEntry = match serde_json::from_str(&json) {
+            Ok(e) => e,
+            Err(_) => {
+                self.metric_verify_failure("parse");
+                return None;
+            }
+        };
+        if entry.schema_version != CURVE_SCHEMA_VERSION {
+            self.metric_verify_failure("schema");
+            return None;
+        }
+        if entry.key != key {
+            self.metric_verify_failure("key");
+            return None;
+        }
+        Some(entry.curve)
+    }
+
+    /// Persist a curve entry atomically; failures are swallowed.
+    fn store_curve_disk(&self, key: &str, curve: &MissRatioCurve) {
+        let Some(path) = self.entry_path(key) else {
+            return;
+        };
+        let entry = CurveDiskEntry {
+            schema_version: CURVE_SCHEMA_VERSION,
+            key: key.to_string(),
+            curve: curve.clone(),
+        };
+        let Ok(json) = serde_json::to_string(&entry) else {
+            return;
+        };
+        let Some(dir) = path.parent() else {
+            return;
+        };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        if std::fs::write(&tmp, json).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
+            self.curve_stores.fetch_add(1, Ordering::Relaxed);
+            self.metric_add("amem_executor_disk_stores_total", 1);
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+        }
     }
 
     /// One fresh measurement under the executor's [`TrialPolicy`]:
@@ -906,11 +1160,23 @@ mod tests {
             disk_hits: 1,
             dedup_hits: 3,
             stores: 2,
+            curves: Some(CurveCacheStats {
+                runs: 1,
+                mem_hits: 2,
+                ..Default::default()
+            }),
         };
         assert_eq!(s.hits(), 9);
         assert_eq!(s.lookups(), 11);
+        assert_eq!(s.curves().hits(), 2);
+        assert_eq!(s.curves().lookups(), 3);
         let back: CacheStats = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
         assert_eq!(back, s);
+        // A pre-curve manifest (no `curves` field) still deserializes.
+        let legacy = r#"{"sim_runs":1,"mem_hits":0,"disk_hits":0,"dedup_hits":0,"stores":1}"#;
+        let old: CacheStats = serde_json::from_str(legacy).unwrap();
+        assert!(old.curves.is_none());
+        assert_eq!(old.curves().lookups(), 0);
     }
 
     #[test]
@@ -1024,6 +1290,69 @@ mod tests {
             b.request_key(&w, 2, InterferenceMix::none()),
             "TrialPolicy is execution-only: cached entries are shared"
         );
+    }
+
+    fn tiny_curve_req() -> CurveRequest {
+        use amem_probes::dist::AccessDist;
+        CurveRequest {
+            dist: AccessDist::Uniform,
+            buffer_bytes: 1 << 16,
+            warm_accesses: 2000,
+            measure_accesses: 2000,
+            seed: 3,
+            line_bytes: 64,
+            capacities_lines: vec![64, 256, 1024],
+            mode: crate::curve::CurveMode::Exact,
+        }
+    }
+
+    #[test]
+    fn curve_memory_hits_share_the_arc() {
+        let exec = Executor::memory_only(plat());
+        let a = exec.run_curve(&tiny_curve_req()).unwrap();
+        let b = exec.run_curve(&tiny_curve_req()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = exec.stats();
+        assert_eq!(s.curves().runs, 1);
+        assert_eq!(s.curves().mem_hits, 1);
+        assert_eq!(s.sim_runs, 0, "curves never touch measurement counters");
+    }
+
+    #[test]
+    fn curve_keys_partition_from_measurement_keys() {
+        let exec = Executor::memory_only(plat());
+        let ck = exec.curve_request_key(&tiny_curve_req()).unwrap();
+        let mk = exec
+            .request_key(&tiny_mcb(), 2, InterferenceMix::none())
+            .unwrap();
+        // Measurement keys are canonical-JSON objects; curve keys carry a
+        // structural prefix. The two spaces cannot collide.
+        assert!(mk.starts_with('{'), "{mk}");
+        assert!(
+            ck.starts_with(&format!("curve/v{CURVE_SCHEMA_VERSION}/")),
+            "{ck}"
+        );
+    }
+
+    #[test]
+    fn curve_mode_partitions_curve_keys() {
+        let exec = Executor::memory_only(plat());
+        let exact = exec.curve_request_key(&tiny_curve_req()).unwrap();
+        let mut req = tiny_curve_req();
+        req.mode = crate::curve::CurveMode::Sampled { rate: 0.01 };
+        let sampled = exec.curve_request_key(&req).unwrap();
+        assert_ne!(exact, sampled, "sampled curves are separate entries");
+    }
+
+    #[test]
+    fn uncached_mode_recomputes_curves() {
+        let exec = Executor::uncached(plat());
+        assert!(exec.curve_request_key(&tiny_curve_req()).is_none());
+        let a = exec.run_curve(&tiny_curve_req()).unwrap();
+        let b = exec.run_curve(&tiny_curve_req()).unwrap();
+        assert_eq!(*a, *b, "recomputation is deterministic");
+        assert_eq!(exec.stats().curves().runs, 2);
+        assert_eq!(exec.stats().curves().hits(), 0);
     }
 
     /// Wraps a platform to claim a different model identity via

@@ -41,6 +41,7 @@
 pub mod advisor;
 pub mod bandwidth;
 pub mod capacity;
+pub mod curve;
 pub mod error;
 pub mod estimate;
 pub mod executor;
@@ -59,9 +60,10 @@ pub mod trial;
 
 pub use bandwidth::BandwidthMap;
 pub use capacity::CapacityMap;
+pub use curve::{CurveMode, CurveOpts, CurveQuality, CurveRequest, CURVE_SCHEMA_VERSION};
 pub use error::AmemError;
 pub use estimate::ResourceInterval;
-pub use executor::{CacheStats, Executor, CACHE_SCHEMA_VERSION};
+pub use executor::{CacheStats, CurveCacheStats, Executor, CACHE_SCHEMA_VERSION};
 pub use fault::{FaultSpec, FaultyPlatform};
 pub use knee::Knee;
 pub use manifest::{RunManifest, SCHEMA_VERSION};

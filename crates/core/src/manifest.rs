@@ -246,10 +246,16 @@ mod tests {
             disk_hits: 2,
             dedup_hits: 1,
             stores: 3,
+            curves: Some(crate::executor::CurveCacheStats {
+                runs: 2,
+                disk_hits: 4,
+                ..Default::default()
+            }),
         });
         let back = RunManifest::from_json(&m.to_json()).unwrap();
         assert_eq!(back.cache, m.cache);
         assert_eq!(back.cache.unwrap().hits(), 10);
+        assert_eq!(back.cache.unwrap().curves().lookups(), 6);
     }
 
     #[test]

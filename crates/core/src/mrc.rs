@@ -9,13 +9,14 @@
 //! hardware. A log-log least-squares fit recovers the workload's α, so
 //! you can test the √2 rule on anything the platform can run.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::capacity::CapacityMap;
+use crate::curve::{CurveQuality, CURVE_SCHEMA_VERSION};
 use crate::sweep::Sweep;
 
 /// One MRC sample.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MrcPoint {
     /// Effective capacity available (bytes).
     pub capacity_bytes: f64,
@@ -24,10 +25,20 @@ pub struct MrcPoint {
 }
 
 /// A measured miss-ratio curve.
-#[derive(Debug, Clone, Serialize)]
+///
+/// Curves are first-class cacheable results (see
+/// [`crate::executor::Executor::run_curve`]), so the serde form carries a
+/// schema version: bumping [`CURVE_SCHEMA_VERSION`] invalidates stale
+/// disk-cache entries without touching per-point measurement entries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MissRatioCurve {
+    /// Serialized-form version ([`CURVE_SCHEMA_VERSION`]).
+    pub schema_version: u32,
     /// Samples sorted by capacity ascending.
     pub points: Vec<MrcPoint>,
+    /// Sampling-error metadata; `None` for exact curves and sweep-derived
+    /// curves (and when deserializing payloads that predate the field).
+    pub quality: Option<CurveQuality>,
 }
 
 /// Power-law fit `mr = k · C^(-alpha)`.
@@ -57,7 +68,35 @@ impl MissRatioCurve {
         // Total order: a NaN capacity from a corrupted calibration map
         // must not panic curve construction.
         points.sort_by(|a, b| a.capacity_bytes.total_cmp(&b.capacity_bytes));
-        Self { points }
+        Self {
+            schema_version: CURVE_SCHEMA_VERSION,
+            points,
+            quality: None,
+        }
+    }
+
+    /// Build from a single-pass stack-distance histogram: one traversal
+    /// of the access trace yields the miss rate at every requested
+    /// capacity at once (the Mattson inclusion property).
+    pub fn from_stack_distances(
+        hist: &amem_sim::stackdist::StackDistHistogram,
+        capacities_lines: &[u64],
+        line_bytes: u64,
+    ) -> Self {
+        let mut points: Vec<MrcPoint> = capacities_lines
+            .iter()
+            .map(|&c| MrcPoint {
+                capacity_bytes: (c * line_bytes) as f64,
+                miss_rate: hist.miss_rate_at_lines(c),
+            })
+            .collect();
+        points.sort_by(|a, b| a.capacity_bytes.total_cmp(&b.capacity_bytes));
+        points.dedup_by(|a, b| a.capacity_bytes == b.capacity_bytes);
+        Self {
+            schema_version: CURVE_SCHEMA_VERSION,
+            points,
+            quality: None,
+        }
     }
 
     /// Least-squares fit of `log mr = log k − α log C` over the samples

@@ -12,6 +12,9 @@
 //!   associative cache of capacity `C`, and its inverse, which converts a
 //!   *measured* miss rate into an *effective cache capacity* — the tool
 //!   that calibrates how much storage CSThr interference really steals.
+//! * [`trace`] — machine-free line traces of the probe (exact replay and
+//!   spatially-sampled direct generation) feeding the single-pass
+//!   miss-ratio-curve engine in `amem_sim::stackdist`.
 //! * [`stream`] — a STREAM-style triad used to measure the machine's peak
 //!   memory bandwidth (the paper's quoted 17 GB/s for Xeon20MB).
 //! * [`xray`] — automatic measurement of hierarchy parameters via
@@ -22,9 +25,11 @@ pub mod dist;
 pub mod ehr;
 pub mod probe;
 pub mod stream;
+pub mod trace;
 pub mod xray;
 
 pub use dist::{table2, AccessDist, NamedDist};
 pub use ehr::{effective_cache_bytes, expected_hit_rate, expected_miss_rate, sum_sq_line_mass};
 pub use probe::{ProbeCfg, ProbeStream};
 pub use stream::{measure_stream, StreamCfg};
+pub use trace::{line_trace, sampled_line_trace};

@@ -1,0 +1,204 @@
+//! Machine-free line traces of the Fig. 4 probe.
+//!
+//! The single-pass curve engine needs the probe's *cache-line reference
+//! sequence*, not its timing: which line each load touches, in order,
+//! with the warm-up/measure boundary. Two generators supply it:
+//!
+//! * [`line_trace`] replays the exact `ProbeStream` RNG sequence at line
+//!   granularity — same seed, same `sample_index` calls, so the line
+//!   sequence is bit-identical to what a simulated run would issue
+//!   (`Compute` ops never touch memory and the probe buffer is
+//!   page-aligned, so relative line ids carry all the information).
+//! * [`sampled_line_trace`] is the ~10×-cheaper Examem-style mode. It
+//!   exploits that probe accesses are i.i.d.: the subsequence restricted
+//!   to a hash-sampled subset of lines is itself i.i.d. from the
+//!   conditional distribution over those lines. So instead of generating
+//!   the full stream and filtering (which would leave generation cost
+//!   dominating), it draws the short sub-stream *directly* from the
+//!   conditional CDF — cost scales with the sampling rate end to end.
+
+use amem_sim::rng::Xoshiro256;
+use amem_sim::stackdist::{line_sampled, LineTrace};
+
+use crate::ehr;
+use crate::probe::ProbeCfg;
+
+/// The probe's relative-line access trace: `warm + measure` draws from
+/// `cfg.dist`, mapped to line ids, mark at the warm/measure boundary.
+///
+/// Uses the same seed and the same `sample_index` call sequence as
+/// [`crate::probe::ProbeStream`], so line ids here equal the stream's
+/// `(addr - base) >> log2(line_bytes)` exactly.
+pub fn line_trace(cfg: &ProbeCfg, line_bytes: u64) -> LineTrace {
+    assert!(line_bytes.is_power_of_two() && line_bytes >= 4);
+    let elems = cfg.buffer_bytes / 4;
+    assert!(elems > 0, "buffer must hold at least one element");
+    let mut rng = Xoshiro256::seed_from_u64(cfg.seed);
+    let total = cfg.warm_accesses + cfg.measure_accesses;
+    let shift = (line_bytes / 4).trailing_zeros(); // elems per line, log2
+    let mut lines = Vec::with_capacity(total as usize);
+    for _ in 0..total {
+        let idx = cfg.dist.sample_index(&mut rng, elems);
+        lines.push(idx >> shift);
+    }
+    LineTrace {
+        lines,
+        mark: cfg.warm_accesses as usize,
+    }
+}
+
+/// Direct generation of the spatially-sampled sub-trace at `rate`.
+///
+/// Lines are selected by the same stateless hash as
+/// [`amem_sim::stackdist::line_sampled`]; the sub-stream length is the
+/// expected number of accesses landing on sampled lines, and each draw
+/// inverts the conditional CDF over the sampled lines (binary search).
+/// Returns the sub-trace plus the *actual* fraction of distinct lines
+/// sampled (the distance scaling factor), or `None` when fewer than two
+/// lines survive — callers should fall back to exact mode then.
+pub fn sampled_line_trace(cfg: &ProbeCfg, line_bytes: u64, rate: f64) -> Option<(LineTrace, f64)> {
+    assert!(rate > 0.0 && rate <= 1.0, "sample rate must be in (0, 1]");
+    let masses = ehr::line_masses(&cfg.dist, cfg.buffer_bytes, 4, line_bytes);
+    let n_lines = masses.len() as u64;
+    // Cumulative mass over the sampled lines only.
+    let mut sampled: Vec<u64> = Vec::new();
+    let mut cum: Vec<f64> = Vec::new();
+    let mut p_s = 0.0f64;
+    for (l, &m) in masses.iter().enumerate() {
+        if line_sampled(l as u64, rate) {
+            p_s += m;
+            sampled.push(l as u64);
+            cum.push(p_s);
+        }
+    }
+    if sampled.len() < 2 || p_s <= 0.0 {
+        return None;
+    }
+    let actual_rate = sampled.len() as f64 / n_lines as f64;
+    // An access lands on a sampled line with probability p_s; the
+    // sub-stream keeps the expected count from each phase.
+    let warm = (cfg.warm_accesses as f64 * p_s).round() as u64;
+    let measure = ((cfg.measure_accesses as f64 * p_s).round() as u64).max(1);
+    let mut rng = Xoshiro256::seed_from_u64(cfg.seed);
+    let mut lines = Vec::with_capacity((warm + measure) as usize);
+    for _ in 0..warm + measure {
+        let u = rng.next_f64() * p_s;
+        let i = cum.partition_point(|&c| c <= u).min(sampled.len() - 1);
+        lines.push(sampled[i]);
+    }
+    Some((
+        LineTrace {
+            lines,
+            mark: warm as usize,
+        },
+        actual_rate,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::AccessDist;
+    use amem_sim::machine::Machine;
+    use amem_sim::stackdist::StackDistHistogram;
+    use amem_sim::stream::{AccessStream, Op};
+    use amem_sim::MachineConfig;
+
+    fn probe(dist: AccessDist, buffer_bytes: u64, warm: u64, measure: u64) -> ProbeCfg {
+        ProbeCfg {
+            dist,
+            buffer_bytes,
+            adds_per_load: 1,
+            warm_accesses: warm,
+            measure_accesses: measure,
+            mlp: 2,
+            seed: 0x009B_0BE5,
+        }
+    }
+
+    #[test]
+    fn line_trace_matches_probe_stream_addresses() {
+        // Drain a real ProbeStream and check the relative line sequence
+        // is identical — the guarantee the curve engine rests on.
+        let cfg = probe(AccessDist::Exponential { rate: 6.0 }, 1 << 16, 500, 700);
+        let mut m = Machine::new(MachineConfig::xeon20mb().scaled(0.125));
+        let mut s = crate::probe::ProbeStream::new(&mut m, &cfg);
+        let line_bytes = 64u64;
+        let mut stream_lines = Vec::new();
+        let mut mark_at = 0usize;
+        loop {
+            match s.next_op() {
+                Op::Load(a) => stream_lines.push(a >> line_bytes.trailing_zeros()),
+                Op::Mark => mark_at = stream_lines.len(),
+                Op::Done => break,
+                _ => {}
+            }
+        }
+        // The stream's addresses are base-offset; normalize to relative
+        // lines (base is page-aligned, so the offset is a whole number
+        // of lines).
+        let base = 0x1000_0000u64 >> 6;
+        let rel: Vec<u64> = stream_lines.iter().map(|&l| l - base).collect();
+        let t = line_trace(&cfg, line_bytes);
+        assert_eq!(t.lines, rel);
+        assert_eq!(t.mark, mark_at);
+        assert_eq!(t.mark, 500);
+    }
+
+    #[test]
+    fn sampled_trace_curve_tracks_exact_curve() {
+        let cfg = probe(
+            AccessDist::Normal {
+                mu: 0.5,
+                sigma: 0.25,
+            },
+            4 << 20,
+            40_000,
+            40_000,
+        );
+        let exact = StackDistHistogram::compute(&line_trace(&cfg, 64), 1.0);
+        let (st, r) = sampled_line_trace(&cfg, 64, 0.05).expect("enough lines at 5%");
+        assert!(r > 0.02 && r < 0.1, "actual rate {r}");
+        let approx = StackDistHistogram::compute(&st, r);
+        let total_lines = (4u64 << 20) / 64;
+        for frac in [0.1, 0.3, 0.5, 0.8, 1.2] {
+            let c = (total_lines as f64 * frac) as u64;
+            let (e, a) = (exact.miss_rate_at_lines(c), approx.miss_rate_at_lines(c));
+            assert!(
+                (e - a).abs() < 0.06,
+                "cap {c}: exact {e:.4} vs sampled {a:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_trace_is_much_shorter() {
+        let cfg = probe(AccessDist::Uniform, 4 << 20, 50_000, 50_000);
+        let (st, _) = sampled_line_trace(&cfg, 64, 0.01).unwrap();
+        let full = (cfg.warm_accesses + cfg.measure_accesses) as usize;
+        assert!(
+            st.lines.len() < full / 20,
+            "{} of {} accesses",
+            st.lines.len(),
+            full
+        );
+    }
+
+    #[test]
+    fn sampled_trace_falls_back_on_tiny_buffers() {
+        // A one-line buffer cannot be spatially sampled.
+        let cfg = probe(AccessDist::Uniform, 64, 10, 10);
+        assert!(sampled_line_trace(&cfg, 64, 0.01).is_none());
+    }
+
+    #[test]
+    fn rate_one_samples_every_line() {
+        let cfg = probe(AccessDist::Triangular { mode: 0.6 }, 1 << 16, 100, 100);
+        let (st, r) = sampled_line_trace(&cfg, 64, 1.0).unwrap();
+        assert_eq!(r, 1.0);
+        assert_eq!(st.lines.len(), 200);
+        // All lines in range.
+        let n_lines = (1u64 << 16) / 64;
+        assert!(st.lines.iter().all(|&l| l < n_lines));
+    }
+}

@@ -65,6 +65,7 @@ pub mod machine;
 pub mod model;
 pub mod prefetch;
 pub mod rng;
+pub mod stackdist;
 pub mod stream;
 pub mod telemetry;
 pub mod tlb;

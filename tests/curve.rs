@@ -1,0 +1,226 @@
+//! Integration tests for the first-class miss-rate-curve API: disk
+//! round-trips, key partitioning from per-point measurement entries,
+//! intensity-independence of the curve cache, sampled-mode accuracy and
+//! cost, and determinism.
+
+use std::path::PathBuf;
+
+use active_mem::core::platform::SimPlatform;
+use active_mem::core::{CapacityMap, CurveMode, CurveRequest, Executor};
+use active_mem::interfere::InterferenceMix;
+use active_mem::probes::dist::AccessDist;
+use active_mem::probes::probe::ProbeCfg;
+use active_mem::sim::MachineConfig;
+
+fn machine() -> MachineConfig {
+    MachineConfig::xeon20mb().scaled(0.0625)
+}
+
+fn request(m: &MachineConfig, adds_per_load: u32, mode: CurveMode) -> CurveRequest {
+    let p = ProbeCfg::for_machine(
+        m,
+        AccessDist::Normal {
+            mu: 0.5,
+            sigma: 0.2,
+        },
+        2.5,
+        adds_per_load,
+    );
+    let ladder = CapacityMap::level_ladder(m, 5);
+    CurveRequest::from_probe(&p, m.l3.line_bytes as u64, ladder, mode)
+}
+
+fn temp_cache(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("amem_curve_test_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn curve_disk_cache_round_trips_across_executors() {
+    let dir = temp_cache("roundtrip");
+    let m = machine();
+    let req = request(&m, 1, CurveMode::Exact);
+
+    let fresh = {
+        let exec = Executor::with_cache_dir(SimPlatform::new(m.clone()), dir.clone());
+        let curve = exec.run_curve(&req).unwrap();
+        let cs = exec.stats().curves();
+        assert_eq!(cs.runs, 1, "{cs:?}");
+        assert_eq!(cs.stores, 1, "{cs:?}");
+        curve
+    };
+
+    // A brand-new executor over the same disk cache serves the identical
+    // curve without running the pass.
+    let exec = Executor::with_cache_dir(SimPlatform::new(m.clone()), dir.clone());
+    let hit = exec.run_curve(&req).unwrap();
+    let cs = exec.stats().curves();
+    assert_eq!(cs.runs, 0, "{cs:?}");
+    assert_eq!(cs.disk_hits, 1, "{cs:?}");
+    assert_eq!(
+        serde_json::to_string(&*fresh).unwrap(),
+        serde_json::to_string(&*hit).unwrap(),
+        "disk hit must be byte-identical to the pass it replaced"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn curve_entries_partition_from_measurement_entries() {
+    // One disk directory holds both kinds of entry; each kind hits only
+    // its own, and a cache written before the curve engine existed (i.e.
+    // holding only measurement entries) still serves measurements.
+    let dir = temp_cache("partition");
+    let m = machine();
+    let req = request(&m, 1, CurveMode::Exact);
+    let probe = ProbeCfg::for_machine(&m, AccessDist::Uniform, 2.0, 1);
+
+    {
+        // "Old" cache: measurements only.
+        let exec = Executor::with_cache_dir(SimPlatform::new(m.clone()), dir.clone());
+        exec.run(
+            &active_mem::core::platform::ProbeWorkload(probe),
+            1,
+            InterferenceMix::none(),
+        )
+        .unwrap();
+        assert_eq!(exec.stats().stores, 1);
+        assert_eq!(exec.stats().curves().stores, 0);
+    }
+
+    let exec = Executor::with_cache_dir(SimPlatform::new(m.clone()), dir.clone());
+    let mkey = exec
+        .request_key(
+            &active_mem::core::platform::ProbeWorkload(probe),
+            1,
+            InterferenceMix::none(),
+        )
+        .expect("measurements are cacheable here");
+    let ckey = exec.curve_request_key(&req).expect("curves are cacheable");
+    assert!(
+        ckey.starts_with("curve/v"),
+        "curve keys carry their own versioned salt: {ckey}"
+    );
+    assert!(
+        !mkey.starts_with("curve/"),
+        "measurement keys stay in their own namespace: {mkey}"
+    );
+
+    // The measurement written above hits; the curve — absent from the
+    // "old" cache — misses cleanly and is computed fresh.
+    exec.run(
+        &active_mem::core::platform::ProbeWorkload(probe),
+        1,
+        InterferenceMix::none(),
+    )
+    .unwrap();
+    exec.run_curve(&req).unwrap();
+    let s = exec.stats();
+    assert_eq!(s.disk_hits, 1, "{s:?}");
+    assert_eq!(s.sim_runs, 0, "{s:?}");
+    assert_eq!(s.curves().disk_hits, 0, "{:?}", s.curves());
+    assert_eq!(s.curves().runs, 1, "{:?}", s.curves());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compute_intensity_shares_one_curve_entry() {
+    // The probe's line trace is independent of adds/load, so requests
+    // differing only in intensity collapse to the same key — fig6's
+    // three intensity rows cost one pass, not three.
+    let m = machine();
+    let exec = Executor::memory_only(SimPlatform::new(m.clone()));
+    let (r1, r100) = (
+        request(&m, 1, CurveMode::Exact),
+        request(&m, 100, CurveMode::Exact),
+    );
+    assert_eq!(exec.curve_request_key(&r1), exec.curve_request_key(&r100));
+    let a = exec.run_curve(&r1).unwrap();
+    let b = exec.run_curve(&r100).unwrap();
+    assert!(
+        std::sync::Arc::ptr_eq(&a, &b),
+        "second request is a mem hit"
+    );
+    let cs = exec.stats().curves();
+    assert_eq!(cs.runs, 1, "{cs:?}");
+    assert_eq!(cs.mem_hits, 1, "{cs:?}");
+}
+
+#[test]
+fn sampled_mode_tracks_exact_within_the_stated_bound() {
+    let m = machine();
+    let exec = Executor::memory_only(SimPlatform::new(m.clone()));
+    let exact = exec.run_curve(&request(&m, 1, CurveMode::Exact)).unwrap();
+    let sampled = exec
+        .run_curve(&request(&m, 1, CurveMode::Sampled { rate: 0.05 }))
+        .unwrap();
+    let q = sampled.quality.expect("sampled curves carry quality");
+    assert!(q.max_ci95 > 0.0);
+    // The CI95 bounds per-point sampling noise; distance re-scaling adds
+    // error of the same order, so gate at a few multiples of it.
+    let tol = (4.0 * q.max_ci95).max(0.06);
+    for (e, s) in exact.points.iter().zip(sampled.points.iter()) {
+        assert_eq!(e.capacity_bytes, s.capacity_bytes);
+        assert!(
+            (e.miss_rate - s.miss_rate).abs() <= tol,
+            "at {} bytes: exact {:.4} vs sampled {:.4} (tol {tol:.4})",
+            e.capacity_bytes,
+            e.miss_rate,
+            s.miss_rate
+        );
+    }
+}
+
+#[test]
+fn sampled_mode_is_at_least_five_times_cheaper() {
+    // Cost is deterministic: the sampled pass traverses the sub-stream
+    // whose length the quality block records.
+    let m = machine();
+    let exec = Executor::memory_only(SimPlatform::new(m.clone()));
+    let req = request(&m, 1, CurveMode::Sampled { rate: 0.05 });
+    let exact_accesses = req.warm_accesses + req.measure_accesses;
+    let sampled = exec.run_curve(&req).unwrap();
+    let q = sampled.quality.expect("quality");
+    assert!(
+        q.sampled_accesses * 5 <= exact_accesses,
+        "sampled pass covers {} of {} accesses",
+        q.sampled_accesses,
+        exact_accesses
+    );
+}
+
+#[test]
+fn curves_are_deterministic() {
+    let m = machine();
+    for mode in [CurveMode::Exact, CurveMode::Sampled { rate: 0.05 }] {
+        let a = Executor::uncached(SimPlatform::new(m.clone()))
+            .run_curve(&request(&m, 1, mode))
+            .unwrap();
+        let b = Executor::uncached(SimPlatform::new(m.clone()))
+            .run_curve(&request(&m, 1, mode))
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(&*a).unwrap(),
+            serde_json::to_string(&*b).unwrap(),
+            "{mode:?} passes must be bit-reproducible"
+        );
+    }
+}
+
+#[test]
+fn exact_curves_are_monotone_down_the_ladder() {
+    let m = machine();
+    let exec = Executor::memory_only(SimPlatform::new(m));
+    let curve = exec
+        .run_curve(&request(&machine(), 1, CurveMode::Exact))
+        .unwrap();
+    for w in curve.points.windows(2) {
+        assert!(w[0].capacity_bytes <= w[1].capacity_bytes);
+        assert!(
+            w[1].miss_rate <= w[0].miss_rate + 1e-12,
+            "more capacity cannot miss more: {:?}",
+            curve.points
+        );
+    }
+}

@@ -444,6 +444,136 @@ mod engine_invariants {
     }
 }
 
+/// Properties of the single-pass stack-distance engine behind
+/// `Executor::run_curve`: random traces against a naive VecDeque
+/// LRU-stack simulator, plus the structural invariants (permutation
+/// invariance of duplicate-free traces, capacity monotonicity) that hold
+/// for any trace.
+mod stack_distance {
+    use active_mem::sim::rng::Xoshiro256;
+    use active_mem::sim::stackdist::{LineTrace, StackDistHistogram};
+    use std::collections::VecDeque;
+
+    const CASES: u64 = 48;
+
+    fn arb_trace(rng: &mut Xoshiro256) -> LineTrace {
+        let n = 50 + rng.below(450) as usize;
+        let span = 4 + rng.below(60);
+        let lines = (0..n).map(|_| rng.below(span)).collect();
+        let mark = rng.below(n as u64 / 2) as usize;
+        LineTrace { lines, mark }
+    }
+
+    /// The oracle: an explicit LRU stack of `capacity` lines, counting
+    /// measured-phase misses.
+    fn deque_miss_rate(trace: &LineTrace, capacity: usize) -> f64 {
+        let mut stack: VecDeque<u64> = VecDeque::new();
+        let (mut misses, mut total) = (0u64, 0u64);
+        for (i, &l) in trace.lines.iter().enumerate() {
+            let measured = i >= trace.mark;
+            if measured {
+                total += 1;
+            }
+            if let Some(p) = stack.iter().position(|&x| x == l) {
+                stack.remove(p);
+            } else {
+                if measured {
+                    misses += 1;
+                }
+                if capacity == 0 {
+                    continue;
+                }
+                if stack.len() == capacity {
+                    stack.pop_back();
+                }
+            }
+            if capacity > 0 {
+                stack.push_front(l);
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            misses as f64 / total as f64
+        }
+    }
+
+    fn shuffle(rng: &mut Xoshiro256, xs: &mut [u64]) {
+        for i in (1..xs.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    #[test]
+    fn histogram_matches_the_deque_simulator() {
+        let mut rng = Xoshiro256::seed_from_u64(0x57D1);
+        for case in 0..CASES {
+            let t = arb_trace(&mut rng);
+            let h = StackDistHistogram::compute(&t, 1.0);
+            for cap in 0..=(h.distinct_lines + 3) {
+                let fast = h.miss_rate_at_lines(cap);
+                let slow = deque_miss_rate(&t, cap as usize);
+                assert!(
+                    (fast - slow).abs() < 1e-12,
+                    "case {case} cap {cap}: {fast} vs {slow}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn miss_rate_is_monotone_non_increasing_in_capacity() {
+        let mut rng = Xoshiro256::seed_from_u64(0x57D2);
+        for case in 0..CASES {
+            let t = arb_trace(&mut rng);
+            let h = StackDistHistogram::compute(&t, 1.0);
+            let mut prev = 1.0 + 1e-15;
+            for cap in 0..=(h.distinct_lines + 3) {
+                let mr = h.miss_rate_at_lines(cap);
+                assert!((0.0..=1.0).contains(&mr), "case {case} cap {cap}: {mr}");
+                assert!(
+                    mr <= prev + 1e-15,
+                    "case {case}: rate rose at cap {cap} ({prev} -> {mr})"
+                );
+                prev = mr;
+            }
+            assert_eq!(h.miss_rate_at_lines(0), 1.0, "case {case}");
+        }
+    }
+
+    #[test]
+    fn duplicate_free_traces_are_permutation_invariant() {
+        // With no reuse, every access is a cold miss: the histogram —
+        // and hence the curve — cannot depend on access order.
+        let mut rng = Xoshiro256::seed_from_u64(0x57D3);
+        for case in 0..CASES {
+            let n = 10 + rng.below(190);
+            let mut lines: Vec<u64> = (0..n).map(|i| i * 17 + 3).collect();
+            let base = StackDistHistogram::compute(
+                &LineTrace {
+                    lines: lines.clone(),
+                    mark: 0,
+                },
+                1.0,
+            );
+            assert_eq!(base.cold, n, "case {case}: every first touch is cold");
+            for round in 0..4 {
+                shuffle(&mut rng, &mut lines);
+                let h = StackDistHistogram::compute(
+                    &LineTrace {
+                        lines: lines.clone(),
+                        mark: 0,
+                    },
+                    1.0,
+                );
+                assert_eq!(h, base, "case {case}.{round}: order changed the histogram");
+                assert_eq!(h.miss_rate_at_lines(n + 10), 1.0, "case {case}.{round}");
+            }
+        }
+    }
+}
+
 /// Properties of the conformance reference interpreter that hold by
 /// construction of an ideal cache, independent of the production
 /// implementation — so they check the *reference itself* is sane before
