@@ -393,6 +393,8 @@ fn trend_report(cli: &Cli, doc: &mut String) {
         struct Baseline {
             schema: u32,
             note: String,
+            /// Recording host (absent in baselines from before the field).
+            host: Option<String>,
             ops_per_kernel: u64,
             reps: usize,
             kernels: Vec<KernelResult>,

@@ -10,21 +10,26 @@
 //! ```
 //!
 //! Default run: fuzz every geometry in [`amem_conformance::configs`] for
-//! `--seeds` seeds each (parallel over seeds), lockstep the single-pass
-//! curve engine against the per-point reference-cache sweep over the
-//! same seed budget, then evaluate the Eq. 4 oracle pack. Any divergence
-//! is written (optionally `--minimize`d first) to `target/conformance/`
-//! and the process exits non-zero.
+//! `--seeds` seeds each (parallel over seeds), run the two-socket
+//! ping-pong/barrier lane (substrate differential + fast-lane budget
+//! invariance), lockstep the single-pass curve engine against the
+//! per-point reference-cache sweep over the same seed budget, then
+//! evaluate the Eq. 4 oracle pack. Any divergence is written (optionally
+//! `--minimize`d first) to `target/conformance/` and the process exits
+//! non-zero.
 //!
-//! `--sabotage` swaps in the deliberately broken off-by-one reference —
-//! a self-test that the harness detects and shrinks real defects; in
-//! that mode divergences are *expected* and the exit code inverts.
+//! `--sabotage` swaps in the deliberately broken off-by-one reference
+//! (and, on the ping-pong lane, an engine whose fast lane overruns the
+//! quantum horizon by one cycle) — a self-test that the harness detects
+//! and shrinks real defects; in that mode divergences are *expected*
+//! and the exit code inverts.
 
 use std::process::ExitCode;
 
 use amem_conformance::curves::{check_curve_case, gen_curve_case, CurveDivergence};
 use amem_conformance::fuzz::{
-    check_case, gen_case, minimize, reproducer_dir, sabotage, write_reproducer, Divergence,
+    check_case, check_pingpong_case, gen_case, gen_pingpong_case, minimize, reproducer_dir,
+    sabotage, write_reproducer, Divergence,
 };
 use amem_conformance::{configs, ehr_oracle_pack, replay_file};
 use rayon::prelude::*;
@@ -119,6 +124,51 @@ fn main() -> ExitCode {
             total_div += 1;
             let case = if args.minimize {
                 let m = minimize(&d.case, |c| check(c).is_err());
+                println!(
+                    "  minimized seed {} to {} accesses",
+                    d.case.seed,
+                    m.total_accesses()
+                );
+                m
+            } else {
+                d.case
+            };
+            match write_reproducer(&case, reproducer_dir()) {
+                Ok(p) => println!("  reproducer: {}", p.display()),
+                Err(e) => eprintln!("  failed to write reproducer: {e}"),
+            }
+        }
+    }
+
+    // Ping-pong lane: shared-line / barrier-heavy traces across two
+    // sockets, checked both against the reference substrate and for
+    // fast-lane budget invariance (lockstep vs default vs seed-varied).
+    // Under --sabotage it instead runs the engine with a planted
+    // one-cycle horizon overrun and must see it diverge.
+    if args.config.is_none() || args.config.as_deref() == Some("pingpong-2s") {
+        let pp_check: fn(&amem_conformance::fuzz::TraceCase) -> Result<(), Divergence> =
+            if args.sabotage {
+                sabotage::check_case_horizon_leaky
+            } else {
+                check_pingpong_case
+            };
+        let divergences: Vec<Divergence> = (0..args.seeds)
+            .into_par_iter()
+            .map(|seed| pp_check(&gen_pingpong_case(seed, args.ops)).err())
+            .collect::<Vec<Option<Divergence>>, _>()
+            .into_iter()
+            .flatten()
+            .collect();
+        println!(
+            "{:<20} {} seeds, {} divergence(s)",
+            "pingpong-2s",
+            args.seeds,
+            divergences.len()
+        );
+        if let Some(d) = divergences.into_iter().next() {
+            total_div += 1;
+            let case = if args.minimize {
+                let m = minimize(&d.case, |c| pp_check(c).is_err());
                 println!(
                     "  minimized seed {} to {} accesses",
                     d.case.seed,

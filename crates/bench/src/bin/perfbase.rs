@@ -17,6 +17,10 @@
 //! wide margin absorbs host-to-host variance; the committed file is a
 //! ratchet against order-of-magnitude regressions, not a microbenchmark.
 //!
+//! In gate mode the baseline file is left untouched unless `--out` is
+//! passed explicitly — a `--skip-cold --check` run must not clobber the
+//! committed file's cold entries with an empty list.
+//!
 //! Flags: `--out <file>` (default `BENCH_sim.json`), `--check <file>`,
 //! `--skip-cold` (kernels only — the cold figure runs dominate runtime),
 //! `--history <file>` (default `BENCH_history.jsonl`) and `--no-history`.
@@ -69,6 +73,12 @@ struct Baseline {
     schema: u32,
     /// What the numbers mean, for humans reading the committed file.
     note: String,
+    /// Host the numbers were recorded on. `--check` warns (but does not
+    /// fail) when it differs from the current host: cross-host deltas
+    /// are expected and the wide tolerance already absorbs them, but a
+    /// reader deserves to know the comparison is apples-to-oranges.
+    /// `Option` so baseline files recorded before this field still load.
+    host: Option<String>,
     ops_per_kernel: u64,
     reps: usize,
     kernels: Vec<KernelResult>,
@@ -208,6 +218,27 @@ fn run_cold() -> Vec<ColdResult> {
         });
     }
     let _ = std::fs::remove_dir_all(&out_dir);
+
+    // One fig9 point, in-process: a cold 24-rank MCB measurement under
+    // storage interference — the unit of work every fig9 sweep cell
+    // pays. Times the platform directly (no executor cache, no process
+    // spawn), so it isolates raw simulation cost from figure plumbing.
+    use amem_core::platform::{McbWorkload, Platform, SimPlatform};
+    use amem_interfere::InterferenceMix;
+    use amem_miniapps::McbCfg;
+    let m = MachineConfig::xeon20mb().scaled(0.0625);
+    let w = McbWorkload(McbCfg::new(&m, 20_000));
+    let t0 = Instant::now();
+    let meas = SimPlatform::new(m)
+        .run(&w, 1, InterferenceMix::storage(3))
+        .expect("cold fig9 point");
+    std::hint::black_box(meas);
+    let secs = t0.elapsed().as_secs_f64();
+    println!("cold {:<19} {secs:8.2} s", "fig9_point");
+    out.push(ColdResult {
+        name: "cold_fig9_point".to_string(),
+        seconds: secs,
+    });
     out
 }
 
@@ -267,6 +298,16 @@ const COLD_FIG6_BUDGET_SECS: f64 = 15.0;
 /// failure messages (empty = pass).
 fn check(fresh: &Baseline, committed: &Baseline, tolerance: f64) -> Vec<String> {
     let mut failures = Vec::new();
+    if let (Some(old_host), Some(new_host)) = (&committed.host, &fresh.host) {
+        if old_host != "unknown" && old_host != new_host {
+            eprintln!(
+                "[perfbase] warning: committed baseline was recorded on host \
+                 '{old_host}' but this run is on '{new_host}' — absolute \
+                 comparisons are apples-to-oranges (gating continues with \
+                 the usual tolerance)"
+            );
+        }
+    }
     for old in &committed.kernels {
         let Some(new) = fresh.kernels.iter().find(|k| k.name == old.name) else {
             failures.push(format!("kernel {} missing from fresh run", old.name));
@@ -320,6 +361,7 @@ fn check(fresh: &Baseline, committed: &Baseline, tolerance: f64) -> Vec<String> 
 
 fn main() {
     let mut out_path = PathBuf::from("BENCH_sim.json");
+    let mut out_explicit = false;
     let mut check_path: Option<PathBuf> = None;
     let mut skip_cold = false;
     let mut history_path = PathBuf::from("BENCH_history.jsonl");
@@ -327,7 +369,10 @@ fn main() {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--out" => out_path = PathBuf::from(it.next().expect("--out needs a file")),
+            "--out" => {
+                out_path = PathBuf::from(it.next().expect("--out needs a file"));
+                out_explicit = true;
+            }
             "--check" => {
                 check_path = Some(PathBuf::from(it.next().expect("--check needs a file")));
             }
@@ -350,15 +395,22 @@ fn main() {
         note: "best-of-N wall times; compare runs on the same host only — \
                the --check gate uses a wide tolerance for that reason"
             .to_string(),
+        host: Some(host_name()),
         ops_per_kernel: N,
         reps: REPS,
         kernels,
         cold,
     };
 
-    let json = serde_json::to_string_pretty(&fresh).expect("serialize baseline");
-    std::fs::write(&out_path, json + "\n").expect("write baseline");
-    println!("[perfbase] wrote {}", out_path.display());
+    // In gate mode the default out path IS the committed baseline being
+    // checked; overwriting it (worse, with `cold: []` under --skip-cold)
+    // would destroy the reference. Only write when recording, or when the
+    // caller named an output file explicitly.
+    if check_path.is_none() || out_explicit {
+        let json = serde_json::to_string_pretty(&fresh).expect("serialize baseline");
+        std::fs::write(&out_path, json + "\n").expect("write baseline");
+        println!("[perfbase] wrote {}", out_path.display());
+    }
 
     if !no_history {
         let entry = HistoryEntry {

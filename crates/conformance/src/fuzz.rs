@@ -31,7 +31,7 @@ use std::path::{Path, PathBuf};
 
 use amem_sim::cache::InsertPolicy;
 use amem_sim::config::{CacheConfig, CoreId, MachineConfig};
-use amem_sim::engine::{EventSignature, Job, RunLimit};
+use amem_sim::engine::{EngineWith, EventSignature, Job, RunLimit, DEFAULT_RUN_AHEAD};
 use amem_sim::machine::Machine;
 use amem_sim::model::{SoaSubstrate, Substrate};
 use amem_sim::rng::Xoshiro256;
@@ -345,18 +345,31 @@ pub fn gen_case(cfg: &FuzzCfg, seed: u64, ops_per_lane: usize) -> TraceCase {
     }
 }
 
-/// Execute a case through one substrate and flatten it to its signature.
-pub fn run_case<S: Substrate>(case: &TraceCase) -> EventSignature {
-    let mut m = Machine::new(case.machine.clone());
-    let jobs = case
-        .lanes
+fn case_jobs(case: &TraceCase) -> Vec<Job> {
+    case.lanes
         .iter()
         .map(|l| {
             Job::primary(Box::new(LaneStream::new(l)), CoreId::new(l.socket, l.core))
                 .with_l3_ways(l.l3_way_mask)
         })
-        .collect();
-    m.run_with::<S>(jobs, RunLimit::default()).event_signature()
+        .collect()
+}
+
+/// Execute a case through one substrate and flatten it to its signature.
+pub fn run_case<S: Substrate>(case: &TraceCase) -> EventSignature {
+    let mut m = Machine::new(case.machine.clone());
+    m.run_with::<S>(case_jobs(case), RunLimit::default())
+        .event_signature()
+}
+
+/// Like [`run_case`], but pinning the engine's fast-lane burst budget
+/// (instead of inheriting `AMEM_HORIZON`), so budget sweeps are free of
+/// process-global env races.
+pub fn run_case_at<S: Substrate>(case: &TraceCase, run_ahead: u32) -> EventSignature {
+    EngineWith::<S>::new(&case.machine, case_jobs(case))
+        .with_run_ahead(run_ahead)
+        .run(&RunLimit::default())
+        .event_signature()
 }
 
 /// Run a case through the production substrate and through `S`,
@@ -378,6 +391,131 @@ pub fn check_case_against<S: Substrate>(case: &TraceCase) -> Result<(), Divergen
 /// Production vs the honest reference.
 pub fn check_case(case: &TraceCase) -> Result<(), Divergence> {
     check_case_against::<RefSubstrate>(case)
+}
+
+/// Geometry for the ping-pong lane: two sockets × two cores, a small
+/// hashed L3 per socket — the maximum-coupling topology (cross-socket
+/// sharing, per-socket back-invalidation, four barrier participants).
+pub fn pingpong_config() -> FuzzCfg {
+    let mut m = tiny_machine(
+        "pingpong-2s",
+        l3(
+            64,
+            8,
+            amem_sim::cache::Replacement::Lru,
+            InsertPolicy::Mru,
+            true,
+        ),
+    );
+    m.sockets = 2;
+    FuzzCfg {
+        name: "pingpong-2s",
+        machine: m,
+    }
+}
+
+/// Generate a shared-line ping-pong / barrier-heavy case: every lane
+/// hammers the same handful of hot lines (loads and invalidating
+/// stores), interleaved with short private runs and compute jitter, in
+/// barrier-separated rounds. This is the trace family whose event order
+/// is most sensitive to a scheduler that lets a core run past its
+/// quantum horizon — the fast lane's one failure mode (DESIGN.md §14).
+pub fn gen_pingpong_case(seed: u64, ops_per_lane: usize) -> TraceCase {
+    let cfg = pingpong_config();
+    let m = &cfg.machine;
+    // A few lines in one L3 set plus a few spread out: coherence churn
+    // both with and without same-set replacement pressure.
+    let set_stride = m.l3.sets() as u64 * m.l3.line_bytes as u64;
+    let hot: Vec<u64> = (0..4)
+        .map(|i| (1u64 << 22) + i * set_stride)
+        .chain((0..4).map(|i| (1u64 << 23) + i * 4096))
+        .collect();
+    let rounds = 6usize;
+    let per_round = (ops_per_lane / rounds).max(8);
+    let mut lanes = Vec::new();
+    for s in 0..m.sockets {
+        for c in 0..m.cores_per_socket {
+            let flat = (s * m.cores_per_socket + c) as u64;
+            let mut rng = Xoshiro256::seed_from_u64(seed ^ ((flat + 1) << 40) ^ 0x9190_9060);
+            let private = (1u64 << 26) + flat * (1u64 << 22);
+            let mut cursor = private;
+            let mut ops = Vec::with_capacity(ops_per_lane + rounds * 2);
+            for round in 0..rounds {
+                let mut emitted = 0usize;
+                while emitted < per_round {
+                    match rng.below(8) {
+                        // The ping-pong itself: hot-line loads with
+                        // invalidating stores mixed in.
+                        0..=4 => {
+                            for _ in 0..2 + rng.below(6) {
+                                let addr = hot[rng.below(hot.len() as u64) as usize];
+                                if rng.below(3) == 0 {
+                                    ops.push(Op::Store(addr));
+                                } else {
+                                    ops.push(Op::Load(addr));
+                                }
+                                emitted += 1;
+                            }
+                        }
+                        // Short private run: keeps the fast lane busy
+                        // and the prefetcher trained between exchanges.
+                        5 | 6 => {
+                            for _ in 0..4 + rng.below(12) {
+                                ops.push(Op::Load(cursor));
+                                cursor += 64;
+                                emitted += 1;
+                            }
+                        }
+                        // Compute jitter: desynchronizes arrival times
+                        // so barrier release orders vary per seed.
+                        _ => {
+                            ops.push(Op::Compute(1 + rng.below(30) as u32));
+                            emitted += 1;
+                        }
+                    }
+                }
+                if round % 2 == 0 {
+                    ops.push(Op::Mark);
+                }
+                ops.push(Op::Barrier);
+            }
+            lanes.push(Lane {
+                socket: s,
+                core: c,
+                mlp: 1 + rng.below(4) as u8,
+                probation_hint: flat % 2 == 1,
+                l3_way_mask: u32::MAX,
+                ops,
+            });
+        }
+    }
+    TraceCase {
+        config: cfg.name.to_string(),
+        seed,
+        machine: m.clone(),
+        lanes,
+    }
+}
+
+/// Full ping-pong check: the production/reference substrate differential
+/// plus fast-lane budget invariance — per-op lockstep (budget 1), the
+/// default budget, and a seed-varied budget must all yield one event
+/// signature. A budget mismatch is reported with the lockstep run as
+/// `reference`.
+pub fn check_pingpong_case(case: &TraceCase) -> Result<(), Divergence> {
+    check_case(case)?;
+    let lockstep = run_case_at::<SoaSubstrate>(case, 1);
+    for budget in [DEFAULT_RUN_AHEAD, 2 + (case.seed % 97) as u32] {
+        let budgeted = run_case_at::<SoaSubstrate>(case, budget);
+        if budgeted != lockstep {
+            return Err(Divergence {
+                case: case.clone(),
+                production: budgeted,
+                reference: lockstep,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Outcome of a seed sweep on one config.
@@ -570,6 +708,32 @@ pub mod sabotage {
     pub fn check_case_sabotaged(case: &super::TraceCase) -> Result<(), super::Divergence> {
         super::check_case_against::<OffByOneSubstrate>(case)
     }
+
+    /// Planted scheduler bug: run the case through the production
+    /// substrate with the engine's fast lane allowed one cycle past the
+    /// quantum horizon (`EngineWith::with_horizon_leak`), and compare
+    /// against the honest per-op lockstep run. A shared access leaking
+    /// across the horizon shifts the coherence interleaving, so the
+    /// ping-pong lane must flag it (on some seed within a small sweep —
+    /// the leak only bites when a burst actually straddles a horizon).
+    pub fn check_case_horizon_leaky(case: &super::TraceCase) -> Result<(), super::Divergence> {
+        use amem_sim::engine::{EngineWith, RunLimit};
+        use amem_sim::model::SoaSubstrate;
+        let leaky = EngineWith::<SoaSubstrate>::new(&case.machine, super::case_jobs(case))
+            .with_horizon_leak()
+            .run(&RunLimit::default())
+            .event_signature();
+        let honest = super::run_case_at::<SoaSubstrate>(case, 1);
+        if leaky == honest {
+            Ok(())
+        } else {
+            Err(super::Divergence {
+                case: case.clone(),
+                production: leaky,
+                reference: honest,
+            })
+        }
+    }
 }
 
 #[cfg(test)]
@@ -620,6 +784,38 @@ mod tests {
         );
         // The minimized case still reproduces.
         assert!(sabotage::check_case_sabotaged(&min).is_err());
+    }
+
+    #[test]
+    fn pingpong_lane_agrees_and_is_budget_invariant() {
+        for seed in 0..3 {
+            let case = gen_pingpong_case(seed, 1200);
+            assert!(
+                check_pingpong_case(&case).is_ok(),
+                "pingpong seed {seed} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn horizon_leak_is_caught_and_minimizes_small() {
+        // The planted one-cycle horizon overrun only bites on seeds
+        // where a fast burst straddles a quantum boundary mid-exchange;
+        // it must be caught within a small deterministic sweep.
+        let caught = (0..32u64).find_map(|seed| {
+            let case = gen_pingpong_case(seed, 1200);
+            sabotage::check_case_horizon_leaky(&case).err()
+        });
+        let d = caught.expect("horizon leak must diverge within 32 seeds");
+        let min = minimize(&d.case, |c| sabotage::check_case_horizon_leaky(c).is_err());
+        assert!(
+            sabotage::check_case_horizon_leaky(&min).is_err(),
+            "minimized witness must still reproduce"
+        );
+        assert!(
+            min.total_accesses() <= d.case.total_accesses(),
+            "minimization must not grow the witness"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! simulated DRAM channel was. This crate is the substrate for that — a
 //! process-wide registry of [`Counter`]s, [`Gauge`]s and exponential-bucket
 //! [`Histogram`]s keyed by metric name plus sorted `(key, value)` labels,
-//! with a phase-attribution profiler ([`phase`]) layered on top.
+//! with a phase-attribution profiler ([`mod@phase`]) layered on top.
 //!
 //! Three properties drive the design:
 //!

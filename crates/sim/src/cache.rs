@@ -458,8 +458,13 @@ impl Cache {
             self.dirty[base + hit] |= dirty;
             return None;
         }
-        // The set's contents are about to change; any miss memo is stale.
-        self.miss_line = EMPTY;
+        // This set's contents are about to change; a miss memo for the
+        // same set is stale. Memos for other sets stay valid: a fill
+        // neither adds the memo'd (absent) line elsewhere nor frees or
+        // claims a way outside its own set.
+        if self.miss_base as usize == base {
+            self.miss_line = EMPTY;
+        }
         let (w, evicted) = if free != usize::MAX {
             (free, None)
         } else {
@@ -501,6 +506,37 @@ impl Cache {
         }
         self.stamp[base + w] = st;
         evicted
+    }
+
+    /// Fused demand-miss install: [`Cache::fill_masked`] (clean) plus the
+    /// requester's presence and sharer bits, written directly to the entry
+    /// the fill just placed (or touched) instead of re-probing the set.
+    ///
+    /// Equivalent to `fill_masked` + `note_present` + (`set_exclusive` on
+    /// store | `add_sharer` on load): `fill_masked` leaves `Cache::last`
+    /// at the line's entry on both its fresh-insert and degenerate-touch
+    /// paths, and a fresh insert clears `sharers`, making `add_sharer`'s
+    /// OR and `set_exclusive`'s overwrite coincide there.
+    #[inline]
+    pub fn fill_demand(
+        &mut self,
+        line: u64,
+        store: bool,
+        insert_override: Option<InsertPolicy>,
+        way_mask: u32,
+        core: u32,
+    ) -> Option<Eviction> {
+        let ev = self.fill_masked(line, false, insert_override, way_mask);
+        if self.track_ownership {
+            let i = self.last;
+            self.present[i] |= 1 << core;
+            if store {
+                self.sharers[i] = 1 << core;
+            } else {
+                self.sharers[i] |= 1 << core;
+            }
+        }
+        ev
     }
 
     /// Recency stamp for a fresh insertion, honouring the insert policy.
@@ -550,16 +586,31 @@ impl Cache {
                 // like the old two-candidate pass) picks the victim.
                 let stamps = &self.stamp[base..base + ways];
                 if way_mask == u32::MAX {
-                    let mut w = 0;
-                    let mut best = stamps[0] ^ PROB_BIT;
-                    for (i, &st) in stamps.iter().enumerate().skip(1) {
-                        let key = st ^ PROB_BIT;
-                        if key < best {
-                            best = key;
-                            w = i;
-                        }
+                    // Pack (key, way) into one u64 so the argmin becomes a
+                    // pure min-reduce: ties in key resolve to the smallest
+                    // way, i.e. the first minimum in scan order — exactly
+                    // the old strict-`<` scan. Four independent accumulator
+                    // chains break the serial cmp/cmov dependency that made
+                    // this scan latency-bound on 20-way sets.
+                    #[inline(always)]
+                    fn pk(st: u32, w: usize) -> u64 {
+                        (((st ^ PROB_BIT) as u64) << 32) | w as u64
                     }
-                    return w;
+                    let n = stamps.len();
+                    let (mut m0, mut m1, mut m2, mut m3) = (u64::MAX, u64::MAX, u64::MAX, u64::MAX);
+                    let mut w = 0;
+                    while w + 4 <= n {
+                        m0 = m0.min(pk(stamps[w], w));
+                        m1 = m1.min(pk(stamps[w + 1], w + 1));
+                        m2 = m2.min(pk(stamps[w + 2], w + 2));
+                        m3 = m3.min(pk(stamps[w + 3], w + 3));
+                        w += 4;
+                    }
+                    while w < n {
+                        m0 = m0.min(pk(stamps[w], w));
+                        w += 1;
+                    }
+                    return (m0.min(m1).min(m2).min(m3) & 0xFFFF_FFFF) as usize;
                 }
                 let mut pick = None;
                 for (w, &st) in stamps.iter().enumerate() {
@@ -667,9 +718,15 @@ impl Cache {
         }
         self.stamp[i] = 0;
         self.filled -= 1;
-        self.valid[i / self.ways as usize] -= 1;
-        // A freed way invalidates any recorded first-free-way memo.
-        self.miss_line = EMPTY;
+        let set = i / self.ways as usize;
+        self.valid[set] -= 1;
+        // A freed way invalidates a first-free-way memo — but only for
+        // this set; other sets' tags and free ways are untouched (and the
+        // memo'd line itself is absent by construction, so it cannot be
+        // the one removed here).
+        if self.miss_base as usize == set * self.ways as usize {
+            self.miss_line = EMPTY;
+        }
         Some(d)
     }
 

@@ -2,9 +2,15 @@
 //! shared memory hierarchy.
 //!
 //! Single-threaded and deterministic. Each core has its own clock; the
-//! engine always advances the core with the smallest clock (min-heap), in
-//! batches bounded by a small quantum so cross-core interleaving through the
-//! shared L3 and DRAM channel stays causally accurate.
+//! engine always advances the core with the smallest clock (a linear
+//! two-min scan over a per-core clock array — core counts are ≤32, where
+//! a branch-predictable scan beats binary-heap churn), in batches bounded
+//! by a small quantum so cross-core interleaving through the shared L3
+//! and DRAM channel stays causally accurate. Within a batch, a fast lane
+//! commits runs of simple ops (loads, compute, marks) through an inlined
+//! dispatch loop; it never crosses the scheduling horizon, so results
+//! are event-for-event identical to the one-op-at-a-time path (see
+//! DESIGN.md §14 and the `AMEM_HORIZON` knob).
 //!
 //! ## Timing model
 //!
@@ -31,8 +37,6 @@
 //! written back. L1 ⊆ L2 is maintained the same way. Dirty evictions charge
 //! write-back occupancy on the channel.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::mpsc;
 
 use crate::config::{CoreId, MachineConfig};
@@ -65,6 +69,27 @@ fn lane_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Default fast-lane burst budget (ops per uninterrupted inline span).
+pub const DEFAULT_RUN_AHEAD: u32 = 256;
+
+/// Fast-lane burst budget: how many consecutive ops one core may commit
+/// through the inlined dispatch loop before the engine re-checks
+/// scheduling state. `AMEM_HORIZON=1` forces the legacy lockstep
+/// dispatcher. Like `AMEM_LANES`, this is intentionally *not* part of
+/// [`RunLimit`]: the fast lane never crosses the scheduling horizon, so
+/// the value cannot change simulated results (the horizon-determinism
+/// test asserts this) and must not enter the executor's cache key.
+fn run_ahead_ops() -> u32 {
+    match std::env::var("AMEM_HORIZON") {
+        Ok(v) => v
+            .trim()
+            .parse::<u32>()
+            .map(|n| n.max(1))
+            .unwrap_or(DEFAULT_RUN_AHEAD),
+        Err(_) => DEFAULT_RUN_AHEAD,
+    }
 }
 
 /// One core's buffered window of upcoming ops.
@@ -443,6 +468,14 @@ pub struct EngineWith<'a, S: Substrate = SoaSubstrate> {
     /// Hoisted `cfg.tlb.is_enabled()`: skips the per-access translation
     /// call entirely on the (default) disabled configuration.
     tlb_on: bool,
+    /// Fast-lane burst budget (`AMEM_HORIZON`, or a test override);
+    /// `1` disables the inlined dispatch loop entirely.
+    run_ahead: u32,
+    /// Cycles the fast lane is (wrongly) allowed past the quantum
+    /// horizon. Always `0` in production; the conformance self-test
+    /// plants `1` to prove the ping-pong fuzz lane catches exactly this
+    /// class of bug (a shared access leaking across the horizon).
+    horizon_leak: u64,
 
     labels: Vec<String>,
     job_meta: Vec<(CoreId, bool)>,
@@ -528,6 +561,8 @@ impl<'a, S: Substrate> EngineWith<'a, S> {
                 .collect(),
             feeds: (0..n).map(|_| LaneFeed::Local).collect(),
             tlb_on: cfg.tlb.is_enabled(),
+            run_ahead: run_ahead_ops(),
+            horizon_leak: 0,
 
             labels,
             job_meta,
@@ -536,6 +571,26 @@ impl<'a, S: Substrate> EngineWith<'a, S> {
             ring: None,
             demand_hist: Vec::new(),
         }
+    }
+
+    /// Override the fast-lane burst budget (ops per uninterrupted inline
+    /// span; `1` forces the legacy one-op dispatch path). Results are
+    /// identical for every value — this exists so tests and the
+    /// conformance fuzzer can sweep budgets without racing on the
+    /// process-global `AMEM_HORIZON` variable.
+    pub fn with_run_ahead(mut self, ops: u32) -> Self {
+        self.run_ahead = ops.max(1);
+        self
+    }
+
+    /// Sabotage for the conformance self-test: let every fast-lane burst
+    /// overrun the quantum horizon by one cycle — the off-by-one that
+    /// would leak a shared access past the conservative boundary. The
+    /// ping-pong fuzz lane must detect the resulting interleaving drift.
+    #[doc(hidden)]
+    pub fn with_horizon_leak(mut self) -> Self {
+        self.horizon_leak = 1;
+        self
     }
 
     /// Pull the next op from the core's buffered lane, refilling (from
@@ -632,36 +687,124 @@ impl<'a, S: Substrate> EngineWith<'a, S> {
             had_primaries || limit.max_cycles.is_some(),
             "a run with no primary jobs must set max_cycles"
         );
-        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
-        for (i, c) in self.cores.iter().enumerate() {
-            if !c.done {
-                heap.push(Reverse((0, i as u32)));
-            }
-        }
+        // Heap-free scheduler: one ready slot per core in `clock`,
+        // `u64::MAX` for cores with nothing queued (done, parked, or
+        // currently dispatched). Each round a linear two-min scan picks
+        // the next core and the quantum horizon; with strict `<` the
+        // first minimum in index order wins, matching the old
+        // `BinaryHeap<Reverse<(t, ci)>>` lexicographic pop.
+        //
+        // The legacy heap had one quirk the array must reproduce: when
+        // the *last* core arriving at a barrier released it,
+        // `try_release_barrier` pushed that core at the resume time and
+        // the dispatch loop's re-queue pushed it again — the last parker
+        // owned TWO heap slots until its next park, and those duplicate
+        // pops perturb every shared-resource interleaving downstream.
+        // `spill` carries such second slots (it is empty in barrier-free
+        // runs, so the common round is still a pure two-min scan); the
+        // pop order over `clock ∪ spill` is identical to the seed
+        // engine's, entry for entry.
+        let mut clock: Vec<u64> = self
+            .cores
+            .iter()
+            .map(|c| if c.done { u64::MAX } else { 0 })
+            .collect();
+        let mut spill: Vec<(u64, u32)> = Vec::new();
         let max_cycles = limit.max_cycles.unwrap_or(u64::MAX);
-        while let Some(Reverse((t, ci))) = heap.pop() {
-            let ci = ci as usize;
+        // Telemetry observes per-op state between steps, so it forces the
+        // one-op legacy dispatch path (equivalent, just slower).
+        let run_ahead = if limit.telemetry_enabled() {
+            1
+        } else {
+            self.run_ahead
+        };
+        loop {
             if had_primaries && primaries_left == 0 {
-                // Stop the remaining (background) cores where they stand.
-                self.stop_core(ci, t);
-                continue;
+                // The finalize pass below stops the remaining
+                // (background) cores where they stand.
+                break;
             }
+            let (mut t1, mut t2, mut sel) = (u64::MAX, u64::MAX, usize::MAX);
+            for (i, &t) in clock.iter().enumerate() {
+                if t < t1 {
+                    t2 = t1;
+                    t1 = t;
+                    sel = i;
+                } else if t < t2 {
+                    t2 = t;
+                }
+            }
+            // Pop the lexicographic (t, ci) minimum over `clock ∪ spill`
+            // — exactly the heap's order. `t` is the popped entry's
+            // timestamp (it can lag `cores[ci].time` for a spill entry of
+            // a core that ran since), `t_next` the earliest remaining
+            // entry, i.e. what the heap's post-pop peek saw.
+            let (t, ci, t_next) = if spill.is_empty() {
+                if sel == usize::MAX {
+                    break; // every core done (or parked past the stop limit)
+                }
+                clock[sel] = u64::MAX;
+                (t1, sel, t2)
+            } else {
+                let (mut se, mut sj) = ((u64::MAX, u32::MAX), usize::MAX);
+                let (mut s1, mut s2) = (u64::MAX, u64::MAX);
+                for (j, &e) in spill.iter().enumerate() {
+                    if e < se {
+                        se = e;
+                        sj = j;
+                    }
+                    if e.0 < s1 {
+                        s2 = s1;
+                        s1 = e.0;
+                    } else if e.0 < s2 {
+                        s2 = e.0;
+                    }
+                }
+                if sel != usize::MAX && (t1, sel as u32) <= se {
+                    clock[sel] = u64::MAX;
+                    (t1, sel, t2.min(s1))
+                } else {
+                    spill.swap_remove(sj);
+                    (se.0, se.1 as usize, t1.min(s2))
+                }
+            };
             if self.cores[ci].done || self.cores[ci].parked {
-                continue;
+                continue; // stale spill entry of a finished/parked core
             }
             if t >= max_cycles {
+                // All runnable cores are at or past the stop limit; halt
+                // them where they stand (the popped core at its popped
+                // timestamp, slotted cores at theirs). `stop_core` touches
+                // only per-core state, so the old one-pop-at-a-time drain
+                // order is irrelevant; leftover spill entries would all be
+                // discarded as done on pop, so drop them wholesale.
                 self.stop_core(ci, t);
-                if self.cores[ci].primary {
+                if self.cores[ci].primary && primaries_left > 0 {
                     primaries_left -= 1;
                 }
-                continue;
+                for (i, slot) in clock.iter_mut().enumerate() {
+                    if *slot != u64::MAX {
+                        self.stop_core(i, *slot);
+                        if self.cores[i].primary && primaries_left > 0 {
+                            primaries_left -= 1;
+                        }
+                        *slot = u64::MAX;
+                    }
+                }
+                spill.clear();
+                break;
             }
-            let horizon = heap
-                .peek()
-                .map(|x| x.0 .0)
-                .unwrap_or(u64::MAX)
-                .saturating_add(limit.quantum);
+            let horizon = t_next.saturating_add(limit.quantum);
+            let cap = horizon.min(max_cycles);
+            let burst_cap = cap.saturating_add(self.horizon_leak);
             loop {
+                if run_ahead > 1 {
+                    match self.fast_burst(ci, burst_cap, run_ahead) {
+                        BurstEnd::Horizon => break,
+                        BurstEnd::Budget => continue,
+                        BurstEnd::Unhandled => {}
+                    }
+                }
                 let state = self.step(ci, limit);
                 if let Some(sm) = self.sampler.as_mut() {
                     let c = &self.cores[ci];
@@ -680,17 +823,28 @@ impl<'a, S: Substrate> EngineWith<'a, S> {
                         if self.cores[ci].primary {
                             primaries_left -= 1;
                         }
-                        self.try_release_barrier(&mut heap, limit);
+                        self.try_release_barrier(&mut clock, &mut spill, limit);
                         break;
                     }
                     StepOutcome::Parked => {
-                        self.try_release_barrier(&mut heap, limit);
+                        self.try_release_barrier(&mut clock, &mut spill, limit);
                         break;
                     }
                 }
             }
-            if !self.cores[ci].done && !self.cores[ci].parked {
-                heap.push(Reverse((self.cores[ci].time, ci as u32)));
+            // Re-queue like the heap's post-dispatch push. If this core
+            // parked and then released the barrier itself, its slot was
+            // already re-armed at the resume time inside
+            // `try_release_barrier` — the legacy heap pushed a *second*
+            // entry in that case, so the duplicate goes to `spill`.
+            let c = &self.cores[ci];
+            if !c.done && !c.parked {
+                let now = c.time;
+                if clock[ci] == u64::MAX {
+                    clock[ci] = now;
+                } else {
+                    spill.push((now, ci as u32));
+                }
             }
         }
         // Finalize any cores still running (e.g. stopped backgrounds).
@@ -712,10 +866,18 @@ impl<'a, S: Substrate> EngineWith<'a, S> {
         }
     }
 
-    /// If every unfinished primary is parked at the barrier, release them.
+    /// If every unfinished primary is parked at the barrier, release them
+    /// (re-arming their ready clocks at the common resume time).
+    ///
+    /// A released core's slot is normally free (parking pops it), but a
+    /// core that parked while dispatched *from a spill entry* still owns
+    /// its queued clock slot — the legacy heap kept that entry alongside
+    /// the release push, so the resume entry spills rather than
+    /// clobbering it.
     fn try_release_barrier(
         &mut self,
-        heap: &mut BinaryHeap<Reverse<(u64, u32)>>,
+        clock: &mut [u64],
+        spill: &mut Vec<(u64, u32)>,
         limit: &RunLimit,
     ) {
         let mut waiting = Vec::new();
@@ -747,7 +909,11 @@ impl<'a, S: Substrate> EngineWith<'a, S> {
             if let Some(r) = self.ring.as_mut() {
                 r.push(SpanEvent::span("barrier-wait", i, arrival, resume));
             }
-            heap.push(Reverse((resume, i as u32)));
+            if clock[i] == u64::MAX {
+                clock[i] = resume;
+            } else {
+                spill.push((resume, i as u32));
+            }
         }
     }
 
@@ -857,6 +1023,80 @@ impl<'a, S: Substrate> EngineWith<'a, S> {
         }
     }
 
+    /// Fast lane: commit up to `budget` consecutive simple ops (loads,
+    /// compute, marks) for core `ci` through a flat, inlined dispatch
+    /// loop, stopping at the scheduling horizon `cap` exactly where the
+    /// general loop would. Ops it cannot retire inline — stores (store
+    /// buffering plus coherence), barriers, remote transfers, stream end,
+    /// or an empty op buffer — are left at the buffer cursor for the
+    /// general dispatcher. Only runs when telemetry is off, so the
+    /// per-op sampler and ring checks of the legacy path are vacuous.
+    fn fast_burst(&mut self, ci: usize, cap: u64, budget: u32) -> BurstEnd {
+        let mut left = budget;
+        loop {
+            if left == 0 {
+                return BurstEnd::Budget;
+            }
+            let buf = &self.bufs[ci];
+            let Some(&op) = buf.ops.get(buf.pos) else {
+                return BurstEnd::Unhandled;
+            };
+            match op {
+                Op::Load(addr) => {
+                    let line = addr >> 6;
+                    {
+                        let c = &mut self.cores[ci];
+                        if c.out.len >= c.mlp {
+                            let free_at = c.out.pop_min();
+                            if free_at > c.time {
+                                c.counters.stall_cycles += free_at - c.time;
+                                c.time = free_at;
+                            }
+                        }
+                    }
+                    let now = self.cores[ci].time;
+                    let walk = if self.tlb_on {
+                        self.tlb_access(ci, addr)
+                    } else {
+                        0
+                    };
+                    let lat = if self.cores[ci].l1.lookup(line, false) {
+                        self.cores[ci].counters.l1_hits += 1;
+                        self.cfg.l1.latency
+                    } else {
+                        self.cores[ci].counters.l1_misses += 1;
+                        self.mem_access_after_l1(ci, line, false, now).0
+                    };
+                    let c = &mut self.cores[ci];
+                    c.out.push(now + walk as u64 + lat as u64);
+                    c.time += 1;
+                    c.counters.loads += 1;
+                }
+                Op::Compute(cy) => {
+                    self.drain(ci);
+                    let c = &mut self.cores[ci];
+                    c.time += cy as u64;
+                    c.counters.compute_cycles += cy as u64;
+                }
+                Op::Mark => {
+                    self.drain(ci);
+                    let c = &mut self.cores[ci];
+                    let mut snap = c.counters;
+                    snap.cycles = c.time;
+                    c.marks.push(snap);
+                    // The event ring is always absent here (telemetry
+                    // forces the legacy path), so no instant is recorded.
+                }
+                _ => return BurstEnd::Unhandled,
+            }
+            self.bufs[ci].pos += 1;
+            left -= 1;
+            if self.cores[ci].time >= cap {
+                return BurstEnd::Horizon;
+            }
+        }
+    }
+
     /// Translate through the core's TLB; returns page-walk cycles.
     #[inline]
     fn tlb_access(&mut self, ci: usize, addr: u64) -> u32 {
@@ -918,6 +1158,7 @@ impl<'a, S: Substrate> EngineWith<'a, S> {
 
     /// Probe the hierarchy for `line`; update caches, counters, channel.
     /// Returns (latency, serving level).
+    #[inline]
     fn mem_access(&mut self, ci: usize, line: u64, store: bool, now: u64) -> (u32, HitLevel) {
         // L1
         if self.cores[ci].l1.lookup(line, store) {
@@ -930,6 +1171,19 @@ impl<'a, S: Substrate> EngineWith<'a, S> {
             return (lat, HitLevel::L1);
         }
         self.cores[ci].counters.l1_misses += 1;
+        self.mem_access_after_l1(ci, line, store, now)
+    }
+
+    /// [`Self::mem_access`] continued past a recorded L1 miss — split out
+    /// so the fast lane can probe the L1 inline and only pay a call on
+    /// the miss path, without double-probing.
+    fn mem_access_after_l1(
+        &mut self,
+        ci: usize,
+        line: u64,
+        store: bool,
+        now: u64,
+    ) -> (u32, HitLevel) {
         let s = self.cores[ci].sock;
         // L2
         if self.cores[ci].l2.lookup(line, false) {
@@ -961,15 +1215,9 @@ impl<'a, S: Substrate> EngineWith<'a, S> {
                 .demand(now + self.cfg.l3.latency as u64);
             let hint = self.cores[ci].llc_hint;
             let mask = self.cores[ci].l3_way_mask;
-            self.fill_l3(s, line, now, hint, mask);
-            self.fill_l2(ci, s, line, now);
+            self.fill_l3_demand(ci, s, line, now, store, hint, mask);
+            self.fill_l2_quiet(ci, s, line, now);
             self.fill_l1(ci, line, store, now);
-            let me = self.cores[ci].me;
-            if store {
-                self.sockets[s].l3.set_exclusive(line, me);
-            } else {
-                self.sockets[s].l3.add_sharer(line, me);
-            }
             // Row access overlaps with queue drain: an uncontended miss
             // costs the fixed DRAM latency; under contention the channel
             // backlog dominates. Summing both would convoy bursty traffic
@@ -1047,6 +1295,70 @@ impl<'a, S: Substrate> EngineWith<'a, S> {
                 }
             }
             if dirty {
+                self.sockets[s].dram.writeback(now);
+            }
+        }
+    }
+
+    /// Demand-miss L3 install: one fused substrate call writes the line,
+    /// the requester's presence bit and its sharer (load) or exclusive
+    /// (store) bit at the entry the fill just placed; inclusive
+    /// back-invalidation then runs off the returned eviction, exactly as
+    /// in [`Self::fill_l3`].
+    ///
+    /// Equivalent to the legacy `fill_l3` + `note_present` (inside
+    /// `fill_l2`) + trailing `add_sharer`/`set_exclusive` sequence: no
+    /// operation between the fill and those old call sites reads or
+    /// writes the *filled* line's L3 ownership state (back-invalidation
+    /// and private-eviction handling only touch other lines), and a
+    /// fresh fill clears the sharer mask, so `add_sharer`'s OR and
+    /// `set_exclusive`'s overwrite land on the same value.
+    #[allow(clippy::too_many_arguments)]
+    fn fill_l3_demand(
+        &mut self,
+        ci: usize,
+        s: usize,
+        line: u64,
+        now: u64,
+        store: bool,
+        hint: Option<crate::cache::InsertPolicy>,
+        way_mask: u32,
+    ) {
+        let me = self.cores[ci].me;
+        if let Some(ev) = self.sockets[s]
+            .l3
+            .fill_demand(line, store, hint, way_mask, me)
+        {
+            let mut dirty = ev.dirty;
+            if self.cfg.inclusive_l3 {
+                let lo = (s as u32 * self.cfg.cores_per_socket) as usize;
+                let mut m = ev.present;
+                while m != 0 {
+                    let c2 = lo + m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    if let Some(d) = self.cores[c2].l2.invalidate(ev.line) {
+                        dirty |= d;
+                        self.cores[c2].counters.back_invalidations += 1;
+                    }
+                    if let Some(d) = self.cores[c2].l1.invalidate(ev.line) {
+                        dirty |= d;
+                    }
+                }
+            }
+            if dirty {
+                self.sockets[s].dram.writeback(now);
+            }
+        }
+    }
+
+    /// [`Self::fill_l2`] without the presence update: the demand path's
+    /// fused L3 fill already recorded the requester's presence bit.
+    fn fill_l2_quiet(&mut self, ci: usize, s: usize, line: u64, now: u64) {
+        if let Some(ev) = self.cores[ci].l2.fill(line, false) {
+            // Maintain L1 ⊆ L2.
+            let d1 = self.cores[ci].l1.invalidate(ev.line);
+            let dirty = ev.dirty || d1 == Some(true);
+            if dirty && !self.sockets[s].l3.mark_dirty(ev.line) {
                 self.sockets[s].dram.writeback(now);
             }
         }
@@ -1168,6 +1480,19 @@ enum StepOutcome {
     Running,
     Finished,
     Parked,
+}
+
+/// Why a fast-lane burst handed control back to the scheduler loop.
+enum BurstEnd {
+    /// Committed an op that reached the scheduling horizon (or the stop
+    /// limit): the core's quantum is over.
+    Horizon,
+    /// Budget exhausted mid-quantum: re-enter with a fresh budget (the
+    /// horizon, not the budget, is the semantic boundary).
+    Budget,
+    /// The op at the buffer cursor needs the general dispatcher (or the
+    /// buffer needs a refill).
+    Unhandled,
 }
 
 #[cfg(test)]

@@ -72,6 +72,31 @@ pub trait CacheModel {
     /// Record that `core` pulled a present line into its private caches.
     fn note_present(&mut self, line: u64, core: u32);
 
+    /// Fused demand-miss install: [`CacheModel::fill_masked`] (clean)
+    /// followed by [`CacheModel::note_present`] and — because the
+    /// requester always ends up a sharer of the line it just fetched —
+    /// [`CacheModel::set_exclusive`] for a store or
+    /// [`CacheModel::add_sharer`] for a load. The default is exactly that
+    /// call sequence; implementations may fold the ownership writes into
+    /// the fill to avoid re-probing a line whose entry they just touched.
+    fn fill_demand(
+        &mut self,
+        line: u64,
+        store: bool,
+        insert_override: Option<InsertPolicy>,
+        way_mask: u32,
+        core: u32,
+    ) -> Option<Eviction> {
+        let ev = self.fill_masked(line, false, insert_override, way_mask);
+        self.note_present(line, core);
+        if store {
+            self.set_exclusive(line, core);
+        } else {
+            self.add_sharer(line, core);
+        }
+        ev
+    }
+
     /// Number of valid lines currently resident.
     fn occupancy(&self) -> u64;
 
@@ -153,6 +178,16 @@ impl CacheModel for Cache {
     }
     fn note_present(&mut self, line: u64, core: u32) {
         Cache::note_present(self, line, core)
+    }
+    fn fill_demand(
+        &mut self,
+        line: u64,
+        store: bool,
+        insert_override: Option<InsertPolicy>,
+        way_mask: u32,
+        core: u32,
+    ) -> Option<Eviction> {
+        Cache::fill_demand(self, line, store, insert_override, way_mask, core)
     }
     fn occupancy(&self) -> u64 {
         Cache::occupancy(self)

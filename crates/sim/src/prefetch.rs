@@ -76,30 +76,18 @@ impl Prefetcher {
         }
         self.tick = self.tick.wrapping_add(1);
         let page = line >> LINES_PER_PAGE_SHIFT;
-        // One pass finds the tracking entry and, failing that, the
-        // allocation victim (first empty slot, else first lowest tick —
-        // the partial scans are discarded on a hit, so fusing them is
-        // free for trained streams and halves the work for random ones).
-        let mut found = usize::MAX;
-        let mut empty = usize::MAX;
-        let mut victim = 0;
-        let mut oldest = u32::MAX;
+        // Branchless movemask sweep over the 128-byte page array: match
+        // and empty bitmaps in one vectorizable pass (no early exit, so
+        // the 16 compares become a couple of vector ops). Random traffic
+        // takes the allocation path on essentially every observation, so
+        // the untrained miss — not the trained hit — is the hot case.
+        let mut eqm = 0u32;
+        let mut empm = 0u32;
         for i in 0..TABLE {
-            let p = self.pages[i];
-            if p == page {
-                found = i;
-                break;
-            }
-            if p == 0 {
-                if empty == usize::MAX {
-                    empty = i;
-                }
-            } else if self.lru[i] < oldest {
-                oldest = self.lru[i];
-                victim = i;
-            }
+            eqm |= u32::from(self.pages[i] == page) << i;
+            empm |= u32::from(self.pages[i] == 0) << i;
         }
-        match (found != usize::MAX).then_some(found) {
+        match (eqm != 0).then(|| eqm.trailing_zeros() as usize) {
             Some(i) => {
                 self.lru[i] = self.tick;
                 let stride = line as i64 - self.last_line[i] as i64;
@@ -131,8 +119,19 @@ impl Prefetcher {
                 }
             }
             None => {
-                // Allocate: first empty slot, else the LRU entry.
-                let victim = if empty != usize::MAX { empty } else { victim };
+                // Allocate: first empty slot, else the LRU entry. The
+                // victim scan is a packed (tick, index) min-reduce —
+                // lowest tick wins, ties to the lowest index, matching
+                // the strict-`<` first-minimum of a sequential scan.
+                let victim = if empm != 0 {
+                    empm.trailing_zeros() as usize
+                } else {
+                    let mut best = u64::MAX;
+                    for i in 0..TABLE {
+                        best = best.min((u64::from(self.lru[i]) << 4) | i as u64);
+                    }
+                    (best & 0xF) as usize
+                };
                 self.pages[victim] = page;
                 self.last_line[victim] = line;
                 self.stride[victim] = 0;

@@ -20,7 +20,8 @@
 use std::path::PathBuf;
 
 use active_mem::conformance::fuzz::{
-    check_case, configs, fuzz_config, gen_case, minimize, run_case, sabotage, write_reproducer,
+    check_case, configs, fuzz_config, gen_case, gen_pingpong_case, minimize, run_case, sabotage,
+    write_reproducer,
 };
 use active_mem::conformance::{ehr_oracle_pack, orthogonality_pack, replay_file};
 use active_mem::sim::engine::EventSignature;
@@ -153,4 +154,41 @@ fn golden_trace_signatures_are_stable() {
             "{name} seed {seed}: reference diverges on a golden trace"
         );
     }
+}
+
+/// Barrier-heavy snapshot. The ping-pong script parks cores at
+/// barriers constantly, so this golden pins the two scheduler corner
+/// cases the figure CSVs depend on: the duplicate queue slot a core
+/// gains by releasing its own barrier, and the retained stale entry of
+/// a core that parks while running off a duplicate. Reverting either
+/// emulation in `run_inner`/`try_release_barrier` changes this
+/// signature.
+#[test]
+fn golden_pingpong_signature_is_stable() {
+    let update = std::env::var("AMEM_UPDATE_GOLDEN").is_ok_and(|v| v == "1");
+    let seed = 1u64;
+    let case = gen_pingpong_case(seed, 1200);
+    let sig = run_case::<SoaSubstrate>(&case);
+    let path = golden_dir().join(format!("golden_pingpong-2s_seed{seed}.json"));
+    if update {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, serde_json::to_string_pretty(&sig).unwrap()).unwrap();
+        return;
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run AMEM_UPDATE_GOLDEN=1 cargo test --test conformance",
+            path.display()
+        )
+    });
+    let expected: EventSignature = serde_json::from_str(&text).expect("parse golden");
+    assert_eq!(
+        sig, expected,
+        "pingpong-2s seed {seed}: barrier scheduling moved vs committed golden {}; if intended, regenerate with AMEM_UPDATE_GOLDEN=1",
+        path.display()
+    );
+    assert!(
+        check_case(&case).is_ok(),
+        "pingpong-2s seed {seed}: reference diverges on a golden trace"
+    );
 }

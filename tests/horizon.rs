@@ -1,0 +1,128 @@
+//! Fast-lane determinism: the engine may run the lead core in inline
+//! bursts (`AMEM_HORIZON` ops between clock checks), but the burst
+//! budget is a pure execution detail — every simulated number must be
+//! byte-identical at any budget, from per-op lockstep (1) to far past
+//! the default (4096), and the executor's content-addressed cache key
+//! must not encode it (see DESIGN.md §14).
+//!
+//! This lives in its own test binary: it mutates the process-wide
+//! `AMEM_HORIZON` variable, and separate binaries are separate
+//! processes, so it cannot race the lane-count test's env mutations.
+
+use active_mem::core::platform::{McbWorkload, Platform, SimPlatform};
+use active_mem::core::Executor;
+use active_mem::interfere::InterferenceMix;
+use active_mem::miniapps::McbCfg;
+use active_mem::sim::config::CoreId;
+use active_mem::sim::engine::{Engine, EventSignature, Job, RunLimit};
+use active_mem::sim::stream::{Op, ScriptStream};
+use active_mem::sim::MachineConfig;
+
+fn machine() -> MachineConfig {
+    MachineConfig::xeon20mb().scaled(0.0625)
+}
+
+/// A coherence-heavy two-socket script: both cores ping-pong loads and
+/// stores on one shared line (invalidation broadcasts), stream over
+/// private buffers (fast-lane fodder), and meet at barriers with PMU
+/// marks — every op class whose interleaving the horizon could corrupt.
+fn jobs() -> Vec<Job> {
+    let shared = 0x4000_0000u64;
+    let mk = |core: u32, base: u64| {
+        let mut ops = Vec::new();
+        for i in 0..600u64 {
+            ops.push(Op::Load(base + (i % 200) * 64));
+            if i % 7 == 0 {
+                ops.push(Op::Store(shared));
+            } else if i % 3 == 0 {
+                ops.push(Op::Load(shared));
+            }
+            if i % 150 == 0 {
+                ops.push(Op::Barrier);
+                ops.push(Op::Mark);
+            }
+            if i % 11 == 0 {
+                ops.push(Op::Compute(5 + (core + i as u32) % 9));
+            }
+        }
+        ops.push(Op::Barrier);
+        ops
+    };
+    vec![
+        Job::primary(
+            Box::new(ScriptStream::new(mk(0, 0x1000_0000))),
+            CoreId::new(0, 0),
+        ),
+        Job::primary(
+            Box::new(ScriptStream::new(mk(1, 0x2000_0000))),
+            CoreId::new(1, 0),
+        ),
+        Job::background(
+            Box::new(ScriptStream::new(mk(2, 0x3000_0000))),
+            CoreId::new(0, 1),
+        ),
+    ]
+}
+
+fn signature_at(cfg: &MachineConfig, run_ahead: u32) -> EventSignature {
+    Engine::new(cfg, jobs())
+        .with_run_ahead(run_ahead)
+        .run(&RunLimit::default())
+        .event_signature()
+}
+
+/// One test fn (not several): it mutates `AMEM_HORIZON`, and parallel
+/// test fns within this binary would race on it.
+#[test]
+fn results_and_cache_keys_are_horizon_invariant() {
+    let m = machine();
+
+    // Engine-level: event signatures (every counter, mark, and socket
+    // traffic figure) across budgets, via the builder (no env races).
+    let base = signature_at(&m, 1);
+    for budget in [2, 64, 256, 4096] {
+        assert_eq!(
+            base,
+            signature_at(&m, budget),
+            "event signature diverged at run-ahead budget {budget}"
+        );
+    }
+
+    // Platform-level: full Measurement bytes and executor cache keys
+    // through the `AMEM_HORIZON` environment path end to end.
+    let w = McbWorkload(McbCfg {
+        ranks: 4,
+        steps: 2,
+        ..McbCfg::new(&m, 4000)
+    });
+    let mix = InterferenceMix::storage(2);
+    let mut blobs: Vec<String> = Vec::new();
+    let mut keys: Vec<String> = Vec::new();
+    for horizon in [Some("1"), None, Some("4096")] {
+        match horizon {
+            Some(h) => std::env::set_var("AMEM_HORIZON", h),
+            None => std::env::remove_var("AMEM_HORIZON"),
+        }
+        let plat = SimPlatform::new(m.clone());
+        let meas = plat.run(&w, 2, mix).expect("run succeeds");
+        blobs.push(serde_json::to_string(&meas).expect("serializable"));
+        let dir =
+            std::env::temp_dir().join(format!("amem_horizon_{}", horizon.unwrap_or("default")));
+        let _ = std::fs::remove_dir_all(&dir);
+        let exec = Executor::with_cache_dir(SimPlatform::new(m.clone()), dir.clone());
+        keys.push(exec.request_key(&w, 2, mix).expect("request is cacheable"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    std::env::remove_var("AMEM_HORIZON");
+
+    assert_eq!(
+        blobs[0], blobs[1],
+        "Measurement bytes must be identical at horizon 1 and the default"
+    );
+    assert_eq!(
+        blobs[1], blobs[2],
+        "Measurement bytes must be identical at the default and horizon 4096"
+    );
+    assert_eq!(keys[0], keys[1], "cache keys must not encode the horizon");
+    assert_eq!(keys[1], keys[2], "cache keys must not encode the horizon");
+}
