@@ -1,57 +1,30 @@
 //! Fig. 1 — the paper's concept figure, reenacted with real measurements:
 //! interfere with increasing fractions of a resource until the
 //! application's performance degrades; the knee reveals its use.
+//!
+//! The workload and table live in [`amem_core::figures`] so the serve
+//! path (`amem-client sweep --csv`) renders byte-identical output.
 
 use amem_bench::Harness;
+use amem_core::figures::{fig1_probe, fig1_table, FIG1_MAX_COUNT, FIG1_PER_PROCESSOR};
 use amem_core::platform::ProbeWorkload;
-use amem_core::report::Table;
 use amem_core::sweep::run_sweep;
-use amem_core::CapacityMap;
 use amem_interfere::InterferenceKind;
-use amem_probes::dist::AccessDist;
-use amem_probes::probe::ProbeCfg;
 
 fn main() {
     let mut h = Harness::new("fig1");
     let m = h.machine();
     let exec = h.executor();
-    let cmap = CapacityMap::paper_xeon20mb(&m);
-    // A workload with a known appetite: a concentrated probe whose hot
-    // set is ≈ half the L3.
-    let w = ProbeWorkload(ProbeCfg::for_machine(
-        &m,
-        AccessDist::Normal {
-            mu: 0.5,
-            sigma: 0.125,
-        },
-        2.0,
-        1,
-    ));
-    let sweep = run_sweep(&exec, &w, 1, InterferenceKind::Storage, 5).expect("fig1 sweep");
-    let mut t = Table::new(
-        "Fig. 1 — increasing interference until performance degrades",
-        &[
-            "Resource interfered with",
-            "Left for the app (MB)",
-            "Degradation",
-            "Verdict",
-        ],
-    );
-    let tol = 3.0;
-    for p in &sweep.points {
-        let left = cmap.available_bytes(p.count) / (1 << 20) as f64;
-        let frac = 100.0 * (1.0 - cmap.available_bytes(p.count) / cmap.available_bytes(0));
-        t.row(vec![
-            format!("{:.0}%", frac),
-            format!("{left:.2}"),
-            format!("{:+.1}%", p.degradation_pct),
-            if p.degradation_pct < tol {
-                "no degradation".into()
-            } else {
-                "degradation -> resource was in use".into()
-            },
-        ]);
-    }
+    let w = ProbeWorkload(fig1_probe(&m));
+    let sweep = run_sweep(
+        &exec,
+        &w,
+        FIG1_PER_PROCESSOR,
+        InterferenceKind::Storage,
+        FIG1_MAX_COUNT,
+    )
+    .expect("fig1 sweep");
+    let t = fig1_table(&m, &sweep);
     h.emit("fig1", &t);
     h.finish();
 }

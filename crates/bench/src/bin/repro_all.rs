@@ -79,6 +79,7 @@ fn main() {
         "combined",
         "cat",
         "energy",
+        "serve",
     ];
     let exe_dir = std::env::current_exe()
         .expect("current_exe")

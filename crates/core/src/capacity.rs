@@ -16,7 +16,7 @@ use amem_probes::ehr;
 use amem_probes::probe::ProbeCfg;
 use amem_sim::config::MachineConfig;
 use rayon::prelude::*;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::curve::{CurveOpts, CurveRequest};
 use crate::error::AmemError;
@@ -28,7 +28,7 @@ use crate::platform::ProbeWorkload;
 pub type CalibrateOpts = CurveOpts;
 
 /// Mean ± stddev effective capacity at one interference level.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct CapacityPoint {
     pub cs_threads: usize,
     pub mean_bytes: f64,
@@ -36,7 +36,7 @@ pub struct CapacityPoint {
 }
 
 /// Map from CSThr count to effective available L3 capacity.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CapacityMap {
     pub points: Vec<CapacityPoint>,
 }

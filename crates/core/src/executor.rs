@@ -358,6 +358,9 @@ impl Executor {
     }
 
     fn build(platform: impl Platform + 'static, mode: CacheMode) -> Self {
+        if let CacheMode::Disk(dir) = &mode {
+            sweep_stale_tmp(dir, STALE_TMP_AGE);
+        }
         Self {
             platform: Box::new(platform),
             mode,
@@ -724,7 +727,7 @@ impl Executor {
         if std::fs::create_dir_all(dir).is_err() {
             return;
         }
-        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let tmp = unique_tmp_path(&path);
         if std::fs::write(&tmp, json).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
             self.curve_stores.fetch_add(1, Ordering::Relaxed);
             self.metric_add("amem_executor_disk_stores_total", 1);
@@ -1048,7 +1051,7 @@ impl Executor {
         if std::fs::create_dir_all(dir).is_err() {
             return;
         }
-        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let tmp = unique_tmp_path(&path);
         if std::fs::write(&tmp, json).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
             self.stores.fetch_add(1, Ordering::Relaxed);
             self.metric_add("amem_executor_disk_stores_total", 1);
@@ -1057,6 +1060,62 @@ impl Executor {
         }
     }
 }
+
+/// Unique scratch path for one atomic store: `<entry>.tmp.<pid>.<nonce>`.
+///
+/// The pid alone is not enough — two threads in one process persisting
+/// the same key (dedup-bypassing `--no-cache` writers, or two `Executor`s
+/// sharing a cache dir) would race on a single tmp path and could rename
+/// a torn or foreign write over the entry. A per-process atomic counter
+/// makes every in-flight write its own file; `fs::rename` then keeps the
+/// publish atomic.
+pub fn unique_tmp_path(path: &Path) -> PathBuf {
+    static NONCE: AtomicU64 = AtomicU64::new(0);
+    let n = NONCE.fetch_add(1, Ordering::Relaxed);
+    path.with_extension(format!("tmp.{}.{n}", std::process::id()))
+}
+
+/// Remove orphaned `*.tmp.*` scratch files older than `max_age` from a
+/// cache directory, returning how many were reclaimed.
+///
+/// A crash between `fs::write` and `fs::rename` leaks the tmp file
+/// forever; nothing ever reads it, so it is pure disk-space debt. The age
+/// threshold is conservative on purpose: a *young* tmp file may belong to
+/// a concurrent writer in another live process, and deleting it mid-write
+/// would break that writer's rename. Callers run this at startup
+/// (`Executor::build` for disk caches, and the serve daemon's shared
+/// store) where "older than an hour" cannot be in flight.
+pub fn sweep_stale_tmp(dir: &Path, max_age: std::time::Duration) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let now = std::time::SystemTime::now();
+    let mut reclaimed = 0usize;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let is_tmp = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.contains(".tmp."));
+        if !is_tmp {
+            continue;
+        }
+        let stale = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|mtime| now.duration_since(mtime).ok())
+            .is_some_and(|age| age >= max_age);
+        if stale && std::fs::remove_file(&path).is_ok() {
+            reclaimed += 1;
+        }
+    }
+    reclaimed
+}
+
+/// Age above which an orphaned tmp file cannot plausibly still be an
+/// in-flight write (writes are milliseconds; an hour is crash debris).
+pub const STALE_TMP_AGE: std::time::Duration = std::time::Duration::from_secs(3600);
 
 /// Reject a measurement whose headline statistic (execution time, the
 /// input to every knee/inversion downstream) is NaN or infinite.
@@ -1483,5 +1542,78 @@ mod tests {
             .run(&tiny_mcb(), 2, InterferenceMix::none())
             .unwrap_err();
         assert!(matches!(err, AmemError::Flaky { .. }), "{err}");
+    }
+
+    #[test]
+    fn tmp_paths_are_unique_per_call() {
+        // Regression for the tmp-file collision: both store paths used to
+        // name the scratch file `<entry>.tmp.<pid>`, so two concurrent
+        // writers of the same key in one process shared one tmp path and
+        // could rename each other's half-written bytes into the cache.
+        let entry = Path::new("/cache/0011223344556677.json");
+        let a = unique_tmp_path(entry);
+        let b = unique_tmp_path(entry);
+        assert_ne!(a, b, "every in-flight write gets its own scratch file");
+        let pid = format!(".tmp.{}.", std::process::id());
+        for p in [&a, &b] {
+            let name = p.file_name().unwrap().to_str().unwrap();
+            assert!(name.contains(&pid), "{name} carries pid + nonce");
+            assert!(
+                p.parent() == entry.parent(),
+                "same dir, so rename is atomic"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_same_key_stores_never_tear_the_entry() {
+        let dir = std::env::temp_dir().join("amem_exec_tmp_race_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        // Two dedup-bypassing executors over one cache dir persist the same
+        // key concurrently, repeatedly. With a shared tmp path this renamed
+        // torn/foreign writes; with per-write nonces every published entry
+        // must parse and no scratch files may leak.
+        for _ in 0..4 {
+            let a = Executor::with_cache_dir(plat(), dir.clone());
+            let b = Executor::with_cache_dir(plat(), dir.clone());
+            std::thread::scope(|s| {
+                s.spawn(|| a.run(&tiny_mcb(), 2, InterferenceMix::none()).unwrap());
+                s.spawn(|| b.run(&tiny_mcb(), 2, InterferenceMix::none()).unwrap());
+            });
+            for e in std::fs::read_dir(&dir).unwrap().flatten() {
+                let name = e.file_name().to_str().unwrap().to_string();
+                assert!(!name.contains(".tmp."), "leaked scratch file {name}");
+                let json = std::fs::read_to_string(e.path()).unwrap();
+                let entry: DiskEntry = serde_json::from_str(&json)
+                    .unwrap_or_else(|err| panic!("torn cache entry {name}: {err}"));
+                assert_eq!(entry.schema_version, CACHE_SCHEMA_VERSION);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_tmp_sweep_reclaims_planted_orphans() {
+        let dir = std::env::temp_dir().join("amem_exec_tmp_sweep_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // A crash between write and rename leaves exactly this debris.
+        let orphan = dir.join("00deadbeef00.tmp.12345.7");
+        std::fs::write(&orphan, "{\"half\":").unwrap();
+        let entry = dir.join("00deadbeef00.json");
+        std::fs::write(&entry, "{}").unwrap();
+
+        // Young tmp files survive a conservative sweep: they may belong to
+        // a live writer in another process.
+        assert_eq!(sweep_stale_tmp(&dir, STALE_TMP_AGE), 0);
+        assert!(orphan.exists());
+
+        // Once past the age threshold (zero here, since tests cannot set
+        // mtimes portably) the orphan is reclaimed; real entries are not.
+        assert_eq!(sweep_stale_tmp(&dir, std::time::Duration::ZERO), 1);
+        assert!(!orphan.exists(), "orphan reclaimed");
+        assert!(entry.exists(), "published entries are never touched");
+        assert_eq!(sweep_stale_tmp(&dir, std::time::Duration::ZERO), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

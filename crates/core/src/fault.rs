@@ -39,6 +39,10 @@ pub struct FaultSpec {
     pub timeout_prob: f64,
     /// Probability a run fails with [`AmemError::Injected`].
     pub error_prob: f64,
+    /// Probability a run panics outright instead of returning. Exercises
+    /// the unwind paths: the executor's in-flight guards, and the serve
+    /// daemon's poison-tolerant shared state.
+    pub panic_prob: f64,
     /// Probability a successful run's `seconds` is poisoned to NaN.
     pub nan_prob: f64,
     /// Relative amplitude of multiplicative timing noise applied to
@@ -55,6 +59,7 @@ impl Default for FaultSpec {
             seed: 42,
             timeout_prob: 0.0,
             error_prob: 0.0,
+            panic_prob: 0.0,
             nan_prob: 0.0,
             noise_rel: 0.0,
             transient: true,
@@ -81,7 +86,7 @@ impl FaultSpec {
                 |what: &str| AmemError::Unsupported(format!("fault spec {key}={val}: {what}"));
             match key {
                 "seed" => spec.seed = val.parse().map_err(|_| bad("not a u64"))?,
-                "timeout" | "error" | "nan" | "noise" => {
+                "timeout" | "error" | "panic" | "nan" | "noise" => {
                     let p: f64 = val.parse().map_err(|_| bad("not a number"))?;
                     if !p.is_finite() || p < 0.0 || (key != "noise" && p > 1.0) {
                         return Err(bad("out of range"));
@@ -89,13 +94,15 @@ impl FaultSpec {
                     match key {
                         "timeout" => spec.timeout_prob = p,
                         "error" => spec.error_prob = p,
+                        "panic" => spec.panic_prob = p,
                         "nan" => spec.nan_prob = p,
                         _ => spec.noise_rel = p,
                     }
                 }
                 _ => {
                     return Err(AmemError::Unsupported(format!(
-                        "fault spec: unknown key '{key}' (want seed/timeout/error/nan/noise/sticky)"
+                        "fault spec: unknown key '{key}' \
+                         (want seed/timeout/error/panic/nan/noise/sticky)"
                     )))
                 }
             }
@@ -107,6 +114,7 @@ impl FaultSpec {
     pub fn is_active(&self) -> bool {
         self.timeout_prob > 0.0
             || self.error_prob > 0.0
+            || self.panic_prob > 0.0
             || self.nan_prob > 0.0
             || self.noise_rel > 0.0
     }
@@ -196,6 +204,12 @@ impl<P: Platform> Platform for FaultyPlatform<P> {
                 workload.name()
             )));
         }
+        if roll < self.spec.timeout_prob + self.spec.error_prob + self.spec.panic_prob {
+            panic!(
+                "injected panic on attempt {attempt} of '{}'",
+                workload.name()
+            );
+        }
         let mut m = self.inner.run(workload, per_processor, mix)?;
         if rng.next_f64() < self.spec.nan_prob {
             m.seconds = f64::NAN;
@@ -257,6 +271,29 @@ mod tests {
         assert!(s.is_active());
         assert!(!FaultSpec::parse("seed=9").unwrap().is_active());
         assert!(!FaultSpec::parse("sticky").unwrap().transient);
+        let p = FaultSpec::parse("panic=0.5").unwrap();
+        assert_eq!(p.panic_prob, 0.5);
+        assert!(p.is_active());
+    }
+
+    #[test]
+    fn panic_injection_unwinds_without_wedging_the_wrapper() {
+        let (p, w) = tiny();
+        let fp = FaultyPlatform::new(p, FaultSpec::parse("seed=2,panic=1.0,sticky").unwrap());
+        for _ in 0..2 {
+            let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = fp.run(&w, 2, InterferenceMix::none());
+            }));
+            let payload = res.expect_err("panic=1.0 must panic");
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert!(msg.contains("injected panic"), "{msg}");
+            // The attempt-counter lock is not held across the unwind, so
+            // the second iteration panics again instead of deadlocking on
+            // (or crashing over) a poisoned mutex.
+        }
     }
 
     #[test]

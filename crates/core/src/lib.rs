@@ -46,6 +46,7 @@ pub mod error;
 pub mod estimate;
 pub mod executor;
 pub mod fault;
+pub mod figures;
 pub mod knee;
 pub mod manifest;
 pub mod mrc;
@@ -63,7 +64,10 @@ pub use capacity::CapacityMap;
 pub use curve::{CurveMode, CurveOpts, CurveQuality, CurveRequest, CURVE_SCHEMA_VERSION};
 pub use error::AmemError;
 pub use estimate::ResourceInterval;
-pub use executor::{CacheStats, CurveCacheStats, Executor, CACHE_SCHEMA_VERSION};
+pub use executor::{
+    sweep_stale_tmp, unique_tmp_path, CacheStats, CurveCacheStats, Executor, CACHE_SCHEMA_VERSION,
+    STALE_TMP_AGE,
+};
 pub use fault::{FaultSpec, FaultyPlatform};
 pub use knee::Knee;
 pub use manifest::{RunManifest, SCHEMA_VERSION};

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use amem_interfere::{InterferenceKind, InterferenceMix};
 use rayon::prelude::*;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::error::AmemError;
 use crate::executor::Executor;
@@ -41,7 +41,7 @@ fn eta_secs(elapsed: f64, done: usize, remaining: usize) -> f64 {
 }
 
 /// One sweep point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SweepPoint {
     /// Interference threads per socket at this point.
     pub count: usize,
@@ -58,7 +58,7 @@ pub struct SweepPoint {
 /// A level that could not be measured: it kept failing transiently until
 /// its retries ran out. Recorded instead of aborting the whole sweep —
 /// "graceful degradation" in the run manifest's sense.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DegradedPoint {
     /// Interference threads per socket at the failed level.
     pub count: usize,
@@ -67,7 +67,7 @@ pub struct DegradedPoint {
 }
 
 /// A full sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Sweep {
     pub workload: String,
     pub kind: InterferenceKind,

@@ -1,0 +1,487 @@
+//! The daemon: accept loop, stateless frontends, worker pool, drain.
+//!
+//! Architecture (DESIGN.md §15, after the worker/shard split in the
+//! Golem lineage): connection handlers are *stateless frontends* — they
+//! parse lines, journal a durable job record, enqueue, and block on the
+//! job's result cell. All state lives behind them: the priority queue,
+//! the shard-owned executors, and the shared store. Shutdown is a drain:
+//! the queue closes (new submissions are refused with a typed error),
+//! workers finish everything queued, and only then is the shutdown
+//! acknowledged.
+//!
+//! Every mutex in the daemon follows the executor's poison-tolerance
+//! discipline, and workers run jobs under `catch_unwind`, so one
+//! panicking job (see `FaultSpec` `panic=`) costs exactly its own
+//! submitter a typed error — never the queue.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use amem_core::capacity::CalibrateOpts;
+use amem_core::sweep::run_sweep;
+use amem_core::AmemError;
+
+use crate::job::{JobRecord, JobStatus, JobStore, JOB_SCHEMA_VERSION};
+use crate::protocol::{
+    write_line, Command, JobResult, JobSpec, Request, Response, ServeStats, PROTOCOL_VERSION,
+};
+use crate::quota::QuotaConfig;
+use crate::scheduler::{JobQueue, QueuedJob, ResolveOnDrop, ResultCell};
+use crate::shard::ShardPool;
+use crate::store::{CacheStore, StorePolicy};
+
+/// Everything `Server::start` needs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (see [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Shards the request-key space is partitioned over.
+    pub shards: usize,
+    /// Shared measurement store; `None` = memory-only executors.
+    pub cache_dir: Option<PathBuf>,
+    /// Durable job-record directory; `None` = no journaling.
+    pub state_dir: Option<PathBuf>,
+    pub quota: QuotaConfig,
+    pub store: StorePolicy,
+    /// Turn the metrics registry on for this process.
+    pub metrics: bool,
+    /// Honor per-request `fault` specs (test/CI servers only).
+    pub allow_fault: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            shards: 4,
+            cache_dir: None,
+            state_dir: None,
+            quota: QuotaConfig::default(),
+            store: StorePolicy::default(),
+            metrics: false,
+            allow_fault: false,
+        }
+    }
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    queue: JobQueue,
+    shards: ShardPool,
+    store: Option<CacheStore>,
+    jobs: JobStore,
+    next_id: AtomicU64,
+    requests: AtomicU64,
+    jobs_submitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_failed: AtomicU64,
+    shutting_down: AtomicBool,
+    workers_alive: AtomicUsize,
+    drained: Mutex<bool>,
+    drained_cv: Condvar,
+    started: Instant,
+}
+
+impl Inner {
+    fn stats(&self) -> ServeStats {
+        let (cache, executors) = self.shards.aggregate_stats();
+        let usage = self.store.as_ref().map(|s| s.usage()).unwrap_or_default();
+        let (evictions_size, evictions_age) =
+            self.store.as_ref().map(|s| s.evictions()).unwrap_or((0, 0));
+        let stats = ServeStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            queue_depth: self.queue.depth() as u64,
+            quota_deferrals: self.queue.deferrals(),
+            shards: self.shards.shard_count(),
+            executors,
+            cache,
+            store_entries: usage.entries,
+            store_bytes: usage.bytes,
+            evictions_size,
+            evictions_age,
+            tmp_reclaimed: self.store.as_ref().map(|s| s.tmp_reclaimed()).unwrap_or(0),
+            uptime_secs: self.started.elapsed().as_secs_f64(),
+        };
+        if amem_metrics::enabled() {
+            amem_metrics::global()
+                .gauge("amem_serve_cache_hit_rate_percent", &[])
+                .set(stats.hit_rate_percent() as i64);
+        }
+        stats
+    }
+
+    /// Execute one job spec against its shard-owned executor. The result
+    /// payloads are the library's own structs, so what the frontend
+    /// serializes is byte-identical to a local call.
+    fn run_job(&self, spec: &JobSpec, fault: Option<&str>) -> Result<JobResult, AmemError> {
+        let exec = self.shards.executor(spec, fault)?;
+        match spec {
+            JobSpec::Measure {
+                workload,
+                per_processor,
+                mix,
+                ..
+            } => {
+                let w = workload.build();
+                let m = exec.run(w.as_ref(), *per_processor, *mix)?;
+                Ok(JobResult::Measurement((*m).clone()))
+            }
+            JobSpec::Sweep {
+                workload,
+                per_processor,
+                kind,
+                max_count,
+                ..
+            } => {
+                let w = workload.build();
+                let sweep = run_sweep(&exec, w.as_ref(), *per_processor, *kind, *max_count)?;
+                Ok(JobResult::Sweep(sweep))
+            }
+            JobSpec::Calibrate { max_cs, .. } => {
+                let opts = CalibrateOpts {
+                    max_cs: *max_cs,
+                    ..CalibrateOpts::default()
+                };
+                let map = amem_core::CapacityMap::calibrate(&exec, &opts)?;
+                Ok(JobResult::Capacity(map))
+            }
+            JobSpec::Curve { request } => {
+                let curve = exec.run_curve(request)?;
+                Ok(JobResult::Curve((*curve).clone()))
+            }
+        }
+    }
+
+    fn write_record(&self, job: &QueuedJob, status: JobStatus, error: Option<String>) {
+        self.jobs.write(&JobRecord {
+            schema_version: JOB_SCHEMA_VERSION,
+            id: job.id,
+            tenant: job.tenant.clone(),
+            priority: job.priority,
+            status,
+            error,
+            spec: (*job.spec).clone(),
+        });
+    }
+
+    fn metric_job(&self, outcome: &'static str, kind: &'static str, wait: Duration) {
+        if !amem_metrics::enabled() {
+            return;
+        }
+        let reg = amem_metrics::global();
+        reg.counter(
+            "amem_serve_jobs_total",
+            &[("outcome", outcome), ("kind", kind)],
+        )
+        .inc();
+        reg.histogram("amem_serve_job_wait_ns", &[])
+            .record(wait.as_nanos() as u64);
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    let mut since_evict = 0u64;
+    while let Some(job) = inner.queue.pop() {
+        let wait = job.enqueued.elapsed();
+        let kind = job.spec.kind();
+        inner.write_record(&job, JobStatus::Running, None);
+        // If anything below unwinds past the catch (or the worker dies
+        // between pop and resolve), the guard still unblocks the waiter.
+        let guard = ResolveOnDrop::new(Arc::clone(&job.cell));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            inner.run_job(&job.spec, job.fault.as_deref())
+        }));
+        let result: Result<JobResult, String> = match outcome {
+            Ok(Ok(r)) => Ok(r),
+            Ok(Err(e)) => Err(e.to_string()),
+            Err(payload) => Err(format!("job panicked: {}", panic_message(&*payload))),
+        };
+        match &result {
+            Ok(_) => {
+                inner.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                inner.metric_job("completed", kind, wait);
+                inner.write_record(&job, JobStatus::Done, None);
+            }
+            Err(e) => {
+                inner.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                inner.metric_job("failed", kind, wait);
+                inner.write_record(&job, JobStatus::Failed, Some(e.clone()));
+            }
+        }
+        job.cell.resolve(result);
+        drop(guard); // already resolved; the guard's write is a no-op
+
+        // Periodic store maintenance, amortized across the pool.
+        since_evict += 1;
+        if since_evict >= 32 {
+            since_evict = 0;
+            if let Some(store) = &inner.store {
+                store.evict();
+            }
+        }
+        if amem_metrics::enabled() {
+            let (cache, _) = inner.shards.aggregate_stats();
+            amem_metrics::global()
+                .gauge("amem_serve_cache_hit_rate_percent", &[])
+                .set((100.0 * cache.hit_rate()) as i64);
+        }
+    }
+    // Last worker out signals the drain.
+    if inner.workers_alive.fetch_sub(1, Ordering::SeqCst) == 1 {
+        let mut drained = inner.drained.lock().unwrap_or_else(|p| p.into_inner());
+        *drained = true;
+        inner.drained_cv.notify_all();
+    }
+}
+
+/// One connection = one stateless frontend.
+fn handle_conn(inner: &Arc<Inner>, stream: TcpStream) {
+    let peer_write = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = peer_write;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req: Request = match crate::protocol::read_line(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => return, // clean EOF
+            Err(e) => {
+                let _ = write_line(&mut writer, &Response::err(0, format!("bad request: {e}")));
+                continue;
+            }
+        };
+        inner.requests.fetch_add(1, Ordering::Relaxed);
+        if amem_metrics::enabled() {
+            amem_metrics::global()
+                .counter("amem_serve_requests_total", &[])
+                .inc();
+        }
+        let resp = handle_request(inner, req);
+        let shutdown_acked = matches!(resp.result, Some(JobResult::Drained { .. }));
+        if write_line(&mut writer, &resp).is_err() {
+            return;
+        }
+        if shutdown_acked {
+            return;
+        }
+    }
+}
+
+fn handle_request(inner: &Arc<Inner>, req: Request) -> Response {
+    if req.v != PROTOCOL_VERSION {
+        return Response::err(
+            0,
+            format!(
+                "protocol version mismatch: client v{}, server v{PROTOCOL_VERSION}",
+                req.v
+            ),
+        );
+    }
+    match req.command {
+        Command::Ping => Response::ok(0, JobResult::Pong),
+        Command::Stats => Response::ok(0, JobResult::Stats(inner.stats())),
+        Command::Metrics => {
+            // Refresh the derived gauges before exporting.
+            let _ = inner.stats();
+            let text = amem_metrics::export::prometheus_text(&amem_metrics::snapshot());
+            Response::ok(0, JobResult::Metrics { text })
+        }
+        Command::Shutdown => {
+            inner.shutting_down.store(true, Ordering::SeqCst);
+            inner.queue.close();
+            let mut drained = inner.drained.lock().unwrap_or_else(|p| p.into_inner());
+            while !*drained {
+                drained = inner
+                    .drained_cv
+                    .wait(drained)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+            if let Some(store) = &inner.store {
+                store.evict();
+            }
+            Response::ok(
+                0,
+                JobResult::Drained {
+                    jobs_completed: inner.jobs_completed.load(Ordering::Relaxed),
+                },
+            )
+        }
+        Command::Submit(spec) => {
+            if req.fault.is_some() && !inner.cfg.allow_fault {
+                return Response::err(0, "fault injection is not enabled on this server");
+            }
+            if req.tenant.is_empty() {
+                return Response::err(0, "tenant must be non-empty");
+            }
+            let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+            let cell = ResultCell::new();
+            let job = QueuedJob {
+                id,
+                tenant: req.tenant,
+                priority: req.priority,
+                spec,
+                fault: req.fault,
+                enqueued: Instant::now(),
+                cell: Arc::clone(&cell),
+            };
+            inner.write_record(&job, JobStatus::Queued, None);
+            match inner.queue.push(job) {
+                Ok(()) => {
+                    inner.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+                    match cell.wait() {
+                        Ok(result) => Response::ok(id, result),
+                        Err(e) => Response::err(id, e),
+                    }
+                }
+                Err(job) => {
+                    inner.write_record(&job, JobStatus::Failed, Some("server is draining".into()));
+                    Response::err(id, "server is shutting down; job refused")
+                }
+            }
+        }
+    }
+}
+
+/// Best-effort human form of a panic payload (the executor's helper,
+/// duplicated because it is three lines and not exported).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// A running daemon. Dropping the handle does *not* stop it; send a
+/// `Shutdown` command (or exit the process).
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn workers and the accept loop, and return immediately.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        if cfg.metrics {
+            amem_metrics::set_enabled(true);
+        } else {
+            amem_metrics::init_from_env();
+        }
+        let store = cfg
+            .cache_dir
+            .as_ref()
+            .map(|dir| CacheStore::open(dir.clone(), cfg.store));
+        let jobs = JobStore::open(cfg.state_dir.as_ref().map(|d| d.join("jobs")));
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let workers_n = cfg.workers.max(1);
+        let inner = Arc::new(Inner {
+            queue: JobQueue::new(cfg.quota),
+            shards: ShardPool::new(cfg.shards, cfg.cache_dir.clone()),
+            store,
+            jobs,
+            next_id: AtomicU64::new(1),
+            requests: AtomicU64::new(0),
+            jobs_submitted: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+            workers_alive: AtomicUsize::new(workers_n),
+            drained: Mutex::new(false),
+            drained_cv: Condvar::new(),
+            started: Instant::now(),
+            cfg,
+        });
+
+        let workers = (0..workers_n)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("amem-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let accept_inner = Arc::clone(&inner);
+        let accept = std::thread::Builder::new()
+            .name("amem-serve-accept".into())
+            .spawn(move || loop {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let inner = Arc::clone(&accept_inner);
+                        let _ = std::thread::Builder::new()
+                            .name("amem-serve-conn".into())
+                            .spawn(move || handle_conn(&inner, stream));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        // Poll the drain flag so the loop exits after a
+                        // shutdown even with no further connections.
+                        if accept_inner.shutting_down.load(Ordering::SeqCst)
+                            && *accept_inner
+                                .drained
+                                .lock()
+                                .unwrap_or_else(|p| p.into_inner())
+                        {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    Err(_) => return,
+                }
+            })
+            .expect("spawn accept loop");
+
+        Ok(Server {
+            inner,
+            addr,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Durable job records orphaned by a previous life and marked failed
+    /// at startup.
+    pub fn recovered_jobs(&self) -> usize {
+        self.inner.jobs.recovered()
+    }
+
+    /// Service stats snapshot (same data the `Stats` command returns).
+    pub fn stats(&self) -> ServeStats {
+        self.inner.stats()
+    }
+
+    /// Block until a `Shutdown` command drains the daemon, then join
+    /// every thread. Returns the final stats.
+    pub fn wait(mut self) -> ServeStats {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.inner.stats()
+    }
+}

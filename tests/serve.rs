@@ -1,0 +1,371 @@
+//! Integration tests for the measurement service: byte identity with
+//! library calls, cross-connection dedup, fault containment, drain
+//! semantics, crash-debris reclamation — plus a multi-process stress
+//! test of the shared on-disk cache.
+
+use std::path::{Path, PathBuf};
+
+use active_mem::core::figures::{fig1_probe, FIG1_MAX_COUNT, FIG1_PER_PROCESSOR};
+use active_mem::core::platform::{ProbeWorkload, SimPlatform};
+use active_mem::core::sweep::run_sweep;
+use active_mem::core::{CacheStats, Executor};
+use active_mem::interfere::{InterferenceKind, InterferenceMix};
+use active_mem::serve::protocol::{JobSpec, WorkloadSpec};
+use active_mem::serve::server::{ServeConfig, Server};
+use active_mem::serve::store::StorePolicy;
+use active_mem::serve::Client;
+use active_mem::sim::MachineConfig;
+
+fn machine() -> MachineConfig {
+    MachineConfig::xeon20mb().scaled(0.0625)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("amem_serve_test_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn measure_spec(m: &MachineConfig, mix: InterferenceMix) -> JobSpec {
+    JobSpec::Measure {
+        machine: m.clone(),
+        workload: WorkloadSpec::Probe(fig1_probe(m)),
+        per_processor: FIG1_PER_PROCESSOR,
+        mix,
+    }
+}
+
+fn sweep_spec(m: &MachineConfig) -> JobSpec {
+    JobSpec::Sweep {
+        machine: m.clone(),
+        workload: WorkloadSpec::Probe(fig1_probe(m)),
+        per_processor: FIG1_PER_PROCESSOR,
+        kind: InterferenceKind::Storage,
+        max_count: FIG1_MAX_COUNT,
+    }
+}
+
+fn start(cfg: ServeConfig) -> Server {
+    Server::start(cfg).expect("start in-process daemon")
+}
+
+#[test]
+fn served_results_are_byte_identical_to_library_calls() {
+    let m = machine();
+    let server = start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(server.addr()).unwrap();
+
+    let served = c
+        .measure(measure_spec(&m, InterferenceMix::storage(2)))
+        .unwrap();
+    let lib_exec = Executor::memory_only(SimPlatform::new(m.clone()));
+    let local = lib_exec
+        .run(
+            &ProbeWorkload(fig1_probe(&m)),
+            FIG1_PER_PROCESSOR,
+            InterferenceMix::storage(2),
+        )
+        .unwrap();
+    assert_eq!(
+        serde_json::to_string(&served).unwrap(),
+        serde_json::to_string(&*local).unwrap(),
+        "daemon measurement must match the library byte for byte"
+    );
+
+    let served_sweep = c.sweep(sweep_spec(&m)).unwrap();
+    let local_sweep = run_sweep(
+        &lib_exec,
+        &ProbeWorkload(fig1_probe(&m)),
+        FIG1_PER_PROCESSOR,
+        InterferenceKind::Storage,
+        FIG1_MAX_COUNT,
+    )
+    .unwrap();
+    assert_eq!(
+        serde_json::to_string(&served_sweep).unwrap(),
+        serde_json::to_string(&local_sweep).unwrap(),
+        "daemon sweep must match the library byte for byte"
+    );
+
+    c.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn overlapping_requests_across_connections_share_simulations() {
+    let m = machine();
+    let server = start(ServeConfig {
+        workers: 2,
+        shards: 4,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    std::thread::scope(|s| {
+        for i in 0..4 {
+            let spec = sweep_spec(&m);
+            s.spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                c.tenant = format!("tenant-{i}");
+                c.sweep(spec).unwrap();
+            });
+        }
+    });
+
+    let stats = server.stats();
+    let points = (FIG1_MAX_COUNT + 1) as u64;
+    assert_eq!(
+        stats.cache.sim_runs, points,
+        "4 identical sweeps must cost one simulation per unique point: {:?}",
+        stats.cache
+    );
+    assert_eq!(stats.cache.lookups(), points * 4);
+    assert_eq!(stats.jobs_completed, 4);
+
+    let mut c = Client::connect(addr).unwrap();
+    c.shutdown().unwrap();
+    server.wait();
+}
+
+/// The poison-tolerance satellite, end to end: a fault-injected job that
+/// panics mid-run returns a typed error to its own submitter, while an
+/// identical clean request from a second client completes normally and
+/// the daemon stays fully responsive.
+#[test]
+fn panicking_job_is_contained_and_clean_requests_still_complete() {
+    let m = machine();
+    let server = start(ServeConfig {
+        workers: 2,
+        allow_fault: true,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    let mut faulty = Client::connect(addr).unwrap();
+    faulty.tenant = "chaos".into();
+    faulty.fault = Some("seed=1,panic=1.0".into());
+    let err = faulty
+        .measure(measure_spec(&m, InterferenceMix::none()))
+        .expect_err("a job that always panics must fail");
+    assert!(
+        err.to_string().contains("panic"),
+        "the submitter sees a typed panic error, got: {err}"
+    );
+
+    // Identical spec, clean client: routes to a *different* executor
+    // (fault is part of platform identity) and completes.
+    let mut clean = Client::connect(addr).unwrap();
+    clean
+        .measure(measure_spec(&m, InterferenceMix::none()))
+        .expect("clean request must complete after another job panicked");
+    clean.ping().expect("daemon is still responsive");
+
+    let stats = server.stats();
+    assert_eq!(stats.jobs_failed, 1, "{stats:?}");
+    assert_eq!(stats.jobs_completed, 1, "{stats:?}");
+
+    clean.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn fault_specs_are_refused_unless_enabled() {
+    let m = machine();
+    let server = start(ServeConfig::default());
+    let mut c = Client::connect(server.addr()).unwrap();
+    c.fault = Some("seed=1,error=1.0".into());
+    let err = c
+        .measure(measure_spec(&m, InterferenceMix::none()))
+        .expect_err("fault injection is off by default");
+    assert!(err.to_string().contains("not enabled"), "{err}");
+    c.fault = None;
+    c.shutdown().unwrap();
+    server.wait();
+}
+
+#[test]
+fn shutdown_drains_completed_work_then_refuses_new_jobs() {
+    let m = machine();
+    let server = start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    // A connection opened before the drain: its frontend outlives the
+    // accept loop, so it observes the closed queue directly.
+    let mut late = Client::connect(addr).unwrap();
+
+    let mut c = Client::connect(addr).unwrap();
+    c.measure(measure_spec(&m, InterferenceMix::none()))
+        .unwrap();
+    let drained = c.shutdown().unwrap();
+    assert_eq!(drained, 1, "drain reports the lifetime completion count");
+
+    let err = late
+        .measure(measure_spec(&m, InterferenceMix::none()))
+        .expect_err("submissions after the drain are refused");
+    assert!(err.to_string().contains("shutting down"), "{err}");
+    server.wait();
+}
+
+#[test]
+fn daemon_startup_reclaims_orphaned_tmp_scratch() {
+    let dir = temp_dir("tmp_reclaim");
+    // A crashed writer's debris next to a healthy-looking entry.
+    std::fs::write(dir.join("00deadbeef00.tmp.4242.7"), b"{ torn").unwrap();
+
+    let server = start(ServeConfig {
+        cache_dir: Some(dir.clone()),
+        store: StorePolicy {
+            tmp_max_age_secs: Some(0),
+            ..StorePolicy::default()
+        },
+        ..ServeConfig::default()
+    });
+    let stats = server.stats();
+    assert_eq!(stats.tmp_reclaimed, 1, "{stats:?}");
+    assert!(!dir.join("00deadbeef00.tmp.4242.7").exists());
+
+    let mut c = Client::connect(server.addr()).unwrap();
+    c.shutdown().unwrap();
+    server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Multi-process shared-cache stress: two independent processes hammer
+// overlapping keys in one cache directory.
+// ---------------------------------------------------------------------
+
+const STRESS_DIR_VAR: &str = "AMEM_STRESS_CACHE_DIR";
+const STRESS_STATS_VAR: &str = "AMEM_STRESS_STATS_PATH";
+const STRESS_ROUNDS: usize = 3;
+
+fn stress_points() -> Vec<InterferenceMix> {
+    let mut mixes = vec![InterferenceMix::none()];
+    mixes.extend((1..=FIG1_MAX_COUNT).map(InterferenceMix::storage));
+    mixes
+}
+
+/// Child body (run via `--ignored --exact` in a subprocess): hammer every
+/// point `STRESS_ROUNDS` times against the shared dir, verify its own
+/// accounting, dump its `CacheStats` for the parent to cross-check.
+#[test]
+#[ignore = "subprocess body of multi_process_shared_cache_stress"]
+fn child_process_cache_hammer() {
+    let Ok(dir) = std::env::var(STRESS_DIR_VAR) else {
+        eprintln!("{STRESS_DIR_VAR} unset; nothing to do");
+        return;
+    };
+    let stats_path = std::env::var(STRESS_STATS_VAR).expect("stats path");
+    active_mem::metrics::set_enabled(true);
+
+    let m = machine();
+    let exec = Executor::with_cache_dir(SimPlatform::new(m.clone()), PathBuf::from(dir));
+    let w = ProbeWorkload(fig1_probe(&m));
+    for _round in 0..STRESS_ROUNDS {
+        for mix in stress_points() {
+            exec.run(&w, FIG1_PER_PROCESSOR, mix).expect("stress point");
+        }
+    }
+
+    let stats = exec.stats();
+    let expected = (stress_points().len() * STRESS_ROUNDS) as u64;
+    assert_eq!(stats.lookups(), expected, "child accounting: {stats:?}");
+    assert_eq!(
+        active_mem::metrics::snapshot().counter_total("amem_executor_cache_verify_failures_total"),
+        0,
+        "no torn JSON, no embedded-key mismatch, in this child's view"
+    );
+    std::fs::write(stats_path, serde_json::to_string(&stats).unwrap()).unwrap();
+}
+
+fn entry_files(dir: &Path) -> Vec<PathBuf> {
+    std::fs::read_dir(dir)
+        .map(|rd| rd.flatten().map(|e| e.path()).collect::<Vec<_>>())
+        .unwrap_or_default()
+}
+
+#[test]
+fn multi_process_shared_cache_stress() {
+    let dir = temp_dir("multiproc");
+    let exe = std::env::current_exe().unwrap();
+
+    let children: Vec<_> = (0..2)
+        .map(|i| {
+            std::process::Command::new(&exe)
+                .args(["--ignored", "--exact", "child_process_cache_hammer"])
+                .env(STRESS_DIR_VAR, &dir)
+                .env(STRESS_STATS_VAR, dir.join(format!("stats-{i}.out")))
+                .spawn()
+                .expect("spawn hammer child")
+        })
+        .collect();
+    for mut child in children {
+        let status = child.wait().expect("child exit");
+        assert!(status.success(), "hammer child failed: {status}");
+    }
+
+    // Cross-check the children's accounting: every lookup either
+    // simulated or hit; between them, each unique point simulated at
+    // least once and at most once *per process*.
+    let m = machine();
+    let points = stress_points().len() as u64;
+    let mut total = CacheStats::default();
+    for i in 0..2 {
+        let json = std::fs::read_to_string(dir.join(format!("stats-{i}.out"))).unwrap();
+        let s: CacheStats = serde_json::from_str(&json).unwrap();
+        total.sim_runs += s.sim_runs;
+        total.mem_hits += s.mem_hits;
+        total.disk_hits += s.disk_hits;
+        total.dedup_hits += s.dedup_hits;
+        total.stores += s.stores;
+    }
+    assert_eq!(
+        total.lookups(),
+        points * STRESS_ROUNDS as u64 * 2,
+        "hit rates add up: every lookup is a sim or a hit ({total:?})"
+    );
+    assert!(
+        (points..=points * 2).contains(&total.sim_runs),
+        "each point simulated 1..=2 times across both processes ({total:?})"
+    );
+
+    // The directory holds exactly the unique entries (both processes
+    // wrote the same filenames) and no leaked tmp scratch.
+    let files = entry_files(&dir);
+    let tmp_leaks: Vec<_> = files
+        .iter()
+        .filter(|p| p.to_string_lossy().contains(".tmp."))
+        .collect();
+    assert!(tmp_leaks.is_empty(), "leaked tmp scratch: {tmp_leaks:?}");
+    let entries = files
+        .iter()
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .count() as u64;
+    assert_eq!(entries, points, "one disk entry per unique point");
+
+    // Every entry survives full verification (parse + schema + embedded
+    // key): a fresh executor re-reads all points without one simulation.
+    active_mem::metrics::set_enabled(true);
+    let before =
+        active_mem::metrics::snapshot().counter_total("amem_executor_cache_verify_failures_total");
+    let exec = Executor::with_cache_dir(SimPlatform::new(m.clone()), dir.clone());
+    let w = ProbeWorkload(fig1_probe(&m));
+    for mix in stress_points() {
+        exec.run(&w, FIG1_PER_PROCESSOR, mix).unwrap();
+    }
+    let s = exec.stats();
+    assert_eq!(s.sim_runs, 0, "no torn/corrupt entries: {s:?}");
+    assert_eq!(s.disk_hits, points, "{s:?}");
+    let after =
+        active_mem::metrics::snapshot().counter_total("amem_executor_cache_verify_failures_total");
+    assert_eq!(after, before, "no verification failures during the re-read");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
