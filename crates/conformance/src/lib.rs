@@ -45,10 +45,14 @@ pub mod curves;
 pub mod fuzz;
 pub mod oracle;
 pub mod platform;
+pub mod qos;
 pub mod reference;
 
 pub use curves::{check_curve_case, gen_curve_case, reference_miss_rate, CurveDivergence};
 pub use fuzz::{configs, fuzz_config, minimize, replay_file, write_reproducer, Divergence};
 pub use oracle::{ehr_oracle, ehr_oracle_pack, orthogonality_pack, EhrOracle, OrthoCheck};
 pub use platform::ReferencePlatform;
+pub use qos::{
+    check_qos_case, check_qos_sabotage_caught, gen_qos_case, qos_seed_sweep, QosDivergence,
+};
 pub use reference::{RefCache, RefPrefetcher, RefSubstrate, RefTlb};

@@ -15,7 +15,7 @@ use crate::error::AmemError;
 use crate::estimate::{bandwidth_use_per_process, storage_use_per_process, ResourceInterval};
 use crate::executor::Executor;
 use crate::platform::Workload;
-use crate::sweep::{run_sweeps, SweepRequest};
+use crate::sweep::{run_sweeps, Sweep, SweepRequest};
 use amem_interfere::InterferenceKind;
 
 /// A measured per-process resource profile.
@@ -24,6 +24,12 @@ pub struct AppProfile {
     pub name: String,
     pub storage: ResourceInterval,
     pub bandwidth: ResourceInterval,
+    /// Sweep levels dropped after exhausting retries, summed over both
+    /// resource sweeps. Non-zero means the intervals stand on fewer
+    /// points than requested (a *degraded* measurement, in the run
+    /// manifest's sense): a scheduler reading a manifest can weigh an
+    /// authoritative profile differently from one fit around holes.
+    pub degraded_points: usize,
 }
 
 /// Measure a workload's profile at a given mapping. Both resource sweeps
@@ -55,23 +61,37 @@ pub fn profile(
         ],
     )?;
     let [s, b]: [_; 2] = sweeps.try_into().expect("two requests, two sweeps");
-    let storage = storage_use_per_process(&s, cmap, per_processor, tol_pct).ok_or_else(|| {
-        AmemError::DegenerateSweep {
-            workload: workload.name(),
-            points: s.points.len(),
-        }
-    })?;
-    let bandwidth =
-        bandwidth_use_per_process(&b, bmap, per_processor, tol_pct).ok_or_else(|| {
+    profile_from_sweeps(&s, &b, cmap, bmap, per_processor, tol_pct)
+}
+
+/// Build a profile from one already-measured storage sweep and one
+/// bandwidth sweep. Split from [`profile`] so the degraded-sweep
+/// bookkeeping is testable without a platform.
+pub fn profile_from_sweeps(
+    storage_sweep: &Sweep,
+    bandwidth_sweep: &Sweep,
+    cmap: &CapacityMap,
+    bmap: &BandwidthMap,
+    per_processor: usize,
+    tol_pct: f64,
+) -> Result<AppProfile, AmemError> {
+    let storage =
+        storage_use_per_process(storage_sweep, cmap, per_processor, tol_pct).ok_or_else(|| {
             AmemError::DegenerateSweep {
-                workload: workload.name(),
-                points: b.points.len(),
+                workload: storage_sweep.workload.clone(),
+                points: storage_sweep.points.len(),
             }
         })?;
+    let bandwidth = bandwidth_use_per_process(bandwidth_sweep, bmap, per_processor, tol_pct)
+        .ok_or_else(|| AmemError::DegenerateSweep {
+            workload: bandwidth_sweep.workload.clone(),
+            points: bandwidth_sweep.points.len(),
+        })?;
     Ok(AppProfile {
-        name: workload.name(),
+        name: storage_sweep.workload.clone(),
         storage,
         bandwidth,
+        degraded_points: storage_sweep.degraded.len() + bandwidth_sweep.degraded.len(),
     })
 }
 
@@ -150,6 +170,7 @@ mod tests {
             name: name.into(),
             storage: iv(st.0, st.1),
             bandwidth: iv(bw.0, bw.1),
+            degraded_points: 0,
         }
     }
 
@@ -203,6 +224,68 @@ mod tests {
             .collect::<std::collections::HashSet<_>>()
             .len();
         assert!(sockets_used <= 3);
+    }
+
+    /// Regression: a degraded sweep must be visible in the profile it
+    /// feeds. `profile` used to drop `Sweep::degraded` on the floor, so
+    /// a profile fit around holes looked exactly as authoritative as a
+    /// clean one.
+    #[test]
+    fn degraded_sweeps_surface_in_the_profile() {
+        use crate::bandwidth::BandwidthMap;
+        use crate::capacity::CapacityMap;
+        use crate::sweep::{DegradedPoint, SweepPoint};
+        use amem_sim::MachineConfig;
+
+        let synth = |kind, degradation: &[(usize, f64)], dropped: &[usize]| Sweep {
+            workload: "synth".into(),
+            kind,
+            per_processor: 2,
+            points: degradation
+                .iter()
+                .map(|&(count, d)| SweepPoint {
+                    count,
+                    seconds: 1.0 + d / 100.0,
+                    degradation_pct: d,
+                    l3_miss_rate: 0.0,
+                    app_bandwidth_gbs: 0.0,
+                    quality: None,
+                })
+                .collect(),
+            degraded: dropped
+                .iter()
+                .map(|&count| DegradedPoint {
+                    count,
+                    error: "retries exhausted".into(),
+                })
+                .collect(),
+        };
+        let cmap = CapacityMap::paper_xeon20mb(&MachineConfig::xeon20mb());
+        let bmap = BandwidthMap::paper_xeon20mb();
+        let degradation = [(0usize, 0.0), (1, 0.5), (2, 6.0), (3, 11.0)];
+        let clean = profile_from_sweeps(
+            &synth(InterferenceKind::Storage, &degradation, &[]),
+            &synth(InterferenceKind::Bandwidth, &degradation, &[]),
+            &cmap,
+            &bmap,
+            2,
+            2.0,
+        )
+        .unwrap();
+        assert_eq!(clean.degraded_points, 0);
+        let holey = profile_from_sweeps(
+            &synth(InterferenceKind::Storage, &degradation, &[4, 5]),
+            &synth(InterferenceKind::Bandwidth, &degradation, &[4]),
+            &cmap,
+            &bmap,
+            2,
+            2.0,
+        )
+        .unwrap();
+        assert_eq!(holey.degraded_points, 3);
+        // And it must survive into the serialized manifest form.
+        let json = serde_json::to_string(&holey).unwrap();
+        assert!(json.contains("\"degraded_points\":3"), "{json}");
     }
 
     #[test]

@@ -1,0 +1,610 @@
+//! The QoS control loop: an [`EpochController`] that interleaves MISE
+//! alone-rate probing with notch-based enforcement.
+//!
+//! ## Epoch schedule
+//!
+//! ```text
+//! warmup ... | shared × S | settle(app0) settle.. alone(app0).. | settle(app1) ... | shared × S | ...
+//! ```
+//!
+//! * **shared** epochs measure every app's service rate under the current
+//!   enforcement state (the denominator of the MISE ratio).
+//! * For each app in turn, **settle** epochs silence all co-runners (hard
+//!   token-bucket stall) and are discarded — they drain in-flight channel
+//!   traffic and give the app a little re-warm time — then **alone**
+//!   epochs sample its alone service rate (the numerator).
+//! * When the probe round completes, the enforcement step runs: if a
+//!   targeted app's estimate exceeds its `max_slowdown`, the noisiest
+//!   best-effort app is tightened one *notch* (halving its L3 ways and
+//!   its DRAM line rate); if every targeted app is comfortably under
+//!   target, one notch is relaxed.
+//!
+//! Every boundary appends a [`Decision`] record — phase, estimates,
+//! notch vector, actuations — to a serializable log. The conformance
+//! `qos` lane asserts the log is byte-identical across repeated runs.
+
+use amem_sim::control::{Actuation, CoreView, EpochController, Knob};
+use amem_sim::{CoreCounters, MachineConfig, ThrottleCfg};
+use serde::Serialize;
+
+use crate::estimate::SlowdownEstimator;
+use crate::policy::QosPolicy;
+
+/// One application from the controller's point of view: a name and the
+/// flat core indices it occupies.
+#[derive(Debug, Clone)]
+pub struct CtlApp {
+    pub name: String,
+    pub cores: Vec<usize>,
+}
+
+/// Controller tuning. [`QosCtlCfg::for_machine`] derives sensible
+/// defaults from the machine geometry.
+#[derive(Debug, Clone)]
+pub struct QosCtlCfg {
+    /// Epoch length in cycles.
+    pub epoch_cycles: u64,
+    /// Discarded epochs at the start of the run (cold caches).
+    pub warmup_epochs: u64,
+    /// Shared-measurement epochs between probe rounds.
+    pub shared_epochs: u64,
+    /// Discarded co-runner-stalled epochs before each alone measurement.
+    pub settle_epochs: u64,
+    /// Discarded epochs at the start of each shared block: after a probe
+    /// round the just-stalled co-runners (and the probed apps' own cache
+    /// shares) need a moment to return to the contended steady state.
+    pub shared_settle_epochs: u64,
+    /// Measured alone epochs per app per probe round.
+    pub alone_epochs: u64,
+    /// First epoch of the steady-state measurement window backing
+    /// [`QosController::window_rates`]. Interference mixes ramp for a
+    /// long time after the caches warm (shared-cache occupancy and
+    /// channel backlog keep drifting), so rate windows that start right
+    /// after `warmup_epochs` dilute the steady state with the ramp.
+    /// `0` means "start as soon as warmup ends";
+    /// [`crate::scenario::Scenario`] sets the back half of the run.
+    pub measure_warmup_epochs: u64,
+    /// EWMA weight for the rate estimates.
+    pub ewma_alpha: f64,
+    /// Ratio observations kept for the CI95.
+    pub ci_window: usize,
+    /// Maximum enforcement notch (each notch halves ways and line rate).
+    pub max_notch: u32,
+    /// L3 associativity (for notch → way-mask conversion).
+    pub l3_ways: u32,
+    /// Notch-1 throttle rate; deeper notches halve it.
+    pub base_lines_per_kilocycle: u32,
+    /// Relax a notch when every targeted app is below
+    /// `target * relax_headroom`.
+    pub relax_headroom: f64,
+}
+
+impl QosCtlCfg {
+    pub fn for_machine(cfg: &MachineConfig) -> Self {
+        // Notch 1 grants roughly half the channel's line rate.
+        let channel_lines_per_kc =
+            (1000.0 * cfg.dram_bytes_per_cycle / cfg.l3.line_bytes as f64) as u32;
+        Self {
+            epoch_cycles: 20_000,
+            warmup_epochs: 2,
+            shared_epochs: 6,
+            settle_epochs: 1,
+            shared_settle_epochs: 2,
+            alone_epochs: 1,
+            measure_warmup_epochs: 0,
+            ewma_alpha: 0.3,
+            ci_window: 32,
+            max_notch: 5,
+            l3_ways: cfg.l3.ways,
+            base_lines_per_kilocycle: (channel_lines_per_kc / 2).max(1),
+            relax_headroom: 0.8,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Warmup,
+    Shared,
+    Settle(usize),
+    Alone(usize),
+}
+
+/// Estimator state snapshot embedded in each decision record.
+#[derive(Debug, Clone, Serialize)]
+pub struct EstimateSnapshot {
+    pub app: String,
+    /// EWMA(alone rate) / EWMA(shared rate), once both sides have data.
+    pub estimate: Option<f64>,
+    /// CI95 half-width over the recent ratio window, floored at the
+    /// estimator's systematic-error fraction
+    /// ([`SlowdownEstimator::SYS_ERR_FRAC`](crate::estimate::SlowdownEstimator::SYS_ERR_FRAC)).
+    pub ci95_half: Option<f64>,
+    /// Ratio observations backing the CI.
+    pub samples: usize,
+}
+
+/// One epoch boundary's record in the decision log.
+#[derive(Debug, Clone, Serialize)]
+pub struct Decision {
+    pub epoch: u64,
+    /// Boundary cycle number.
+    pub now: u64,
+    /// Phase entered at this boundary ("warmup", "shared", "settle:x",
+    /// "alone:x").
+    pub phase: String,
+    pub estimates: Vec<EstimateSnapshot>,
+    /// Per-app enforcement notch after this boundary's decision.
+    pub notches: Vec<u32>,
+    /// Actuations handed back to the engine.
+    pub actions: Vec<Actuation>,
+}
+
+/// The MISE estimator + enforcement loop. Attach to a run with
+/// [`amem_sim::machine::Machine::run_controlled`].
+pub struct QosController {
+    cfg: QosCtlCfg,
+    apps: Vec<CtlApp>,
+    targets: Vec<Option<f64>>,
+    /// App indices probed (given alone epochs) in rotation: the targeted
+    /// apps when a policy is enforcing — best-effort apps don't need an
+    /// estimate, and not probing them avoids stalling the targeted apps
+    /// for their sake — or every app in estimation-only mode.
+    probed: Vec<usize>,
+    est: Vec<SlowdownEstimator>,
+    /// Shared-epoch DRAM line rate per app (EWMA) — victim selection.
+    bw_ewma: Vec<f64>,
+    notch: Vec<u32>,
+    phase: Phase,
+    /// Epochs left in the current phase.
+    left: u64,
+    /// `(cycle, per-core counters)` at the previous boundary.
+    prev: Option<(u64, Vec<CoreCounters>)>,
+    /// `(cycle, per-core counters)` at the first post-warmup boundary at
+    /// or after `cfg.measure_warmup_epochs`: the start of the
+    /// measurement window for steady-state rates.
+    win_start: Option<(u64, Vec<CoreCounters>)>,
+    decisions: Vec<Decision>,
+}
+
+impl QosController {
+    pub fn new(apps: Vec<CtlApp>, policy: &QosPolicy, cfg: QosCtlCfg) -> Self {
+        assert!(!apps.is_empty(), "controller needs at least one app");
+        let targets = apps
+            .iter()
+            .map(|a| policy.max_slowdown(&a.name))
+            .collect::<Vec<_>>();
+        let est = apps
+            .iter()
+            .map(|_| SlowdownEstimator::new(cfg.ewma_alpha, cfg.ci_window))
+            .collect();
+        let n = apps.len();
+        let probed: Vec<usize> = if targets.iter().all(Option::is_none) {
+            (0..n).collect()
+        } else {
+            (0..n).filter(|&i| targets[i].is_some()).collect()
+        };
+        Self {
+            left: cfg.warmup_epochs.max(1),
+            cfg,
+            apps,
+            targets,
+            probed,
+            est,
+            bw_ewma: vec![0.0; n],
+            notch: vec![0; n],
+            phase: Phase::Warmup,
+            prev: None,
+            win_start: None,
+            decisions: Vec::new(),
+        }
+    }
+
+    /// The decision log, in epoch order.
+    pub fn decisions(&self) -> &[Decision] {
+        &self.decisions
+    }
+
+    /// Canonical-JSON rendering of the decision log (byte-comparable).
+    pub fn decision_log_json(&self) -> String {
+        amem_sim::canonical_json(&self.decisions)
+    }
+
+    /// Current slowdown estimate for `app`.
+    pub fn estimate(&self, app: &str) -> Option<f64> {
+        let i = self.apps.iter().position(|a| a.name == app)?;
+        self.est[i].estimate()
+    }
+
+    /// Estimator snapshot (estimate + CI) for every app.
+    pub fn snapshots(&self) -> Vec<EstimateSnapshot> {
+        self.apps
+            .iter()
+            .enumerate()
+            .map(|(i, a)| EstimateSnapshot {
+                app: a.name.clone(),
+                estimate: self.est[i].estimate(),
+                ci95_half: self.est[i].ci95_half(),
+                samples: self.est[i].samples(),
+            })
+            .collect()
+    }
+
+    /// Per-app enforcement notches.
+    pub fn notches(&self) -> &[u32] {
+        &self.notch
+    }
+
+    /// Steady-state service rate per app (accesses per cycle, summed over
+    /// the app's cores) over the post-warmup window. `None` until at
+    /// least one post-warmup boundary has fired.
+    pub fn window_rates(&self) -> Option<Vec<f64>> {
+        let (t0, c0) = self.win_start.as_ref()?;
+        let (t1, c1) = self.prev.as_ref()?;
+        let dt = t1.saturating_sub(*t0);
+        if dt == 0 {
+            return None;
+        }
+        Some(
+            self.apps
+                .iter()
+                .map(|app| {
+                    let acc: u64 = app
+                        .cores
+                        .iter()
+                        .map(|&c| c1[c].delta_since(&c0[c]).accesses())
+                        .sum();
+                    acc as f64 / dt as f64
+                })
+                .collect(),
+        )
+    }
+
+    fn full_mask(&self) -> u32 {
+        if self.cfg.l3_ways >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.cfg.l3_ways) - 1
+        }
+    }
+
+    fn mask_for_notch(&self, n: u32) -> u32 {
+        if n == 0 {
+            return self.full_mask();
+        }
+        let kept = (self.cfg.l3_ways >> n).max(1);
+        (1u32 << kept) - 1
+    }
+
+    fn throttle_for_notch(&self, n: u32) -> Option<ThrottleCfg> {
+        if n == 0 {
+            return None;
+        }
+        Some(ThrottleCfg {
+            lines_per_kilocycle: (self.cfg.base_lines_per_kilocycle >> (n - 1)).max(1),
+            burst_lines: 8,
+        })
+    }
+
+    /// The steady-state (shared-phase) knobs for app `i`.
+    fn enforcement_knobs(&self, i: usize, out: &mut Vec<Actuation>) {
+        let mask = self.mask_for_notch(self.notch[i]);
+        let throttle = self.throttle_for_notch(self.notch[i]);
+        for &core in &self.apps[i].cores {
+            out.push(Actuation {
+                core,
+                knob: Knob::L3WayMask(mask),
+            });
+            out.push(Actuation {
+                core,
+                knob: match throttle {
+                    Some(t) => Knob::Throttle(t),
+                    None => Knob::Unthrottle,
+                },
+            });
+        }
+    }
+
+    fn phase_actuations(&self, phase: Phase) -> Vec<Actuation> {
+        let mut out = Vec::new();
+        match phase {
+            Phase::Warmup => {}
+            Phase::Shared => {
+                for i in 0..self.apps.len() {
+                    self.enforcement_knobs(i, &mut out);
+                }
+            }
+            Phase::Settle(k) | Phase::Alone(k) => {
+                let p = self.probed[k];
+                for (i, app) in self.apps.iter().enumerate() {
+                    if i == p {
+                        // The probed app runs as if alone: full cache
+                        // allocation rights, no throttle.
+                        for &core in &app.cores {
+                            out.push(Actuation {
+                                core,
+                                knob: Knob::L3WayMask(self.full_mask()),
+                            });
+                            out.push(Actuation {
+                                core,
+                                knob: Knob::Unthrottle,
+                            });
+                        }
+                    } else {
+                        // Everyone else is silenced (but keeps its mask:
+                        // a stalled core issues almost no fills anyway).
+                        for &core in &app.cores {
+                            out.push(Actuation {
+                                core,
+                                knob: Knob::Throttle(ThrottleCfg::stall()),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn phase_label(&self, phase: Phase) -> String {
+        match phase {
+            Phase::Warmup => "warmup".to_string(),
+            Phase::Shared => "shared".to_string(),
+            Phase::Settle(k) => format!("settle:{}", self.apps[self.probed[k]].name),
+            Phase::Alone(k) => format!("alone:{}", self.apps[self.probed[k]].name),
+        }
+    }
+
+    /// Attribute the interval that just ended to the phase it ran under.
+    fn attribute(&mut self, cores: &[CoreView], now: u64) {
+        let Some((prev_now, prev)) = &self.prev else {
+            return;
+        };
+        let dt = now.saturating_sub(*prev_now);
+        if dt == 0 {
+            return;
+        }
+        let rates: Vec<(f64, f64)> = self
+            .apps
+            .iter()
+            .map(|app| {
+                let mut acc = 0u64;
+                let mut lines = 0u64;
+                for &c in &app.cores {
+                    let d = cores[c].counters.delta_since(&prev[c]);
+                    acc += d.accesses();
+                    lines += d.dram_demand_lines + d.dram_prefetch_lines;
+                }
+                (acc as f64 / dt as f64, lines as f64 / dt as f64)
+            })
+            .collect();
+        match self.phase {
+            Phase::Warmup | Phase::Settle(_) => {}
+            Phase::Shared => {
+                // `left` has not been decremented yet, so the number of
+                // shared epochs already elapsed in this block is
+                // `shared_epochs - left`; the first few settle back into
+                // contention after a probe round and are discarded.
+                let elapsed = self.cfg.shared_epochs.max(1).saturating_sub(self.left);
+                if elapsed < self.cfg.shared_settle_epochs {
+                    return;
+                }
+                for (i, &(rate, lines)) in rates.iter().enumerate() {
+                    self.est[i].observe_shared(rate);
+                    let b = &mut self.bw_ewma[i];
+                    *b += self.cfg.ewma_alpha * (lines - *b);
+                }
+            }
+            Phase::Alone(k) => {
+                let p = self.probed[k];
+                self.est[p].observe_alone(rates[p].0);
+            }
+        }
+    }
+
+    /// One enforcement step, run when a probe round completes.
+    fn enforce(&mut self) {
+        if self.targets.iter().all(|t| t.is_none()) {
+            return;
+        }
+        // Tighten: the first targeted app over budget picks the noisiest
+        // best-effort apps that still have notches to give. The number of
+        // notches applied per round scales with the size of the violation
+        // so large co-schedules converge before the run ends (one notch
+        // per round cannot keep up with seven aggressors).
+        for i in 0..self.apps.len() {
+            let (Some(target), Some(est)) = (self.targets[i], self.est[i].estimate()) else {
+                continue;
+            };
+            if est <= target {
+                continue;
+            }
+            let over = est / target;
+            let n_tighten = if over > 1.5 {
+                3
+            } else if over > 1.2 {
+                2
+            } else {
+                1
+            };
+            let mut victims: Vec<usize> = (0..self.apps.len())
+                .filter(|&j| self.targets[j].is_none() && j != i)
+                .filter(|&j| self.notch[j] < self.cfg.max_notch)
+                .collect();
+            // Noisiest first; lower index wins ties for determinism.
+            victims.sort_by(|&a, &b| {
+                self.bw_ewma[b]
+                    .partial_cmp(&self.bw_ewma[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            for &v in victims.iter().take(n_tighten) {
+                self.notch[v] += 1;
+            }
+            return;
+        }
+        // Relax: every targeted app comfortably under budget frees one
+        // notch on the most-throttled best-effort app.
+        let comfy = (0..self.apps.len()).all(|i| match (self.targets[i], self.est[i].estimate()) {
+            (Some(t), Some(e)) => e < t * self.cfg.relax_headroom,
+            (Some(_), None) => false,
+            (None, _) => true,
+        });
+        if comfy {
+            if let Some(v) = (0..self.apps.len())
+                .filter(|&j| self.targets[j].is_none() && self.notch[j] > 0)
+                .max_by_key(|&j| (self.notch[j], std::cmp::Reverse(j)))
+            {
+                self.notch[v] -= 1;
+            }
+        }
+    }
+}
+
+impl EpochController for QosController {
+    fn epoch_cycles(&self) -> u64 {
+        self.cfg.epoch_cycles
+    }
+
+    fn on_epoch(&mut self, epoch: u64, now: u64, cores: &[CoreView]) -> Vec<Actuation> {
+        self.attribute(cores, now);
+        // Phase transition.
+        self.left = self.left.saturating_sub(1);
+        let mut actions = Vec::new();
+        if self.left == 0 {
+            let next = match self.phase {
+                Phase::Warmup => Phase::Shared,
+                Phase::Shared => Phase::Settle(0),
+                Phase::Settle(k) => Phase::Alone(k),
+                Phase::Alone(k) => {
+                    if k + 1 < self.probed.len() {
+                        Phase::Settle(k + 1)
+                    } else {
+                        self.enforce();
+                        Phase::Shared
+                    }
+                }
+            };
+            self.left = match next {
+                Phase::Warmup => unreachable!("warmup never re-entered"),
+                Phase::Shared => self.cfg.shared_epochs.max(1),
+                Phase::Settle(_) => self.cfg.settle_epochs.max(1),
+                Phase::Alone(_) => self.cfg.alone_epochs.max(1),
+            };
+            self.phase = next;
+            actions = self.phase_actuations(next);
+        }
+        self.decisions.push(Decision {
+            epoch,
+            now,
+            phase: self.phase_label(self.phase),
+            estimates: self.snapshots(),
+            notches: self.notch.clone(),
+            actions: actions.clone(),
+        });
+        let snap = (now, cores.iter().map(|c| c.counters).collect::<Vec<_>>());
+        if self.win_start.is_none()
+            && self.phase != Phase::Warmup
+            && epoch + 1 >= self.cfg.measure_warmup_epochs
+        {
+            self.win_start = Some(snap.clone());
+        }
+        self.prev = Some(snap);
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_apps() -> Vec<CtlApp> {
+        vec![
+            CtlApp {
+                name: "victim".into(),
+                cores: vec![0],
+            },
+            CtlApp {
+                name: "hog".into(),
+                cores: vec![1],
+            },
+        ]
+    }
+
+    fn cfg() -> QosCtlCfg {
+        QosCtlCfg::for_machine(&MachineConfig::xeon20mb().scaled(0.125))
+    }
+
+    fn views(n: usize, per_epoch: &[u64], epochs: u64) -> Vec<CoreView> {
+        (0..n)
+            .map(|i| CoreView {
+                core: i,
+                socket: 0,
+                job: Some(i),
+                primary: false,
+                done: false,
+                time: epochs * 20_000,
+                counters: CoreCounters {
+                    loads: per_epoch[i] * epochs,
+                    cycles: epochs * 20_000,
+                    ..Default::default()
+                },
+                l3_way_mask: u32::MAX,
+                throttle: None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn schedule_cycles_through_phases() {
+        let mut c = QosController::new(two_apps(), &QosPolicy::none(), cfg());
+        let rates = [100u64, 400];
+        for e in 0..20u64 {
+            c.on_epoch(e, (e + 1) * 20_000, &views(2, &rates, e + 1));
+        }
+        let labels: Vec<&str> = c.decisions().iter().map(|d| d.phase.as_str()).collect();
+        assert_eq!(&labels[..2], &["warmup", "shared"]);
+        assert!(labels.contains(&"settle:victim"));
+        assert!(labels.contains(&"alone:victim"));
+        assert!(labels.contains(&"alone:hog"));
+        // Warmup and interior epochs emit no actuations; transitions do.
+        assert!(c.decisions()[0].actions.is_empty());
+        assert!(c
+            .decisions()
+            .iter()
+            .any(|d| d.phase == "alone:victim" && !d.actions.is_empty()));
+    }
+
+    #[test]
+    fn stalls_co_runners_during_alone_epochs() {
+        let mut c = QosController::new(two_apps(), &QosPolicy::none(), cfg());
+        let rates = [100u64, 400];
+        let mut stalled_hog = false;
+        for e in 0..20u64 {
+            let acts = c.on_epoch(e, (e + 1) * 20_000, &views(2, &rates, e + 1));
+            if c.decisions().last().unwrap().phase == "settle:victim" {
+                stalled_hog |= acts
+                    .iter()
+                    .any(|a| a.core == 1 && a.knob == Knob::Throttle(ThrottleCfg::stall()));
+            }
+        }
+        assert!(stalled_hog);
+    }
+
+    #[test]
+    fn notch_mask_and_rate_halve() {
+        let c = QosController::new(two_apps(), &QosPolicy::none(), cfg());
+        assert_eq!(c.mask_for_notch(0), c.full_mask());
+        let m1 = c.mask_for_notch(1);
+        assert_eq!(m1.count_ones(), (c.cfg.l3_ways / 2).max(1));
+        assert_eq!(c.mask_for_notch(c.cfg.max_notch).count_ones(), 1);
+        assert!(c.throttle_for_notch(0).is_none());
+        let t1 = c.throttle_for_notch(1).unwrap();
+        let t2 = c.throttle_for_notch(2).unwrap();
+        assert_eq!(t1.lines_per_kilocycle, c.cfg.base_lines_per_kilocycle);
+        assert_eq!(
+            t2.lines_per_kilocycle.max(1),
+            (t1.lines_per_kilocycle / 2).max(1)
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! The "with enforcement" twins of the paper's degradation figures.
+//!
+//! Fig. 9 (and Fig. 12's summary) plot degradation against interference
+//! level with *no* recourse: the victim takes whatever the co-schedule
+//! does to it. The twin produced here re-runs the same sweep with the QoS
+//! loop enforcing a slowdown target on the victim — the bench `qos` bin
+//! renders it, and a golden CSV under `tests/data/` pins every row.
+//!
+//! These functions are deterministic pure library code so the golden
+//! test, the bench bin, and CI all share one implementation.
+
+use amem_interfere::InterferenceKind;
+use amem_sim::config::CoreId;
+use amem_sim::MachineConfig;
+
+use crate::controller::QosCtlCfg;
+use crate::policy::QosPolicy;
+use crate::scenario::{App, Scenario};
+
+/// One sweep point of the enforcement twin.
+#[derive(Debug, Clone)]
+pub struct EnforcedPoint {
+    /// Interference thread count.
+    pub count: usize,
+    /// True slowdown under the naive co-schedule (solo / naive rate).
+    pub naive_slowdown: f64,
+    /// True slowdown with the QoS loop enforcing the target.
+    pub enforced_slowdown: f64,
+    /// The controller's own final estimate during the enforced run.
+    pub estimate: Option<f64>,
+    /// The policy target.
+    pub target: f64,
+}
+
+/// The victim used by the sweep: DRAM-bound (latency-sensitive) against
+/// bandwidth hogs, cache-resident against storage thrashers.
+fn victim_for(kind: InterferenceKind, m: &MachineConfig) -> App {
+    match kind {
+        InterferenceKind::Bandwidth => App::dram_bound("victim", m, CoreId::new(0, 0), 11),
+        InterferenceKind::Storage => App::resident("victim", m, CoreId::new(0, 0), 11),
+    }
+}
+
+fn aggressor_for(kind: InterferenceKind, m: &MachineConfig, i: usize) -> App {
+    let core = CoreId::new(0, 1 + i as u32);
+    match kind {
+        InterferenceKind::Bandwidth => App::stream(&format!("bw{i}"), m, core),
+        // The paper's CSThr: a cache thrasher re-touching 1/5 of the L3.
+        InterferenceKind::Storage => App::resident(&format!("cs{i}"), m, core, 0x5EED + i as u64),
+    }
+}
+
+/// Build the scenario for one sweep point.
+pub fn sweep_scenario(
+    machine: &MachineConfig,
+    kind: InterferenceKind,
+    count: usize,
+    max_cycles: u64,
+) -> Scenario {
+    let mut apps = vec![victim_for(kind, machine)];
+    for i in 0..count {
+        apps.push(aggressor_for(kind, machine, i));
+    }
+    Scenario::new(machine.clone(), apps, max_cycles)
+}
+
+/// The enforcement twin of one fig9-style panel: victim slowdown vs
+/// interference count, naive and enforced side by side.
+pub fn enforced_sweep(
+    machine: &MachineConfig,
+    kind: InterferenceKind,
+    counts: &[usize],
+    target: f64,
+    max_cycles: u64,
+) -> Vec<EnforcedPoint> {
+    let policy = QosPolicy::none().with_target("victim", target);
+    counts
+        .iter()
+        .map(|&count| {
+            let sc = sweep_scenario(machine, kind, count, max_cycles);
+            let solo = sc.run_solo(0);
+            let naive = sc.run_naive();
+            let enforced = sc.run_controlled(&policy, QosCtlCfg::for_machine(machine));
+            let ctl = enforced.controller.as_ref().expect("controlled run");
+            EnforcedPoint {
+                count,
+                naive_slowdown: solo / naive.rates[0].rate,
+                enforced_slowdown: solo / enforced.rates[0].rate,
+                estimate: ctl.estimate("victim"),
+                target,
+            }
+        })
+        .collect()
+}
+
+/// One row of the per-app enforcement summary (the fig12-style twin).
+#[derive(Debug, Clone)]
+pub struct AppOutcomeRow {
+    pub app: String,
+    pub target: Option<f64>,
+    pub naive_slowdown: f64,
+    pub enforced_slowdown: f64,
+    pub estimate: Option<f64>,
+    pub ci95_half: Option<f64>,
+    pub final_notch: u32,
+}
+
+/// Run one adversarial co-schedule naive and enforced, and summarize
+/// every app: the fig12-style "who pays for whose QoS" table.
+pub fn enforcement_table(scenario: &Scenario, policy: &QosPolicy) -> Vec<AppOutcomeRow> {
+    let solos: Vec<f64> = (0..scenario.apps.len())
+        .map(|i| scenario.run_solo(i))
+        .collect();
+    let naive = scenario.run_naive();
+    let enforced = scenario.run_controlled(policy, QosCtlCfg::for_machine(&scenario.machine));
+    let ctl = enforced.controller.as_ref().expect("controlled run");
+    let snaps = ctl.snapshots();
+    scenario
+        .apps
+        .iter()
+        .enumerate()
+        .map(|(i, a)| AppOutcomeRow {
+            app: a.name.clone(),
+            target: policy.max_slowdown(&a.name),
+            naive_slowdown: solos[i] / naive.rates[i].rate,
+            enforced_slowdown: solos[i] / enforced.rates[i].rate,
+            estimate: snaps[i].estimate,
+            ci95_half: snaps[i].ci95_half,
+            final_notch: ctl.notches()[i],
+        })
+        .collect()
+}
+
+/// Render an [`EnforcedPoint`] sweep as CSV-ready string rows (count,
+/// naive, enforced, estimate, target), with fixed formatting so golden
+/// files are byte-stable.
+pub fn enforced_sweep_rows(points: &[EnforcedPoint]) -> Vec<Vec<String>> {
+    points
+        .iter()
+        .map(|p| {
+            vec![
+                p.count.to_string(),
+                format!("{:.4}", p.naive_slowdown),
+                format!("{:.4}", p.enforced_slowdown),
+                p.estimate
+                    .map(|e| format!("{e:.4}"))
+                    .unwrap_or_else(|| "-".to_string()),
+                format!("{:.2}", p.target),
+            ]
+        })
+        .collect()
+}

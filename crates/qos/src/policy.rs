@@ -1,0 +1,53 @@
+//! QoS policy: per-application slowdown targets.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-app maximum-slowdown targets. Apps without an entry are
+/// *best-effort*: the controller is free to squeeze them (CAT mask +
+/// bandwidth throttle) to keep the targeted apps within bounds.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QosPolicy {
+    /// `(app name, max_slowdown)` pairs; `max_slowdown` ≥ 1.
+    pub targets: Vec<(String, f64)>,
+}
+
+impl QosPolicy {
+    /// The empty policy: estimation only, no enforcement.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Add a target for `app`.
+    pub fn with_target(mut self, app: &str, max_slowdown: f64) -> Self {
+        assert!(
+            max_slowdown >= 1.0,
+            "a slowdown target below 1 is unmeetable"
+        );
+        self.targets.push((app.to_string(), max_slowdown));
+        self
+    }
+
+    /// The target for `app`, if any.
+    pub fn max_slowdown(&self, app: &str) -> Option<f64> {
+        self.targets.iter().find(|(n, _)| n == app).map(|&(_, t)| t)
+    }
+
+    /// Whether any app has a target (i.e. enforcement is on).
+    pub fn is_enforcing(&self) -> bool {
+        !self.targets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup() {
+        let p = QosPolicy::none().with_target("victim", 1.3);
+        assert_eq!(p.max_slowdown("victim"), Some(1.3));
+        assert_eq!(p.max_slowdown("hog"), None);
+        assert!(p.is_enforcing());
+        assert!(!QosPolicy::none().is_enforcing());
+    }
+}

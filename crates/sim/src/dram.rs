@@ -144,6 +144,117 @@ impl DramChannel {
     }
 }
 
+/// Bandwidth-throttle setting for one core: a token bucket on DRAM lines.
+///
+/// `lines_per_kilocycle` is the sustained refill rate; `burst_lines` is
+/// the bucket depth. Like `AMEM_HORIZON`, the throttle is an
+/// execution-time knob only — it never appears in [`crate::canonical_json`]
+/// cache keys, because results obtained under a throttle are not
+/// substitutable for unthrottled ones and the executor is never asked to
+/// cache them (QoS runs go through [`crate::machine::Machine`] directly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThrottleCfg {
+    /// Sustained rate: DRAM lines this core may fetch per 1000 cycles.
+    pub lines_per_kilocycle: u32,
+    /// Bucket depth: lines that may be issued back-to-back from a full
+    /// bucket before the sustained rate binds.
+    pub burst_lines: u32,
+}
+
+impl ThrottleCfg {
+    /// The hardest setting the controller uses: ~1 line per 4000 cycles.
+    /// Used to silence co-runners during an estimator "alone epoch".
+    pub fn stall() -> Self {
+        Self {
+            lines_per_kilocycle: 1,
+            burst_lines: 1,
+        }
+    }
+}
+
+/// Token-bucket rate limiter on DRAM line fetches, in pure integer
+/// arithmetic so identical schedules always yield identical waits.
+///
+/// Internally one line costs `LINE_COST` credit units and the bucket
+/// gains `lines_per_kilocycle` units per cycle (= `lines_per_kilocycle`
+/// lines per kilocycle), capped at `burst_lines * LINE_COST`.
+#[derive(Debug, Clone)]
+pub struct LineThrottle {
+    cfg: ThrottleCfg,
+    /// Credit units per cycle.
+    rate: u64,
+    /// Credit cap in units.
+    cap: u64,
+    credit: u64,
+    last: u64,
+}
+
+/// Credit units per line (the kilocycle scale).
+const LINE_COST: u64 = 1000;
+
+impl LineThrottle {
+    pub fn new(cfg: ThrottleCfg) -> Self {
+        assert!(cfg.lines_per_kilocycle > 0, "rate must be positive");
+        assert!(cfg.burst_lines > 0, "burst must be positive");
+        let cap = cfg.burst_lines as u64 * LINE_COST;
+        Self {
+            cfg,
+            rate: cfg.lines_per_kilocycle as u64,
+            cap,
+            credit: cap, // a fresh bucket starts full
+            last: 0,
+        }
+    }
+
+    /// The setting this throttle was built from (so actuators can skip
+    /// rebuilding — and thus refilling — an unchanged bucket).
+    pub fn cfg(&self) -> ThrottleCfg {
+        self.cfg
+    }
+
+    #[inline]
+    fn refill(&mut self, now: u64) {
+        if now > self.last {
+            let gained = (now - self.last).saturating_mul(self.rate);
+            self.credit = self.cap.min(self.credit.saturating_add(gained));
+            self.last = now;
+        }
+    }
+
+    /// Acquire one line of credit at time `now`, waiting if the bucket is
+    /// empty. Returns the wait in cycles before the fetch may issue.
+    #[inline]
+    pub fn acquire(&mut self, now: u64) -> u64 {
+        self.refill(now);
+        if self.credit >= LINE_COST {
+            self.credit -= LINE_COST;
+            return 0;
+        }
+        let deficit = LINE_COST - self.credit;
+        let wait = deficit.div_ceil(self.rate);
+        // Credit state as of `now + wait`, minus the line just granted.
+        self.credit = self
+            .cap
+            .min(self.credit + wait * self.rate)
+            .saturating_sub(LINE_COST);
+        self.last = now + wait;
+        wait
+    }
+
+    /// Take one line of credit at `now` only if immediately available.
+    /// Used for prefetches, which are dropped rather than delayed.
+    #[inline]
+    pub fn try_acquire(&mut self, now: u64) -> bool {
+        self.refill(now);
+        if self.credit >= LINE_COST {
+            self.credit -= LINE_COST;
+            true
+        } else {
+            false
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,5 +350,77 @@ mod tests {
         }
         let eff = (n * 64) as f64 / last as f64;
         assert!((eff - 7.0).abs() < 0.01, "effective rate {eff}");
+    }
+
+    #[test]
+    fn throttle_burst_then_sustained_rate() {
+        let mut th = LineThrottle::new(ThrottleCfg {
+            lines_per_kilocycle: 100, // one line per 10 cycles
+            burst_lines: 4,
+        });
+        // The full bucket covers the first four lines for free.
+        for _ in 0..4 {
+            assert_eq!(th.acquire(0), 0);
+        }
+        // Then each line waits 10 cycles of refill.
+        assert_eq!(th.acquire(0), 10);
+        assert_eq!(th.acquire(10), 10);
+    }
+
+    #[test]
+    fn throttle_idle_time_refills_up_to_burst() {
+        let mut th = LineThrottle::new(ThrottleCfg {
+            lines_per_kilocycle: 100,
+            burst_lines: 2,
+        });
+        assert_eq!(th.acquire(0), 0);
+        assert_eq!(th.acquire(0), 0);
+        assert_eq!(th.acquire(0), 10);
+        // A long idle gap refills to the cap, never beyond it.
+        for _ in 0..2 {
+            assert_eq!(th.acquire(1_000_000), 0);
+        }
+        assert_eq!(th.acquire(1_000_000), 10);
+    }
+
+    #[test]
+    fn throttle_try_acquire_never_waits() {
+        let mut th = LineThrottle::new(ThrottleCfg {
+            lines_per_kilocycle: 1,
+            burst_lines: 1,
+        });
+        assert!(th.try_acquire(0));
+        assert!(!th.try_acquire(0));
+        assert!(!th.try_acquire(500));
+        assert!(th.try_acquire(1000));
+    }
+
+    #[test]
+    fn throttle_never_exceeds_budget() {
+        // Over any horizon [0, T], the granted lines are bounded by
+        // burst + T * rate / 1000 (+1 for the partial refill interval).
+        let cfg = ThrottleCfg {
+            lines_per_kilocycle: 37,
+            burst_lines: 5,
+        };
+        let mut th = LineThrottle::new(cfg);
+        let mut issued: Vec<u64> = Vec::new();
+        let mut now = 0u64;
+        for i in 0..5000u64 {
+            // An adversarial mixed schedule with idle gaps.
+            if i % 97 == 0 {
+                now += 4000;
+            }
+            let w = th.acquire(now);
+            issued.push(now + w);
+            now += w;
+        }
+        for (k, &t) in issued.iter().enumerate() {
+            let budget = cfg.burst_lines as u64 + (t * cfg.lines_per_kilocycle as u64) / 1000 + 1;
+            assert!(
+                (k as u64) < budget,
+                "line {k} issued at {t} exceeds budget {budget}"
+            );
+        }
     }
 }

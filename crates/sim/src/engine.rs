@@ -40,8 +40,9 @@
 use std::sync::mpsc;
 
 use crate::config::{CoreId, MachineConfig};
+use crate::control::{Actuation, CoreView, EpochController, Knob};
 use crate::counters::CoreCounters;
-use crate::dram::{DramChannel, DramStats};
+use crate::dram::{DramChannel, DramStats, LineThrottle};
 use crate::model::{CacheModel, PrefetchModel, SoaSubstrate, Substrate, TlbModel};
 use crate::stream::{AccessStream, Op, OP_BATCH};
 use crate::telemetry::{CycleHistogram, EventRing, Sampler, SpanEvent, Telemetry};
@@ -442,6 +443,16 @@ struct CoreState<S: Substrate> {
     marks: Vec<CoreCounters>,
     llc_hint: Option<crate::cache::InsertPolicy>,
     l3_way_mask: u32,
+    /// Mid-run bandwidth throttle, installed only by an [`EpochController`]
+    /// actuation; `None` (the default and the only state reachable without
+    /// a controller) adds a single branch on the demand-miss path.
+    throttle: Option<LineThrottle>,
+    /// A load consumed from the lane but deferred to the next dispatch.
+    /// Set only on the controller path, when an MLP stall jumps this
+    /// core's clock past other runnable cores: issuing the access in the
+    /// same dispatch would book the shared DRAM channel at a future time
+    /// and convoy cores whose clocks are still behind the booking.
+    pending: Option<Op>,
     tlb: S::Tlb,
     l1: S::Cache,
     l2: S::Cache,
@@ -476,6 +487,17 @@ pub struct EngineWith<'a, S: Substrate = SoaSubstrate> {
     /// plants `1` to prove the ping-pong fuzz lane catches exactly this
     /// class of bug (a shared access leaking across the horizon).
     horizon_leak: u64,
+    /// Epoch-boundary resource controller (QoS). `None` — the default —
+    /// leaves the scheduler loop structurally untouched.
+    controller: Option<&'a mut dyn EpochController>,
+    /// Sabotage for the conformance qos lane: when true, the first epoch
+    /// boundary lands one whole epoch late (the classic `epoch` vs
+    /// `epoch + 1` indexing slip). Always `false` in production.
+    epoch_off_by_one: bool,
+    /// Horizon of the dispatch currently executing. Consulted on the
+    /// controller path to defer loads whose MLP stall jumped past it
+    /// (see [`CoreState::pending`]).
+    dispatch_cap: u64,
 
     labels: Vec<String>,
     job_meta: Vec<(CoreId, bool)>,
@@ -515,6 +537,8 @@ impl<'a, S: Substrate> EngineWith<'a, S> {
                 marks: Vec::new(),
                 llc_hint: None,
                 l3_way_mask: u32::MAX,
+                throttle: None,
+                pending: None,
                 tlb: S::Tlb::build(cfg.tlb),
                 l1: S::Cache::build(&cfg.l1).without_ownership(),
                 l2: S::Cache::build(&cfg.l2).without_ownership(),
@@ -563,6 +587,9 @@ impl<'a, S: Substrate> EngineWith<'a, S> {
             tlb_on: cfg.tlb.is_enabled(),
             run_ahead: run_ahead_ops(),
             horizon_leak: 0,
+            controller: None,
+            epoch_off_by_one: false,
+            dispatch_cap: u64::MAX,
 
             labels,
             job_meta,
@@ -590,6 +617,30 @@ impl<'a, S: Substrate> EngineWith<'a, S> {
     #[doc(hidden)]
     pub fn with_horizon_leak(mut self) -> Self {
         self.horizon_leak = 1;
+        self
+    }
+
+    /// Attach an epoch-boundary resource controller. The engine calls
+    /// [`EpochController::on_epoch`] at deterministic points of the
+    /// scheduler's pop order and applies the returned actuations before
+    /// the next dispatch; the caller keeps the (mutably borrowed)
+    /// controller, so estimator state and decision logs survive the run.
+    ///
+    /// Like `AMEM_HORIZON`, the controller is execution-time state only:
+    /// it is not part of [`RunLimit`] and never enters a cache key.
+    pub fn with_controller(mut self, controller: &'a mut dyn EpochController) -> Self {
+        self.controller = Some(controller);
+        self
+    }
+
+    /// Sabotage for the conformance qos self-test: plant the classic
+    /// off-by-one in the epoch-boundary computation, so the first boundary
+    /// fires one whole epoch late and every later boundary shifts with it.
+    /// The controller-determinism lane must catch the resulting drift in
+    /// decision logs and event signatures.
+    #[doc(hidden)]
+    pub fn with_epoch_off_by_one(mut self) -> Self {
+        self.epoch_off_by_one = true;
         self
     }
 
@@ -718,6 +769,15 @@ impl<'a, S: Substrate> EngineWith<'a, S> {
         } else {
             self.run_ahead
         };
+        // Epoch boundaries for the (optional) resource controller. The
+        // first boundary is one epoch in; the sabotage hook shifts it one
+        // epoch further to emulate the indexing off-by-one.
+        let epoch_len = self.controller.as_ref().map(|c| c.epoch_cycles().max(1));
+        let mut epoch_idx: u64 = 0;
+        let mut next_epoch = match epoch_len {
+            Some(e) => e.saturating_mul(1 + self.epoch_off_by_one as u64),
+            None => u64::MAX,
+        };
         loop {
             if had_primaries && primaries_left == 0 {
                 // The finalize pass below stops the remaining
@@ -771,6 +831,16 @@ impl<'a, S: Substrate> EngineWith<'a, S> {
             if self.cores[ci].done || self.cores[ci].parked {
                 continue; // stale spill entry of a finished/parked core
             }
+            // Fire every epoch boundary the popped timestamp has crossed,
+            // *before* dispatching the core — the snapshot/actuation point
+            // is then a pure function of the (deterministic) pop order.
+            if let Some(e) = epoch_len {
+                while t >= next_epoch {
+                    self.fire_epoch(epoch_idx, next_epoch);
+                    epoch_idx += 1;
+                    next_epoch = next_epoch.saturating_add(e);
+                }
+            }
             if t >= max_cycles {
                 // All runnable cores are at or past the stop limit; halt
                 // them where they stand (the popped core at its popped
@@ -794,7 +864,13 @@ impl<'a, S: Substrate> EngineWith<'a, S> {
                 spill.clear();
                 break;
             }
-            let horizon = t_next.saturating_add(limit.quantum);
+            // With a controller attached the dispatch horizon also stops
+            // at the next epoch boundary, so epochs fire on time even when
+            // a single runnable core would otherwise burst to the end of
+            // the run (`next_epoch` is u64::MAX without a controller, so
+            // the default path is untouched).
+            let horizon = t_next.saturating_add(limit.quantum).min(next_epoch);
+            self.dispatch_cap = horizon;
             let cap = horizon.min(max_cycles);
             let burst_cap = cap.saturating_add(self.horizon_leak);
             loop {
@@ -855,6 +931,49 @@ impl<'a, S: Substrate> EngineWith<'a, S> {
             }
         }
         self.report(limit, max_cycles, had_primaries)
+    }
+
+    /// Snapshot every core, hand the snapshot to the controller, and apply
+    /// the actuations it returns.
+    fn fire_epoch(&mut self, epoch: u64, now: u64) {
+        let views: Vec<CoreView> = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, c)| CoreView {
+                core: i,
+                socket: c.sock,
+                job: c.job,
+                primary: c.primary,
+                done: c.done,
+                time: c.time,
+                counters: c.counters,
+                l3_way_mask: c.l3_way_mask,
+                throttle: c.throttle.as_ref().map(|t| t.cfg()),
+            })
+            .collect();
+        let ctl = self
+            .controller
+            .as_mut()
+            .expect("epoch fired without a controller");
+        let actions = ctl.on_epoch(epoch, now, &views);
+        for Actuation { core, knob } in actions {
+            assert!(core < self.cores.len(), "actuation on core {core}");
+            let c = &mut self.cores[core];
+            match knob {
+                Knob::L3WayMask(mask) => {
+                    assert!(mask != 0, "an empty way mask would forbid all fills");
+                    c.l3_way_mask = mask;
+                }
+                // Retuning to the *same* setting keeps the bucket (and its
+                // accumulated credit) rather than refilling it.
+                Knob::Throttle(cfg) => match &c.throttle {
+                    Some(t) if t.cfg() == cfg => {}
+                    _ => c.throttle = Some(LineThrottle::new(cfg)),
+                },
+                Knob::Unthrottle => c.throttle = None,
+            }
+        }
     }
 
     fn stop_core(&mut self, ci: usize, t: u64) {
@@ -919,16 +1038,29 @@ impl<'a, S: Substrate> EngineWith<'a, S> {
 
     /// Execute one op on core `ci`.
     fn step(&mut self, ci: usize, limit: &RunLimit) -> StepOutcome {
-        let op = self.next_lane_op(ci);
+        let op = match self.cores[ci].pending.take() {
+            Some(op) => op,
+            None => self.next_lane_op(ci),
+        };
         match op {
             Op::Load(addr) => {
                 let line = addr >> 6;
                 if self.cores[ci].out.len >= self.cores[ci].mlp {
+                    let controlled = self.controller.is_some();
+                    let cap = self.dispatch_cap;
                     let free_at = self.cores[ci].out.pop_min();
                     let c = &mut self.cores[ci];
                     if free_at > c.time {
                         c.counters.stall_cycles += free_at - c.time;
                         c.time = free_at;
+                        if controlled && c.time > cap {
+                            // The stall jumped past the dispatch horizon:
+                            // defer the issue to the next dispatch so the
+                            // other cores catch up before this access
+                            // books the shared DRAM channel.
+                            c.pending = Some(op);
+                            return StepOutcome::Running;
+                        }
                     }
                 }
                 let now = self.cores[ci].time;
@@ -1032,6 +1164,10 @@ impl<'a, S: Substrate> EngineWith<'a, S> {
     /// general dispatcher. Only runs when telemetry is off, so the
     /// per-op sampler and ring checks of the legacy path are vacuous.
     fn fast_burst(&mut self, ci: usize, cap: u64, budget: u32) -> BurstEnd {
+        // A deferred load must retire (via `step`) before any buffered op.
+        if self.cores[ci].pending.is_some() {
+            return BurstEnd::Unhandled;
+        }
         let mut left = budget;
         loop {
             if left == 0 {
@@ -1053,6 +1189,12 @@ impl<'a, S: Substrate> EngineWith<'a, S> {
                                 c.time = free_at;
                             }
                         }
+                    }
+                    if self.controller.is_some() && self.cores[ci].time > self.dispatch_cap {
+                        // The stall jumped past the dispatch horizon: leave
+                        // the load at the cursor so it issues only once the
+                        // other cores catch up (see the same rule in `step`).
+                        return BurstEnd::Horizon;
                     }
                     let now = self.cores[ci].time;
                     let walk = if self.tlb_on {
@@ -1210,9 +1352,18 @@ impl<'a, S: Substrate> EngineWith<'a, S> {
         } else {
             self.cores[ci].counters.l3_misses += 1;
             self.cores[ci].counters.dram_demand_lines += 1;
-            let delay = self.sockets[s]
-                .dram
-                .demand(now + self.cfg.l3.latency as u64);
+            let miss_at = now + self.cfg.l3.latency as u64;
+            // A controller-installed token bucket gates this core's issue
+            // rate; the wait is charged to this core's latency alone.
+            let gate = match self.cores[ci].throttle.as_mut() {
+                Some(th) => th.acquire(miss_at),
+                None => 0,
+            };
+            // Book the channel at the ungated time: the gate stalls this
+            // core's pipeline, not the channel, so a throttled core must
+            // not push `next_free` into the future and convoy everyone
+            // else behind its wait.
+            let delay = self.sockets[s].dram.demand(miss_at);
             let hint = self.cores[ci].llc_hint;
             let mask = self.cores[ci].l3_way_mask;
             self.fill_l3_demand(ci, s, line, now, store, hint, mask);
@@ -1222,7 +1373,9 @@ impl<'a, S: Substrate> EngineWith<'a, S> {
             // costs the fixed DRAM latency; under contention the channel
             // backlog dominates. Summing both would convoy bursty traffic
             // and cap throughput far below the channel rate.
-            let lat = self.cfg.l3.latency + self.cfg.dram_latency.max(delay as u32);
+            let lat = self.cfg.l3.latency
+                + gate.min(u32::MAX as u64) as u32
+                + self.cfg.dram_latency.max(delay as u32);
             if let Some(h) = self.demand_hist.get_mut(s) {
                 h.record(lat as u64);
             }
@@ -1381,6 +1534,14 @@ impl<'a, S: Substrate> EngineWith<'a, S> {
         if backlog > 16.0 * self.sockets[s].dram.service_per_line() {
             self.cores[ci].counters.prefetches_dropped += 1;
             return;
+        }
+        // A token-bucket-limited core spends credit on prefetches too;
+        // when the bucket is empty the prefetch is dropped, not delayed.
+        if let Some(th) = self.cores[ci].throttle.as_mut() {
+            if !th.try_acquire(now) {
+                self.cores[ci].counters.prefetches_dropped += 1;
+                return;
+            }
         }
         self.sockets[s].dram.prefetch_fetch(now);
         self.cores[ci].counters.dram_prefetch_lines += 1;

@@ -56,6 +56,7 @@ pub mod alloc;
 pub mod cache;
 pub mod cluster;
 pub mod config;
+pub mod control;
 pub mod counters;
 pub mod dram;
 pub mod energy;
@@ -83,7 +84,9 @@ pub mod prelude {
 }
 
 pub use config::{CacheConfig, CoreId, MachineConfig};
+pub use control::{Actuation, CoreView, EpochController, Knob, NullController};
 pub use counters::CoreCounters;
+pub use dram::{LineThrottle, ThrottleCfg};
 pub use engine::{EventSignature, Job, JobReport, RunLimit, RunReport, SocketReport};
 pub use fingerprint::{canonical_json, fingerprint, fingerprint_hex};
 pub use machine::Machine;

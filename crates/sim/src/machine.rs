@@ -55,6 +55,21 @@ impl Machine {
     pub fn run_with<S: Substrate>(&mut self, jobs: Vec<Job>, limit: RunLimit) -> RunReport {
         EngineWith::<S>::new(&self.cfg, jobs).run(&limit)
     }
+
+    /// Like [`Machine::run`], with an epoch-boundary resource controller
+    /// attached (see [`crate::control`]). The controller is borrowed
+    /// mutably for the run, so its accumulated state — slowdown estimates,
+    /// decision logs — is available to the caller afterwards.
+    pub fn run_controlled(
+        &mut self,
+        jobs: Vec<Job>,
+        limit: RunLimit,
+        controller: &mut dyn crate::control::EpochController,
+    ) -> RunReport {
+        EngineWith::<SoaSubstrate>::new(&self.cfg, jobs)
+            .with_controller(controller)
+            .run(&limit)
+    }
 }
 
 #[cfg(test)]

@@ -19,5 +19,6 @@ pub use amem_interfere as interfere;
 pub use amem_metrics as metrics;
 pub use amem_miniapps as miniapps;
 pub use amem_probes as probes;
+pub use amem_qos as qos;
 pub use amem_serve as serve;
 pub use amem_sim as sim;

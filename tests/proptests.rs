@@ -574,6 +574,164 @@ mod stack_distance {
     }
 }
 
+/// QoS-layer invariants: the MISE slowdown estimator as a pure function
+/// of its rate samples, and the DRAM token bucket the enforcement loop
+/// actuates.
+mod qos {
+    use active_mem::qos::SlowdownEstimator;
+    use active_mem::sim::rng::Xoshiro256;
+    use active_mem::sim::{LineThrottle, ThrottleCfg};
+
+    const CASES: u64 = 64;
+
+    /// A random interleaving of shared/alone rate samples, returned as
+    /// `(is_alone, rate)` pairs with rates in a benign positive range.
+    fn arb_samples(rng: &mut Xoshiro256) -> Vec<(bool, f64)> {
+        let n = 8 + rng.below(56) as usize;
+        (0..n)
+            .map(|_| (rng.below(3) == 0, 1e-4 + rng.next_f64() * 0.02))
+            .collect()
+    }
+
+    fn feed(samples: &[(bool, f64)], scale: f64) -> SlowdownEstimator {
+        let mut e = SlowdownEstimator::new(0.3, 32);
+        for &(alone, r) in samples {
+            if alone {
+                e.observe_alone(r * scale);
+            } else {
+                e.observe_shared(r * scale);
+            }
+        }
+        e
+    }
+
+    /// Slowdown is a *ratio* of rates: multiplying every sample by one
+    /// constant (a faster machine, a different rate unit) must not move
+    /// the estimate or its confidence interval.
+    #[test]
+    fn estimator_is_scale_invariant() {
+        let mut rng = Xoshiro256::seed_from_u64(0x5CA1E);
+        for case in 0..CASES {
+            let samples = arb_samples(&mut rng);
+            let scale = 10f64.powi(rng.below(7) as i32 - 3); // 1e-3..1e3
+            let base = feed(&samples, 1.0);
+            let scaled = feed(&samples, scale);
+            match (base.estimate(), scaled.estimate()) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert!(
+                        (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                        "case {case}: estimate moved under scale {scale}: {a} vs {b}"
+                    );
+                    let (ca, cb) = (base.ci95_half().unwrap(), scaled.ci95_half().unwrap());
+                    assert!(
+                        (ca - cb).abs() <= 1e-9 * ca.max(1.0),
+                        "case {case}: CI moved under scale {scale}: {ca} vs {cb}"
+                    );
+                }
+                (a, b) => panic!("case {case}: scaling changed definedness: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    /// More co-runner pressure can only lower the shared rate; a
+    /// pointwise-lower shared-rate history must never yield a *smaller*
+    /// slowdown estimate.
+    #[test]
+    fn estimator_is_monotone_in_contention() {
+        let mut rng = Xoshiro256::seed_from_u64(0x40109);
+        for case in 0..CASES {
+            let samples = arb_samples(&mut rng);
+            let squeeze = 0.3 + rng.next_f64() * 0.6; // (0.3, 0.9)
+            let mild = feed(&samples, 1.0);
+            let mut harsh = SlowdownEstimator::new(0.3, 32);
+            for &(alone, r) in &samples {
+                if alone {
+                    harsh.observe_alone(r);
+                } else {
+                    harsh.observe_shared(r * squeeze);
+                }
+            }
+            if let (Some(m), Some(h)) = (mild.estimate(), harsh.estimate()) {
+                assert!(
+                    h >= m - 1e-12,
+                    "case {case}: harsher contention lowered the estimate ({m} -> {h})"
+                );
+            }
+        }
+    }
+
+    /// An app whose alone rate equals its shared rate is not slowed down:
+    /// the estimate must be exactly 1 and the CI must be the systematic
+    /// floor (statistical scatter is zero).
+    #[test]
+    fn estimator_reads_unity_when_unimpeded() {
+        let mut rng = Xoshiro256::seed_from_u64(0x0A10E);
+        for case in 0..CASES {
+            let rate = 1e-4 + rng.next_f64() * 0.02;
+            let mut e = SlowdownEstimator::new(0.3, 32);
+            for _ in 0..(4 + rng.below(28)) {
+                e.observe_shared(rate);
+                e.observe_alone(rate);
+            }
+            let est = e.estimate().unwrap();
+            assert!((est - 1.0).abs() < 1e-12, "case {case}: {est}");
+            let ci = e.ci95_half().unwrap();
+            let floor = SlowdownEstimator::SYS_ERR_FRAC * est;
+            assert!(
+                (ci - floor).abs() <= 1e-12,
+                "case {case}: CI {ci} should sit at the systematic floor {floor}"
+            );
+        }
+    }
+
+    /// The token bucket's defining contract: by any grant time `T`, the
+    /// lines granted never exceed the initial burst plus the sustained
+    /// rate integrated over `[0, T]` — no schedule of blocking fetches
+    /// and opportunistic prefetches can beat the configured bandwidth.
+    #[test]
+    fn throttle_never_exceeds_its_line_budget() {
+        let mut rng = Xoshiro256::seed_from_u64(0x7B0CE7);
+        for case in 0..CASES {
+            let cfg = ThrottleCfg {
+                lines_per_kilocycle: 1 + rng.below(50) as u32,
+                burst_lines: 1 + rng.below(16) as u32,
+            };
+            let mut th = LineThrottle::new(cfg);
+            let mut now = 0u64;
+            let mut granted = 0u64;
+            let mut last_grant = 0u64;
+            for _ in 0..(50 + rng.below(250)) {
+                now += rng.below(200);
+                if rng.below(4) == 0 {
+                    if th.try_acquire(now) {
+                        granted += 1;
+                        last_grant = last_grant.max(now);
+                    }
+                } else {
+                    let wait = th.acquire(now);
+                    granted += 1;
+                    last_grant = last_grant.max(now + wait);
+                    // The core stalls for the wait; time cannot run
+                    // backwards past the grant.
+                    now += wait;
+                }
+                // Credit available by `last_grant`: the full initial
+                // bucket plus rate × elapsed, 1000 units per line.
+                let budget_units =
+                    cfg.burst_lines as u64 * 1000 + last_grant * cfg.lines_per_kilocycle as u64;
+                assert!(
+                    granted * 1000 <= budget_units,
+                    "case {case}: {granted} lines by cycle {last_grant} exceeds budget \
+                     ({} lines/kcyc, burst {})",
+                    cfg.lines_per_kilocycle,
+                    cfg.burst_lines
+                );
+            }
+        }
+    }
+}
+
 /// Properties of the conformance reference interpreter that hold by
 /// construction of an ideal cache, independent of the production
 /// implementation — so they check the *reference itself* is sane before
